@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (recorded in EXPERIMENTS.md) and prints the reproduced rows
+or series, so the captured benchmark output doubles as the reproduction
+log. Heavy experiments run once per benchmark (``pedantic`` mode) — the
+interesting measurement is the experiment's own internal timing, not
+statistical timer stability.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure into the captured benchmark log."""
+    print()
+    print(text)

@@ -1,0 +1,47 @@
+"""Reproduce paper Figure 5: autoregression matrices and feature rankings
+for Australian Credit Approval and Mammographic.
+
+Expected shape: FDX identifies A8 as the top determinant of the Australian
+target A15, and mass shape/margin as determinants of Mammographic's
+severity, with severity in turn determining the BI-RADS assessment
+(correct directionality).
+"""
+
+from conftest import emit
+
+from repro.core.fdx import FDX
+from repro.datagen.realworld import load_dataset
+from repro.prep.profiling import feature_ranking
+
+
+def test_figure5_australian(run_once):
+    ds = load_dataset("australian")
+    result = run_once(FDX().discover, ds.relation)
+    emit("Australian autoregression heatmap:")
+    emit("\n".join(result.heatmap_rows(ds.relation.schema.names)))
+    ranking = feature_ranking(result, "A15", ds.relation.schema.names)
+    emit("Feature ranking for A15: " + ", ".join(f"{n}={w:.3f}" for n, w in ranking))
+    assert ranking, "no features ranked for A15"
+    assert ranking[0][0] == "A8"
+
+
+def test_figure5_mammographic(run_once):
+    ds = load_dataset("mammographic")
+    result = run_once(FDX().discover, ds.relation)
+    emit("Mammographic autoregression heatmap:")
+    emit("\n".join(result.heatmap_rows(ds.relation.schema.names)))
+    ranking = feature_ranking(result, "severity", ds.relation.schema.names)
+    emit("Feature ranking for severity: " + ", ".join(f"{n}={w:.3f}" for n, w in ranking))
+    # Mass shape/margin and the BI-RADS assessment are the informative
+    # partners of severity (age and density are not).
+    partners = {name for name, _ in ranking[:3]}
+    assert partners & {"shape", "margin"}, ranking
+    assert not partners & {"age", "density"}, ranking
+    # Directionality (severity -> BI-RADS): under the default *positional*
+    # ordering the direction of this edge is fixed by the schema (rads is
+    # column 0), so the paper's directionality finding is reproduced with
+    # the data-driven residual-variance ordering.
+    directed = FDX(ordering="residual_variance").discover(ds.relation)
+    emit("residual-variance ordering FDs: " + "; ".join(str(f) for f in directed.fds))
+    fd_rads = directed.fd_for("rads")
+    assert fd_rads is not None and "severity" in fd_rads.lhs

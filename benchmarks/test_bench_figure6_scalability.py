@@ -1,0 +1,29 @@
+"""Reproduce paper Figure 6: FDX runtime vs number of columns.
+
+Expected shape: total runtime grows polynomially — consistent with the
+paper's quadratic-in-columns claim and wildly unlike the exponential
+growth of lattice search — and the transform dominates the model time at
+large column counts.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.figures import figure6
+
+KWARGS = dict(column_counts=tuple(range(4, 69, 8)), n_tuples=500, n_instances=1)
+
+
+def test_figure6(run_once):
+    fig = run_once(figure6, **KWARGS)
+    emit(fig.render())
+    cols = np.array(fig.series[0].x, dtype=float)
+    total = np.array(next(s.y for s in fig.series if "total" in s.name))
+    # Fit log(t) ~ a*log(r): the growth exponent should be clearly
+    # polynomial (roughly quadratic-cubic), not exponential.
+    mask = total > 0
+    slope = np.polyfit(np.log(cols[mask]), np.log(total[mask]), 1)[0]
+    emit(f"fitted growth exponent: {slope:.2f}")
+    assert slope < 4.0
+    # Runtime at 68 columns stays in interactive range at this scale.
+    assert total[-1] < 120.0

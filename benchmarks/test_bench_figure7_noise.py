@@ -1,0 +1,29 @@
+"""Reproduce paper Figure 7: effect of increasing noise on FDX.
+
+Expected shape: F1 degrades gracefully as the noise rate climbs from 1%
+to 50%, and FDX remains usable (non-zero) at high noise on most settings.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.figures import figure7
+
+KWARGS = dict(n_instances=2, scale=0.02, seed=2)
+
+
+def test_figure7(run_once):
+    fig = run_once(figure7, **KWARGS)
+    emit(fig.render())
+    assert len(fig.series) == 8
+    for s in fig.series:
+        low_noise = s.y[0]
+        high_noise = s.y[-1]
+        # Performance at 50% noise never beats 1% noise by a margin.
+        assert high_noise <= low_noise + 0.1, (s.name, s.y)
+    # Across settings, median low-noise F1 is solid and the degradation
+    # is graceful rather than a collapse to zero everywhere.
+    lows = [s.y[0] for s in fig.series]
+    highs = [s.y[-1] for s in fig.series]
+    assert float(np.median(lows)) >= 0.5
+    assert max(highs) > 0.0

@@ -1,0 +1,54 @@
+"""Component micro-benchmarks (no paper counterpart; regression guards).
+
+Times the hot paths every experiment depends on: the pair-difference
+transform, graphical lasso, stripped-partition products, the UDU
+factorization and the exact expected-MI computation.
+"""
+
+import numpy as np
+
+from repro.baselines.partitions import Partition
+from repro.core.transform import pair_difference_transform
+from repro.datagen.synthetic import SyntheticSpec, generate
+from repro.linalg.cholesky import udu_decompose
+from repro.linalg.covariance import empirical_covariance
+from repro.linalg.glasso import graphical_lasso
+from repro.metrics.information import expected_mutual_information
+
+
+def test_micro_pair_transform(benchmark):
+    ds = generate(SyntheticSpec(n_tuples=2000, n_attributes=20, seed=0))
+    out = benchmark(pair_difference_transform, ds.relation, np.random.default_rng(0))
+    assert out.shape == (2000 * 20, 20)
+
+
+def test_micro_graphical_lasso(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2000, 30))
+    X[:, 1] = 0.9 * X[:, 0] + 0.2 * X[:, 1]
+    S = empirical_covariance(X)
+    result = benchmark(graphical_lasso, S, 0.05)
+    assert result.precision.shape == (30, 30)
+
+
+def test_micro_partition_product(benchmark):
+    rng = np.random.default_rng(0)
+    a = Partition.from_codes(rng.integers(50, size=20_000))
+    b = Partition.from_codes(rng.integers(50, size=20_000))
+    product = benchmark(a.multiply, b)
+    assert product.n_rows == 20_000
+
+
+def test_micro_udu_factorization(benchmark):
+    rng = np.random.default_rng(1)
+    A = rng.normal(size=(80, 80))
+    spd = A @ A.T + 80 * np.eye(80)
+    U, d = benchmark(udu_decompose, spd)
+    assert np.all(d > 0)
+
+
+def test_micro_expected_mi(benchmark):
+    rng = np.random.default_rng(2)
+    table = rng.integers(0, 30, size=(40, 10))
+    emi = benchmark(expected_mutual_information, table)
+    assert emi >= 0.0

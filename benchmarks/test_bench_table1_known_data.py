@@ -1,0 +1,27 @@
+"""Reproduce paper Tables 1-3 (dataset summaries)."""
+
+from conftest import emit
+
+from repro.experiments.tables import table1, table2, table3
+
+
+def test_table1_benchmark_networks(run_once):
+    t = run_once(table1)
+    emit(t.render())
+    attrs = dict(zip(t.column("Data set"), t.column("Attributes")))
+    assert attrs == {"Alarm": 37, "Asia": 8, "Cancer": 5, "Child": 20, "Earthquake": 5}
+
+
+def test_table2_synthetic_settings(run_once):
+    t = run_once(table2)
+    emit(t.render())
+    assert len(t.rows) == 4
+
+
+def test_table3_real_world_datasets(run_once):
+    t = run_once(table3, nypd_rows=10_000)
+    emit(t.render())
+    tuples = dict(zip(t.column("Data set"), t.column("Tuples")))
+    assert tuples["australian"] == 690
+    assert tuples["hospital"] == 1000
+    assert tuples["tic-tac-toe"] == 958

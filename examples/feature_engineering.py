@@ -1,0 +1,59 @@
+"""Feature engineering with FDX (paper §5.5 and Figure 5).
+
+FDX's autoregression matrix doubles as a feature-importance profile for a
+prediction target — without training a single model. This example
+reproduces the paper's two case studies:
+
+* Australian Credit Approval — FDX ranks the anonymized attribute A8 as
+  the top determinant of the approval decision A15, matching published
+  feature-selection studies.
+* Mammographic masses — FDX finds that mass shape and margin determine
+  severity, and that severity determines the BI-RADS assessment (with the
+  correct direction), matching the medical literature.
+
+Run with:  python examples/feature_engineering.py
+"""
+
+from repro import FDX
+from repro.datagen import load_dataset
+from repro.prep import feature_ranking
+
+
+def profile(dataset_name: str, target: str) -> None:
+    ds = load_dataset(dataset_name)
+    relation = ds.relation
+    print(f"=== {dataset_name} (target: {target}) ===")
+    print(f"{relation.n_rows} rows x {relation.n_attributes} attributes, "
+          f"{relation.missing_fraction():.1%} missing\n")
+
+    result = FDX().discover(relation)
+    print("Discovered FDs:")
+    for fd in result.fds:
+        print(f"  {fd}")
+
+    ranking = feature_ranking(result, target, relation.schema.names)
+    print(f"\nFeature ranking for {target!r} (autoregression weight):")
+    if not ranking:
+        print("  (no determinants found)")
+    for name, weight in ranking:
+        print(f"  {name:12s} {weight:.3f}")
+    print()
+
+
+def main() -> None:
+    profile("australian", "A15")
+    profile("mammographic", "severity")
+
+    # Directionality check from the paper: severity -> BI-RADS, not the
+    # other way around. The default ordering is positional (and 'rads' is
+    # the first schema column), so the direction of this edge is read off
+    # with the data-driven residual-variance ordering.
+    ds = load_dataset("mammographic")
+    result = FDX(ordering="residual_variance").discover(ds.relation)
+    fd = result.fd_for("rads")
+    if fd is not None:
+        print(f"Directionality recovered (residual-variance ordering): {fd}")
+
+
+if __name__ == "__main__":
+    main()

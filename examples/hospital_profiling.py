@@ -1,0 +1,61 @@
+"""Data profiling with FDX on the Hospital benchmark (paper §5.4-5.5).
+
+Reproduces the paper's qualitative workflow end to end:
+
+1. discover FDs on the noisy Hospital relation (Figure 3);
+2. compare FDX's parsimonious output with an exhaustive baseline (TANE)
+   and with the scored RFI output (Figure 4) on the same data;
+3. use the FD profile to predict where automated data cleaning will work
+   (the Table 7 signal).
+
+Run with:  python examples/hospital_profiling.py
+"""
+
+from repro import FDX
+from repro.baselines import Rfi, Tane
+from repro.datagen import hospital
+from repro.prep import AttentionImputer, imputability_experiment, split_by_fd_participation
+
+
+def main() -> None:
+    ds = hospital()
+    relation = ds.relation
+    print(f"Hospital: {relation.n_rows} rows x {relation.n_attributes} attributes, "
+          f"{relation.missing_fraction():.1%} missing cells\n")
+
+    # --- FDX profile (paper Figure 3) ------------------------------------
+    result = FDX().discover(relation)
+    print(f"FDX discovered {len(result.fds)} FDs "
+          f"in {result.total_seconds:.2f}s:")
+    for fd in result.fds:
+        print(f"  {fd}")
+
+    # --- contrast with an exhaustive method -------------------------------
+    tane = Tane(max_error=relation.missing_fraction() + 0.01).discover(relation)
+    print(f"\nTANE discovered {len(tane.fds)} minimal approximate FDs "
+          f"(exhaustive, syntax-driven) — versus FDX's {len(result.fds)}.")
+
+    # --- contrast with RFI (paper Figure 4) -------------------------------
+    rfi = Rfi(alpha=0.3, max_lhs_size=2, time_limit=600).discover(relation)
+    print(f"\nRFI (alpha=0.3) discovered {len(rfi.fds)} scored FDs "
+          f"in {rfi.seconds:.1f}s:")
+    for fd in rfi.fds:
+        print(f"  {fd} ({rfi.scores[fd]:.3f})")
+
+    # --- cleaning-accuracy prediction (paper Table 7 signal) --------------
+    with_fd, without_fd = split_by_fd_participation(result, relation.schema.names)
+    print("\nFD-participating attributes:", ", ".join(with_fd))
+    print("Independent attributes:     ", ", ".join(without_fd) or "(none)")
+    print("\nImputation check (hide 20% of cells, impute, score weighted F1):")
+    for group_name, group in (("with FD", with_fd), ("without FD", without_fd)):
+        for attr in group[:3]:
+            outcome = imputability_experiment(
+                relation, attr, AttentionImputer(), "random", hide_rate=0.2
+            )
+            print(f"  [{group_name:10s}] {attr:15s} F1 = {outcome.f1:.3f}")
+    print("\nAttributes inside FDs impute well; independent ones do not —")
+    print("FDX's profile predicts automated-cleaning accuracy before running it.")
+
+
+if __name__ == "__main__":
+    main()

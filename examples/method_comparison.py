@@ -1,0 +1,66 @@
+"""Head-to-head comparison of all FD-discovery methods (paper §5.2-5.3).
+
+Generates a synthetic dataset with known ground truth — half of the
+attribute groups carry true FDs, the other half carry strong (but
+non-functional) correlations — injects noise, and scores every method
+from the paper's evaluation. This is a single-instance, terminal-friendly
+version of the Figure 2 experiment.
+
+Run with:  python examples/method_comparison.py
+"""
+
+from repro.datagen import SyntheticSpec, generate
+from repro.experiments.report import Table
+from repro.experiments.runner import METHOD_ORDER, run_method
+from repro.metrics import score_fds
+
+
+def main() -> None:
+    spec = SyntheticSpec(
+        n_tuples=2000,
+        n_attributes=12,
+        domain_low=32,
+        domain_high=128,
+        noise_rate=0.10,
+        seed=42,
+    )
+    ds = generate(spec)
+    print(f"synthetic dataset: {ds.relation.n_rows} rows x "
+          f"{ds.relation.n_attributes} attributes, "
+          f"{spec.noise_rate:.0%} noise on FD attributes")
+    print("true FDs:      ", "; ".join(str(fd) for fd in ds.true_fds))
+    correlations = [g for g in ds.groups if g.kind == "correlation"]
+    print("correlations:  ", "; ".join(
+        f"{','.join(g.lhs)} ~ {g.rhs} (rho={g.rho:.2f})" for g in correlations
+    ))
+    print()
+
+    table = Table(
+        title="Method comparison (single synthetic instance)",
+        headers=["Method", "P", "R", "F1", "# FDs", "seconds"],
+    )
+    for method in METHOD_ORDER:
+        outcome = run_method(
+            method, ds.relation, noise_rate=spec.noise_rate, time_limit=120.0
+        )
+        if outcome.timed_out:
+            table.add_row(method, "-", "-", "-", "-", "-")
+            continue
+        prf = score_fds(outcome.fds, ds.true_fds)
+        table.add_row(
+            method,
+            round(prf.precision, 3),
+            round(prf.recall, 3),
+            round(prf.f1, 3),
+            outcome.n_fds,
+            round(outcome.seconds, 2),
+        )
+    print(table.render())
+    print("\nReading the table: FDX should lead on F1; PYRO/TANE post high")
+    print("recall but low precision (they report every syntactic AFD, and the")
+    print("correlation groups fool them); CORDS mistakes correlations for FDs;")
+    print("RFI is accurate but slow.")
+
+
+if __name__ == "__main__":
+    main()

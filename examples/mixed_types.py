@@ -1,0 +1,78 @@
+"""FD discovery over mixed data types (paper §3.1 and §4.1).
+
+FDX's pair-difference transform reduces *any* attribute type to a binary
+agreement variable, so one model covers categorical, numeric, and textual
+data simultaneously — "we can use a different difference operation for
+each of these types". This example builds a sensor-readings table with:
+
+* a categorical station id and region,
+* numeric coordinates that determine the region (up to measurement
+  jitter, handled by the numeric tolerance comparator),
+* free-text location descriptions whose token sets match per station
+  (handled by the Jaccard comparator).
+
+Run with:  python examples/mixed_types.py
+"""
+
+import numpy as np
+
+from repro import FDX, Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+def build_sensor_relation(n_rows: int = 1200, seed: int = 5) -> Relation:
+    rng = np.random.default_rng(seed)
+    stations = {}
+    for s in range(15):
+        stations[s] = {
+            "region": f"region_{s % 4}",
+            "lat": 40.0 + s * 0.5,
+            "lon": -90.0 - s * 0.25,
+            "descr": f"station {s} near mile marker {s * 7}",
+        }
+    rows = []
+    for _ in range(n_rows):
+        s = int(rng.integers(15))
+        st = stations[s]
+        rows.append((
+            s,
+            st["region"],
+            st["lat"] + float(rng.normal(0, 1e-4)),   # GPS jitter
+            st["lon"] + float(rng.normal(0, 1e-4)),
+            st["descr"].upper() if rng.random() < 0.3 else st["descr"],  # case noise
+            round(float(rng.normal(15, 8)), 1),       # independent measurement
+        ))
+    schema = Schema([
+        Attribute("station"),
+        Attribute("region"),
+        Attribute("lat", AttributeType.NUMERIC),
+        Attribute("lon", AttributeType.NUMERIC),
+        Attribute("description", AttributeType.TEXT),
+        Attribute("temperature", AttributeType.NUMERIC),
+    ])
+    return Relation.from_rows(schema, rows)
+
+
+def main() -> None:
+    relation = build_sensor_relation()
+    print(f"sensor table: {relation.n_rows} rows, "
+          f"types: {[a.dtype.value for a in relation.schema]}\n")
+
+    # The numeric tolerance (a fraction of each column's std) absorbs the
+    # GPS jitter; the text comparator's token-set Jaccard absorbs the case
+    # noise.
+    result = FDX(lam=0.05, sparsity=0.05, numeric_tolerance=1e-3).discover(relation)
+    print("Discovered FDs:")
+    for fd in result.fds:
+        print(f"  {fd}")
+
+    print("\nAutoregression |B|:")
+    for line in result.heatmap_rows(relation.schema.names):
+        print(f"  {line}")
+    print("\ntemperature (a genuinely independent numeric column) should "
+          "participate in no FD;")
+    print("station/region/coordinates/description form one entity cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Selectivity estimation from discovered FDs (paper §1, "critical for
+query optimization").
+
+Optimizers assuming attribute independence misestimate conjunctive
+predicates on correlated columns by orders of magnitude (the motivation
+behind CORDS). This example discovers the dependency structure of an
+orders table with FDX, builds a factorized selectivity model from it, and
+compares q-errors against the independence baseline on predicates that
+touch functionally related columns.
+
+Run with:  python examples/query_optimization.py
+"""
+
+import numpy as np
+
+from repro import FDX, Relation
+from repro.apps import (
+    IndependenceEstimator,
+    StructuredSelectivityEstimator,
+    q_error,
+    true_selectivity,
+)
+
+
+def build_orders(n_rows: int = 5000, seed: int = 21) -> Relation:
+    rng = np.random.default_rng(seed)
+    products = {p: (f"product_{p}", f"brand_{p % 7}", f"cat_{p % 4}") for p in range(40)}
+    rows = []
+    for _ in range(n_rows):
+        p = int(rng.integers(40))
+        name, brand, cat = products[p]
+        rows.append((p, name, brand, cat, int(rng.integers(1, 6))))
+    return Relation.from_rows(
+        ["product_id", "product_name", "brand", "category", "quantity"], rows
+    )
+
+
+def main() -> None:
+    rel = build_orders()
+    result = FDX().discover(rel)
+    print("discovered FDs:", "; ".join(map(str, result.fds)), "\n")
+
+    structured = StructuredSelectivityEstimator(
+        result.fds, result.attribute_order, n_samples=40_000
+    ).fit(rel)
+    independent = IndependenceEstimator().fit(rel)
+
+    print(f"{'predicate':<55} {'true':>8} {'indep':>8} {'struct':>8} "
+          f"{'q-ind':>7} {'q-str':>7}")
+    worst_ind, worst_str = 1.0, 1.0
+    for p in (3, 11, 25):
+        predicates = {
+            "product_id": p,
+            "product_name": f"product_{p}",
+            "brand": f"brand_{p % 7}",
+        }
+        truth = true_selectivity(rel, predicates)
+        est_i = independent.estimate(predicates)
+        est_s = structured.estimate(predicates)
+        qi, qs = q_error(est_i, truth), q_error(est_s, truth)
+        worst_ind, worst_str = max(worst_ind, qi), max(worst_str, qs)
+        label = f"product_id={p} AND name AND brand"
+        print(f"{label:<55} {truth:8.4f} {est_i:8.5f} {est_s:8.4f} {qi:7.1f} {qs:7.2f}")
+
+    print(f"\nworst q-error: independence = {worst_ind:.1f}x, "
+          f"structured = {worst_str:.2f}x")
+    print("The FD-aware model knows the three predicates are one predicate;")
+    print("the independence assumption multiplies their selectivities and is")
+    print("off by orders of magnitude — the paper's query-optimization case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: discover FDs in a noisy relation with FDX.
+
+Builds a small noisy dataset with two embedded dependencies
+(``zip -> city`` and ``city -> state``), runs FDX, and prints the
+discovered FDs together with the estimated autoregression matrix —
+the three-step pipeline of the paper's Figure 1.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FDX, Relation
+from repro.dataset.noise import MissingNoise, RandomFlipNoise, apply_noise
+
+
+def build_address_relation(n_rows: int = 1500, seed: int = 7) -> Relation:
+    """A toy address table: zip determines city, city determines state."""
+    rng = np.random.default_rng(seed)
+    zips = [f"5370{i}" for i in range(10)]
+    city_of = {z: f"city_{int(z) % 5}" for z in zips}
+    state_of = {c: ("WI" if int(c[-1]) < 3 else "IL") for c in city_of.values()}
+    rows = []
+    for _ in range(n_rows):
+        z = zips[rng.integers(len(zips))]
+        city = city_of[z]
+        rows.append((z, city, state_of[city], f"{rng.integers(100, 999)} main st"))
+    return Relation.from_rows(["zip", "city", "state", "address"], rows)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    clean = build_address_relation()
+
+    # Corrupt it: 5% random flips plus 3% missing cells — the noisy-channel
+    # generative process of paper §3.1.
+    noisy, report = apply_noise(
+        clean, [RandomFlipNoise(0.05), MissingNoise(0.03)], rng
+    )
+    print(f"input: {noisy.n_rows} rows x {noisy.n_attributes} attributes, "
+          f"{report.n_cells} corrupted cells\n")
+
+    # Discover FDs (Algorithm 1: transform -> graphical lasso -> UDU -> FDs).
+    result = FDX().discover(noisy)
+
+    print("Discovered FDs:")
+    for fd in result.fds:
+        print(f"  {fd}")
+
+    print("\nAutoregression matrix |B| (schema order):")
+    for line in result.heatmap_rows(noisy.schema.names):
+        print(f"  {line}")
+
+    print(f"\ntransform: {result.transform_seconds:.3f}s  "
+          f"structure learning: {result.model_seconds:.3f}s  "
+          f"pair samples: {result.n_pair_samples}")
+
+
+if __name__ == "__main__":
+    main()

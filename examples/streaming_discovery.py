@@ -1,0 +1,51 @@
+"""Streaming FD discovery over a growing table (extension).
+
+FDX's statistical formulation makes incremental maintenance natural: the
+only data-dependent state is the second-moment matrix of the transformed
+sample, which is additive over row batches. This example simulates a
+table receiving daily batches — with a schema drift halfway through that
+*breaks* one dependency — and shows the discovered FDs tracking the data.
+
+Run with:  python examples/streaming_discovery.py
+"""
+
+import numpy as np
+
+from repro import Relation
+from repro.core.incremental import IncrementalFDX
+
+
+def batch(day: int, n: int = 400, broken: bool = False) -> Relation:
+    """One day of orders. Until the drift, warehouse determines region."""
+    rng = np.random.default_rng(100 + day)
+    rows = []
+    for _ in range(n):
+        w = int(rng.integers(8))
+        region = f"r{w % 4}" if not broken else f"r{int(rng.integers(4))}"
+        rows.append((w, region, int(rng.integers(5))))
+    return Relation.from_rows(["warehouse", "region", "priority"], rows)
+
+
+def main() -> None:
+    print("Phase 1: clean stream (warehouse -> region holds)")
+    inc = IncrementalFDX(decay=0.6)  # forget old batches exponentially
+    for day in range(5):
+        inc.add_batch(batch(day))
+        fds = inc.discover().fds
+        print(f"  day {day}: {inc.n_rows_seen:5d} rows seen, "
+              f"FDs: {'; '.join(map(str, fds)) or '(none)'}")
+
+    print("\nPhase 2: upstream bug randomizes region (dependency broken)")
+    for day in range(5, 12):
+        inc.add_batch(batch(day, broken=True))
+        fds = inc.discover().fds
+        print(f"  day {day}: {inc.n_rows_seen:5d} rows seen, "
+              f"FDs: {'; '.join(map(str, fds)) or '(none)'}")
+
+    print("\nWith an exponential forgetting factor the broken dependency")
+    print("fades from the output a few batches after the drift — without ever")
+    print("revisiting old rows (per-update cost is batch-sized).")
+
+
+if __name__ == "__main__":
+    main()

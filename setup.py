@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs in environments whose
+setuptools lacks PEP 517 wheel support (configuration is in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro: reproduction of FDX (SIGMOD 2020) — FD discovery in noisy data
+via structure learning over tuple-pair differences.
+
+Public entry points:
+
+* :class:`repro.FDX` — the paper's method.
+* :mod:`repro.baselines` — PYRO, TANE, CORDS, RFI and raw-GL comparators.
+* :mod:`repro.pgm` — benchmark Bayesian networks with known FDs.
+* :mod:`repro.datagen` — synthetic and real-world-style dataset generators.
+* :mod:`repro.experiments` — reproducers for every table/figure.
+"""
+
+from .core.fd import FD
+from .core.fdx import FDX, FDXResult
+from .dataset.relation import MISSING, Relation
+from .dataset.schema import Attribute, AttributeType, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FD",
+    "FDX",
+    "FDXResult",
+    "MISSING",
+    "Relation",
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Data-management applications built on discovered dependencies."""
+
+from .selectivity import (
+    IndependenceEstimator,
+    StructuredSelectivityEstimator,
+    q_error,
+    true_selectivity,
+)
+
+__all__ = [
+    "IndependenceEstimator",
+    "StructuredSelectivityEstimator",
+    "q_error",
+    "true_selectivity",
+]

@@ -1,0 +1,207 @@
+"""Selectivity estimation from discovered dependency structure.
+
+The paper motivates FD discovery with query optimization (§1, citing
+CORDS and lightweight graphical models for selectivity estimation
+[45, 49]): optimizers that assume attribute independence misestimate
+conjunctive-predicate selectivities by orders of magnitude when
+attributes are correlated or functionally dependent.
+
+:class:`StructuredSelectivityEstimator` turns FDX's output into a
+factorized categorical model ``P(row) = prod_j P(A_j | parents(A_j))``,
+where each attribute's parents are its FD determinants (acyclic by
+construction — FDX's global order orients every edge). Selectivities of
+conjunctive equality predicates are estimated by seeded forward sampling
+of the model; :class:`IndependenceEstimator` is the classic baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.fd import FD
+from ..dataset.relation import Relation, is_missing
+
+
+def true_selectivity(relation: Relation, predicates: Mapping[str, Any]) -> float:
+    """Exact fraction of rows satisfying the conjunctive equality predicate."""
+    if not predicates:
+        return 1.0
+    if relation.n_rows == 0:
+        return 0.0
+    cols = {a: relation.column(a) for a in predicates}
+    hits = 0
+    for i in range(relation.n_rows):
+        if all(
+            not is_missing(cols[a][i]) and cols[a][i] == v
+            for a, v in predicates.items()
+        ):
+            hits += 1
+    return hits / relation.n_rows
+
+
+class IndependenceEstimator:
+    """The textbook baseline: product of per-attribute marginal selectivities."""
+
+    def __init__(self) -> None:
+        self._marginals: dict[str, dict[Any, float]] = {}
+        self._n_rows = 0
+
+    def fit(self, relation: Relation) -> "IndependenceEstimator":
+        self._n_rows = relation.n_rows
+        self._marginals = {}
+        for name in relation.schema.names:
+            counts = relation.value_counts(name)
+            total = relation.n_rows or 1
+            self._marginals[name] = {v: c / total for v, c in counts.items()}
+        return self
+
+    def estimate(self, predicates: Mapping[str, Any]) -> float:
+        sel = 1.0
+        for attr, value in predicates.items():
+            sel *= self._marginals.get(attr, {}).get(value, 0.0)
+        return sel
+
+
+@dataclass
+class _Cpt:
+    """Conditional distribution of one attribute given its parents."""
+
+    parents: tuple[str, ...]
+    tables: dict[tuple, dict[Any, float]]
+    marginal: dict[Any, float]
+
+    def sample(self, parent_values: tuple, rng: np.random.Generator) -> Any:
+        dist = self.tables.get(parent_values, self.marginal)
+        values = list(dist)
+        if not values:
+            return None
+        probs = np.array([dist[v] for v in values], dtype=float)
+        total = probs.sum()
+        if total <= 0:
+            return values[0]
+        return values[int(rng.choice(len(values), p=probs / total))]
+
+
+class StructuredSelectivityEstimator:
+    """Factorized selectivity model over FDX-discovered structure.
+
+    Parameters
+    ----------
+    fds:
+        One FD per dependent attribute (FDX's output shape); determinants
+        become the attribute's parents. Attributes without an FD use their
+        marginal distribution.
+    attribute_order:
+        A global order consistent with the FDs (FDX's
+        ``FDXResult.attribute_order``); parents must precede children.
+    n_samples:
+        Monte-Carlo sample size for selectivity queries.
+    smoothing:
+        Laplace smoothing added to every observed conditional count.
+    """
+
+    def __init__(
+        self,
+        fds: Sequence[FD],
+        attribute_order: Sequence[str],
+        n_samples: int = 20_000,
+        smoothing: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        self.fds = list(fds)
+        self.attribute_order = list(attribute_order)
+        self.n_samples = n_samples
+        self.smoothing = smoothing
+        self.seed = seed
+        self._cpts: dict[str, _Cpt] = {}
+        self._sample_cache: dict[str, list[Any]] | None = None
+        position = {a: i for i, a in enumerate(self.attribute_order)}
+        for fd in self.fds:
+            if fd.rhs not in position:
+                raise ValueError(f"FD target {fd.rhs!r} not in attribute order")
+            for a in fd.lhs:
+                if position.get(a, len(position)) >= position[fd.rhs]:
+                    raise ValueError(
+                        f"FD {fd} is not consistent with the attribute order"
+                    )
+
+    def fit(self, relation: Relation) -> "StructuredSelectivityEstimator":
+        parents_of = {fd.rhs: fd.lhs for fd in self.fds}
+        self._cpts = {}
+        for name in self.attribute_order:
+            parents = tuple(parents_of.get(name, ()))
+            col = relation.column(name)
+            parent_cols = [relation.column(p) for p in parents]
+            tables: dict[tuple, dict[Any, float]] = {}
+            marginal: dict[Any, float] = {}
+            for i in range(relation.n_rows):
+                v = col[i]
+                if is_missing(v):
+                    continue
+                marginal[v] = marginal.get(v, 0.0) + 1.0
+                key = tuple(pc[i] for pc in parent_cols)
+                if any(is_missing(k) for k in key):
+                    continue
+                tables.setdefault(key, {})
+                tables[key][v] = tables[key].get(v, 0.0) + 1.0
+            # Normalize with smoothing over the observed support.
+            support = sorted(marginal, key=repr)
+            total = sum(marginal.values())
+            marginal = {
+                v: (marginal[v] + self.smoothing)
+                / (total + self.smoothing * len(support))
+                for v in support
+            }
+            for key, counts in tables.items():
+                t = sum(counts.values())
+                tables[key] = {
+                    v: (counts.get(v, 0.0) + self.smoothing)
+                    / (t + self.smoothing * len(support))
+                    for v in support
+                }
+            self._cpts[name] = _Cpt(parents=parents, tables=tables, marginal=marginal)
+        self._sample_cache = None
+        return self
+
+    def _samples(self) -> dict[str, list[Any]]:
+        if self._sample_cache is None:
+            if not self._cpts:
+                raise RuntimeError("fit() must be called before estimate()")
+            rng = np.random.default_rng(self.seed)
+            columns: dict[str, list[Any]] = {a: [] for a in self.attribute_order}
+            for _ in range(self.n_samples):
+                row: dict[str, Any] = {}
+                for name in self.attribute_order:
+                    cpt = self._cpts[name]
+                    key = tuple(row.get(p) for p in cpt.parents)
+                    row[name] = cpt.sample(key, rng)
+                for name, v in row.items():
+                    columns[name].append(v)
+            self._sample_cache = columns
+        return self._sample_cache
+
+    def estimate(self, predicates: Mapping[str, Any]) -> float:
+        """Monte-Carlo selectivity of a conjunctive equality predicate."""
+        if not predicates:
+            return 1.0
+        columns = self._samples()
+        for attr in predicates:
+            if attr not in columns:
+                raise KeyError(f"unknown attribute {attr!r}")
+        n = self.n_samples
+        hits = 0
+        cols = {a: columns[a] for a in predicates}
+        for i in range(n):
+            if all(cols[a][i] == v for a, v in predicates.items()):
+                hits += 1
+        return hits / n
+
+
+def q_error(estimated: float, truth: float, floor: float = 1e-6) -> float:
+    """The optimizer-standard q-error ``max(est/true, true/est)`` (>= 1)."""
+    est = max(estimated, floor)
+    tru = max(truth, floor)
+    return max(est / tru, tru / est)

@@ -1,0 +1,43 @@
+"""Comparator FD-discovery methods from the paper's evaluation (§5.1):
+TANE, Pyro, CORDS, RFI and graphical lasso on raw data."""
+
+from .partitions import (
+    Partition,
+    column_codes,
+    fd_error_g1,
+    fd_error_g2,
+    fd_error_g3,
+    fd_holds,
+)
+from .tane import Tane, TaneResult, TimeBudgetExceeded
+from .pyro import Pyro, PyroResult
+from .cords import Cords, CordsResult
+from .rfi import Rfi, RfiResult
+from .glasso_raw import GlassoRaw, GlassoRawResult
+from .ucc import UccDiscovery, UccResult
+from .hyfd import HyFD, HyfdResult, minimal_hitting_sets
+
+__all__ = [
+    "HyFD",
+    "HyfdResult",
+    "minimal_hitting_sets",
+    "UccDiscovery",
+    "UccResult",
+    "Partition",
+    "column_codes",
+    "fd_error_g1",
+    "fd_error_g2",
+    "fd_error_g3",
+    "fd_holds",
+    "Tane",
+    "TaneResult",
+    "TimeBudgetExceeded",
+    "Pyro",
+    "PyroResult",
+    "Cords",
+    "CordsResult",
+    "Rfi",
+    "RfiResult",
+    "GlassoRaw",
+    "GlassoRawResult",
+]

@@ -1,0 +1,109 @@
+"""GL baseline: graphical lasso on the *raw* encoded data (paper §5.1).
+
+This is the ablation the paper uses to isolate the value of FDX's
+pair-difference transform: run the same sparse inverse-covariance
+estimation directly on standardized label-encoded columns of the input
+relation, then turn the resulting undirected structure into directed FDs
+by a local search over each attribute's neighborhood scored with the RFI
+score. Without the transform, covariance estimation sees raw domains
+(sample complexity ~ domain^4, §4.3) and is not robust to corrupted
+cells — precisely the weaknesses the paper's GL rows exhibit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fd import FD
+from ..dataset.encoding import numeric_encode
+from ..dataset.relation import Relation
+from ..linalg.covariance import correlation_from_covariance, empirical_covariance
+from ..linalg.glasso import graphical_lasso
+from ..metrics.information import reliable_fraction_of_information
+from .tane import TimeBudgetExceeded
+
+
+@dataclass
+class GlassoRawResult:
+    """Directed FDs derived from the raw-data precision support."""
+
+    fds: list[FD]
+    support: np.ndarray
+    scores: dict[FD, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+class GlassoRaw:
+    """Graphical lasso on raw encoded columns + local directed search.
+
+    Parameters
+    ----------
+    lam:
+        Graphical-lasso penalty on the raw correlation matrix.
+    max_lhs_size:
+        Determinant subsets are drawn from each attribute's estimated
+        neighborhood, up to this size.
+    min_score:
+        Minimum RFI score for an FD to be emitted.
+    """
+
+    def __init__(
+        self,
+        lam: float = 0.1,
+        max_lhs_size: int = 2,
+        max_neighbors: int = 8,
+        min_score: float = 0.05,
+        time_limit: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.lam = lam
+        self.max_lhs_size = max_lhs_size
+        self.max_neighbors = max_neighbors
+        self.min_score = min_score
+        self.time_limit = time_limit
+        self.seed = seed
+
+    def discover(self, relation: Relation) -> GlassoRawResult:
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        names = relation.schema.names
+        X = numeric_encode(relation, standardize=True)
+        S = correlation_from_covariance(empirical_covariance(X))
+        result = graphical_lasso(S, self.lam)
+        support = result.support
+        fds: list[FD] = []
+        scores: dict[FD, float] = {}
+        for j, rhs in enumerate(names):
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                raise TimeBudgetExceeded(f"GL exceeded {self.time_limit}s")
+            idx = np.flatnonzero(support[:, j])
+            # Bound the local search: strongest partial-correlation partners.
+            idx = sorted(idx, key=lambda i: -abs(result.precision[i, j]))
+            neighbors = [names[i] for i in idx[: self.max_neighbors]]
+            if not neighbors:
+                continue
+            best: tuple[float, tuple[str, ...]] | None = None
+            max_size = min(self.max_lhs_size, len(neighbors))
+            for size in range(1, max_size + 1):
+                for lhs in itertools.combinations(neighbors, size):
+                    if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                        raise TimeBudgetExceeded(f"GL exceeded {self.time_limit}s")
+                    score = reliable_fraction_of_information(
+                        relation, list(lhs), rhs, rng=rng
+                    )
+                    if best is None or score > best[0] + 1e-12:
+                        best = (score, lhs)
+            if best is not None and best[0] >= self.min_score:
+                fd = FD(best[1], rhs)
+                fds.append(fd)
+                scores[fd] = float(best[0])
+        return GlassoRawResult(
+            fds=fds,
+            support=support,
+            scores=scores,
+            seconds=time.perf_counter() - start,
+        )

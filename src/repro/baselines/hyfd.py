@@ -1,0 +1,216 @@
+"""HyFD-style hybrid FD discovery (Papenbrock & Naumann 2016, paper [35]).
+
+HyFD alternates between two phases:
+
+1. **Sampling** — compute *difference sets* (the attributes on which a
+   tuple pair differs) for a sample of pairs: random pairs plus "focused"
+   neighbors under per-attribute sorts (the same locality trick FDX's
+   Algorithm 2 uses).
+2. **Induction** — for each RHS attribute ``A``, every pair differing on
+   ``A`` rules out all determinants contained in its agree set, so the
+   valid determinants are exactly the *minimal hitting sets* of the
+   family ``{diff(pair) - {A}}``; enumerate them up to a size cap.
+3. **Validation** — check each induced candidate against the full data
+   with stripped partitions. A violated candidate yields a concrete
+   violating pair whose difference set is fed back into induction, and
+   the loop repeats until every surviving FD is exact (or the round cap
+   hits).
+
+The result matches lattice search (TANE) on minimal exact FDs while
+touching only sampled pairs plus targeted validations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fd import FD
+from ..dataset.relation import Relation
+from .partitions import Partition, column_codes
+from .tane import TimeBudgetExceeded
+
+
+@dataclass
+class HyfdResult:
+    """Discovered minimal FDs plus loop statistics."""
+
+    fds: list[FD]
+    rounds: int
+    difference_sets: int
+    validations: int
+    seconds: float
+    errors: dict[FD, float] = field(default_factory=dict)
+
+
+def minimal_hitting_sets(
+    family: list[frozenset[str]],
+    universe: list[str],
+    max_size: int,
+) -> list[frozenset[str]]:
+    """All minimal hitting sets of ``family`` with size <= ``max_size``.
+
+    Branch-and-bound: pick an uncovered set, branch on each of its
+    elements; prune supersets of found solutions.
+    """
+    if any(not s for s in family):
+        return []  # an empty set can never be hit
+    solutions: list[frozenset[str]] = []
+
+    def covered(current: frozenset[str]) -> list[frozenset[str]]:
+        return [s for s in family if not (s & current)]
+
+    def search(current: frozenset[str]) -> None:
+        if any(sol <= current for sol in solutions):
+            return
+        remaining = covered(current)
+        if not remaining:
+            # Minimality within the branch: drop removable elements.
+            pruned = current
+            for el in sorted(current):
+                smaller = pruned - {el}
+                if all(s & smaller for s in family):
+                    pruned = smaller
+            if not any(sol <= pruned for sol in solutions):
+                solutions[:] = [sol for sol in solutions if not pruned <= sol]
+                solutions.append(pruned)
+            return
+        if len(current) >= max_size:
+            return
+        target = min(remaining, key=len)
+        for el in sorted(target):
+            search(current | {el})
+
+    search(frozenset())
+    return sorted(set(solutions), key=lambda s: (len(s), sorted(s)))
+
+
+class HyFD:
+    """Hybrid sampling/validation discovery of minimal exact FDs.
+
+    Parameters
+    ----------
+    max_lhs_size:
+        Determinant-size cap.
+    n_random_pairs:
+        Random tuple pairs sampled for the initial difference sets (the
+        per-attribute sorted-neighbor pairs are always added).
+    max_rounds:
+        Cap on sample -> induce -> validate iterations.
+    """
+
+    def __init__(
+        self,
+        max_lhs_size: int = 3,
+        n_random_pairs: int = 2000,
+        max_rounds: int = 10,
+        time_limit: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_lhs_size < 1:
+            raise ValueError("max_lhs_size must be at least 1")
+        self.max_lhs_size = max_lhs_size
+        self.n_random_pairs = n_random_pairs
+        self.max_rounds = max_rounds
+        self.time_limit = time_limit
+        self.seed = seed
+
+    def discover(self, relation: Relation) -> HyfdResult:
+        start = time.perf_counter()
+        names = relation.schema.names
+        n = relation.n_rows
+        codes = {a: column_codes(relation, a) for a in names}
+        code_matrix = np.stack([codes[a] for a in names], axis=1) if n else None
+        diff_sets: set[frozenset[str]] = set()
+
+        def check_budget() -> None:
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                raise TimeBudgetExceeded(f"HyFD exceeded {self.time_limit}s")
+
+        def add_pair(i: int, j: int) -> None:
+            row_i, row_j = code_matrix[i], code_matrix[j]
+            diff = frozenset(names[k] for k in np.flatnonzero(row_i != row_j))
+            if diff:
+                diff_sets.add(diff)
+
+        # --- Phase 1: seed difference sets -------------------------------
+        rng = np.random.default_rng(self.seed)
+        if n >= 2:
+            n_pairs = min(self.n_random_pairs, n * (n - 1) // 2)
+            left = rng.integers(n, size=n_pairs)
+            offset = 1 + rng.integers(n - 1, size=n_pairs)
+            right = (left + offset) % n
+            for i, j in zip(left.tolist(), right.tolist()):
+                add_pair(i, j)
+            # Focused pairs: neighbors under each attribute's sort.
+            for a in names:
+                order = np.argsort(codes[a], kind="stable")
+                for pos in range(n - 1):
+                    add_pair(int(order[pos]), int(order[pos + 1]))
+
+        partitions: dict[frozenset, Partition] = {}
+
+        def partition_for(attrs: frozenset) -> Partition:
+            if attrs not in partitions:
+                partitions[attrs] = Partition.for_attributes(relation, sorted(attrs))
+            return partitions[attrs]
+
+        validations = 0
+        rounds = 0
+        final_fds: list[FD] = []
+        errors: dict[FD, float] = {}
+        if n < 2:
+            return HyfdResult([], 0, 0, 0, time.perf_counter() - start)
+
+        for rounds in range(1, self.max_rounds + 1):
+            check_budget()
+            # --- Phase 2: induction per RHS -------------------------------
+            candidates: list[FD] = []
+            for rhs in names:
+                family = [ds - {rhs} for ds in diff_sets if rhs in ds]
+                if not family:
+                    continue  # no pair observed differing on rhs
+                universe = [a for a in names if a != rhs]
+                for lhs in minimal_hitting_sets(family, universe, self.max_lhs_size):
+                    if lhs:
+                        candidates.append(FD(lhs, rhs))
+            # --- Phase 3: validation ---------------------------------------
+            new_evidence = False
+            valid: list[FD] = []
+            for fd in candidates:
+                check_budget()
+                validations += 1
+                violation = self._find_violation(fd, partition_for, codes)
+                if violation is None:
+                    valid.append(fd)
+                else:
+                    add_pair(*violation)
+                    new_evidence = True
+            if not new_evidence:
+                final_fds = valid
+                break
+            final_fds = valid
+        for fd in final_fds:
+            errors[fd] = 0.0
+        return HyfdResult(
+            fds=sorted(final_fds, key=lambda f: (f.rhs, f.lhs)),
+            rounds=rounds,
+            difference_sets=len(diff_sets),
+            validations=validations,
+            seconds=time.perf_counter() - start,
+            errors=errors,
+        )
+
+    @staticmethod
+    def _find_violation(fd, partition_for, codes) -> tuple[int, int] | None:
+        """A concrete violating row pair for ``fd``, or None if it holds."""
+        part = partition_for(frozenset(fd.lhs))
+        rhs_codes = codes[fd.rhs]
+        for rows in part.classes:
+            first_code = rhs_codes[rows[0]]
+            for r in rows[1:]:
+                if rhs_codes[r] != first_code:
+                    return (rows[0], int(r))
+        return None

@@ -1,0 +1,177 @@
+"""Stripped partitions and the g3 approximation error.
+
+The classic machinery behind TANE (Huhtala et al. 1999) and Pyro-style
+approximate-FD validation. A *partition* of the rows by an attribute set X
+groups rows with equal X-values; the *stripped* partition drops singleton
+groups. The g3 error of ``X -> Y`` is the minimum fraction of rows whose
+removal makes the FD exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dataset.relation import Relation
+
+
+def column_codes(relation: Relation, attribute: str) -> np.ndarray:
+    """Integer codes of a column; each missing cell gets a unique code so
+    that NULLs never match anything (not even other NULLs)."""
+    base = relation.value_codes(attribute)  # cached; missing = -1
+    codes = base.copy()
+    missing = np.flatnonzero(base == -1)
+    if missing.size:
+        start = int(base.max()) + 1 if base.size else 0
+        codes[missing] = np.arange(start, start + missing.size)
+    return codes
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A stripped partition: equivalence classes of size >= 2.
+
+    ``classes`` is a tuple of tuples of row indices; ``n_rows`` the total
+    relation size. ``error`` is ``(sum |c| - #classes) / n_rows`` — the
+    fraction of rows to delete for the attribute set to become a key.
+    """
+
+    classes: tuple[tuple[int, ...], ...]
+    n_rows: int
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray) -> "Partition":
+        groups: dict[int, list[int]] = {}
+        for i, code in enumerate(codes.tolist()):
+            groups.setdefault(code, []).append(i)
+        classes = tuple(
+            tuple(rows) for rows in groups.values() if len(rows) >= 2
+        )
+        return cls(classes=classes, n_rows=len(codes))
+
+    @classmethod
+    def for_attributes(cls, relation: Relation, attributes: Sequence[str]) -> "Partition":
+        """Partition of the relation by an attribute set (from scratch)."""
+        attributes = list(attributes)
+        if not attributes:
+            raise ValueError("need at least one attribute")
+        part = cls.from_codes(column_codes(relation, attributes[0]))
+        for name in attributes[1:]:
+            part = part.multiply(cls.from_codes(column_codes(relation, name)))
+        return part
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def size(self) -> int:
+        """Total rows covered by non-singleton classes (||pi|| in TANE)."""
+        return sum(len(c) for c in self.classes)
+
+    @property
+    def key_error(self) -> float:
+        """g3 error of "this attribute set is a key" (used for UCCs)."""
+        if self.n_rows == 0:
+            return 0.0
+        return (self.size - self.n_classes) / self.n_rows
+
+    def multiply(self, other: "Partition") -> "Partition":
+        """Product partition (intersection of equivalence classes).
+
+        The standard linear-time stripped-partition product: probe rows of
+        ``self``'s classes against ``other``'s class ids.
+        """
+        if self.n_rows != other.n_rows:
+            raise ValueError("partitions over different relations")
+        other_class_of = np.full(self.n_rows, -1, dtype=np.int64)
+        for cid, rows in enumerate(other.classes):
+            for r in rows:
+                other_class_of[r] = cid
+        new_classes: list[tuple[int, ...]] = []
+        for rows in self.classes:
+            buckets: dict[int, list[int]] = {}
+            for r in rows:
+                cid = other_class_of[r]
+                if cid >= 0:
+                    buckets.setdefault(cid, []).append(r)
+            for sub in buckets.values():
+                if len(sub) >= 2:
+                    new_classes.append(tuple(sub))
+        return Partition(classes=tuple(new_classes), n_rows=self.n_rows)
+
+    def refines(self, other: "Partition") -> bool:
+        """True if every class of ``self`` lies within a class of ``other``
+        (i.e., ``self``'s attribute set functionally determines ``other``'s)."""
+        other_class_of = np.full(self.n_rows, -1, dtype=np.int64)
+        for cid, rows in enumerate(other.classes):
+            for r in rows:
+                other_class_of[r] = cid
+        for rows in self.classes:
+            first = other_class_of[rows[0]]
+            if first < 0:
+                return False
+            if any(other_class_of[r] != first for r in rows[1:]):
+                return False
+        return True
+
+
+def fd_error_g3(lhs_partition: Partition, rhs_codes: np.ndarray) -> float:
+    """g3 error of ``X -> Y``: fraction of rows to remove so the FD holds.
+
+    For each class of the (stripped) X-partition, all rows except those
+    sharing the majority Y value must go.
+    """
+    n = lhs_partition.n_rows
+    if n == 0:
+        return 0.0
+    removed = 0
+    for rows in lhs_partition.classes:
+        counts: dict[int, int] = {}
+        for r in rows:
+            code = int(rhs_codes[r])
+            counts[code] = counts.get(code, 0) + 1
+        removed += len(rows) - max(counts.values())
+    return removed / n
+
+
+def fd_holds(lhs_partition: Partition, rhs_codes: np.ndarray, max_error: float = 0.0) -> bool:
+    """True if the g3 error of the FD is at most ``max_error``."""
+    return fd_error_g3(lhs_partition, rhs_codes) <= max_error + 1e-12
+
+
+def fd_error_g1(lhs_partition: Partition, rhs_codes: np.ndarray) -> float:
+    """g1 error (Kivinen & Mannila): fraction of *tuple pairs* violating
+    the FD — pairs agreeing on X but disagreeing on Y, over all n^2 pairs."""
+    n = lhs_partition.n_rows
+    if n == 0:
+        return 0.0
+    violating_pairs = 0
+    for rows in lhs_partition.classes:
+        counts: dict[int, int] = {}
+        for r in rows:
+            code = int(rhs_codes[r])
+            counts[code] = counts.get(code, 0) + 1
+        size = len(rows)
+        same_y = sum(c * c for c in counts.values())
+        violating_pairs += size * size - same_y
+    return violating_pairs / (n * n)
+
+
+def fd_error_g2(lhs_partition: Partition, rhs_codes: np.ndarray) -> float:
+    """g2 error (Kivinen & Mannila): fraction of *tuples* involved in at
+    least one violating pair."""
+    n = lhs_partition.n_rows
+    if n == 0:
+        return 0.0
+    involved = 0
+    for rows in lhs_partition.classes:
+        counts: dict[int, int] = {}
+        for r in rows:
+            code = int(rhs_codes[r])
+            counts[code] = counts.get(code, 0) + 1
+        if len(counts) > 1:
+            involved += len(rows)  # every tuple here has a disagreeing partner
+    return involved / n

@@ -1,0 +1,135 @@
+"""RFI: reliable-fraction-of-information FD discovery (Mandros et al. 2017).
+
+For each target attribute ``Y`` the method searches determinant sets
+maximizing the *reliable fraction of information* — the fraction of
+information bias-corrected by its expectation under the permutation
+(independence) model — and keeps the top-scoring FD per attribute (the
+"top-1 per attribute" usage from the paper's §5.1).
+
+The search is a beam search over the determinant lattice. The ``alpha``
+parameter mirrors the original's approximation knob: it scales how much
+of the candidate frontier is expanded at each level (``alpha = 1``
+expands everything the beam holds — slowest, no approximation).
+
+The bias correction makes RFI far more expensive per candidate than a
+plain entropy score (exact hypergeometric expectation, or Monte-Carlo for
+large tables) — reproducing the scalability profile the paper reports
+(Tables 5-6: hours on wide relations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fd import FD
+from ..dataset.relation import Relation
+from ..metrics.information import reliable_fraction_of_information
+from .tane import TimeBudgetExceeded
+
+
+@dataclass
+class RfiResult:
+    """Top-1-per-attribute FDs with their RFI scores."""
+
+    fds: list[FD]
+    scores: dict[FD, float] = field(default_factory=dict)
+    seconds: float = 0.0
+    candidates_scored: int = 0
+
+
+class Rfi:
+    """Reliable fraction of information, greedy/beam top-1 per attribute.
+
+    Parameters
+    ----------
+    alpha:
+        Approximation parameter in ``(0, 1]``: the fraction of beam
+        candidates expanded at each level (1.0 = no approximation).
+    beam_width:
+        Maximum candidates retained per level before ``alpha`` scaling.
+    max_lhs_size:
+        Determinant-size cap.
+    min_score:
+        FDs scoring below this are dropped from the output (the paper's
+        qualitative analysis "eliminates FDs with low score").
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        beam_width: int = 8,
+        max_lhs_size: int = 3,
+        min_score: float = 0.05,
+        time_limit: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.beam_width = beam_width
+        self.max_lhs_size = max_lhs_size
+        self.min_score = min_score
+        self.time_limit = time_limit
+        self.seed = seed
+
+    def discover(self, relation: Relation) -> RfiResult:
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        names = relation.schema.names
+        fds: list[FD] = []
+        scores: dict[FD, float] = {}
+        scored = 0
+
+        def check_budget() -> None:
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                raise TimeBudgetExceeded(f"RFI exceeded {self.time_limit}s")
+
+        for rhs in names:
+            check_budget()
+            others = [a for a in names if a != rhs]
+            best_lhs: frozenset | None = None
+            best_score = -np.inf
+            cache: dict[frozenset, float] = {}
+
+            def score_of(lhs: frozenset) -> float:
+                nonlocal scored
+                if lhs not in cache:
+                    check_budget()
+                    scored += 1
+                    cache[lhs] = reliable_fraction_of_information(
+                        relation, sorted(lhs), rhs, rng=rng
+                    )
+                return cache[lhs]
+
+            frontier = [frozenset([a]) for a in others]
+            for _ in range(self.max_lhs_size):
+                check_budget()
+                ranked = sorted(frontier, key=lambda s: -score_of(s))
+                for lhs in ranked:
+                    if score_of(lhs) > best_score:
+                        best_score = score_of(lhs)
+                        best_lhs = lhs
+                beam = ranked[: self.beam_width]
+                n_expand = max(1, int(np.ceil(self.alpha * len(beam))))
+                expand = beam[:n_expand]
+                next_frontier: set[frozenset] = set()
+                for lhs in expand:
+                    for a in others:
+                        if a not in lhs:
+                            next_frontier.add(lhs | {a})
+                frontier = sorted(next_frontier, key=sorted)
+                if not frontier:
+                    break
+            if best_lhs is not None and best_score >= self.min_score:
+                fd = FD(best_lhs, rhs)
+                fds.append(fd)
+                scores[fd] = float(best_score)
+        return RfiResult(
+            fds=fds,
+            scores=scores,
+            seconds=time.perf_counter() - start,
+            candidates_scored=scored,
+        )

@@ -1,0 +1,143 @@
+"""TANE: levelwise discovery of (approximate) minimal FDs.
+
+A from-scratch implementation of Huhtala et al. (1999): an apriori-style
+traversal of the attribute-set lattice with stripped partitions, the
+``C+`` candidate-set pruning rule, and g3 error tolerance for approximate
+FDs. Finds *all* minimal non-trivial FDs whose error is at most
+``max_error`` — the exhaustive, syntax-driven output profile the paper
+contrasts with FDX's parsimonious one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..core.fd import FD
+from ..dataset.relation import Relation
+from .partitions import Partition, column_codes, fd_error_g3
+
+
+class TimeBudgetExceeded(RuntimeError):
+    """Raised when a discovery run exceeds its wall-clock budget."""
+
+
+@dataclass
+class TaneResult:
+    """Discovered FDs plus traversal statistics."""
+
+    fds: list[FD]
+    levels_explored: int
+    candidates_validated: int
+    seconds: float
+    errors: dict[FD, float] = field(default_factory=dict)
+
+
+class Tane:
+    """TANE approximate-FD discovery.
+
+    Parameters
+    ----------
+    max_error:
+        g3 error tolerance; 0 discovers exact FDs only. The paper tunes
+        this to the known noise rate of each data set.
+    max_lhs_size:
+        Cap on determinant size (lattice depth), bounding the exponential
+        blow-up on wide relations.
+    time_limit:
+        Wall-clock budget in seconds; ``None`` disables. Exceeding raises
+        :class:`TimeBudgetExceeded` (the paper reports TANE/RFI "did not
+        terminate" cases this way).
+    """
+
+    def __init__(
+        self,
+        max_error: float = 0.01,
+        max_lhs_size: int = 3,
+        time_limit: float | None = None,
+    ) -> None:
+        if max_error < 0:
+            raise ValueError("max_error must be non-negative")
+        if max_lhs_size < 1:
+            raise ValueError("max_lhs_size must be at least 1")
+        self.max_error = max_error
+        self.max_lhs_size = max_lhs_size
+        self.time_limit = time_limit
+
+    def discover(self, relation: Relation) -> TaneResult:
+        start = time.perf_counter()
+        names = relation.schema.names
+        all_attrs = frozenset(names)
+        codes = {name: column_codes(relation, name) for name in names}
+        partitions: dict[frozenset, Partition] = {
+            frozenset([name]): Partition.from_codes(codes[name]) for name in names
+        }
+        cplus: dict[frozenset, frozenset] = {frozenset(): all_attrs}
+        level: list[frozenset] = [frozenset([name]) for name in names]
+        for x in level:
+            cplus[x] = all_attrs
+        fds: list[FD] = []
+        errors: dict[FD, float] = {}
+        validated = 0
+        depth = 0
+
+        def check_budget() -> None:
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                raise TimeBudgetExceeded(
+                    f"TANE exceeded {self.time_limit}s at level {depth}"
+                )
+
+        while level and depth < self.max_lhs_size + 1:
+            depth += 1
+            # Compute dependencies at this level.
+            for x in level:
+                check_budget()
+                candidates = cplus[x] & x
+                for a in sorted(candidates):
+                    lhs = x - {a}
+                    if not lhs:
+                        continue
+                    validated += 1
+                    err = fd_error_g3(partitions[lhs], codes[a])
+                    if err <= self.max_error + 1e-12:
+                        fd = FD(lhs, a)
+                        fds.append(fd)
+                        errors[fd] = err
+                        cplus[x] = cplus[x] - {a}
+                        if err == 0.0:
+                            cplus[x] = cplus[x] - (all_attrs - x)
+            # Prune nodes with empty candidate sets.
+            level = [x for x in level if cplus[x]]
+            # Generate the next level (apriori join of same-prefix sets).
+            next_level: list[frozenset] = []
+            seen: set[frozenset] = set()
+            by_prefix: dict[frozenset, list[frozenset]] = {}
+            for x in level:
+                for a in x:
+                    by_prefix.setdefault(x - {a}, []).append(x)
+            for prefix, group in by_prefix.items():
+                for x, y in itertools.combinations(sorted(group, key=sorted), 2):
+                    z = x | y
+                    if len(z) != len(x) + 1 or z in seen:
+                        continue
+                    # All |Z|-1 subsets must have survived pruning.
+                    subsets = [z - {a} for a in z]
+                    if any(s not in cplus or not cplus[s] for s in subsets):
+                        continue
+                    check_budget()
+                    seen.add(z)
+                    next_level.append(z)
+                    partitions[z] = partitions[x].multiply(partitions[y])
+                    c = cplus[subsets[0]]
+                    for s in subsets[1:]:
+                        c = c & cplus[s]
+                    cplus[z] = c
+            level = next_level
+        return TaneResult(
+            fds=fds,
+            levels_explored=depth,
+            candidates_validated=validated,
+            seconds=time.perf_counter() - start,
+            errors=errors,
+        )

@@ -1,0 +1,105 @@
+"""Unique column combination (UCC / key) discovery.
+
+Companion of FD discovery in data profiling (Pyro discovers UCCs alongside
+AFDs; CORDS flags soft keys): a levelwise search over attribute sets whose
+stripped-partition *key error* — the fraction of rows to delete for the
+set to become a key — is at most a tolerance. Returns all minimal
+(approximate) UCCs up to a size cap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..dataset.relation import Relation
+from .partitions import Partition, column_codes
+from .tane import TimeBudgetExceeded
+
+
+@dataclass
+class UccResult:
+    """Discovered minimal (approximate) unique column combinations."""
+
+    uccs: list[frozenset[str]]
+    errors: dict[frozenset, float] = field(default_factory=dict)
+    candidates_checked: int = 0
+    seconds: float = 0.0
+
+
+class UccDiscovery:
+    """Levelwise discovery of minimal approximate UCCs.
+
+    Parameters
+    ----------
+    max_error:
+        Key-error tolerance (0 = exact keys only).
+    max_size:
+        Largest attribute-combination size to examine.
+    """
+
+    def __init__(
+        self,
+        max_error: float = 0.0,
+        max_size: int = 3,
+        time_limit: float | None = None,
+    ) -> None:
+        if max_error < 0:
+            raise ValueError("max_error must be non-negative")
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_error = max_error
+        self.max_size = max_size
+        self.time_limit = time_limit
+
+    def discover(self, relation: Relation) -> UccResult:
+        start = time.perf_counter()
+        names = relation.schema.names
+        partitions: dict[frozenset, Partition] = {
+            frozenset([n]): Partition.from_codes(column_codes(relation, n))
+            for n in names
+        }
+        uccs: list[frozenset[str]] = []
+        errors: dict[frozenset, float] = {}
+        checked = 0
+        level: list[frozenset] = sorted(partitions, key=sorted)
+        size = 1
+        while level and size <= self.max_size:
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                raise TimeBudgetExceeded(f"UCC discovery exceeded {self.time_limit}s")
+            survivors: list[frozenset] = []
+            for candidate in level:
+                if any(u <= candidate for u in uccs):
+                    continue  # non-minimal
+                checked += 1
+                error = partitions[candidate].key_error
+                if error <= self.max_error + 1e-12:
+                    uccs.append(candidate)
+                    errors[candidate] = error
+                else:
+                    survivors.append(candidate)
+            # Next level: apriori join of survivors.
+            next_level: set[frozenset] = set()
+            for x, y in itertools.combinations(survivors, 2):
+                z = x | y
+                if len(z) != size + 1 or z in next_level:
+                    continue
+                if any(u <= z for u in uccs):
+                    continue
+                next_level.add(z)
+                if z not in partitions:
+                    a = sorted(z)[0]
+                    partitions[z] = partitions[frozenset(z - {a})].multiply(
+                        partitions[frozenset([a])]
+                    ) if frozenset(z - {a}) in partitions else Partition.for_attributes(
+                        relation, sorted(z)
+                    )
+            level = sorted(next_level, key=sorted)
+            size += 1
+        return UccResult(
+            uccs=sorted(uccs, key=lambda u: (len(u), sorted(u))),
+            errors=errors,
+            candidates_checked=checked,
+            seconds=time.perf_counter() - start,
+        )

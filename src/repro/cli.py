@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``discover``    run FDX on a CSV file and print the discovered FDs.
+``profile``     single-column statistics (optionally plus FDs).
+``compare``     run every method from the paper's evaluation on a CSV file.
+``experiment``  regenerate one of the paper's tables or figures.
+``report``      full markdown profiling report (FDs, keys, DCs, outlook).
+``constraints`` discover keys / denial constraints / constant CFDs.
+``dataset``     materialize a built-in benchmark dataset to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.fdx import FDX
+from .dataset.io import read_csv, write_csv
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    fdx = FDX(
+        lam=args.lam,
+        sparsity=args.sparsity,
+        ordering=args.ordering,
+        max_rows_per_attribute=args.max_rows,
+    )
+    result = fdx.discover(relation)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, default=str))
+        return 0
+    print(f"{relation.n_rows} rows x {relation.n_attributes} attributes")
+    print(f"discovered {len(result.fds)} FDs in {result.total_seconds:.2f}s:")
+    for fd in result.fds:
+        print(f"  {fd}")
+    if args.heatmap:
+        print("\nautoregression |B|:")
+        for line in result.heatmap_rows(relation.schema.names):
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .prep.statistics import profile_relation
+
+    relation = read_csv(args.csv)
+    profile = profile_relation(relation)
+    print(profile.render())
+    if args.fds:
+        result = FDX().discover(relation)
+        print(f"\ndiscovered FDs ({len(result.fds)}):")
+        for fd in result.fds:
+            print(f"  {fd}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .experiments.report import Table
+    from .experiments.runner import METHOD_ORDER, run_method
+
+    relation = read_csv(args.csv)
+    noise = max(relation.missing_fraction(), 0.01)
+    table = Table(
+        title=f"FD discovery on {args.csv}",
+        headers=["Method", "# FDs", "seconds"],
+    )
+    for method in METHOD_ORDER:
+        outcome = run_method(method, relation, noise_rate=noise, time_limit=args.time_limit)
+        if outcome.timed_out:
+            table.add_row(method, "-", "-")
+        else:
+            table.add_row(method, outcome.n_fds, round(outcome.seconds, 2))
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import figures, tables
+
+    registry = {
+        "table1": tables.table1,
+        "table2": tables.table2,
+        "table3": tables.table3,
+        "table4": tables.table4,
+        "table5": tables.table5,
+        "table6": tables.table6,
+        "table7": tables.table7,
+        "table8": tables.table8,
+        "table9": tables.table9,
+        "lambda": tables.lambda_sensitivity,
+        "figure2": figures.figure2,
+        "figure3": figures.figure3,
+        "figure4": figures.figure4,
+        "figure5": figures.figure5,
+        "figure6": figures.figure6,
+        "figure7": figures.figure7,
+    }
+    fn = registry.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; options: {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    result = fn()
+    print(result if isinstance(result, str) else result.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .prep.reporting import build_profiling_report
+
+    relation = read_csv(args.csv)
+    report = build_profiling_report(relation, n_resamples=args.resamples)
+    text = report.to_markdown(title=f"Data profile: {args.csv}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_constraints(args: argparse.Namespace) -> int:
+    from .constraints import CfdDiscovery, DenialConstraintDiscovery, discover_keys
+
+    relation = read_csv(args.csv)
+    print(f"{relation.n_rows} rows x {relation.n_attributes} attributes\n")
+    keys = discover_keys(relation, max_size=args.max_size)
+    print("possible keys:", [sorted(k) for k in keys.possible_keys] or "(none)")
+    print("certain keys: ", [sorted(k) for k in keys.certain_keys] or "(none)")
+    dcs = DenialConstraintDiscovery(
+        max_predicates=args.max_size,
+        max_violation_rate=args.tolerance,
+    ).discover(relation)
+    print(f"\ndenial constraints ({len(dcs.constraints)} minimal):")
+    for dc in dcs.constraints:
+        print(f"  {dc}")
+    if args.cfds:
+        rules = CfdDiscovery(min_support=args.min_support).discover_constant(relation)
+        print(f"\nconstant CFDs ({len(rules)}):")
+        for rule in rules[: args.limit]:
+            print(f"  {rule}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .datagen.realworld import REAL_WORLD_DATASETS, load_dataset
+
+    if args.name == "list":
+        for name in sorted(REAL_WORLD_DATASETS):
+            print(name)
+        return 0
+    ds = load_dataset(args.name, seed=args.seed)
+    out = args.output or f"{args.name}.csv"
+    write_csv(ds.relation, out)
+    print(f"wrote {ds.relation.n_rows} rows x {ds.relation.n_attributes} "
+          f"attributes to {out}")
+    if ds.embedded_fds:
+        print("embedded dependencies:")
+        for fd in ds.embedded_fds:
+            print(f"  {fd}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FDX (SIGMOD 2020) reproduction: FD discovery in noisy data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("discover", help="run FDX on a CSV file")
+    p.add_argument("csv")
+    p.add_argument("--lam", type=float, default=0.02, help="graphical-lasso penalty")
+    p.add_argument("--sparsity", type=float, default=0.05, help="|B| threshold")
+    p.add_argument("--ordering", default="natural", help="variable ordering")
+    p.add_argument("--max-rows", type=int, default=None,
+                   help="cap rows per attribute in the transform")
+    p.add_argument("--heatmap", action="store_true", help="print |B| heatmap")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=_cmd_discover)
+
+    p = sub.add_parser("profile", help="single-column statistics of a CSV file")
+    p.add_argument("csv")
+    p.add_argument("--fds", action="store_true", help="also run FDX")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("compare", help="run all methods on a CSV file")
+    p.add_argument("csv")
+    p.add_argument("--time-limit", type=float, default=60.0)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", help="table1..table9 or figure2..figure7")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report", help="full markdown profiling report for a CSV file")
+    p.add_argument("csv")
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+    p.add_argument("--resamples", type=int, default=5, help="stability resamples")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("constraints", help="discover keys/DCs/CFDs in a CSV file")
+    p.add_argument("csv")
+    p.add_argument("--max-size", type=int, default=2,
+                   help="max key size / DC predicates")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="approximate-DC violation tolerance")
+    p.add_argument("--cfds", action="store_true", help="also mine constant CFDs")
+    p.add_argument("--min-support", type=int, default=10)
+    p.add_argument("--limit", type=int, default=20, help="max CFDs to print")
+    p.set_defaults(func=_cmd_constraints)
+
+    p = sub.add_parser("dataset", help="materialize a benchmark dataset")
+    p.add_argument("name", help="dataset name, or 'list'")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_dataset)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Richer constraint discovery beyond FDs (paper §6 related work)."""
+
+from .cfd import CfdDiscovery, CfdResult, ConstantCFD, VariableCFD
+from .mvd import (
+    MVD,
+    MvdDiscovery,
+    MvdResult,
+    conditional_mutual_information,
+    mvd_holds,
+)
+from .keys import (
+    KeyDiscoveryResult,
+    discover_keys,
+    is_certain_key,
+    is_possible_key,
+)
+from .denial import (
+    DenialConstraint,
+    DenialConstraintDiscovery,
+    DenialConstraintResult,
+    Predicate,
+    check_denial_constraint,
+)
+
+__all__ = [
+    "MVD",
+    "MvdDiscovery",
+    "MvdResult",
+    "conditional_mutual_information",
+    "mvd_holds",
+    "CfdDiscovery",
+    "CfdResult",
+    "ConstantCFD",
+    "VariableCFD",
+    "KeyDiscoveryResult",
+    "discover_keys",
+    "is_certain_key",
+    "is_possible_key",
+    "DenialConstraint",
+    "DenialConstraintDiscovery",
+    "DenialConstraintResult",
+    "Predicate",
+    "check_denial_constraint",
+]

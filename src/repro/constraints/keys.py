@@ -1,0 +1,134 @@
+"""Possible and certain keys over incomplete data (Koehler, Link & Zhou).
+
+The paper's related work (§6, refs [22, 23]) covers key discovery under
+NULLs. With incomplete tuples, "X is a key" splits into two notions:
+
+* **possible key** — some completion of the NULLs makes X unique: violated
+  only by two tuples that are *strongly equal* on X (all values present
+  and equal).
+* **certain key** — every completion makes X unique: violated by two
+  tuples that are *weakly equal* on X (every attribute equal or NULL on
+  either side), because the NULLs could be completed to coincide.
+
+Every certain key is a possible key. Discovery is levelwise over
+attribute-set sizes with minimality pruning, mirroring the UCC search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..dataset.relation import Relation, is_missing
+
+
+def _strong_violation(relation: Relation, attrs: Sequence[str]) -> bool:
+    """True if two rows are strongly equal on ``attrs`` (all present+equal)."""
+    cols = [relation.column(a) for a in attrs]
+    seen: set[tuple] = set()
+    for i in range(relation.n_rows):
+        values = tuple(col[i] for col in cols)
+        if any(is_missing(v) for v in values):
+            continue
+        if values in seen:
+            return True
+        seen.add(values)
+    return False
+
+
+def _weak_violation(relation: Relation, attrs: Sequence[str]) -> bool:
+    """True if two rows are weakly equal on ``attrs`` (each attribute equal
+    or NULL on either side)."""
+    cols = [relation.column(a) for a in attrs]
+    n = relation.n_rows
+    complete_groups: dict[tuple, int] = {}
+    incomplete: list[int] = []
+    for i in range(n):
+        values = tuple(col[i] for col in cols)
+        if any(is_missing(v) for v in values):
+            incomplete.append(i)
+        else:
+            count = complete_groups.get(values, 0)
+            if count:
+                return True  # two complete equal rows are weakly equal too
+            complete_groups[values] = 1
+    # Any row with a NULL on attrs weakly matches every row that agrees on
+    # its non-null attributes — including other incomplete rows.
+    for pos, i in enumerate(incomplete):
+        vi = [col[i] for col in cols]
+        # vs complete rows
+        for values in complete_groups:
+            if all(is_missing(a) or a == b for a, b in zip(vi, values)):
+                return True
+        # vs other incomplete rows
+        for j in incomplete[pos + 1 :]:
+            vj = [col[j] for col in cols]
+            if all(
+                is_missing(a) or is_missing(b) or a == b for a, b in zip(vi, vj)
+            ):
+                return True
+    return False
+
+
+def is_possible_key(relation: Relation, attrs: Sequence[str]) -> bool:
+    """True if some NULL completion makes ``attrs`` unique."""
+    if not attrs:
+        return relation.n_rows <= 1
+    return not _strong_violation(relation, attrs)
+
+
+def is_certain_key(relation: Relation, attrs: Sequence[str]) -> bool:
+    """True if every NULL completion makes ``attrs`` unique."""
+    if not attrs:
+        return relation.n_rows <= 1
+    return not _weak_violation(relation, attrs)
+
+
+@dataclass
+class KeyDiscoveryResult:
+    """Minimal possible and certain keys up to the size cap."""
+
+    possible_keys: list[frozenset[str]] = field(default_factory=list)
+    certain_keys: list[frozenset[str]] = field(default_factory=list)
+    candidates_checked: int = 0
+    seconds: float = 0.0
+
+
+def discover_keys(
+    relation: Relation,
+    max_size: int = 3,
+    time_limit: float | None = None,
+) -> KeyDiscoveryResult:
+    """Minimal possible and certain keys, levelwise with minimality pruning."""
+    if max_size < 1:
+        raise ValueError("max_size must be at least 1")
+    start = time.perf_counter()
+    names = relation.schema.names
+    possible: list[frozenset[str]] = []
+    certain: list[frozenset[str]] = []
+    checked = 0
+    for size in range(1, min(max_size, len(names)) + 1):
+        for combo in itertools.combinations(names, size):
+            if time_limit is not None and time.perf_counter() - start > time_limit:
+                raise TimeoutError(f"key discovery exceeded {time_limit}s")
+            attrs = frozenset(combo)
+            if any(k <= attrs for k in possible):
+                possible_minimal = False
+            else:
+                possible_minimal = True
+            certain_minimal = not any(k <= attrs for k in certain)
+            if not possible_minimal and not certain_minimal:
+                continue
+            checked += 1
+            if possible_minimal and is_possible_key(relation, combo):
+                possible.append(attrs)
+            if certain_minimal and is_certain_key(relation, combo):
+                certain.append(attrs)
+    return KeyDiscoveryResult(
+        possible_keys=sorted(possible, key=lambda k: (len(k), sorted(k))),
+        certain_keys=sorted(certain, key=lambda k: (len(k), sorted(k))),
+        candidates_checked=checked,
+        seconds=time.perf_counter() - start,
+    )

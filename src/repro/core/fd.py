@@ -1,0 +1,80 @@
+"""Functional-dependency types and edge-set utilities.
+
+An FD ``X -> Y`` has a determinant set ``X`` (attribute names) and a single
+dependent attribute ``Y`` (the "one FD per determined attribute" form used
+by FDX and the paper's parsimonious baselines). The paper's accuracy
+metrics operate on the *edges* of FDs — pairs ``(A, Y)`` for ``A in X`` —
+so this module also provides edge-set conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs -> rhs``.
+
+    ``lhs`` is stored as a sorted tuple for canonical equality/hashing.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __init__(self, lhs: Iterable[str], rhs: str) -> None:
+        lhs_tuple = tuple(sorted(set(lhs)))
+        if not lhs_tuple:
+            raise ValueError("FD requires a non-empty determinant set")
+        if rhs in lhs_tuple:
+            raise ValueError(f"trivial FD: {rhs!r} appears in its own determinant")
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs)
+
+    @property
+    def arity(self) -> int:
+        """Number of determinant attributes."""
+        return len(self.lhs)
+
+    def edges(self) -> set[tuple[str, str]]:
+        """Directed edges ``(determinant, dependent)`` of this FD."""
+        return {(a, self.rhs) for a in self.lhs}
+
+    def generalizes(self, other: "FD") -> bool:
+        """True if this FD has the same rhs and a subset determinant."""
+        return self.rhs == other.rhs and set(self.lhs) <= set(other.lhs)
+
+    def __str__(self) -> str:
+        return f"{','.join(self.lhs)} -> {self.rhs}"
+
+
+def fd_edges(fds: Iterable[FD]) -> set[tuple[str, str]]:
+    """Union of the directed edges of a collection of FDs."""
+    edges: set[tuple[str, str]] = set()
+    for fd in fds:
+        edges |= fd.edges()
+    return edges
+
+
+def minimal_cover(fds: Iterable[FD]) -> list[FD]:
+    """Drop FDs whose determinant strictly contains another FD's determinant
+    for the same dependent (keep only the minimal ones)."""
+    fds = list(fds)
+    keep: list[FD] = []
+    for fd in fds:
+        dominated = any(
+            other is not fd and other.generalizes(fd) and other != fd for other in fds
+        )
+        if not dominated and fd not in keep:
+            keep.append(fd)
+    return keep
+
+
+def merge_by_rhs(fds: Iterable[FD]) -> list[FD]:
+    """Combine all FDs sharing a dependent into one FD with the union
+    determinant (the parsimonious "one FD per attribute" view)."""
+    by_rhs: dict[str, set[str]] = {}
+    for fd in fds:
+        by_rhs.setdefault(fd.rhs, set()).update(fd.lhs)
+    return [FD(lhs, rhs) for rhs, lhs in sorted(by_rhs.items())]

@@ -1,0 +1,254 @@
+"""FDX: FD discovery via structure learning (paper Algorithm 1).
+
+End-to-end pipeline::
+
+    Dt    = Transform(D')            # Algorithm 2, repro.core.transform
+    Theta = GraphicalLasso(cov(Dt))  # repro.linalg.glasso
+    U,D   = udu(Theta[perm, perm])   # ordered factorization
+    B     = I - U                    # autoregression matrix
+    FDs   = GenerateFDs(B)           # Algorithm 3, generate_fds below
+
+Usage::
+
+    from repro import FDX
+    result = FDX().discover(relation)
+    for fd in result.fds:
+        print(fd)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataset.relation import Relation
+from .fd import FD
+from .structure import learn_structure
+from .transform import (
+    center_within_blocks,
+    pair_difference_transform,
+    uniform_pair_transform,
+)
+
+#: Magnitudes below this are treated as structural zeros of ``B`` even when
+#: the user-facing sparsity threshold is 0 (paper Table 8's "0" column).
+NUMERICAL_ZERO = 1e-8
+
+
+@dataclass
+class FDXResult:
+    """Everything FDX produces for one input relation."""
+
+    fds: list[FD]
+    attribute_order: list[str]
+    autoregression: np.ndarray  # B in schema (original) attribute order
+    precision: np.ndarray
+    covariance: np.ndarray
+    transform_seconds: float
+    model_seconds: float
+    n_pair_samples: int
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.transform_seconds + self.model_seconds
+
+    def fd_for(self, attribute: str) -> FD | None:
+        """The discovered FD determining ``attribute``, if any."""
+        for fd in self.fds:
+            if fd.rhs == attribute:
+                return fd
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary of the discovery result."""
+        return {
+            "fds": [{"lhs": list(fd.lhs), "rhs": fd.rhs} for fd in self.fds],
+            "attribute_order": list(self.attribute_order),
+            "autoregression": self.autoregression.tolist(),
+            "transform_seconds": self.transform_seconds,
+            "model_seconds": self.model_seconds,
+            "n_pair_samples": self.n_pair_samples,
+            "diagnostics": dict(self.diagnostics),
+        }
+
+    def heatmap_rows(self, names: list[str]) -> list[str]:
+        """ASCII rendering of the autoregression matrix (paper Fig. 3/5)."""
+        b = np.abs(self.autoregression)
+        peak = b.max() if b.size else 0.0
+        shades = " .:-=+*#%@"
+        rows = []
+        width = max(len(n) for n in names)
+        for i, name in enumerate(names):
+            cells = []
+            for j in range(len(names)):
+                level = 0 if peak == 0 else int(min(b[i, j] / peak, 1.0) * (len(shades) - 1))
+                cells.append(shades[level])
+            rows.append(f"{name:>{width}} |{''.join(cells)}|")
+        return rows
+
+
+def generate_fds(
+    B: np.ndarray,
+    order: np.ndarray,
+    names: list[str],
+    sparsity: float = 0.0,
+) -> list[FD]:
+    """Paper Algorithm 3: read FDs off the autoregression matrix.
+
+    ``B`` is strictly upper-triangular in the permuted system defined by
+    ``order`` (position -> original attribute index). For every position
+    ``j``, the attributes at earlier positions with ``|B[i, j]|`` above the
+    sparsity threshold determine the attribute at position ``j``.
+    """
+    threshold = max(sparsity, NUMERICAL_ZERO)
+    fds: list[FD] = []
+    p = B.shape[0]
+    for j in range(p):
+        lhs = [names[order[i]] for i in range(j) if abs(B[i, j]) > threshold]
+        if lhs:
+            fds.append(FD(lhs, names[order[j]]))
+    return fds
+
+
+class FDX:
+    """The FDX FD-discovery method.
+
+    Parameters
+    ----------
+    lam:
+        Graphical-lasso penalty (precision-matrix sparsity), or the
+        string ``"ebic"`` to select it automatically by the extended BIC
+        (see :mod:`repro.linalg.model_selection`).
+    sparsity:
+        Post-factorization threshold on ``|B|`` entries (paper Table 8).
+    ordering:
+        Variable-ordering heuristic (paper Table 9). The default is
+        ``natural``: the paper reports its minimum-degree heuristic and
+        the natural order "generate the best results for most data sets";
+        our exact minimum-degree implementation reorders more aggressively
+        than CHOLMOD's AMD, so the natural order is the faithful default
+        (the heuristics are compared in the Table 9 reproduction).
+    shrinkage:
+        Identity shrinkage on the empirical covariance.
+    max_rows_per_attribute:
+        Optional per-attribute row cap in the transform, the sampling
+        speed-up the paper applies to very tall relations.
+    transform:
+        ``"circular"`` (Algorithm 2, default) or ``"uniform"`` (ablation).
+    center_blocks:
+        Center each per-attribute block of the circular transform before
+        covariance estimation (see
+        :func:`repro.core.transform.center_within_blocks`); disabling this
+        is the "no zero-mean correction" ablation.
+    seed:
+        Seed for the transform's row shuffle.
+    """
+
+    def __init__(
+        self,
+        lam: float | str = 0.02,
+        sparsity: float = 0.05,
+        ordering: str = "natural",
+        shrinkage: float = 0.01,
+        max_rows_per_attribute: int | None = None,
+        transform: str = "circular",
+        center_blocks: bool = True,
+        estimator: str = "glasso",
+        numeric_tolerance: float | None = None,
+        text_jaccard: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if transform not in ("circular", "uniform"):
+            raise ValueError(f"unknown transform {transform!r}")
+        if sparsity < 0:
+            raise ValueError("sparsity threshold must be non-negative")
+        self.lam = lam
+        self.sparsity = sparsity
+        self.ordering = ordering
+        self.shrinkage = shrinkage
+        self.max_rows_per_attribute = max_rows_per_attribute
+        self.transform = transform
+        self.center_blocks = center_blocks
+        self.estimator = estimator
+        self.numeric_tolerance = numeric_tolerance
+        self.text_jaccard = text_jaccard
+        self.seed = seed
+
+    def transform_relation(self, relation: Relation) -> np.ndarray:
+        """Run the configured tuple-pair transform (exposed for ablation).
+
+        With ``center_blocks`` the circular transform's per-attribute
+        blocks are mean-centered, so downstream covariance estimation
+        treats the result as a zero-mean sample.
+        """
+        from .transform import DEFAULT_NUMERIC_TOLERANCE, DEFAULT_TEXT_JACCARD
+
+        rng = np.random.default_rng(self.seed)
+        kwargs = {
+            "numeric_tolerance": (
+                self.numeric_tolerance
+                if self.numeric_tolerance is not None
+                else DEFAULT_NUMERIC_TOLERANCE
+            ),
+            "text_jaccard": (
+                self.text_jaccard if self.text_jaccard is not None else DEFAULT_TEXT_JACCARD
+            ),
+        }
+        if self.transform == "uniform":
+            return uniform_pair_transform(relation, rng, **kwargs)
+        samples = pair_difference_transform(
+            relation, rng,
+            max_rows_per_attribute=self.max_rows_per_attribute,
+            **kwargs,
+        )
+        if self.center_blocks:
+            samples = center_within_blocks(samples, relation.n_attributes)
+        return samples
+
+    def discover(self, relation: Relation) -> FDXResult:
+        """Discover FDs in ``relation`` (paper Algorithm 1)."""
+        if relation.n_attributes < 2:
+            return FDXResult(
+                fds=[],
+                attribute_order=relation.schema.names,
+                autoregression=np.zeros((relation.n_attributes,) * 2),
+                precision=np.eye(relation.n_attributes),
+                covariance=np.eye(relation.n_attributes),
+                transform_seconds=0.0,
+                model_seconds=0.0,
+                n_pair_samples=0,
+            )
+        t0 = time.perf_counter()
+        samples = self.transform_relation(relation)
+        t1 = time.perf_counter()
+        estimate = learn_structure(
+            samples,
+            lam=self.lam,
+            ordering=self.ordering,
+            shrinkage=self.shrinkage,
+            assume_centered=self.center_blocks and self.transform == "circular",
+            estimator=self.estimator,
+        )
+        names = relation.schema.names
+        fds = generate_fds(
+            estimate.autoregression, estimate.order, names, sparsity=self.sparsity
+        )
+        t2 = time.perf_counter()
+        order_names = [names[i] for i in estimate.order]
+        return FDXResult(
+            fds=fds,
+            attribute_order=order_names,
+            autoregression=estimate.factorization.autoregression_in_original_order(),
+            precision=estimate.precision,
+            covariance=estimate.covariance,
+            transform_seconds=t1 - t0,
+            model_seconds=t2 - t1,
+            n_pair_samples=samples.shape[0],
+            diagnostics={
+                "glasso_iterations": estimate.glasso_iterations,
+                "glasso_converged": estimate.glasso_converged,
+            },
+        )

@@ -1,0 +1,93 @@
+"""Soft logic (Lukasiewicz relaxation) underlying FDX's linear model.
+
+Paper §4.1 approximates the deterministic constraints FDs impose on the
+binary agreement variables with soft logic: truth values live in
+``[0, 1]`` and the Boolean operators relax to::
+
+    A AND B             = max(A + B - 1, 0)
+    A OR  B             = min(A + B, 1)
+    A1 AND ... AND Ak   = (1/k) * sum(Ai)        (the averaged k-ary form)
+    NOT A               = 1 - A
+
+The averaged k-ary conjunction is what turns an FD ``X -> Y`` into the
+*linear* dependency ``Z[Y] = (1/|X|) * sum_{Xi in X} Z[Xi]`` (Equation 3),
+making the whole model a linear structural equation model. This module
+provides the operators plus the Equation 2 -> Equation 3 bridge so that
+the approximation itself is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate(*values: np.ndarray | float) -> list[np.ndarray]:
+    out = []
+    for v in values:
+        arr = np.asarray(v, dtype=float)
+        if np.any(arr < -1e-9) or np.any(arr > 1 + 1e-9):
+            raise ValueError("soft-logic truth values must lie in [0, 1]")
+        out.append(np.clip(arr, 0.0, 1.0))
+    return out
+
+
+def soft_and(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Lukasiewicz conjunction ``max(a + b - 1, 0)``."""
+    a, b = _validate(a, b)
+    return np.maximum(a + b - 1.0, 0.0)
+
+
+def soft_or(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Lukasiewicz disjunction ``min(a + b, 1)``."""
+    a, b = _validate(a, b)
+    return np.minimum(a + b, 1.0)
+
+
+def soft_not(a: np.ndarray | float) -> np.ndarray:
+    """Lukasiewicz negation ``1 - a``."""
+    (a,) = _validate(a)
+    return 1.0 - a
+
+
+def soft_conjunction(values: Sequence[np.ndarray | float]) -> np.ndarray:
+    """The paper's averaged k-ary conjunction ``(1/k) sum_i A_i``.
+
+    Coincides with the Boolean conjunction at the vertices only for
+    ``k = 1``; for larger ``k`` it is the linear surrogate that makes the
+    FD constraint a linear equation (Equation 3).
+    """
+    if not values:
+        raise ValueError("need at least one operand")
+    arrs = _validate(*values)
+    return np.mean(np.stack(arrs, axis=0), axis=0)
+
+
+def fd_linear_response(agreements: np.ndarray) -> np.ndarray:
+    """Equation 3: the soft truth of "all determinant attributes agree".
+
+    ``agreements`` has one column per determinant attribute; the response
+    is the row mean — exactly the coefficient pattern ``B[:, y] = 1/|X|``
+    FDX's autoregression matrix encodes for an FD ``X -> Y``.
+    """
+    agreements = np.asarray(agreements, dtype=float)
+    if agreements.ndim != 2:
+        raise ValueError("agreements must be 2-D (samples x determinants)")
+    return soft_conjunction([agreements[:, j] for j in range(agreements.shape[1])])
+
+
+def equation2_satisfaction(
+    lhs_agree: np.ndarray, rhs_agree: np.ndarray, epsilon: float = 0.05
+) -> float:
+    """Empirical check of Equation 2: ``P(Z[Y]=1 | Z[X]=1) >= 1 - eps``.
+
+    Returns the conditional agreement probability (1.0 when no pair
+    agrees on the full determinant — the condition is vacuous).
+    """
+    lhs_agree = np.asarray(lhs_agree, dtype=float)
+    rhs_agree = np.asarray(rhs_agree, dtype=float)
+    mask = lhs_agree >= 1.0 - 1e-9
+    if not np.any(mask):
+        return 1.0
+    return float(rhs_agree[mask].mean())

@@ -1,0 +1,49 @@
+"""Dataset generators: the paper's synthetic grid and real-world benchmarks."""
+
+from .synthetic import (
+    ATTRIBUTES,
+    DOMAINS,
+    NOISE_RATES,
+    TUPLES,
+    AttributeGroup,
+    SyntheticDataset,
+    SyntheticSpec,
+    generate,
+    setting_name,
+    spec_for_setting,
+)
+from .realworld import (
+    REAL_WORLD_DATASETS,
+    RealWorldDataset,
+    australian,
+    hospital,
+    load_dataset,
+    mammographic,
+    nypd,
+    thoracic,
+    tictactoe_dataset,
+)
+from .tictactoe import tictactoe
+
+__all__ = [
+    "ATTRIBUTES",
+    "DOMAINS",
+    "NOISE_RATES",
+    "TUPLES",
+    "AttributeGroup",
+    "SyntheticDataset",
+    "SyntheticSpec",
+    "generate",
+    "setting_name",
+    "spec_for_setting",
+    "REAL_WORLD_DATASETS",
+    "RealWorldDataset",
+    "australian",
+    "hospital",
+    "load_dataset",
+    "mammographic",
+    "nypd",
+    "thoracic",
+    "tictactoe_dataset",
+    "tictactoe",
+]

@@ -1,0 +1,234 @@
+"""Synthetic data generation (paper §5.1, "Synthetic Data Generation").
+
+The generator reproduces the paper's process exactly:
+
+1. Assign a global order to ``r`` attributes and split them into
+   consecutive groups ``(X, Y)`` of size two to four (``|X|`` in 1..3).
+2. For each group, draw a target cardinality ``v`` from the setting's
+   domain-cardinality range; give each attribute of ``X`` a domain so that
+   ``|dom(X)|`` is approximately ``v`` and set ``|dom(Y)| = v``.
+3. For half of the groups introduce a true FD: a uniformly random
+   function ``phi: dom(X) -> dom(Y)``. For the other half introduce a
+   *correlation*: ``P(Y = phi(x) | X = x) = rho`` with ``rho`` drawn
+   uniformly from ``[0, rho_max]`` and the remaining mass uniform — the
+   confounders that trip up marginal-dependence methods.
+4. Flip a ``noise_rate`` fraction of the cells of FD-participating
+   attributes to a different domain value.
+
+The 24-setting grid of paper Table 2 is exposed via :data:`SETTINGS` and
+:func:`spec_for_setting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..core.fd import FD
+from ..dataset.noise import NoiseReport, RandomFlipNoise
+from ..dataset.relation import Relation
+from ..dataset.schema import Schema
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic dataset instance."""
+
+    n_tuples: int = 1000
+    n_attributes: int = 12
+    domain_low: int = 64
+    domain_high: int = 216
+    noise_rate: float = 0.01
+    rho_max: float = 0.85
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_attributes < 2:
+            raise ValueError("need at least two attributes")
+        if not 0 <= self.noise_rate <= 1:
+            raise ValueError("noise_rate must be in [0, 1]")
+        if self.domain_low < 2 or self.domain_high < self.domain_low:
+            raise ValueError("invalid domain cardinality range")
+
+
+@dataclass
+class AttributeGroup:
+    """One generated ``(X, Y)`` group and whether it carries a true FD."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    kind: Literal["fd", "correlation"]
+    cardinality: int
+    rho: float | None = None
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated relation with its ground truth."""
+
+    relation: Relation
+    true_fds: list[FD]
+    groups: list[AttributeGroup]
+    spec: SyntheticSpec
+    noise_report: NoiseReport = field(default_factory=NoiseReport)
+
+    @property
+    def fd_attributes(self) -> set[str]:
+        """Attributes participating in a true FD (noise targets)."""
+        out: set[str] = set()
+        for fd in self.true_fds:
+            out |= set(fd.lhs)
+            out.add(fd.rhs)
+        return out
+
+
+def _split_into_groups(names: list[str], rng: np.random.Generator) -> list[list[str]]:
+    """Split the ordered attribute list into consecutive chunks of 2-4."""
+    groups: list[list[str]] = []
+    i = 0
+    n = len(names)
+    while i < n:
+        remaining = n - i
+        if remaining <= 4:
+            size = remaining
+        else:
+            size = int(rng.integers(2, 5))
+            # Avoid leaving a dangling single attribute.
+            if remaining - size == 1:
+                size += 1 if size < 4 else -1
+        groups.append(names[i : i + size])
+        i += size
+    # A trailing chunk of one attribute cannot host an FD; merge it back.
+    if groups and len(groups[-1]) == 1:
+        if len(groups) > 1:
+            groups[-2].extend(groups[-1])
+            groups.pop()
+    return groups
+
+
+def _attribute_domain_sizes(n_lhs: int, v: int) -> list[int]:
+    """Per-attribute domain sizes whose product approximates ``v``."""
+    base = max(2, int(round(v ** (1.0 / n_lhs))))
+    return [base] * n_lhs
+
+
+def generate(spec: SyntheticSpec) -> SyntheticDataset:
+    """Generate one synthetic dataset instance from ``spec``."""
+    rng = np.random.default_rng(spec.seed)
+    names = [f"A{i:02d}" for i in range(spec.n_attributes)]
+    chunks = _split_into_groups(list(names), rng)
+    columns: dict[str, np.ndarray] = {}
+    groups: list[AttributeGroup] = []
+    true_fds: list[FD] = []
+    t = spec.n_tuples
+    make_fd = True  # alternate fd / correlation so "half" of groups are FDs
+    for chunk in chunks:
+        if len(chunk) < 2:
+            # Isolated attribute: independent uniform noise column.
+            domain = int(rng.integers(spec.domain_low, spec.domain_high + 1))
+            columns[chunk[0]] = rng.integers(domain, size=t).astype(object)
+            continue
+        lhs_names, rhs_name = chunk[:-1], chunk[-1]
+        v = int(rng.integers(spec.domain_low, spec.domain_high + 1))
+        sizes = _attribute_domain_sizes(len(lhs_names), v)
+        lhs_values = [rng.integers(size, size=t) for size in sizes]
+        for name, vals in zip(lhs_names, lhs_values):
+            columns[name] = vals.astype(object)
+        # phi maps each LHS combination to a uniform RHS value; implemented
+        # lazily per observed combination to avoid materializing dom(X).
+        phi: dict[tuple[int, ...], int] = {}
+        rhs_vals = np.empty(t, dtype=object)
+        kind: Literal["fd", "correlation"] = "fd" if make_fd else "correlation"
+        rho = None if make_fd else float(rng.uniform(0.0, spec.rho_max))
+        for i in range(t):
+            key = tuple(int(vals[i]) for vals in lhs_values)
+            if key not in phi:
+                phi[key] = int(rng.integers(v))
+            target = phi[key]
+            if kind == "fd":
+                rhs_vals[i] = target
+            else:
+                if rng.random() < rho:
+                    rhs_vals[i] = target
+                else:
+                    other = int(rng.integers(v - 1)) if v > 1 else 0
+                    rhs_vals[i] = other if other < target else other + 1
+        columns[rhs_name] = rhs_vals
+        groups.append(
+            AttributeGroup(
+                lhs=tuple(lhs_names), rhs=rhs_name, kind=kind, cardinality=v, rho=rho
+            )
+        )
+        if kind == "fd":
+            true_fds.append(FD(lhs_names, rhs_name))
+        make_fd = not make_fd
+    schema = Schema(names)
+    relation = Relation(schema, columns)
+    # Noise: flip cells of FD-participating attributes only (paper §5.1).
+    report = NoiseReport()
+    if spec.noise_rate > 0 and true_fds:
+        fd_attrs = sorted({a for fd in true_fds for a in (*fd.lhs, fd.rhs)})
+        channel = RandomFlipNoise(spec.noise_rate, attributes=fd_attrs)
+        relation, report = channel.apply(relation, rng)
+    return SyntheticDataset(
+        relation=relation,
+        true_fds=true_fds,
+        groups=groups,
+        spec=spec,
+        noise_report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The 2^4 settings grid of paper Table 2.
+# ---------------------------------------------------------------------------
+
+#: Table 2 values for each axis: (low/small, high/large).
+NOISE_RATES = {"low": 0.01, "high": 0.30}
+TUPLES = {"small": 1_000, "large": 100_000}
+ATTRIBUTES = {"small": (8, 16), "large": (40, 80)}
+DOMAINS = {"small": (64, 216), "large": (1_000, 1_728)}
+
+
+def spec_for_setting(
+    tuples: str,
+    attributes: str,
+    domain: str,
+    noise: str,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> SyntheticSpec:
+    """Build a :class:`SyntheticSpec` for one Table 2 grid cell.
+
+    ``scale`` proportionally shrinks the *large* tuple count so the full
+    grid runs on small machines; the small setting is never reduced below
+    the paper's 1,000 rows (shrinking it would make the high-cardinality
+    panels information-free rather than merely smaller). ``scale=1`` is
+    the paper-scale grid.
+    """
+    for axis, value in (("tuples", tuples), ("attributes", attributes),
+                        ("domain", domain)):
+        if value not in ("small", "large"):
+            raise ValueError(f"{axis} must be 'small' or 'large', got {value!r}")
+    if noise not in ("low", "high"):
+        raise ValueError(f"noise must be 'low' or 'high', got {noise!r}")
+    rng = np.random.default_rng(seed)
+    r_low, r_high = ATTRIBUTES[attributes]
+    n_attrs = int(rng.integers(r_low, r_high + 1))
+    d_low, d_high = DOMAINS[domain]
+    n_tuples = max(int(TUPLES[tuples] * scale), TUPLES["small"])
+    return SyntheticSpec(
+        n_tuples=n_tuples,
+        n_attributes=n_attrs,
+        domain_low=d_low,
+        domain_high=d_high,
+        noise_rate=NOISE_RATES[noise],
+        seed=seed,
+    )
+
+
+def setting_name(tuples: str, attributes: str, domain: str, noise: str) -> str:
+    """Canonical name used in the paper's Figure 2/7 captions."""
+    return f"t={tuples} r={attributes} d={domain} n={noise}"

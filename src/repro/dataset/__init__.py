@@ -1,0 +1,37 @@
+"""Relational data substrate: schemas, relations, IO, encodings, noise."""
+
+from .schema import Attribute, AttributeType, Schema, SchemaBuilder
+from .relation import MISSING, Relation, concat_rows, is_missing
+from .io import read_csv, read_csv_text, to_csv_text, write_csv
+from .encoding import LabelEncoding, label_encode, numeric_encode, one_hot_encode
+from .noise import (
+    MissingNoise,
+    NoiseReport,
+    RandomFlipNoise,
+    SystematicNoise,
+    apply_noise,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "SchemaBuilder",
+    "MISSING",
+    "Relation",
+    "concat_rows",
+    "is_missing",
+    "read_csv",
+    "read_csv_text",
+    "to_csv_text",
+    "write_csv",
+    "LabelEncoding",
+    "label_encode",
+    "numeric_encode",
+    "one_hot_encode",
+    "MissingNoise",
+    "NoiseReport",
+    "RandomFlipNoise",
+    "SystematicNoise",
+    "apply_noise",
+]

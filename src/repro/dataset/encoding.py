@@ -1,0 +1,117 @@
+"""Encoders turning relations into numeric matrices.
+
+Used by the raw-data graphical-lasso baseline (paper §5.1 method GL) and by
+the imputation models in :mod:`repro.prep.imputation`. Missing cells are
+encoded as a dedicated category (label encoding) or an all-zero row
+(one-hot), matching how the paper's baselines consume noisy data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .relation import Relation, is_missing
+from .schema import AttributeType
+
+
+@dataclass
+class LabelEncoding:
+    """Result of :func:`label_encode`.
+
+    ``matrix[i, j]`` is the integer code of cell ``(i, j)``; missing cells
+    receive code ``-1``. ``domains[j]`` lists the values backing the codes
+    of column ``j`` in code order.
+    """
+
+    matrix: np.ndarray
+    domains: list[list[Any]]
+    names: list[str]
+
+    def decode(self, j: int, code: int) -> Any:
+        """Inverse-map a code of column ``j`` back to its value."""
+        if code < 0:
+            return None
+        return self.domains[j][code]
+
+
+def label_encode(relation: Relation) -> LabelEncoding:
+    """Encode every attribute as integer codes ``0..|dom|-1`` (missing=-1)."""
+    n, k = relation.shape
+    matrix = np.full((n, k), -1, dtype=np.int64)
+    domains: list[list[Any]] = []
+    for j, name in enumerate(relation.schema.names):
+        col = relation.column(name)
+        domain = relation.domain(name)
+        code_of = {v: c for c, v in enumerate(domain)}
+        for i in range(n):
+            v = col[i]
+            if not is_missing(v):
+                matrix[i, j] = code_of[v]
+        domains.append(domain)
+    return LabelEncoding(matrix=matrix, domains=domains, names=relation.schema.names)
+
+
+def numeric_encode(relation: Relation, standardize: bool = True) -> np.ndarray:
+    """Encode the relation as a float matrix for covariance estimation.
+
+    Numeric attributes keep their values; categorical/text attributes use
+    label codes. Missing cells are imputed with the column mean so the
+    covariance stays well-defined. With ``standardize`` each column is
+    scaled to zero mean / unit variance (constant columns stay zero).
+    """
+    enc = label_encode(relation)
+    n, k = enc.matrix.shape
+    out = np.zeros((n, k), dtype=float)
+    for j, name in enumerate(relation.schema.names):
+        if relation.schema.type_of(name) is AttributeType.NUMERIC:
+            col = relation.column(name)
+            vals = np.array(
+                [float(v) if not is_missing(v) else np.nan for v in col], dtype=float
+            )
+        else:
+            vals = enc.matrix[:, j].astype(float)
+            vals[vals < 0] = np.nan
+        mean = np.nanmean(vals) if np.any(~np.isnan(vals)) else 0.0
+        vals = np.where(np.isnan(vals), mean, vals)
+        out[:, j] = vals
+    if standardize:
+        mean = out.mean(axis=0)
+        std = out.std(axis=0)
+        std[std == 0] = 1.0
+        out = (out - mean) / std
+    return out
+
+
+def one_hot_encode(relation: Relation, max_domain: int | None = None) -> tuple[np.ndarray, list[tuple[str, Any]]]:
+    """One-hot encode the relation.
+
+    Returns ``(matrix, columns)`` where ``columns[c]`` names the
+    ``(attribute, value)`` behind one-hot column ``c``. Domains larger than
+    ``max_domain`` keep only their most frequent values (the rest map to an
+    implicit "other" of all zeros) to bound dimensionality.
+    """
+    blocks: list[np.ndarray] = []
+    columns: list[tuple[str, Any]] = []
+    n = relation.n_rows
+    for name in relation.schema.names:
+        counts = relation.value_counts(name)
+        values = sorted(counts, key=lambda v: (-counts[v], repr(v)))
+        if max_domain is not None:
+            values = values[:max_domain]
+        index = {v: c for c, v in enumerate(values)}
+        block = np.zeros((n, len(values)), dtype=float)
+        col = relation.column(name)
+        for i in range(n):
+            v = col[i]
+            if not is_missing(v) and v in index:
+                block[i, index[v]] = 1.0
+        blocks.append(block)
+        columns.extend((name, v) for v in values)
+    if blocks:
+        matrix = np.concatenate(blocks, axis=1)
+    else:
+        matrix = np.zeros((n, 0), dtype=float)
+    return matrix, columns

@@ -1,0 +1,103 @@
+"""CSV serialization for relations (no pandas dependency).
+
+Values are round-tripped with a light type sniffing pass: numeric attributes
+parse cells as floats, everything else stays a string. Empty cells and the
+literal tokens in :data:`NA_TOKENS` map to :data:`~repro.dataset.relation.MISSING`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+from .relation import MISSING, Relation, is_missing
+from .schema import Attribute, AttributeType, Schema
+
+#: Cell spellings interpreted as a missing value when reading CSV.
+NA_TOKENS = frozenset({"", "NA", "N/A", "NULL", "null", "None", "nan", "?"})
+
+
+def _parse_cell(token: str, dtype: AttributeType) -> Any:
+    if token in NA_TOKENS:
+        return MISSING
+    if dtype is AttributeType.NUMERIC:
+        try:
+            return float(token)
+        except ValueError:
+            return MISSING
+    return token
+
+
+def _sniff_types(header: Sequence[str], rows: list[list[str]]) -> Schema:
+    """Infer a schema: a column whose non-missing cells all parse as float
+    is NUMERIC, otherwise CATEGORICAL."""
+    attrs = []
+    for j, name in enumerate(header):
+        numeric = True
+        seen_value = False
+        for row in rows:
+            token = row[j]
+            if token in NA_TOKENS:
+                continue
+            seen_value = True
+            try:
+                float(token)
+            except ValueError:
+                numeric = False
+                break
+        dtype = AttributeType.NUMERIC if numeric and seen_value else AttributeType.CATEGORICAL
+        attrs.append(Attribute(name, dtype))
+    return Schema(attrs)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
+    """Read ``path`` into a :class:`Relation`.
+
+    If ``schema`` is omitted, attribute types are inferred from the data.
+    """
+    with open(path, newline="") as f:
+        return read_csv_text(f.read(), schema=schema)
+
+
+def read_csv_text(text: str, schema: Schema | None = None) -> Relation:
+    """Parse CSV text into a :class:`Relation` (header row required)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV: missing header row") from None
+    rows = [row for row in reader if row]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row arity {len(row)} does not match header arity {len(header)}"
+            )
+    if schema is None:
+        schema = _sniff_types(header, rows)
+    elif schema.names != header:
+        raise ValueError(
+            f"schema names {schema.names} do not match CSV header {header}"
+        )
+    columns: dict[str, list[Any]] = {name: [] for name in schema.names}
+    for row in rows:
+        for attr, token in zip(schema.attributes, row):
+            columns[attr.name].append(_parse_cell(token, attr.dtype))
+    return Relation(schema, columns)
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` as CSV (missing cells become '')."""
+    with open(path, "w", newline="") as f:
+        f.write(to_csv_text(relation))
+
+
+def to_csv_text(relation: Relation) -> str:
+    """Render ``relation`` as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(relation.schema.names)
+    for row in relation.rows():
+        writer.writerow(["" if is_missing(v) else v for v in row])
+    return buf.getvalue()

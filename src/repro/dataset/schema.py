@@ -1,0 +1,144 @@
+"""Relational schema types.
+
+A :class:`Schema` is an ordered collection of named, typed attributes. The
+type of an attribute controls how values are compared by the pair-difference
+transform (:mod:`repro.core.transform`) and how they are encoded for the
+raw-data structure-learning baseline (:mod:`repro.dataset.encoding`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class AttributeType(enum.Enum):
+    """Logical type of a relation attribute.
+
+    CATEGORICAL values compare by exact equality; NUMERIC values compare by
+    tolerance-scaled equality; TEXT values compare by token-set overlap.
+    """
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+    TEXT = "text"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relational schema."""
+
+    name: str
+    dtype: AttributeType = AttributeType.CATEGORICAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.name
+
+
+class Schema:
+    """An ordered, immutable collection of :class:`Attribute` objects.
+
+    Attribute names must be unique. The order of attributes is meaningful:
+    it defines the *natural* column order used by the ``natural`` variable
+    ordering of FDX's factorization step (paper Table 9).
+    """
+
+    def __init__(self, attributes: Iterable[Attribute | str]) -> None:
+        attrs: list[Attribute] = []
+        for item in attributes:
+            if isinstance(item, str):
+                attrs.append(Attribute(item))
+            elif isinstance(item, Attribute):
+                attrs.append(item)
+            else:
+                raise TypeError(f"expected Attribute or str, got {type(item)!r}")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names: {dupes}")
+        self._attributes: tuple[Attribute, ...] = tuple(attrs)
+        self._index: dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self._attributes]
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown attribute {name!r}; known: {self.names}") from None
+
+    def type_of(self, name: str) -> AttributeType:
+        return self._attributes[self.index_of(name)].dtype
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            return self._attributes[self.index_of(key)]
+        return self._attributes[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}:{a.dtype.value}" for a in self._attributes)
+        return f"Schema({inner})"
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema([self[n] for n in names])
+
+
+@dataclass
+class SchemaBuilder:
+    """Convenience builder for schemas with mixed attribute types.
+
+    >>> schema = (SchemaBuilder().categorical("city")
+    ...           .numeric("population").text("notes").build())
+    >>> schema.names
+    ['city', 'population', 'notes']
+    """
+
+    _attributes: list[Attribute] = field(default_factory=list)
+
+    def categorical(self, *names: str) -> "SchemaBuilder":
+        for name in names:
+            self._attributes.append(Attribute(name, AttributeType.CATEGORICAL))
+        return self
+
+    def numeric(self, *names: str) -> "SchemaBuilder":
+        for name in names:
+            self._attributes.append(Attribute(name, AttributeType.NUMERIC))
+        return self
+
+    def text(self, *names: str) -> "SchemaBuilder":
+        for name in names:
+            self._attributes.append(Attribute(name, AttributeType.TEXT))
+        return self
+
+    def build(self) -> Schema:
+        return Schema(self._attributes)

@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment tables and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with aligned plain-text and markdown renderings."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row arity {len(cells)} does not match header arity {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[j]), *(len(r[j]) for r in cells)) if cells else len(self.headers[j])
+            for j in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list[Any]:
+        j = self.headers.index(header)
+        return [row[j] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """One named (x, y) series of a figure."""
+
+    name: str
+    x: list[Any]
+    y: list[float]
+
+
+@dataclass
+class Figure:
+    """A titled collection of series with a plain-text rendering."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add_series(self, name: str, x: Sequence[Any], y: Sequence[float]) -> None:
+        self.series.append(Series(name=name, x=list(x), y=[float(v) for v in y]))
+
+    def render(self) -> str:
+        lines = [self.title, "=" * len(self.title), f"{self.x_label} -> {self.y_label}"]
+        for s in self.series:
+            pts = ", ".join(
+                f"{_fmt(xv)}:" + ("DNF" if yv != yv else f"{yv:.3f}")
+                for xv, yv in zip(s.x, s.y)
+            )
+            lines.append(f"  {s.name}: {pts}")
+        return "\n".join(lines)
+
+    def sparklines(self) -> str:
+        """Compact block-character rendering, one line per series.
+
+        Values are scaled to the figure's global max; NaN (DNF) renders
+        as ``x``. Handy for eyeballing figure shapes in a terminal.
+        """
+        blocks = " ▁▂▃▄▅▆▇█"
+        finite = [v for s in self.series for v in s.y if v == v]
+        peak = max(finite) if finite else 1.0
+        width = max((len(s.name) for s in self.series), default=0)
+        lines = [self.title]
+        for s in self.series:
+            cells = []
+            for v in s.y:
+                if v != v:
+                    cells.append("x")
+                else:
+                    level = 0 if peak == 0 else int(min(v / peak, 1.0) * (len(blocks) - 1))
+                    cells.append(blocks[level])
+            lines.append(f"{s.name:>{width}} |{''.join(cells)}|")
+        return "\n".join(lines)

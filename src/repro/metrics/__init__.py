@@ -1,0 +1,30 @@
+"""Metrics: information measures and FD-discovery accuracy scores."""
+
+from .information import (
+    conditional_entropy,
+    contingency,
+    entropy,
+    entropy_from_counts,
+    expected_mutual_information,
+    fraction_of_information,
+    mutual_information,
+    mutual_information_from_table,
+    reliable_fraction_of_information,
+)
+from .evaluation import PRF, exact_fd_score, score_edges, score_fds
+
+__all__ = [
+    "conditional_entropy",
+    "contingency",
+    "entropy",
+    "entropy_from_counts",
+    "expected_mutual_information",
+    "fraction_of_information",
+    "mutual_information",
+    "mutual_information_from_table",
+    "reliable_fraction_of_information",
+    "PRF",
+    "exact_fd_score",
+    "score_edges",
+    "score_fds",
+]

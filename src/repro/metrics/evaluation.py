@@ -1,0 +1,76 @@
+"""Accuracy metrics for FD discovery (paper §5.1 "Metrics").
+
+The paper scores methods on the *edges* participating in FDs: an FD
+``X -> Y`` contributes the directed edges ``(A, Y)`` for every ``A in X``.
+Precision is the fraction of discovered edges that are true, recall the
+fraction of true edges discovered, F1 their harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.fd import FD, fd_edges
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+
+def _undirect(edges: set[tuple[str, str]]) -> set[frozenset[str]]:
+    return {frozenset(e) for e in edges}
+
+
+def score_edges(
+    discovered: set[tuple[str, str]],
+    truth: set[tuple[str, str]],
+    directed: bool = True,
+) -> PRF:
+    """Edge-set precision/recall. With ``directed=False`` edge orientation
+    is ignored (useful when comparing against undirected structures)."""
+    if not directed:
+        discovered_cmp: set = _undirect(discovered)
+        truth_cmp: set = _undirect(truth)
+    else:
+        discovered_cmp = set(discovered)
+        truth_cmp = set(truth)
+    tp = len(discovered_cmp & truth_cmp)
+    precision = tp / len(discovered_cmp) if discovered_cmp else 0.0
+    recall = tp / len(truth_cmp) if truth_cmp else 0.0
+    return PRF(precision=precision, recall=recall)
+
+
+def score_fds(
+    discovered: Iterable[FD],
+    truth: Iterable[FD],
+    directed: bool = True,
+) -> PRF:
+    """Edge-based P/R/F1 of discovered FDs against ground-truth FDs."""
+    return score_edges(fd_edges(discovered), fd_edges(truth), directed=directed)
+
+
+def exact_fd_score(discovered: Iterable[FD], truth: Iterable[FD]) -> PRF:
+    """Stricter whole-FD matching (not used by the paper's headline metric,
+    provided for analysis): an FD counts only if lhs and rhs match exactly."""
+    d = set(discovered)
+    t = set(truth)
+    tp = len(d & t)
+    return PRF(
+        precision=tp / len(d) if d else 0.0,
+        recall=tp / len(t) if t else 0.0,
+    )

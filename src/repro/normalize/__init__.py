@@ -1,0 +1,45 @@
+"""Schema normalization on top of discovered FDs (paper §1 motivation)."""
+
+from .closure import (
+    attribute_closure,
+    candidate_keys,
+    canonical_cover,
+    equivalent,
+    implies,
+    is_superkey,
+    project_fds,
+)
+from .fourthnf import (
+    FourthNFResult,
+    find_violating_mvd,
+    fourth_nf_decompose,
+    join_fragments,
+)
+from .decompose import (
+    Decomposition,
+    bcnf_decompose,
+    is_lossless,
+    preserves_dependencies,
+    synthesize_3nf,
+    violates_bcnf,
+)
+
+__all__ = [
+    "attribute_closure",
+    "candidate_keys",
+    "canonical_cover",
+    "equivalent",
+    "implies",
+    "is_superkey",
+    "project_fds",
+    "FourthNFResult",
+    "find_violating_mvd",
+    "fourth_nf_decompose",
+    "join_fragments",
+    "Decomposition",
+    "bcnf_decompose",
+    "is_lossless",
+    "preserves_dependencies",
+    "synthesize_3nf",
+    "violates_bcnf",
+]

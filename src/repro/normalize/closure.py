@@ -1,0 +1,145 @@
+"""Classical FD theory: closures, keys and canonical covers.
+
+The paper motivates FD discovery with database normalization (§1, citing
+Garcia-Molina et al.); this module supplies the reasoning layer that turns
+a discovered FD set into normalization decisions: attribute-set closure
+(Armstrong's axioms via the linear-time fixpoint), implication tests,
+candidate-key enumeration and the canonical (minimal) cover.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..core.fd import FD
+
+
+def attribute_closure(
+    attributes: Iterable[str], fds: Sequence[FD]
+) -> frozenset[str]:
+    """The closure ``X+``: all attributes determined by ``attributes``.
+
+    Standard fixpoint computation: repeatedly fire FDs whose determinant
+    is contained in the current closure.
+    """
+    closure = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.rhs not in closure and set(fd.lhs) <= closure:
+                closure.add(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies(fds: Sequence[FD], candidate: FD) -> bool:
+    """True if ``fds`` logically imply ``candidate`` (via closure)."""
+    return candidate.rhs in attribute_closure(candidate.lhs, fds)
+
+
+def is_superkey(attributes: Iterable[str], schema: Sequence[str], fds: Sequence[FD]) -> bool:
+    """True if ``attributes`` functionally determine the whole schema."""
+    return attribute_closure(attributes, fds) >= set(schema)
+
+
+def candidate_keys(
+    schema: Sequence[str], fds: Sequence[FD], max_size: int | None = None
+) -> list[frozenset[str]]:
+    """All minimal keys of ``schema`` under ``fds``.
+
+    Uses the classic pruning observation: attributes appearing in no
+    determinant and in some dependent can never be part of a minimal key,
+    while attributes appearing in no dependent must be in *every* key.
+    ``max_size`` optionally bounds the search (useful on wide schemas).
+    """
+    schema_set = set(schema)
+    in_lhs = {a for fd in fds for a in fd.lhs}
+    in_rhs = {fd.rhs for fd in fds}
+    core = schema_set - in_rhs            # never determined: in every key
+    optional = (in_lhs & in_rhs)          # may or may not be needed
+    # Attributes determined but never determining can be dropped entirely.
+    if is_superkey(core, schema, fds):
+        return [frozenset(core)]
+    keys: list[frozenset[str]] = []
+    limit = len(optional) if max_size is None else min(max_size, len(optional))
+    for size in range(1, limit + 1):
+        for extra in combinations(sorted(optional), size):
+            candidate = core | set(extra)
+            if any(k <= candidate for k in keys):
+                continue  # superset of a found key: not minimal
+            if is_superkey(candidate, schema, fds):
+                keys.append(frozenset(candidate))
+        if keys and max_size is None:
+            # All remaining candidates at larger sizes would be supersets
+            # only if they avoid every found key; keep scanning sizes to
+            # find incomparable keys, but stop once no optional attrs left.
+            continue
+    if not keys and is_superkey(schema_set, schema, fds):
+        keys.append(frozenset(schema_set))
+    return sorted(keys, key=lambda k: (len(k), sorted(k)))
+
+
+def canonical_cover(fds: Sequence[FD]) -> list[FD]:
+    """A minimal (canonical) cover of ``fds``.
+
+    1. Right-hand sides are already singletons (our FD type enforces it).
+    2. Remove *extraneous* determinant attributes: ``A`` in ``X`` is
+       extraneous for ``X -> Y`` if ``(X - A)+`` under the full set still
+       contains ``Y``.
+    3. Remove *redundant* FDs: an FD implied by the others.
+    """
+    cover = list(dict.fromkeys(fds))  # dedupe, keep order
+    # Step 2: trim extraneous lhs attributes.
+    changed = True
+    while changed:
+        changed = False
+        for i, fd in enumerate(cover):
+            if fd.arity == 1:
+                continue
+            for a in fd.lhs:
+                reduced = set(fd.lhs) - {a}
+                if fd.rhs in attribute_closure(reduced, cover):
+                    cover[i] = FD(reduced, fd.rhs)
+                    changed = True
+                    break
+            if changed:
+                break
+    # Step 3: drop redundant FDs.
+    i = 0
+    while i < len(cover):
+        rest = cover[:i] + cover[i + 1 :]
+        if implies(rest, cover[i]):
+            cover = rest
+        else:
+            i += 1
+    return cover
+
+
+def equivalent(fds_a: Sequence[FD], fds_b: Sequence[FD]) -> bool:
+    """True if the two FD sets logically imply each other."""
+    return all(implies(fds_b, fd) for fd in fds_a) and all(
+        implies(fds_a, fd) for fd in fds_b
+    )
+
+
+def project_fds(fds: Sequence[FD], attributes: Iterable[str]) -> list[FD]:
+    """The FDs implied by ``fds`` that mention only ``attributes``.
+
+    Exponential in |attributes| in general; computed by closing every
+    subset — intended for the (small) fragments produced by decomposition.
+    """
+    attrs = sorted(set(attributes))
+    projected: list[FD] = []
+    for size in range(1, len(attrs)):
+        for lhs in combinations(attrs, size):
+            closure = attribute_closure(lhs, fds)
+            for rhs in closure & set(attrs):
+                if rhs in lhs:
+                    continue
+                fd = FD(lhs, rhs)
+                # Keep only FDs with a minimal determinant.
+                if not any(other.generalizes(fd) and other != fd for other in projected):
+                    projected.append(fd)
+    return canonical_cover(projected)

@@ -1,0 +1,199 @@
+"""Schema normalization: BCNF decomposition and 3NF synthesis.
+
+The paper's opening motivation for FD discovery is database normalization
+(§1). Given a schema and a set of (discovered) FDs this module produces:
+
+* a lossless **BCNF decomposition** (iterative splitting on violating
+  FDs),
+* a lossless, dependency-preserving **3NF synthesis** (from the canonical
+  cover, one relation per determinant group, plus a key relation),
+* the two classical decomposition-quality checks: the chase-based
+  losslessness test and dependency preservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.fd import FD
+from .closure import (
+    attribute_closure,
+    candidate_keys,
+    canonical_cover,
+    is_superkey,
+    project_fds,
+)
+
+
+@dataclass
+class Decomposition:
+    """A decomposition of one schema into fragments."""
+
+    fragments: list[frozenset[str]]
+    fds_per_fragment: list[list[FD]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.fds_per_fragment:
+            self.fds_per_fragment = [[] for _ in self.fragments]
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+
+def violates_bcnf(fd: FD, schema: Sequence[str], fds: Sequence[FD]) -> bool:
+    """True if ``fd`` is a BCNF violation in ``schema``: non-trivial and
+    its determinant is not a superkey."""
+    if fd.rhs in fd.lhs:
+        return False
+    if not (set(fd.lhs) | {fd.rhs}) <= set(schema):
+        return False
+    return not is_superkey(fd.lhs, schema, fds)
+
+
+def bcnf_decompose(schema: Sequence[str], fds: Sequence[FD]) -> Decomposition:
+    """Standard BCNF decomposition by iterative splitting.
+
+    Picks any violating FD ``X -> A`` in a fragment R and splits R into
+    ``X+ ∩ R`` and ``X ∪ (R - X+)``. Always lossless; may lose
+    dependencies (which :func:`preserves_dependencies` reports).
+    """
+    fragments: list[frozenset[str]] = [frozenset(schema)]
+    result: list[frozenset[str]] = []
+    while fragments:
+        fragment = fragments.pop()
+        local_fds = project_fds(fds, fragment) if len(fragment) <= 12 else [
+            fd for fd in fds if (set(fd.lhs) | {fd.rhs}) <= fragment
+        ]
+        violation = next(
+            (fd for fd in local_fds if violates_bcnf(fd, sorted(fragment), local_fds)),
+            None,
+        )
+        if violation is None:
+            result.append(fragment)
+            continue
+        closure = attribute_closure(violation.lhs, local_fds) & fragment
+        left = frozenset(closure)
+        right = frozenset(set(violation.lhs) | (fragment - closure))
+        if left == fragment or right == fragment:
+            result.append(fragment)  # degenerate split; stop here
+            continue
+        fragments.extend([left, right])
+    result = _drop_subsumed(result)
+    return Decomposition(
+        fragments=result,
+        fds_per_fragment=[
+            project_fds(fds, f) if len(f) <= 12 else
+            [fd for fd in fds if (set(fd.lhs) | {fd.rhs}) <= f]
+            for f in result
+        ],
+    )
+
+
+def synthesize_3nf(schema: Sequence[str], fds: Sequence[FD]) -> Decomposition:
+    """Bernstein-style 3NF synthesis.
+
+    One fragment per determinant group of the canonical cover; a fragment
+    holding a candidate key is added if none contains one; fragments
+    subsumed by others are dropped. Lossless and dependency-preserving.
+    """
+    cover = canonical_cover(fds)
+    groups: dict[tuple[str, ...], set[str]] = {}
+    for fd in cover:
+        groups.setdefault(fd.lhs, set(fd.lhs)).add(fd.rhs)
+    fragments = [frozenset(attrs) for attrs in groups.values()]
+    # Attributes mentioned in no FD still need a home: a catch-all keyed
+    # fragment guarantees losslessness.
+    keys = candidate_keys(schema, cover)
+    key = keys[0] if keys else frozenset(schema)
+    if not any(key <= fragment for fragment in fragments):
+        fragments.append(frozenset(key))
+    covered = set().union(*fragments) if fragments else set()
+    leftover = set(schema) - covered
+    if leftover:
+        fragments.append(frozenset(leftover | key))
+    fragments = _drop_subsumed(fragments)
+    return Decomposition(
+        fragments=fragments,
+        fds_per_fragment=[
+            [fd for fd in cover if (set(fd.lhs) | {fd.rhs}) <= f] for f in fragments
+        ],
+    )
+
+
+def _drop_subsumed(fragments: Sequence[frozenset[str]]) -> list[frozenset[str]]:
+    kept: list[frozenset[str]] = []
+    for f in sorted(set(fragments), key=len, reverse=True):
+        if not any(f < other for other in kept):
+            kept.append(f)
+    return sorted(kept, key=lambda f: (len(f), sorted(f)))
+
+
+def is_lossless(
+    schema: Sequence[str], fds: Sequence[FD], fragments: Sequence[frozenset[str]]
+) -> bool:
+    """Chase test for a lossless join decomposition.
+
+    Builds the tableau with one row per fragment (distinguished symbols on
+    the fragment's attributes) and chases it with the FDs; the join is
+    lossless iff some row becomes all-distinguished.
+    """
+    attrs = list(schema)
+    col = {a: j for j, a in enumerate(attrs)}
+    # Cell value: ("a", j) distinguished, ("b", i, j) subscripted.
+    tableau = [
+        [("a", j) if a in fragment else ("b", i, j) for j, a in enumerate(attrs)]
+        for i, fragment in enumerate(fragments)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            lhs_cols = [col[a] for a in fd.lhs if a in col]
+            if len(lhs_cols) != len(fd.lhs) or fd.rhs not in col:
+                continue
+            rhs_col = col[fd.rhs]
+            buckets: dict[tuple, list[int]] = {}
+            for i, row in enumerate(tableau):
+                key = tuple(row[c] for c in lhs_cols)
+                buckets.setdefault(key, []).append(i)
+            for rows in buckets.values():
+                if len(rows) < 2:
+                    continue
+                values = {tableau[i][rhs_col] for i in rows}
+                if len(values) == 1:
+                    continue
+                # Equate: prefer the distinguished symbol.
+                target = ("a", rhs_col) if ("a", rhs_col) in values else min(
+                    values, key=repr
+                )
+                for i in rows:
+                    if tableau[i][rhs_col] != target:
+                        tableau[i][rhs_col] = target
+                        changed = True
+    return any(all(cell == ("a", j) for j, cell in enumerate(row)) for row in tableau)
+
+
+def preserves_dependencies(
+    fds: Sequence[FD], fragments: Sequence[frozenset[str]]
+) -> bool:
+    """True if the union of the fragment-projected FDs implies every FD.
+
+    Uses the standard polynomial algorithm: for each FD ``X -> A``, chase
+    ``X`` through per-fragment closures instead of materializing the
+    (exponential) projections.
+    """
+    for fd in fds:
+        closure = set(fd.lhs)
+        changed = True
+        while changed and fd.rhs not in closure:
+            changed = False
+            for fragment in fragments:
+                inside = closure & fragment
+                gained = attribute_closure(inside, fds) & fragment
+                if not gained <= closure:
+                    closure |= gained
+                    changed = True
+        if fd.rhs not in closure:
+            return False
+    return True

@@ -1,0 +1,25 @@
+"""Bayesian-network substrate and the paper's benchmark networks."""
+
+from .bayesnet import BayesianNetwork, Node, make_deterministic_cpts
+from .repository import (
+    BENCHMARK_NETWORKS,
+    alarm,
+    asia,
+    cancer,
+    child,
+    earthquake,
+    load_network,
+)
+
+__all__ = [
+    "BayesianNetwork",
+    "Node",
+    "make_deterministic_cpts",
+    "BENCHMARK_NETWORKS",
+    "alarm",
+    "asia",
+    "cancer",
+    "child",
+    "earthquake",
+    "load_network",
+]

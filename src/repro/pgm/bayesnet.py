@@ -1,0 +1,200 @@
+"""Discrete Bayesian-network substrate.
+
+The paper's known-structure benchmarks (Table 1) are samples from classic
+Bayesian networks whose deterministic parent-child relations define the
+ground-truth FDs. This module provides a minimal but complete discrete BN:
+DAG + conditional probability tables, ancestral (forward) sampling, and
+ground-truth FD extraction (``parents(v) -> v`` for every non-root ``v``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.fd import FD
+from ..dataset.relation import Relation
+from ..dataset.schema import Schema
+
+
+@dataclass
+class Node:
+    """A BN node: name, finite domain, parent names, CPT.
+
+    ``cpt`` maps a tuple of parent values (in ``parents`` order; the empty
+    tuple for roots) to a probability vector over ``domain``.
+    """
+
+    name: str
+    domain: tuple[Any, ...]
+    parents: tuple[str, ...] = ()
+    cpt: dict[tuple[Any, ...], np.ndarray] = field(default_factory=dict)
+
+    def validate(self, domains: Mapping[str, tuple[Any, ...]]) -> None:
+        if len(self.domain) < 2:
+            raise ValueError(f"node {self.name}: domain must have >= 2 values")
+        parent_domains = [domains[p] for p in self.parents]
+        expected = set(product(*parent_domains)) if self.parents else {()}
+        if set(self.cpt) != expected:
+            raise ValueError(
+                f"node {self.name}: CPT rows do not cover the parent configurations"
+            )
+        for config, probs in self.cpt.items():
+            probs = np.asarray(probs, dtype=float)
+            if probs.shape != (len(self.domain),):
+                raise ValueError(f"node {self.name}: bad CPT row shape for {config}")
+            if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0, atol=1e-6):
+                raise ValueError(f"node {self.name}: CPT row for {config} not a distribution")
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network over named variables."""
+
+    def __init__(self, nodes: Sequence[Node]) -> None:
+        self._nodes: dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise ValueError(f"duplicate node {node.name!r}")
+            self._nodes[node.name] = node
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self._nodes)
+        for node in nodes:
+            for parent in node.parents:
+                if parent not in self._nodes:
+                    raise ValueError(f"node {node.name}: unknown parent {parent!r}")
+                self._graph.add_edge(parent, node.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError("parent structure contains a cycle")
+        domains = {n.name: n.domain for n in nodes}
+        for node in nodes:
+            node.validate(domains)
+        self._topo_order = list(nx.topological_sort(self._graph))
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def edges(self) -> set[tuple[str, str]]:
+        """Directed parent->child edges of the DAG."""
+        return set(self._graph.edges)
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        return self._nodes[name].parents
+
+    def roots(self) -> list[str]:
+        return [n for n in self._nodes if not self._nodes[n].parents]
+
+    def true_fds(self) -> list[FD]:
+        """Ground-truth FDs: ``parents(v) -> v`` for every non-root node."""
+        return [
+            FD(node.parents, node.name)
+            for node in self._nodes.values()
+            if node.parents
+        ]
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, n: int, rng: np.random.Generator) -> Relation:
+        """Draw ``n`` i.i.d. tuples by ancestral sampling."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        columns: dict[str, np.ndarray] = {
+            name: np.empty(n, dtype=object) for name in self._nodes
+        }
+        # Pre-index domains for vectorized-ish sampling per parent config.
+        for name in self._topo_order:
+            node = self._nodes[name]
+            domain = node.domain
+            if not node.parents:
+                probs = np.asarray(node.cpt[()], dtype=float)
+                draws = rng.choice(len(domain), size=n, p=probs)
+                for i in range(n):
+                    columns[name][i] = domain[draws[i]]
+                continue
+            # Group rows by parent configuration to batch rng.choice calls.
+            configs: dict[tuple[Any, ...], list[int]] = {}
+            parent_cols = [columns[p] for p in node.parents]
+            for i in range(n):
+                config = tuple(col[i] for col in parent_cols)
+                configs.setdefault(config, []).append(i)
+            for config, rows in configs.items():
+                probs = np.asarray(node.cpt[config], dtype=float)
+                draws = rng.choice(len(domain), size=len(rows), p=probs)
+                for pos, i in enumerate(rows):
+                    columns[name][i] = domain[draws[pos]]
+        schema = Schema(list(self._nodes))
+        return Relation(schema, columns)
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Counts reported in paper Table 1."""
+        fds = self.true_fds()
+        return {
+            "attributes": self.n_nodes,
+            "n_fds": len(fds),
+            "n_edges": len(self._graph.edges),
+        }
+
+
+def make_deterministic_cpts(
+    structure: Mapping[str, Sequence[str]],
+    domains: Mapping[str, Sequence[Any]],
+    rng: np.random.Generator,
+    determinism: float = 0.98,
+    root_concentration: float = 5.0,
+) -> BayesianNetwork:
+    """Build a BN with near-deterministic child CPTs from a structure.
+
+    For each non-root node, parent configurations are mapped to dominant
+    values by a *balanced* random assignment (configurations are shuffled
+    and dominant values cycled through a shuffled domain), so the induced
+    functional map is surjective whenever there are at least as many
+    configurations as values — a purely uniform draw frequently collapses a
+    child to a near-constant column, erasing the dependency the benchmark
+    is supposed to contain. The dominant value gets probability
+    ``determinism``; the remaining mass spreads uniformly. Root marginals
+    are drawn from a symmetric Dirichlet with ``root_concentration``
+    (larger = more uniform), keeping all root values well covered.
+
+    This substitutes for bnlearn's stock CPTs: the paper describes these
+    networks as "exhibiting deterministic dependencies", and the ground
+    truth used for scoring depends only on the structure.
+    """
+    if not 0.0 < determinism <= 1.0:
+        raise ValueError(f"determinism must be in (0, 1], got {determinism}")
+    nodes: list[Node] = []
+    for name, parents in structure.items():
+        domain = tuple(domains[name])
+        parents = tuple(parents)
+        cpt: dict[tuple[Any, ...], np.ndarray] = {}
+        if not parents:
+            probs = rng.dirichlet([root_concentration] * len(domain))
+            cpt[()] = probs
+        else:
+            parent_domains = [tuple(domains[p]) for p in parents]
+            configs = list(product(*parent_domains))
+            rng.shuffle(configs)
+            dominants: list[int] = []
+            while len(dominants) < len(configs):
+                cycle = rng.permutation(len(domain))
+                dominants.extend(int(v) for v in cycle)
+            for config, dominant in zip(configs, dominants):
+                probs = np.full(len(domain), (1.0 - determinism) / max(len(domain) - 1, 1))
+                probs[dominant] = determinism
+                cpt[config] = probs
+        nodes.append(Node(name=name, domain=domain, parents=parents, cpt=cpt))
+    return BayesianNetwork(nodes)

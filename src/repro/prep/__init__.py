@@ -1,0 +1,48 @@
+"""Data-preparation applications of FDX (paper §5.5)."""
+
+from .imputation import (
+    AttentionImputer,
+    GradientBoostedImputer,
+    ModeImputer,
+    imputation_f1,
+)
+from .profiling import (
+    ImputabilityOutcome,
+    feature_ranking,
+    imputability_experiment,
+    split_by_fd_participation,
+)
+from .statistics import AttributeProfile, RelationProfile, profile_relation
+from .detection import ErrorReport, detect_errors, score_detection
+from .reporting import ProfilingReport, build_profiling_report
+from .repair import (
+    RepairReport,
+    Violation,
+    find_violations,
+    repair,
+    repair_precision_recall,
+)
+
+__all__ = [
+    "ProfilingReport",
+    "build_profiling_report",
+    "ErrorReport",
+    "detect_errors",
+    "score_detection",
+    "AttributeProfile",
+    "RelationProfile",
+    "profile_relation",
+    "RepairReport",
+    "Violation",
+    "find_violations",
+    "repair",
+    "repair_precision_recall",
+    "AttentionImputer",
+    "GradientBoostedImputer",
+    "ModeImputer",
+    "imputation_f1",
+    "ImputabilityOutcome",
+    "feature_ranking",
+    "imputability_experiment",
+    "split_by_fd_participation",
+]

@@ -1,0 +1,110 @@
+"""Constraint-based error detection (HoloDetect-lite, paper ref [17]).
+
+Combines violation evidence from multiple constraint families into
+cell-level error scores:
+
+* **FD evidence** — minority cells inside FD determinant groups (via
+  :func:`repro.prep.repair.find_violations`), weighted by the group's
+  majority confidence;
+* **DC evidence** — cells implicated by tuple pairs satisfying a denial
+  constraint's full conjunction; both sides of a violating pair are
+  implicated at half weight (the pair does not identify the culprit).
+
+The output is an :class:`ErrorReport` of normalized per-cell scores; a
+threshold turns it into a flagged-cell set that can be scored against a
+known :class:`~repro.dataset.noise.NoiseReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..constraints.denial import DenialConstraint, _evaluate_predicate
+from ..core.fd import FD
+from ..dataset.noise import NoiseReport
+from ..dataset.relation import Relation
+from ..metrics.evaluation import PRF
+from .repair import find_violations
+
+
+@dataclass
+class ErrorReport:
+    """Per-cell error scores in ``[0, 1]``."""
+
+    cell_scores: dict[tuple[int, str], float] = field(default_factory=dict)
+
+    def flagged(self, threshold: float = 0.5) -> set[tuple[int, str]]:
+        """Cells whose score reaches ``threshold``."""
+        return {cell for cell, s in self.cell_scores.items() if s >= threshold}
+
+    def top(self, k: int) -> list[tuple[tuple[int, str], float]]:
+        """The ``k`` highest-scoring cells."""
+        ranked = sorted(self.cell_scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+
+def detect_errors(
+    relation: Relation,
+    fds: Sequence[FD] = (),
+    dcs: Sequence[DenialConstraint] = (),
+    min_confidence: float = 0.6,
+    n_pairs: int = 4000,
+    dc_weight: float = 0.8,
+    seed: int = 0,
+) -> ErrorReport:
+    """Score cells of ``relation`` by constraint-violation evidence.
+
+    Each evidence source is normalized independently and the final cell
+    score is the maximum across sources (an additive combination would
+    let one noisy approximate constraint with many implicated-but-
+    innocent cells drown precise FD evidence). DC evidence is scaled by
+    ``dc_weight`` because a violating pair implicates both rows without
+    identifying the culprit.
+    """
+    fd_scores: dict[tuple[int, str], float] = {}
+    for violation in find_violations(relation, fds, min_confidence=min_confidence):
+        cell = (violation.row, violation.attribute)
+        fd_scores[cell] = max(fd_scores.get(cell, 0.0), violation.confidence)
+
+    dc_scores: dict[tuple[int, str], float] = {}
+    if dcs and relation.n_rows >= 2:
+        rng = np.random.default_rng(seed)
+        n = relation.n_rows
+        m = min(n_pairs, n * (n - 1) // 2)
+        left = rng.integers(n, size=m)
+        offset = 1 + rng.integers(n - 1, size=m)
+        right = (left + offset) % n
+        for dc in dcs:
+            satisfied = np.ones(m, dtype=bool)
+            for pred in dc.predicates:
+                col = relation.column(pred.attribute)
+                satisfied &= _evaluate_predicate(pred, col, left, right)
+            for k in np.flatnonzero(satisfied):
+                for pred in dc.predicates:
+                    for row in (int(left[k]), int(right[k])):
+                        cell = (row, pred.attribute)
+                        dc_scores[cell] = dc_scores.get(cell, 0.0) + 1.0
+        if dc_scores:
+            peak = max(dc_scores.values())
+            dc_scores = {c: dc_weight * s / peak for c, s in dc_scores.items()}
+
+    scores: dict[tuple[int, str], float] = dict(fd_scores)
+    for cell, s in dc_scores.items():
+        scores[cell] = max(scores.get(cell, 0.0), s)
+    return ErrorReport(cell_scores=scores)
+
+
+def score_detection(
+    report: ErrorReport, truth: NoiseReport, threshold: float = 0.5
+) -> PRF:
+    """Precision/recall of flagged cells against injected noise."""
+    flagged = report.flagged(threshold)
+    true_cells = set(truth.cells)
+    tp = len(flagged & true_cells)
+    return PRF(
+        precision=tp / len(flagged) if flagged else 0.0,
+        recall=tp / len(true_cells) if true_cells else 0.0,
+    )

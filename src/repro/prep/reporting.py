@@ -1,0 +1,119 @@
+"""One-shot profiling reports (the "Profiler" deployment scenario).
+
+The paper notes FDX "is already deployed in several industrial use cases
+related to data profiling". This module packages the repository's
+discovery stack into the artifact such a deployment produces: a single
+markdown report for one relation containing
+
+* single-column statistics (distincts, missingness, entropy, soft keys),
+* FDX's FDs with stability scores,
+* possible/certain keys,
+* minimal denial constraints,
+* an FD-based cleaning outlook (which attributes automated cleaning can
+  be expected to handle — the Table 7 signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints.denial import DenialConstraintDiscovery, DenialConstraintResult
+from ..constraints.keys import KeyDiscoveryResult, discover_keys
+from ..core.fdx import FDX
+from ..core.stability import StabilityResult, stability_selection
+from ..dataset.relation import Relation
+from .profiling import split_by_fd_participation
+from .statistics import RelationProfile, profile_relation
+
+
+@dataclass
+class ProfilingReport:
+    """All discovery outputs for one relation."""
+
+    profile: RelationProfile
+    stability: StabilityResult
+    keys: KeyDiscoveryResult
+    denial_constraints: DenialConstraintResult
+    cleanable: list[str]
+    hard_to_clean: list[str]
+
+    def to_markdown(self, title: str = "Data profile") -> str:
+        lines = [f"# {title}", ""]
+        p = self.profile
+        lines += [
+            f"{p.n_rows} rows x {p.n_attributes} attributes, "
+            f"{p.missing_fraction:.1%} missing cells.",
+            "",
+            "## Column statistics",
+            "",
+            "```text",
+            p.render(),
+            "```",
+            "",
+            "## Functional dependencies (FDX, with stability scores)",
+            "",
+        ]
+        if self.stability.fds:
+            for fd in self.stability.fds:
+                score = self.stability.fd_scores[fd]
+                lines.append(f"- `{fd}` (stability {score:.0%})")
+        else:
+            lines.append("- (none discovered)")
+        lines += ["", "## Keys", ""]
+        lines.append(
+            "- possible keys: "
+            + (", ".join("{" + ", ".join(sorted(k)) + "}" for k in self.keys.possible_keys)
+               or "(none)")
+        )
+        lines.append(
+            "- certain keys: "
+            + (", ".join("{" + ", ".join(sorted(k)) + "}" for k in self.keys.certain_keys)
+               or "(none)")
+        )
+        lines += ["", "## Denial constraints", ""]
+        if self.denial_constraints.constraints:
+            for dc in self.denial_constraints.constraints:
+                lines.append(f"- `{dc}`")
+        else:
+            lines.append("- (none discovered)")
+        lines += [
+            "",
+            "## Cleaning outlook",
+            "",
+            "Attributes inside a discovered dependency can be repaired or "
+            "imputed automatically; independent attributes cannot.",
+            "",
+            f"- expected cleanable: {', '.join(self.cleanable) or '(none)'}",
+            f"- hard to clean: {', '.join(self.hard_to_clean) or '(none)'}",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+def build_profiling_report(
+    relation: Relation,
+    n_resamples: int = 5,
+    max_key_size: int = 2,
+    dc_tolerance: float = 0.0,
+    seed: int = 0,
+) -> ProfilingReport:
+    """Run the full profiling stack on ``relation``."""
+    profile = profile_relation(relation)
+    stability = stability_selection(
+        relation, fdx=FDX(seed=seed), n_resamples=n_resamples, seed=seed
+    )
+    keys = discover_keys(relation, max_size=max_key_size)
+    dcs = DenialConstraintDiscovery(
+        max_predicates=2, max_violation_rate=dc_tolerance, seed=seed
+    ).discover(relation)
+    cleanable, hard = split_by_fd_participation(
+        stability.full_result, relation.schema.names
+    )
+    return ProfilingReport(
+        profile=profile,
+        stability=stability,
+        keys=keys,
+        denial_constraints=dcs,
+        cleanable=cleanable,
+        hard_to_clean=hard,
+    )

@@ -1,0 +1,112 @@
+"""Relation profiling statistics.
+
+Single-pass per-attribute summary used by the profiling workflow and the
+CLI ``profile`` command: domain sizes, missingness, entropies, soft-key
+flags — the "single-column statistics" layer data-profiling systems run
+before dependency discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..dataset.relation import Relation
+from ..metrics.information import entropy
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Summary of a single attribute."""
+
+    name: str
+    dtype: str
+    n_distinct: int
+    n_missing: int
+    missing_fraction: float
+    entropy: float
+    top_value: Any
+    top_fraction: float
+    is_soft_key: bool
+    is_constant: bool
+
+
+@dataclass
+class RelationProfile:
+    """Summary of a whole relation."""
+
+    n_rows: int
+    n_attributes: int
+    missing_fraction: float
+    attributes: list[AttributeProfile]
+
+    def attribute(self, name: str) -> AttributeProfile:
+        for p in self.attributes:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def soft_keys(self) -> list[str]:
+        return [p.name for p in self.attributes if p.is_soft_key]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.n_rows} rows x {self.n_attributes} attributes "
+            f"({self.missing_fraction:.1%} missing)",
+            f"{'attribute':<20} {'type':<12} {'distinct':>8} {'missing':>8} "
+            f"{'entropy':>8} {'top%':>6} flags",
+        ]
+        for p in self.attributes:
+            flags = []
+            if p.is_soft_key:
+                flags.append("key")
+            if p.is_constant:
+                flags.append("const")
+            lines.append(
+                f"{p.name:<20} {p.dtype:<12} {p.n_distinct:>8} "
+                f"{p.n_missing:>8} {p.entropy:>8.3f} {p.top_fraction:>6.1%} "
+                f"{','.join(flags)}"
+            )
+        return "\n".join(lines)
+
+
+def profile_relation(
+    relation: Relation, key_fraction: float = 0.95
+) -> RelationProfile:
+    """Compute a :class:`RelationProfile` for ``relation``.
+
+    ``key_fraction``: an attribute whose distinct count reaches this
+    fraction of the non-missing rows is flagged as a soft key.
+    """
+    profiles: list[AttributeProfile] = []
+    n = relation.n_rows
+    for attr in relation.schema:
+        counts = relation.value_counts(attr.name)
+        n_missing = relation.missing_count(attr.name)
+        observed = n - n_missing
+        n_distinct = len(counts)
+        if counts:
+            top_value = max(counts, key=lambda v: (counts[v], repr(v)))
+            top_fraction = counts[top_value] / observed if observed else 0.0
+        else:
+            top_value, top_fraction = None, 0.0
+        profiles.append(
+            AttributeProfile(
+                name=attr.name,
+                dtype=attr.dtype.value,
+                n_distinct=n_distinct,
+                n_missing=n_missing,
+                missing_fraction=n_missing / n if n else 0.0,
+                entropy=entropy(relation, attr.name),
+                top_value=top_value,
+                top_fraction=top_fraction,
+                is_soft_key=bool(observed) and n_distinct >= key_fraction * observed,
+                is_constant=n_distinct <= 1,
+            )
+        )
+    return RelationProfile(
+        n_rows=n,
+        n_attributes=relation.n_attributes,
+        missing_fraction=relation.missing_fraction(),
+        attributes=profiles,
+    )

@@ -1,0 +1,132 @@
+"""Tests for repro.pgm.bayesnet."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import FD
+from repro.pgm.bayesnet import BayesianNetwork, Node, make_deterministic_cpts
+
+
+def tiny_bn():
+    return BayesianNetwork([
+        Node("A", ("a0", "a1"), (), {(): np.array([0.5, 0.5])}),
+        Node("B", ("b0", "b1"), ("A",), {
+            ("a0",): np.array([0.9, 0.1]),
+            ("a1",): np.array([0.1, 0.9]),
+        }),
+    ])
+
+
+def test_structure_accessors():
+    bn = tiny_bn()
+    assert bn.n_nodes == 2
+    assert bn.edges() == {("A", "B")}
+    assert bn.parents("B") == ("A",)
+    assert bn.roots() == ["A"]
+
+
+def test_true_fds():
+    bn = tiny_bn()
+    assert bn.true_fds() == [FD(["A"], "B")]
+
+
+def test_summary_counts():
+    s = tiny_bn().summary()
+    assert s == {"attributes": 2, "n_fds": 1, "n_edges": 1}
+
+
+def test_sample_shapes_and_domains():
+    bn = tiny_bn()
+    rel = bn.sample(500, np.random.default_rng(0))
+    assert rel.shape == (500, 2)
+    assert set(rel.domain("A")) <= {"a0", "a1"}
+    assert set(rel.domain("B")) <= {"b0", "b1"}
+
+
+def test_sample_reflects_cpt():
+    bn = tiny_bn()
+    rel = bn.sample(5000, np.random.default_rng(1))
+    a, b = rel.column("A"), rel.column("B")
+    match = sum(1 for x, y in zip(a, b) if (x == "a0") == (y == "b0"))
+    assert match / 5000 > 0.85  # CPT couples A and B at 0.9
+
+
+def test_sample_zero_rows():
+    assert tiny_bn().sample(0, np.random.default_rng(0)).n_rows == 0
+
+
+def test_sample_negative_rejected():
+    with pytest.raises(ValueError):
+        tiny_bn().sample(-1, np.random.default_rng(0))
+
+
+def test_cycle_detection():
+    with pytest.raises(ValueError, match="cycle"):
+        BayesianNetwork([
+            Node("A", ("0", "1"), ("B",), {("0",): np.array([1.0, 0.0]),
+                                           ("1",): np.array([1.0, 0.0])}),
+            Node("B", ("0", "1"), ("A",), {("0",): np.array([1.0, 0.0]),
+                                           ("1",): np.array([1.0, 0.0])}),
+        ])
+
+
+def test_unknown_parent_rejected():
+    with pytest.raises(ValueError, match="unknown parent"):
+        BayesianNetwork([
+            Node("A", ("0", "1"), ("Z",), {("0",): np.array([1.0, 0.0]),
+                                           ("1",): np.array([1.0, 0.0])}),
+        ])
+
+
+def test_incomplete_cpt_rejected():
+    with pytest.raises(ValueError, match="CPT rows"):
+        BayesianNetwork([
+            Node("A", ("0", "1"), (), {(): np.array([0.5, 0.5])}),
+            Node("B", ("0", "1"), ("A",), {("0",): np.array([0.5, 0.5])}),
+        ])
+
+
+def test_invalid_distribution_rejected():
+    with pytest.raises(ValueError, match="not a distribution"):
+        BayesianNetwork([
+            Node("A", ("0", "1"), (), {(): np.array([0.7, 0.7])}),
+        ])
+
+
+def test_duplicate_node_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        BayesianNetwork([
+            Node("A", ("0", "1"), (), {(): np.array([0.5, 0.5])}),
+            Node("A", ("0", "1"), (), {(): np.array([0.5, 0.5])}),
+        ])
+
+
+def test_make_deterministic_cpts_balanced_assignment():
+    """With >= |domain| configs, every child value is some config's mode."""
+    rng = np.random.default_rng(0)
+    bn = make_deterministic_cpts(
+        {"X": (), "Y": ("X",)},
+        {"X": ("x0", "x1", "x2", "x3"), "Y": ("y0", "y1")},
+        rng,
+        determinism=0.95,
+    )
+    modes = {np.argmax(probs) for probs in bn.node("Y").cpt.values()}
+    assert modes == {0, 1}
+
+
+def test_make_deterministic_cpts_rows_are_distributions():
+    rng = np.random.default_rng(1)
+    bn = make_deterministic_cpts(
+        {"X": (), "Y": ("X",)},
+        {"X": ("a", "b"), "Y": ("u", "v", "w")},
+        rng,
+    )
+    for probs in bn.node("Y").cpt.values():
+        assert np.isclose(probs.sum(), 1.0)
+        assert probs.max() >= 0.9
+
+
+def test_make_deterministic_cpts_invalid_determinism():
+    with pytest.raises(ValueError):
+        make_deterministic_cpts({"X": ()}, {"X": ("a", "b")},
+                                np.random.default_rng(0), determinism=0.0)

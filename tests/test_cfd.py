@@ -1,0 +1,122 @@
+"""Tests for repro.constraints.cfd (conditional FDs)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.cfd import CfdDiscovery, ConstantCFD, VariableCFD
+from repro.core.fd import FD
+from repro.dataset.relation import MISSING, Relation
+
+
+def conditional_relation(n=600, seed=0):
+    """city -> state holds ONLY for region='north' cities; 'south' cities
+    span two states (so the global FD fails)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        region = "north" if rng.random() < 0.5 else "south"
+        if region == "north":
+            city = f"ncity_{int(rng.integers(3))}"
+            state = "NS"  # all northern cities share one state
+        else:
+            city = "scity"
+            state = f"SS{int(rng.integers(2))}"  # same city, two states
+        rows.append((region, city, state))
+    return Relation.from_rows(["region", "city", "state"], rows)
+
+
+def test_constant_cfd_found():
+    rel = conditional_relation()
+    rules = CfdDiscovery(min_support=20).discover_constant(rel)
+    # region=north determines state=NS with confidence 1.
+    assert any(
+        r.lhs == (("region", "north"),) and r.rhs == ("state", "NS")
+        for r in rules
+    )
+
+
+def test_constant_cfd_confidence_respected():
+    rel = conditional_relation()
+    rules = CfdDiscovery(min_support=10, min_confidence=0.99).discover_constant(rel)
+    assert all(r.confidence >= 0.99 for r in rules)
+    # 'scity' maps to two states ~50/50: no such rule.
+    assert not any(
+        r.lhs == (("city", "scity"),) and r.rhs[0] == "state" for r in rules
+    )
+
+
+def test_constant_cfd_support_respected():
+    rel = conditional_relation(100)
+    rules = CfdDiscovery(min_support=30).discover_constant(rel)
+    assert all(r.support >= 30 for r in rules)
+
+
+def test_constant_cfd_minimality():
+    rel = conditional_relation()
+    rules = CfdDiscovery(min_support=15, max_lhs_size=2).discover_constant(rel)
+    for rule in rules:
+        for other in rules:
+            if other.rhs == rule.rhs and other is not rule:
+                assert not set(other.lhs) < set(rule.lhs)
+
+
+def test_variable_cfd_pattern_tableau():
+    rel = conditional_relation()
+    cfds = CfdDiscovery(min_support=10, min_coverage=0.2).discover_variable(
+        rel, candidates=[FD(["city"], "state")]
+    )
+    assert len(cfds) == 1
+    cfd = cfds[0]
+    # Patterns are exactly the northern cities (the consistent groups).
+    pattern_values = {p[0] for p in cfd.patterns}
+    assert all(v.startswith("ncity") for v in pattern_values)
+    assert 0.3 <= cfd.coverage <= 0.7
+
+
+def test_variable_cfd_not_emitted_for_global_fd():
+    """A dependency holding globally is an FD, not a *conditional* FD."""
+    rng = np.random.default_rng(1)
+    rows = [(int(z), f"c{int(z) % 3}") for z in rng.integers(6, size=300)]
+    rel = Relation.from_rows(["zip", "city"], rows)
+    cfds = CfdDiscovery(min_support=5).discover_variable(
+        rel, candidates=[FD(["zip"], "city")]
+    )
+    assert cfds == []
+
+
+def test_variable_cfd_ignores_rare_patterns():
+    rel = conditional_relation(100)
+    cfds = CfdDiscovery(min_support=500).discover_variable(
+        rel, candidates=[FD(["city"], "state")]
+    )
+    assert cfds == []
+
+
+def test_discover_combines_both():
+    rel = conditional_relation()
+    result = CfdDiscovery(min_support=15).discover(rel)
+    assert result.constant_cfds
+    assert isinstance(result.variable_cfds, list)
+    assert result.seconds > 0
+
+
+def test_missing_values_excluded():
+    rows = [(MISSING, "x")] * 30 + [("a", "x")] * 30
+    rel = Relation.from_rows(["k", "v"], rows)
+    rules = CfdDiscovery(min_support=10).discover_constant(rel)
+    assert not any(any(is_none for _, is_none in [(a, v is None) for a, v in r.lhs])
+                   for r in rules)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        CfdDiscovery(min_support=0)
+    with pytest.raises(ValueError):
+        CfdDiscovery(min_confidence=0.0)
+
+
+def test_str_renderings():
+    rule = ConstantCFD(lhs=(("a", 1),), rhs=("b", 2), support=10, confidence=1.0)
+    assert "a=1" in str(rule)
+    cfd = VariableCFD(fd=FD(["a"], "b"), patterns=((1,),), coverage=0.5)
+    assert "1 patterns" in str(cfd)

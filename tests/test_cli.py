@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dataset.io import write_csv
+from repro.dataset.relation import Relation
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    rows = [(f"z{i % 5}", f"c{i % 5}", f"s{(i % 5) % 2}") for i in range(200)]
+    rel = Relation.from_rows(["zip", "city", "state"], rows)
+    path = tmp_path / "data.csv"
+    write_csv(rel, path)
+    return str(path)
+
+
+def test_discover_command(csv_path, capsys):
+    assert main(["discover", csv_path]) == 0
+    out = capsys.readouterr().out
+    assert "discovered" in out
+    assert "zip" in out
+
+
+def test_discover_with_heatmap(csv_path, capsys):
+    assert main(["discover", csv_path, "--heatmap", "--sparsity", "0.1"]) == 0
+    assert "autoregression" in capsys.readouterr().out
+
+
+def test_experiment_table(capsys):
+    assert main(["experiment", "table2"]) == 0
+    assert "Noise Rate" in capsys.readouterr().out
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_dataset_list(capsys):
+    assert main(["dataset", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "hospital" in out and "tic-tac-toe" in out
+
+
+def test_dataset_export(tmp_path, capsys):
+    out_path = tmp_path / "m.csv"
+    assert main(["dataset", "mammographic", "--output", str(out_path)]) == 0
+    assert out_path.exists()
+    assert "830 rows" in capsys.readouterr().out
+
+
+def test_constraints_command(csv_path, capsys):
+    assert main(["constraints", csv_path, "--cfds"]) == 0
+    out = capsys.readouterr().out
+    assert "denial constraints" in out
+    assert "possible keys" in out
+
+
+def test_compare_command(csv_path, capsys):
+    assert main(["compare", csv_path, "--time-limit", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "FDX" in out and "TANE" in out

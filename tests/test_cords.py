@@ -1,0 +1,72 @@
+"""Tests for repro.baselines.cords."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cords import Cords
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+
+
+def soft_fd_relation(n=500, seed=0):
+    """a -> b softly (95%); c independent; k is a key."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        a = int(rng.integers(8))
+        b = a % 4 if rng.random() < 0.95 else int(rng.integers(4))
+        rows.append((i, a, b, int(rng.integers(6))))
+    return Relation.from_rows(["k", "a", "b", "c"], rows)
+
+
+def test_detects_soft_fd():
+    res = Cords(epsilon3=0.1).discover(soft_fd_relation())
+    assert FD(["a"], "b") in res.fds
+
+
+def test_keys_detected_and_excluded_as_determinants():
+    res = Cords(epsilon3=0.1).discover(soft_fd_relation())
+    assert "k" in res.soft_keys
+    assert all("k" not in fd.lhs for fd in res.fds)
+
+
+def test_independent_pair_not_reported():
+    res = Cords(epsilon3=0.05).discover(soft_fd_relation())
+    assert FD(["c"], "b") not in res.fds
+    assert FD(["b"], "c") not in res.fds
+
+
+def test_correlated_pairs_found_by_chi_squared():
+    res = Cords().discover(soft_fd_relation())
+    assert ("a", "b") in res.correlated_pairs
+
+
+def test_only_single_attribute_determinants():
+    res = Cords().discover(soft_fd_relation())
+    assert all(fd.arity == 1 for fd in res.fds)
+
+
+def test_strengths_at_least_threshold():
+    res = Cords(epsilon3=0.1).discover(soft_fd_relation())
+    assert all(s >= 0.9 for s in res.strengths.values())
+
+
+def test_sampling_bounds_cost():
+    big = soft_fd_relation(5000)
+    res = Cords(sample_rows=200).discover(big)
+    assert res.seconds < 5.0
+    assert FD(["a"], "b") in res.fds
+
+
+def test_max_categories_pools_large_domains():
+    rng = np.random.default_rng(1)
+    rows = [(int(rng.integers(500)), int(rng.integers(500))) for _ in range(400)]
+    rel = Relation.from_rows(["x", "y"], rows)
+    res = Cords(max_categories=10).discover(rel)  # must not blow up
+    assert isinstance(res.fds, list)
+
+
+def test_empty_relation():
+    rel = Relation.from_rows(["x", "y"], [])
+    res = Cords().discover(rel)
+    assert res.fds == []

@@ -1,0 +1,133 @@
+"""Tests for repro.constraints.denial (denial constraint discovery)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.denial import (
+    DenialConstraint,
+    DenialConstraintDiscovery,
+    Predicate,
+    check_denial_constraint,
+)
+from repro.core.fd import FD
+from repro.dataset.relation import MISSING, Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+def fd_relation(n=400, seed=0):
+    """zip -> city; 'id' unique; 'noise' unconstrained."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        z = int(rng.integers(8))
+        rows.append((i, z, f"city_{z % 4}", int(rng.integers(3))))
+    return Relation.from_rows(["id", "zip", "city", "noise"], rows)
+
+
+def salary_relation(n=300, seed=1):
+    """tax is monotone in salary: an order dependency."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([
+        Attribute("salary", AttributeType.NUMERIC),
+        Attribute("tax", AttributeType.NUMERIC),
+    ])
+    rows = []
+    for _ in range(n):
+        s = float(rng.uniform(30_000, 200_000))
+        rows.append((s, round(0.2 * s + 500.0, 2)))
+    return Relation.from_rows(schema, rows)
+
+
+def test_uniqueness_constraint_found_as_size1_dc():
+    res = DenialConstraintDiscovery().discover(fd_relation())
+    assert DenialConstraint((Predicate("id", "="),)) in res.constraints
+
+
+def test_fd_shaped_dc_found():
+    res = DenialConstraintDiscovery().discover(fd_relation())
+    target = DenialConstraint((Predicate("zip", "="), Predicate("city", "!=")))
+    assert target in res.constraints
+    assert FD(["zip"], "city") in res.implied_fds()
+
+
+def test_minimality_supersets_pruned():
+    res = DenialConstraintDiscovery(max_predicates=3).discover(fd_relation())
+    masks = [frozenset(dc.predicates) for dc in res.constraints]
+    for a in masks:
+        for b in masks:
+            assert a == b or not (a < b)
+
+
+def test_unconstrained_attribute_not_flagged():
+    res = DenialConstraintDiscovery().discover(fd_relation())
+    bad = DenialConstraint((Predicate("zip", "="), Predicate("noise", "!=")))
+    assert bad not in res.constraints
+
+
+def test_order_dependency_discovered():
+    res = DenialConstraintDiscovery().discover(salary_relation())
+    od = DenialConstraint((Predicate("salary", "<"), Predicate("tax", ">")))
+    assert od in res.constraints
+
+
+def test_approximate_dcs_tolerate_noise():
+    rel = fd_relation(500)
+    # Corrupt a few city cells so the exact FD-DC no longer holds.
+    col = rel.column("city")
+    for i in (3, 77, 212):
+        col[i] = "corrupted"
+    noisy = rel.with_column("city", col)
+    target = DenialConstraint((Predicate("zip", "="), Predicate("city", "!=")))
+    strict = DenialConstraintDiscovery(max_violation_rate=0.0, seed=5).discover(noisy)
+    loose = DenialConstraintDiscovery(max_violation_rate=0.01, seed=5).discover(noisy)
+    assert target not in strict.constraints
+    assert target in loose.constraints
+
+
+def test_violation_rates_recorded():
+    res = DenialConstraintDiscovery(max_violation_rate=0.02).discover(fd_relation())
+    assert all(0.0 <= v <= 0.02 + 1e-9 for v in res.violations.values())
+
+
+def test_check_denial_constraint_consistency():
+    rel = fd_relation()
+    good = DenialConstraint((Predicate("zip", "="), Predicate("city", "!=")))
+    bad = DenialConstraint((Predicate("noise", "="),))
+    assert check_denial_constraint(rel, good) == 0.0
+    assert check_denial_constraint(rel, bad) > 0.1
+
+
+def test_as_fd_shapes():
+    fd_dc = DenialConstraint((Predicate("a", "="), Predicate("b", "!=")))
+    assert fd_dc.as_fd() == FD(["a"], "b")
+    od = DenialConstraint((Predicate("a", "<"), Predicate("b", ">")))
+    assert od.as_fd() is None
+    ucc = DenialConstraint((Predicate("a", "="),))
+    assert ucc.as_fd() is None
+
+
+def test_missing_values_satisfy_nothing():
+    rel = Relation.from_rows(["a", "b"], [(MISSING, 1), (MISSING, 1), (1, 2)])
+    # All-pairs involving missing 'a' satisfy no predicate on 'a', so
+    # not(t1.a = t2.a) trivially holds.
+    res = DenialConstraintDiscovery(n_pairs=100).discover(rel)
+    assert DenialConstraint((Predicate("a", "="),)) in res.constraints
+
+
+def test_small_relations_handled():
+    res = DenialConstraintDiscovery().discover(Relation.from_rows(["a"], [(1,)]))
+    assert res.constraints == []
+    assert res.n_pairs == 0
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        DenialConstraintDiscovery(max_predicates=0)
+    with pytest.raises(ValueError):
+        DenialConstraintDiscovery(max_violation_rate=1.0)
+
+
+def test_numeric_order_predicates_toggle():
+    disc = DenialConstraintDiscovery(numeric_order_predicates=False)
+    preds = disc.build_predicates(salary_relation(10))
+    assert all(p.op in ("=", "!=") for p in preds)

@@ -1,0 +1,117 @@
+"""Tests for repro.prep.detection (constraint-based error detection)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.denial import DenialConstraint, Predicate
+from repro.core.fd import FD
+from repro.dataset.noise import RandomFlipNoise
+from repro.dataset.relation import Relation
+from repro.prep.detection import ErrorReport, detect_errors, score_detection
+
+FD_ZIP_CITY = FD(["zip"], "city")
+
+
+def clean_relation(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    city_of = {z: f"city_{z % 5}" for z in range(10)}
+    rows = []
+    for _ in range(n):
+        z = int(rng.integers(10))
+        rows.append((z, city_of[z], int(rng.integers(4))))
+    return Relation.from_rows(["zip", "city", "other"], rows)
+
+
+def test_clean_data_has_no_flags():
+    report = detect_errors(clean_relation(), fds=[FD_ZIP_CITY])
+    assert report.cell_scores == {}
+    assert report.flagged() == set()
+
+
+def test_fd_evidence_flags_corrupted_cells():
+    rel = clean_relation()
+    noisy, noise = RandomFlipNoise(0.05, attributes=["city"]).apply(
+        rel, np.random.default_rng(1)
+    )
+    report = detect_errors(noisy, fds=[FD_ZIP_CITY])
+    prf = score_detection(report, noise, threshold=0.5)
+    assert prf.precision > 0.9
+    assert prf.recall > 0.7
+
+
+def test_dc_evidence_contributes():
+    rel = clean_relation()
+    noisy, noise = RandomFlipNoise(0.05, attributes=["city"]).apply(
+        rel, np.random.default_rng(2)
+    )
+    dc = DenialConstraint((Predicate("zip", "="), Predicate("city", "!=")))
+    report = detect_errors(noisy, dcs=[dc], n_pairs=20_000)
+    # Both sides of a violating pair are implicated; the corrupted cell
+    # participates in many violating pairs, scoring highest.
+    flagged = report.flagged(0.3)
+    hits = flagged & noise.cells
+    assert hits, "DC evidence found no corrupted cells"
+
+
+def test_scores_bounded():
+    rel = clean_relation()
+    noisy, _ = RandomFlipNoise(0.1, attributes=["city"]).apply(
+        rel, np.random.default_rng(3)
+    )
+    dc = DenialConstraint((Predicate("zip", "="), Predicate("city", "!=")))
+    report = detect_errors(noisy, fds=[FD_ZIP_CITY], dcs=[dc])
+    assert report.cell_scores
+    assert all(0.0 < s <= 1.0 for s in report.cell_scores.values())
+    # FD evidence carries group confidence; the strongest cells score high.
+    assert max(report.cell_scores.values()) > 0.8
+
+
+def test_top_k_ranked():
+    rel = clean_relation()
+    noisy, _ = RandomFlipNoise(0.1, attributes=["city"]).apply(
+        rel, np.random.default_rng(4)
+    )
+    report = detect_errors(noisy, fds=[FD_ZIP_CITY])
+    top = report.top(5)
+    assert len(top) <= 5
+    scores = [s for _, s in top]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_combined_evidence_outranks_single_source():
+    rel = clean_relation()
+    noisy, noise = RandomFlipNoise(0.05, attributes=["city"]).apply(
+        rel, np.random.default_rng(5)
+    )
+    dc = DenialConstraint((Predicate("zip", "="), Predicate("city", "!=")))
+    combined = detect_errors(noisy, fds=[FD_ZIP_CITY], dcs=[dc], n_pairs=20_000)
+    fd_only = detect_errors(noisy, fds=[FD_ZIP_CITY])
+    prf_combined = score_detection(combined, noise, threshold=0.3)
+    prf_fd = score_detection(fd_only, noise, threshold=0.3)
+    assert prf_combined.recall >= prf_fd.recall - 0.05
+
+
+def test_score_detection_empty_cases():
+    from repro.dataset.noise import NoiseReport
+
+    assert score_detection(ErrorReport(), NoiseReport()).precision == 0.0
+    report = ErrorReport(cell_scores={(0, "a"): 1.0})
+    prf = score_detection(report, NoiseReport())
+    assert prf.recall == 0.0
+
+
+def test_end_to_end_with_discovered_constraints():
+    from repro import FDX
+    from repro.constraints import DenialConstraintDiscovery
+
+    rel = clean_relation(600)
+    noisy, noise = RandomFlipNoise(0.04, attributes=["city"]).apply(
+        rel, np.random.default_rng(6)
+    )
+    fds = FDX().discover(noisy).fds
+    dcs = DenialConstraintDiscovery(
+        max_predicates=2, max_violation_rate=0.05
+    ).discover(noisy).constraints
+    report = detect_errors(noisy, fds=fds, dcs=dcs)
+    prf = score_detection(report, noise, threshold=0.5)
+    assert prf.recall > 0.5

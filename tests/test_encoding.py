@@ -1,0 +1,76 @@
+"""Tests for repro.dataset.encoding."""
+
+import numpy as np
+
+from repro.dataset.encoding import label_encode, numeric_encode, one_hot_encode
+from repro.dataset.relation import MISSING, Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+def make_relation():
+    schema = Schema([
+        Attribute("cat"),
+        Attribute("num", AttributeType.NUMERIC),
+    ])
+    return Relation(schema, {
+        "cat": ["a", "b", "a", MISSING],
+        "num": [1.0, 2.0, MISSING, 4.0],
+    })
+
+
+def test_label_encode_codes_and_missing():
+    enc = label_encode(make_relation())
+    assert enc.matrix.shape == (4, 2)
+    assert enc.matrix[0, 0] == enc.matrix[2, 0]  # both 'a'
+    assert enc.matrix[3, 0] == -1  # missing
+    assert enc.decode(0, int(enc.matrix[0, 0])) == "a"
+    assert enc.decode(0, -1) is None
+
+
+def test_label_encode_domains_sorted():
+    enc = label_encode(make_relation())
+    assert enc.domains[0] == ["a", "b"]
+
+
+def test_numeric_encode_standardized():
+    X = numeric_encode(make_relation())
+    assert X.shape == (4, 2)
+    assert np.allclose(X.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_numeric_encode_unstandardized_keeps_values():
+    X = numeric_encode(make_relation(), standardize=False)
+    assert X[0, 1] == 1.0
+    assert X[3, 1] == 4.0
+    # Missing numeric imputed with the mean of observed values.
+    assert X[2, 1] == np.mean([1.0, 2.0, 4.0])
+
+
+def test_numeric_encode_constant_column_no_nan():
+    rel = Relation.from_rows(["c"], [("x",), ("x",)])
+    X = numeric_encode(rel)
+    assert np.all(np.isfinite(X))
+
+
+def test_one_hot_shapes_and_columns():
+    M, cols = one_hot_encode(make_relation())
+    assert M.shape[0] == 4
+    assert M.shape[1] == len(cols)
+    # Missing row encodes as all-zero within its attribute block.
+    cat_cols = [i for i, (a, _) in enumerate(cols) if a == "cat"]
+    assert M[3, cat_cols].sum() == 0.0
+
+
+def test_one_hot_max_domain_pools_rare_values():
+    rel = Relation.from_rows(["c"], [(v,) for v in "aaabbc"])
+    M, cols = one_hot_encode(rel, max_domain=2)
+    values = [v for _, v in cols]
+    assert values == ["a", "b"]  # 'c' pooled away
+    assert M.shape == (6, 2)
+
+
+def test_one_hot_row_sums_at_most_one_per_attribute():
+    M, cols = one_hot_encode(make_relation())
+    for attr in ("cat", "num"):
+        block = [i for i, (a, _) in enumerate(cols) if a == attr]
+        assert np.all(M[:, block].sum(axis=1) <= 1.0)

@@ -1,0 +1,66 @@
+"""Tests for repro.metrics.evaluation."""
+
+import pytest
+
+from repro.core.fd import FD
+from repro.metrics.evaluation import PRF, exact_fd_score, score_edges, score_fds
+
+
+def test_prf_f1_harmonic_mean():
+    prf = PRF(precision=0.5, recall=1.0)
+    assert prf.f1 == pytest.approx(2 * 0.5 / 1.5)
+    assert PRF(0.0, 0.0).f1 == 0.0
+    assert prf.as_tuple() == (0.5, 1.0, prf.f1)
+
+
+def test_score_edges_perfect():
+    edges = {("a", "b"), ("c", "b")}
+    s = score_edges(edges, edges)
+    assert s.precision == 1.0 and s.recall == 1.0
+
+
+def test_score_edges_partial():
+    s = score_edges({("a", "b"), ("x", "y")}, {("a", "b"), ("c", "d")})
+    assert s.precision == 0.5
+    assert s.recall == 0.5
+
+
+def test_score_edges_empty_cases():
+    assert score_edges(set(), {("a", "b")}).precision == 0.0
+    assert score_edges({("a", "b")}, set()).recall == 0.0
+
+
+def test_score_edges_direction_matters_by_default():
+    s = score_edges({("b", "a")}, {("a", "b")})
+    assert s.f1 == 0.0
+
+
+def test_score_edges_undirected_mode():
+    s = score_edges({("b", "a")}, {("a", "b")}, directed=False)
+    assert s.f1 == 1.0
+
+
+def test_score_fds_uses_edges():
+    discovered = [FD(["a", "x"], "b")]
+    truth = [FD(["a"], "b")]
+    s = score_fds(discovered, truth)
+    assert s.precision == 0.5  # (a,b) right, (x,b) wrong
+    assert s.recall == 1.0
+
+
+def test_exact_fd_score():
+    discovered = [FD(["a"], "b"), FD(["c"], "d")]
+    truth = [FD(["a"], "b"), FD(["e"], "f")]
+    s = exact_fd_score(discovered, truth)
+    assert s.precision == 0.5
+    assert s.recall == 0.5
+
+
+def test_paper_example_f1():
+    """Verify the F1 formula 2PR/(P+R) on a concrete case."""
+    discovered = [FD(["a"], "y"), FD(["b"], "y")]
+    truth = [FD(["a"], "y"), FD(["c"], "y"), FD(["d"], "y"), FD(["e"], "y")]
+    s = score_fds(discovered, truth)
+    assert s.precision == pytest.approx(0.5)
+    assert s.recall == pytest.approx(0.25)
+    assert s.f1 == pytest.approx(2 * 0.5 * 0.25 / 0.75)

@@ -1,0 +1,63 @@
+"""Tests for repro.core.fd."""
+
+import pytest
+
+from repro.core.fd import FD, fd_edges, merge_by_rhs, minimal_cover
+
+
+def test_fd_canonicalizes_lhs():
+    assert FD(["b", "a"], "c") == FD(["a", "b"], "c")
+    assert FD(["a", "a"], "c").lhs == ("a",)
+
+
+def test_fd_rejects_trivial():
+    with pytest.raises(ValueError, match="trivial"):
+        FD(["a"], "a")
+
+
+def test_fd_rejects_empty_lhs():
+    with pytest.raises(ValueError, match="non-empty"):
+        FD([], "a")
+
+
+def test_fd_hashable_and_str():
+    fd = FD(["x", "y"], "z")
+    assert str(fd) == "x,y -> z"
+    assert fd in {fd}
+    assert fd.arity == 2
+
+
+def test_edges():
+    assert FD(["a", "b"], "c").edges() == {("a", "c"), ("b", "c")}
+
+
+def test_fd_edges_union():
+    fds = [FD(["a"], "c"), FD(["b"], "c"), FD(["a"], "d")]
+    assert fd_edges(fds) == {("a", "c"), ("b", "c"), ("a", "d")}
+
+
+def test_generalizes():
+    assert FD(["a"], "c").generalizes(FD(["a", "b"], "c"))
+    assert not FD(["a"], "c").generalizes(FD(["b"], "c"))
+    assert not FD(["a"], "c").generalizes(FD(["a"], "d"))
+
+
+def test_minimal_cover_drops_supersets():
+    fds = [FD(["a"], "c"), FD(["a", "b"], "c"), FD(["b"], "d")]
+    cover = minimal_cover(fds)
+    assert FD(["a"], "c") in cover
+    assert FD(["a", "b"], "c") not in cover
+    assert FD(["b"], "d") in cover
+
+
+def test_minimal_cover_deduplicates():
+    fds = [FD(["a"], "c"), FD(["a"], "c")]
+    assert minimal_cover(fds) == [FD(["a"], "c")]
+
+
+def test_merge_by_rhs():
+    fds = [FD(["a"], "c"), FD(["b"], "c"), FD(["x"], "y")]
+    merged = merge_by_rhs(fds)
+    assert FD(["a", "b"], "c") in merged
+    assert FD(["x"], "y") in merged
+    assert len(merged) == 2

@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.figures (reduced-scale smoke runs)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURE2_PANELS,
+    FIGURE7_NOISE_RATES,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+
+def test_figure2_panel_grid_is_papers():
+    assert len(FIGURE2_PANELS) == 8
+    assert FIGURE2_PANELS[0] == ("large", "large", "large", "high")
+
+
+def test_figure2_reduced_run():
+    fig = figure2(
+        methods=("FDX", "CORDS"),
+        n_instances=1,
+        scale=0.02,
+        time_limit=30.0,
+        panels=(("small", "small", "small", "low"),),
+    )
+    assert {s.name for s in fig.series} == {"FDX", "CORDS"}
+    for s in fig.series:
+        assert len(s.y) == 1
+        assert 0.0 <= s.y[0] <= 1.0
+
+
+def test_figure2_fdx_beats_cords_on_easy_panel():
+    fig = figure2(
+        methods=("FDX", "CORDS"),
+        n_instances=2,
+        scale=0.3,
+        time_limit=60.0,
+        panels=(("small", "small", "small", "low"),),
+    )
+    f1 = {s.name: s.y[0] for s in fig.series}
+    assert f1["FDX"] >= f1["CORDS"]
+
+
+def test_figure3_mentions_hospital_fds():
+    text = figure3()
+    assert "Discovered FDs" in text
+    assert "MeasureCode" in text or "ProviderNumber" in text
+
+
+def test_figure4_lists_scored_fds():
+    text = figure4(time_limit=300.0)
+    assert "RFI" in text
+    assert "(" in text  # scores in parentheses
+
+
+def test_figure5_has_both_datasets_and_rankings():
+    text = figure5()
+    assert "Australian" in text
+    assert "Mammographic" in text
+    assert "Feature ranking" in text
+
+
+def test_figure6_runtime_series():
+    fig = figure6(column_counts=(4, 8, 12), n_tuples=300, n_instances=1)
+    total = next(s for s in fig.series if "total" in s.name)
+    model = next(s for s in fig.series if "model" in s.name)
+    assert len(total.y) == 3
+    # Model time is part of total time.
+    for t, m in zip(total.y, model.y):
+        assert t >= m >= 0.0
+    # Runtime grows with column count.
+    assert total.y[-1] > total.y[0]
+
+
+def test_figure7_noise_monotonicity_shape():
+    fig = figure7(
+        noise_rates=(0.01, 0.5),
+        settings=(("small", "small", "small"),),
+        n_instances=2,
+        scale=0.3,
+    )
+    assert len(fig.series) == 1
+    ys = fig.series[0].y
+    assert len(ys) == 2
+    # High noise never beats low noise by a wide margin.
+    assert ys[1] <= ys[0] + 0.15
+
+
+def test_figure7_default_grid_constants():
+    assert FIGURE7_NOISE_RATES == (0.01, 0.05, 0.1, 0.3, 0.5)

@@ -1,0 +1,88 @@
+"""Tests for repro.normalize.fourthnf (instance-driven 4NF)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.normalize.fourthnf import (
+    find_violating_mvd,
+    fourth_nf_decompose,
+    join_fragments,
+)
+
+
+def course_relation():
+    """course ->> book | teacher: the classic 4NF violation."""
+    rows = []
+    catalog = {
+        "db": (["r", "g"], ["ann", "bob"]),
+        "ml": (["b"], ["carol", "dan"]),
+    }
+    for course, (books, teachers) in catalog.items():
+        for b in books:
+            for t in teachers:
+                rows.append((course, b, t))
+    return Relation.from_rows(["course", "book", "teacher"], rows)
+
+
+def keyed_relation(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [(i, int(rng.integers(5)), int(rng.integers(4))) for i in range(n)]
+    return Relation.from_rows(["id", "a", "b"], rows)
+
+
+def test_violating_mvd_found():
+    violation = find_violating_mvd(course_relation())
+    assert violation is not None
+    det, dep = violation
+    assert det == ["course"]
+    assert dep[0] in ("book", "teacher")
+
+
+def test_no_violation_in_keyed_relation():
+    assert find_violating_mvd(keyed_relation()) is None
+
+
+def test_decomposition_splits_cross_product():
+    result = fourth_nf_decompose(course_relation())
+    assert len(result.fragments) == 2
+    assert frozenset({"course", "book"}) in result.fragments
+    assert frozenset({"course", "teacher"}) in result.fragments
+    assert len(result.splits) == 1
+
+
+def test_decomposition_is_lossless():
+    rel = course_relation()
+    result = fourth_nf_decompose(rel)
+    joined = join_fragments(rel, result.fragments)
+    distinct_rows = len({tuple(map(repr, r)) for r in rel.rows()})
+    assert joined == distinct_rows
+
+
+def test_keyed_relation_untouched():
+    rel = keyed_relation()
+    result = fourth_nf_decompose(rel)
+    assert result.fragments == [frozenset({"id", "a", "b"})]
+    assert result.splits == []
+
+
+def test_join_fragments_counts():
+    rel = course_relation()
+    whole = join_fragments(rel, [frozenset(rel.schema.names)])
+    assert whole == len({tuple(map(repr, r)) for r in rel.rows()})
+    assert join_fragments(rel, []) == 0
+
+
+def test_lossy_split_detected_by_join_count():
+    """Splitting a keyed relation on a non-MVD inflates the join."""
+    rows = [(0, "x", "p"), (0, "y", "q")]
+    rel = Relation.from_rows(["g", "u", "v"], rows)
+    fragments = [frozenset({"g", "u"}), frozenset({"g", "v"})]
+    joined = join_fragments(rel, fragments)
+    assert joined == 4  # cross product: the split is lossy (2 real rows)
+
+
+def test_max_splits_bounds_recursion():
+    rel = course_relation()
+    result = fourth_nf_decompose(rel, max_splits=0)
+    assert result.fragments == [frozenset(rel.schema.names)]

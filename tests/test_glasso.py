@@ -1,0 +1,89 @@
+"""Tests for repro.linalg.glasso."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.covariance import is_positive_definite
+from repro.linalg.glasso import (
+    graphical_lasso,
+    precision_to_partial_correlation,
+)
+
+
+def test_zero_penalty_is_matrix_inverse():
+    S = np.array([[2.0, 0.5], [0.5, 1.0]])
+    res = graphical_lasso(S, 0.0)
+    assert np.allclose(res.precision, np.linalg.inv(S), atol=1e-5)
+
+
+def test_penalty_sparsifies_independent_pairs():
+    rng = np.random.default_rng(0)
+    # Three independent variables plus one strongly coupled pair.
+    X = rng.normal(size=(5000, 4))
+    X[:, 1] = 0.95 * X[:, 0] + 0.3 * X[:, 1]
+    S = np.cov(X, rowvar=False, bias=True)
+    res = graphical_lasso(S, 0.1)
+    support = res.support
+    assert support[0, 1]  # real edge kept
+    assert not support[2, 3]  # independent pair zeroed
+
+
+def test_precision_is_symmetric_and_pd():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(500, 6))
+    S = np.cov(X, rowvar=False, bias=True)
+    res = graphical_lasso(S, 0.05)
+    assert np.allclose(res.precision, res.precision.T, atol=1e-8)
+    assert is_positive_definite(res.precision, tol=-1e-9)
+
+
+def test_converges_on_identity():
+    res = graphical_lasso(np.eye(5), 0.1)
+    assert res.converged
+    assert np.allclose(res.precision, np.diag(1.0 / (1.0 + 0.1) * np.ones(5)), atol=1e-6)
+    assert not res.support.any()
+
+
+def test_huge_penalty_gives_diagonal_precision():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(300, 4))
+    S = np.cov(X, rowvar=False, bias=True)
+    res = graphical_lasso(S, 10.0)
+    assert not res.support.any()
+
+
+def test_covariance_precision_are_inverses():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(1000, 5))
+    S = np.cov(X, rowvar=False, bias=True)
+    res = graphical_lasso(S, 0.02, max_iter=200)
+    assert np.allclose(res.covariance @ res.precision, np.eye(5), atol=1e-2)
+
+
+def test_trivial_sizes():
+    empty = graphical_lasso(np.zeros((0, 0)), 0.1)
+    assert empty.precision.shape == (0, 0)
+    single = graphical_lasso(np.array([[2.0]]), 0.5)
+    assert single.precision[0, 0] == pytest.approx(1.0 / 2.5)
+
+
+def test_rejects_negative_penalty_and_nonsquare():
+    with pytest.raises(ValueError):
+        graphical_lasso(np.eye(2), -1.0)
+    with pytest.raises(ValueError):
+        graphical_lasso(np.zeros((2, 3)), 0.1)
+
+
+def test_partial_correlation_diagonal_is_one():
+    theta = np.array([[2.0, -0.5], [-0.5, 1.0]])
+    pc = precision_to_partial_correlation(theta)
+    assert pc[0, 0] == 1.0 and pc[1, 1] == 1.0
+    assert pc[0, 1] == pytest.approx(0.5 / np.sqrt(2.0))
+
+
+def test_glasso_2x2_closed_form_support():
+    """For a 2x2 correlation matrix, the off-diagonal survives iff |r| > lam."""
+    for r, lam, expect_edge in ((0.6, 0.3, True), (0.2, 0.3, False)):
+        S = np.array([[1.0, r], [r, 1.0]])
+        res = graphical_lasso(S, lam)
+        assert bool(res.support[0, 1]) is expect_edge, (r, lam)

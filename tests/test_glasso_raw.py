@@ -1,0 +1,65 @@
+"""Tests for repro.baselines.glasso_raw (the GL baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.glasso_raw import GlassoRaw
+from repro.baselines.tane import TimeBudgetExceeded
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+
+
+def fd_relation(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(10))
+        rows.append((a, a % 5, int(rng.integers(4))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+def test_finds_dependency_through_support():
+    res = GlassoRaw(lam=0.05).discover(fd_relation())
+    fd_b = next((fd for fd in res.fds if fd.rhs == "b"), None)
+    assert fd_b is not None and "a" in fd_b.lhs
+
+
+def test_support_matrix_shape_and_symmetry():
+    res = GlassoRaw().discover(fd_relation())
+    assert res.support.shape == (3, 3)
+    assert np.array_equal(res.support, res.support.T)
+
+
+def test_isolated_attribute_gets_no_fd():
+    res = GlassoRaw(lam=0.1).discover(fd_relation())
+    assert all(fd.rhs != "c" and "c" not in fd.lhs for fd in res.fds)
+
+
+def test_at_most_one_fd_per_attribute():
+    res = GlassoRaw().discover(fd_relation())
+    rhs = [fd.rhs for fd in res.fds]
+    assert len(rhs) == len(set(rhs))
+
+
+def test_max_neighbors_bounds_lhs_pool():
+    res = GlassoRaw(max_neighbors=1, max_lhs_size=1).discover(fd_relation())
+    assert all(fd.arity == 1 for fd in res.fds)
+
+
+def test_scores_recorded():
+    res = GlassoRaw().discover(fd_relation())
+    assert set(res.scores) == set(res.fds)
+
+
+def test_time_limit_raises():
+    rng = np.random.default_rng(0)
+    rows = [tuple(int(rng.integers(20)) for _ in range(12)) for _ in range(2000)]
+    rel = Relation.from_rows([f"c{i}" for i in range(12)], rows)
+    with pytest.raises(TimeBudgetExceeded):
+        GlassoRaw(lam=0.01, time_limit=1e-6).discover(rel)
+
+
+def test_min_score_filters():
+    high = GlassoRaw(min_score=0.95).discover(fd_relation())
+    low = GlassoRaw(min_score=0.0).discover(fd_relation())
+    assert len(high.fds) <= len(low.fds)

@@ -1,0 +1,115 @@
+"""Tests for repro.baselines.hyfd (hybrid FD discovery)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hyfd import HyFD, minimal_hitting_sets
+from repro.baselines.tane import Tane, TimeBudgetExceeded
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+
+
+def exact_fd_relation(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        k = int(rng.integers(10))
+        rows.append((k, k % 3, (k * 7) % 5, int(rng.integers(50))))
+    return Relation.from_rows(["k", "a", "b", "z"], rows)
+
+
+# --- minimal hitting sets ---------------------------------------------------
+
+def test_mhs_simple():
+    family = [frozenset("ab"), frozenset("bc")]
+    sols = minimal_hitting_sets(family, list("abc"), max_size=2)
+    assert frozenset("b") in sols
+    assert frozenset("ac") in sols
+    assert frozenset("ab") not in sols  # superset of {b}
+
+
+def test_mhs_empty_family():
+    assert minimal_hitting_sets([], list("ab"), 2) == [frozenset()]
+
+
+def test_mhs_unhittable_empty_set():
+    assert minimal_hitting_sets([frozenset()], list("ab"), 2) == []
+
+
+def test_mhs_size_cap():
+    family = [frozenset("a"), frozenset("b"), frozenset("c")]
+    assert minimal_hitting_sets(family, list("abc"), max_size=2) == []
+    sols = minimal_hitting_sets(family, list("abc"), max_size=3)
+    assert sols == [frozenset("abc")]
+
+
+def test_mhs_all_solutions_hit_everything():
+    rng = np.random.default_rng(0)
+    universe = list("abcde")
+    family = [frozenset(rng.choice(universe, size=rng.integers(1, 4), replace=False))
+              for _ in range(6)]
+    for sol in minimal_hitting_sets(family, universe, 4):
+        assert all(sol & s for s in family)
+
+
+# --- HyFD end to end ---------------------------------------------------------
+
+def test_discovers_exact_fds():
+    res = HyFD().discover(exact_fd_relation())
+    assert FD(["k"], "a") in res.fds
+    assert FD(["k"], "b") in res.fds
+
+
+def test_all_output_fds_are_exact():
+    rel = exact_fd_relation()
+    res = HyFD().discover(rel)
+    from repro.baselines.partitions import Partition, column_codes, fd_error_g3
+
+    for fd in res.fds:
+        err = fd_error_g3(
+            Partition.for_attributes(rel, fd.lhs), column_codes(rel, fd.rhs)
+        )
+        assert err == 0.0, str(fd)
+
+
+def test_agrees_with_tane_on_minimal_exact_fds():
+    """The hybrid route must land on the same minimal exact FD set as the
+    lattice route at matched depth."""
+    rel = exact_fd_relation(150, seed=3)
+    hyfd = set(HyFD(max_lhs_size=2).discover(rel).fds)
+    tane = set(Tane(max_error=0.0, max_lhs_size=2).discover(rel).fds)
+    assert hyfd == tane
+
+
+def test_minimality():
+    res = HyFD().discover(exact_fd_relation())
+    for fd in res.fds:
+        for other in res.fds:
+            if other != fd and other.rhs == fd.rhs:
+                assert not set(other.lhs) < set(fd.lhs)
+
+
+def test_stats_recorded():
+    res = HyFD().discover(exact_fd_relation())
+    assert res.rounds >= 1
+    assert res.difference_sets > 0
+    assert res.validations > 0
+    assert res.seconds > 0
+
+
+def test_single_row_relation():
+    res = HyFD().discover(Relation.from_rows(["a", "b"], [(1, 2)]))
+    assert res.fds == []
+
+
+def test_time_limit():
+    rng = np.random.default_rng(0)
+    rows = [tuple(int(rng.integers(40)) for _ in range(14)) for _ in range(1500)]
+    rel = Relation.from_rows([f"c{i}" for i in range(14)], rows)
+    with pytest.raises(TimeBudgetExceeded):
+        HyFD(max_lhs_size=5, time_limit=0.02).discover(rel)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        HyFD(max_lhs_size=0)

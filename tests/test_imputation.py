@@ -1,0 +1,112 @@
+"""Tests for repro.prep.imputation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import MISSING, Relation
+from repro.prep.imputation import (
+    AttentionImputer,
+    GradientBoostedImputer,
+    ModeImputer,
+    imputation_f1,
+)
+
+
+def fd_relation(n=400, seed=0):
+    """key -> target deterministic; noise attribute irrelevant."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        k = int(rng.integers(8))
+        rows.append((k, f"v{k % 4}", int(rng.integers(5))))
+    return Relation.from_rows(["key", "target", "noise"], rows)
+
+
+def hide(relation, attr, rate, seed=1):
+    rng = np.random.default_rng(seed)
+    col = relation.column(attr)
+    hidden = sorted(rng.choice(relation.n_rows, int(rate * relation.n_rows), replace=False))
+    truth = {i: col[i] for i in hidden}
+    for i in hidden:
+        col[i] = MISSING
+    return relation.with_column(attr, col), truth
+
+
+def test_mode_imputer_predicts_majority():
+    rel = Relation.from_rows(["t"], [("a",)] * 7 + [("b",)] * 3)
+    imp = ModeImputer().fit(rel, "t")
+    assert imp.predict(rel) == ["a"] * 10
+
+
+def test_attention_imputer_uses_fd_partner():
+    rel = fd_relation()
+    noisy, truth = hide(rel, "target", 0.25)
+    imp = AttentionImputer().fit(noisy, "target")
+    preds = imp.predict(noisy)
+    correct = sum(1 for i, t in truth.items() if preds[i] == t)
+    assert correct / len(truth) > 0.95
+
+
+def test_attention_weights_concentrate_on_determinant():
+    rel = fd_relation()
+    imp = AttentionImputer().fit(rel, "target")
+    assert imp.attention["key"] > imp.attention["noise"]
+
+
+def test_attention_imputer_no_context_falls_back_to_prior():
+    rel = Relation.from_rows(["only"], [("a",)] * 6 + [("b",)] * 4)
+    imp = AttentionImputer().fit(rel, "only")
+    assert imp.predict(rel) == ["a"] * 10
+
+
+def test_attention_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        AttentionImputer().predict(fd_relation())
+
+
+def test_gbm_learns_fd_partner():
+    rel = fd_relation(600)
+    noisy, truth = hide(rel, "target", 0.2)
+    imp = GradientBoostedImputer(n_rounds=60).fit(noisy, "target")
+    preds = imp.predict(noisy)
+    correct = sum(1 for i, t in truth.items() if preds[i] == t)
+    assert correct / len(truth) > 0.9
+
+
+def test_gbm_beats_mode_on_predictable_target():
+    rel = fd_relation(600)
+    noisy, truth = hide(rel, "target", 0.2)
+    gbm = GradientBoostedImputer(n_rounds=40).fit(noisy, "target")
+    mode = ModeImputer().fit(noisy, "target")
+    g = sum(1 for i, t in truth.items() if gbm.predict(noisy)[i] == t)
+    m = sum(1 for i, t in truth.items() if mode.predict(noisy)[i] == t)
+    assert g > m
+
+
+def test_gbm_handles_all_missing_target():
+    rel = Relation.from_rows(["a", "t"], [(1, MISSING), (2, MISSING)])
+    imp = GradientBoostedImputer().fit(rel, "t")
+    assert imp.predict(rel) == [MISSING, MISSING]
+
+
+def test_gbm_scores_shape():
+    rel = fd_relation(100)
+    imp = GradientBoostedImputer(n_rounds=5).fit(rel, "target")
+    scores = imp.predict_scores(rel)
+    assert scores.shape == (100, 4)
+
+
+def test_imputation_f1_perfect_and_zero():
+    assert imputation_f1(["a", "b"], ["a", "b"]) == 1.0
+    assert imputation_f1(["a", "a"], ["b", "b"]) == 0.0
+
+
+def test_imputation_f1_skips_missing_truth():
+    assert imputation_f1([MISSING, "a"], ["x", "a"]) == 1.0
+    assert imputation_f1([], []) == 0.0
+
+
+def test_imputation_f1_weighted_by_support():
+    # 3 of class a (all right), 1 of class b (wrong): weighted F1 > 0.5.
+    score = imputation_f1(["a", "a", "a", "b"], ["a", "a", "a", "a"])
+    assert 0.5 < score < 1.0

@@ -1,0 +1,139 @@
+"""Tests for repro.core.incremental (streaming FDX)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import FD
+from repro.core.fdx import FDX
+from repro.core.incremental import IncrementalFDX, _virtual_samples
+from repro.dataset.relation import Relation
+from repro.metrics.evaluation import score_fds
+
+
+def fd_relation(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(15))
+        rows.append((a, a % 5, int(rng.integers(6))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+def test_virtual_samples_reproduce_moment():
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(4, 4))
+    cov = A @ A.T + np.eye(4)
+    X = _virtual_samples(cov)
+    assert np.allclose(X.T @ X / X.shape[0], cov, atol=1e-10)
+
+
+def test_incremental_matches_batch_fds():
+    rel = fd_relation(800)
+    inc = IncrementalFDX()
+    third = rel.n_rows // 3
+    for start in range(0, rel.n_rows, third):
+        idx = np.arange(start, min(start + third, rel.n_rows))
+        if len(idx):
+            inc.add_batch(rel.select_rows(idx))
+    incremental_fds = set(inc.discover().fds)
+    assert FD(["a"], "b") in incremental_fds
+
+
+def test_incremental_accuracy_comparable_to_batch():
+    rel = fd_relation(900, seed=2)
+    truth = [FD(["a"], "b")]
+    batch_f1 = score_fds(FDX().discover(rel).fds, truth).f1
+    inc = IncrementalFDX()
+    for start in range(0, 900, 300):
+        inc.add_batch(rel.select_rows(np.arange(start, start + 300)))
+    inc_f1 = score_fds(inc.discover().fds, truth).f1
+    assert inc_f1 >= batch_f1 - 0.25
+
+
+def test_small_batches_are_buffered():
+    rel = fd_relation(200)
+    inc = IncrementalFDX(min_batch_rows=100)
+    inc.add_batch(rel.select_rows(np.arange(0, 30)))
+    assert inc.n_batches == 0
+    assert inc.n_rows_seen == 30
+    inc.add_batch(rel.select_rows(np.arange(30, 150)))
+    assert inc.n_batches == 1
+    assert inc.n_rows_seen == 150
+
+
+def test_discover_flushes_pending_buffer():
+    rel = fd_relation(80)
+    inc = IncrementalFDX(min_batch_rows=1000)
+    inc.add_batch(rel)
+    result = inc.discover()  # forced flush of the pending buffer
+    assert result.n_pair_samples > 0
+
+
+def test_schema_mismatch_rejected():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(100))
+    other = Relation.from_rows(["x", "y"], [(1, 2)] * 100)
+    with pytest.raises(ValueError, match="schema"):
+        inc.add_batch(other)
+
+
+def test_discover_without_data_raises():
+    with pytest.raises(RuntimeError):
+        IncrementalFDX().discover()
+    with pytest.raises(RuntimeError):
+        IncrementalFDX().covariance()
+
+
+def test_reset_clears_state():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(100))
+    inc.reset()
+    assert inc.n_rows_seen == 0
+    with pytest.raises(RuntimeError):
+        inc.discover()
+
+
+def test_diagnostics_mark_incremental():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(200))
+    result = inc.discover()
+    assert result.diagnostics["incremental"] is True
+    assert result.diagnostics["n_batches"] == 1
+
+
+def test_decay_forgets_broken_dependency():
+    """After drift, a decayed stream drops the stale FD; an undecayed one
+    keeps it much longer."""
+    def make(n, seed, broken):
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(n):
+            a = int(rng.integers(8))
+            b = a % 4 if not broken else int(rng.integers(4))
+            rows.append((a, b))
+        return Relation.from_rows(["a", "b"], rows)
+
+    decayed = IncrementalFDX(decay=0.5)
+    flat = IncrementalFDX(decay=1.0)
+    for day in range(3):
+        for inc in (decayed, flat):
+            inc.add_batch(make(300, day, broken=False))
+    for day in range(3, 10):
+        for inc in (decayed, flat):
+            inc.add_batch(make(300, day, broken=True))
+    assert FD(["a"], "b") not in decayed.discover().fds
+
+
+def test_decay_validation():
+    with pytest.raises(ValueError):
+        IncrementalFDX(decay=0.0)
+    with pytest.raises(ValueError):
+        IncrementalFDX(decay=1.5)
+
+
+def test_pair_sample_count_accumulates():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(100, seed=1))
+    first = inc.n_pair_samples
+    inc.add_batch(fd_relation(100, seed=2))
+    assert inc.n_pair_samples == 2 * first

@@ -1,0 +1,124 @@
+"""Tests for repro.metrics.information."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import MISSING, Relation
+from repro.metrics.information import (
+    conditional_entropy,
+    contingency,
+    entropy,
+    entropy_from_counts,
+    expected_mutual_information,
+    fraction_of_information,
+    mutual_information,
+    mutual_information_from_table,
+    reliable_fraction_of_information,
+)
+
+
+def fd_rel(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(8))
+        rows.append((a, a % 4, int(rng.integers(3))))
+    return Relation.from_rows(["a", "b", "z"], rows)
+
+
+def test_entropy_from_counts_uniform():
+    assert entropy_from_counts(np.array([1, 1, 1, 1])) == pytest.approx(np.log(4))
+    assert entropy_from_counts(np.array([10, 0, 0])) == 0.0
+    assert entropy_from_counts(np.array([0, 0])) == 0.0
+
+
+def test_entropy_of_constant_column():
+    rel = Relation.from_rows(["x"], [("c",)] * 10)
+    assert entropy(rel, "x") == 0.0
+
+
+def test_joint_entropy_at_least_marginal():
+    rel = fd_rel()
+    assert entropy(rel, ["a", "z"]) >= entropy(rel, "a") - 1e-12
+    assert entropy(rel, ["a", "z"]) >= entropy(rel, "z") - 1e-12
+
+
+def test_entropy_missing_treated_as_value():
+    rel = Relation.from_rows(["x"], [("a",), (MISSING,), ("a",), (MISSING,)])
+    assert entropy(rel, "x") == pytest.approx(np.log(2))
+
+
+def test_contingency_margins():
+    rel = fd_rel(100)
+    table = contingency(rel, ["a"], "b")
+    assert table.sum() == 100
+    assert table.shape[0] == rel.domain_size("a")
+
+
+def test_mutual_information_functional_pair():
+    rel = fd_rel()
+    # b = f(a): I(a; b) == H(b)
+    assert mutual_information(rel, ["a"], "b") == pytest.approx(entropy(rel, "b"), abs=1e-9)
+
+
+def test_mutual_information_independent_pair_small():
+    rel = fd_rel(2000)
+    assert mutual_information(rel, ["z"], "b") < 0.02
+
+
+def test_mi_from_table_matches_definition():
+    table = np.array([[20, 0], [0, 20]])
+    assert mutual_information_from_table(table) == pytest.approx(np.log(2))
+
+
+def test_conditional_entropy_zero_for_fd():
+    rel = fd_rel()
+    assert conditional_entropy(rel, "b", ["a"]) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_fraction_of_information_bounds_and_extremes():
+    rel = fd_rel()
+    assert fraction_of_information(rel, ["a"], "b") == pytest.approx(1.0)
+    assert fraction_of_information(rel, ["z"], "b") < 0.1
+    const = Relation.from_rows(["x", "y"], [("a", "c")] * 5)
+    assert fraction_of_information(const, ["x"], "y") == 1.0  # H(y) == 0
+
+
+def test_expected_mi_zero_table():
+    assert expected_mutual_information(np.zeros((2, 2), dtype=int)) == 0.0
+
+
+def test_expected_mi_positive_and_below_max():
+    table = np.array([[5, 3], [2, 10]])
+    emi = expected_mutual_information(table)
+    assert 0.0 < emi < np.log(2)
+
+
+def test_expected_mi_monte_carlo_close_to_exact():
+    rng = np.random.default_rng(0)
+    table = rng.integers(1, 10, size=(4, 3))
+    exact = expected_mutual_information(table)
+    from repro.metrics.information import _monte_carlo_emi
+
+    a, b, n = table.sum(axis=1), table.sum(axis=0), int(table.sum())
+    mc = _monte_carlo_emi(a, b, n, np.random.default_rng(1), 300)
+    assert mc == pytest.approx(exact, abs=0.02)
+
+
+def test_rfi_discounts_unique_key():
+    """A row-unique key has FI == 1 but RFI ~ 0 (pure overfitting)."""
+    rng = np.random.default_rng(1)
+    rows = [(i, int(rng.integers(3))) for i in range(200)]
+    rel = Relation.from_rows(["key", "y"], rows)
+    assert fraction_of_information(rel, ["key"], "y") == pytest.approx(1.0)
+    assert reliable_fraction_of_information(rel, ["key"], "y") < 0.25
+
+
+def test_rfi_high_for_true_fd():
+    rel = fd_rel(500)
+    assert reliable_fraction_of_information(rel, ["a"], "b") > 0.9
+
+
+def test_rfi_zero_for_constant_target():
+    rel = Relation.from_rows(["x", "y"], [(i % 3, "c") for i in range(30)])
+    assert reliable_fraction_of_information(rel, ["x"], "y") == 0.0

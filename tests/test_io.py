@@ -1,0 +1,71 @@
+"""Tests for repro.dataset.io (CSV round-tripping)."""
+
+import pytest
+
+from repro.dataset.io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.dataset.relation import MISSING, Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+def test_read_csv_text_basic():
+    rel = read_csv_text("a,b\n1,x\n2,y\n")
+    assert rel.shape == (2, 2)
+    assert rel.schema.type_of("a") is AttributeType.NUMERIC
+    assert rel.schema.type_of("b") is AttributeType.CATEGORICAL
+    assert rel.column("a")[0] == 1.0
+
+
+def test_read_csv_text_missing_tokens():
+    rel = read_csv_text("a,b\n,x\nNA,?\n")
+    assert rel.column("a")[0] is MISSING
+    assert rel.column("a")[1] is MISSING
+    assert rel.column("b")[1] is MISSING
+
+
+def test_read_csv_empty_raises():
+    with pytest.raises(ValueError, match="empty CSV"):
+        read_csv_text("")
+
+
+def test_read_csv_ragged_raises():
+    with pytest.raises(ValueError, match="arity"):
+        read_csv_text("a,b\n1\n")
+
+
+def test_read_csv_with_explicit_schema():
+    schema = Schema([Attribute("a", AttributeType.CATEGORICAL), Attribute("b")])
+    rel = read_csv_text("a,b\n1,x\n", schema=schema)
+    assert rel.column("a")[0] == "1"  # stays a string under the given schema
+
+
+def test_read_csv_schema_header_mismatch():
+    schema = Schema(["x", "y"])
+    with pytest.raises(ValueError, match="do not match"):
+        read_csv_text("a,b\n1,2\n", schema=schema)
+
+
+def test_numeric_column_with_all_missing_stays_categorical():
+    rel = read_csv_text("a\nNA\nNA\n")
+    assert rel.schema.type_of("a") is AttributeType.CATEGORICAL
+
+
+def test_roundtrip_through_text():
+    original = Relation.from_rows(["a", "b"], [("x", "1"), (MISSING, "2")])
+    text = to_csv_text(original)
+    back = read_csv_text(text)
+    assert back.column("a")[1] is MISSING
+    assert back.column("a")[0] == "x"
+
+
+def test_roundtrip_through_file(tmp_path):
+    original = Relation.from_rows(["a", "b"], [("x", "y"), ("z", "w")])
+    path = tmp_path / "data.csv"
+    write_csv(original, path)
+    back = read_csv(path)
+    assert back == original
+
+
+def test_mixed_numeric_strings_sniffed_as_categorical():
+    rel = read_csv_text("a\n1\nfoo\n")
+    assert rel.schema.type_of("a") is AttributeType.CATEGORICAL
+    assert list(rel.column("a")) == ["1", "foo"]

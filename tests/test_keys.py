@@ -1,0 +1,99 @@
+"""Tests for repro.constraints.keys (possible/certain keys under NULLs)."""
+
+import pytest
+
+from repro.constraints.keys import (
+    discover_keys,
+    is_certain_key,
+    is_possible_key,
+)
+from repro.dataset.relation import MISSING, Relation
+
+
+def test_complete_unique_column_is_certain_key():
+    rel = Relation.from_rows(["id", "x"], [(1, "a"), (2, "a"), (3, "b")])
+    assert is_certain_key(rel, ["id"])
+    assert is_possible_key(rel, ["id"])
+
+
+def test_duplicate_values_break_both():
+    rel = Relation.from_rows(["id"], [(1,), (1,)])
+    assert not is_possible_key(rel, ["id"])
+    assert not is_certain_key(rel, ["id"])
+
+
+def test_null_breaks_certain_but_not_possible():
+    """A NULL could be completed either to collide (not certain) or to
+    differ (still possible)."""
+    rel = Relation.from_rows(["id"], [(1,), (MISSING,)])
+    assert is_possible_key(rel, ["id"])
+    assert not is_certain_key(rel, ["id"])
+
+
+def test_two_nulls_weakly_equal():
+    rel = Relation.from_rows(["id"], [(MISSING,), (MISSING,)])
+    assert is_possible_key(rel, ["id"])
+    assert not is_certain_key(rel, ["id"])
+
+
+def test_composite_certain_key_with_nulls():
+    """A NULL in one attribute is fine when another attribute separates
+    the tuples for certain."""
+    rel = Relation.from_rows(
+        ["a", "b"], [(1, "x"), (MISSING, "y"), (2, "z")]
+    )
+    assert is_certain_key(rel, ["a", "b"])
+
+
+def test_weak_equality_between_incomplete_rows():
+    rel = Relation.from_rows(
+        ["a", "b"], [(1, MISSING), (MISSING, "y")]
+    )
+    # Completions a=(1,'y') for both rows collide.
+    assert not is_certain_key(rel, ["a", "b"])
+    assert is_possible_key(rel, ["a", "b"])
+
+
+def test_empty_attrs_only_trivial_relation():
+    assert is_possible_key(Relation.from_rows(["a"], [(1,)]), [])
+    assert not is_possible_key(Relation.from_rows(["a"], [(1,), (2,)]), [])
+
+
+def test_certain_implies_possible_on_discovery():
+    rel = Relation.from_rows(
+        ["id", "grp", "val"],
+        [(1, "g1", MISSING), (2, "g1", "v"), (3, "g2", "v"), (MISSING, "g2", "w")],
+    )
+    result = discover_keys(rel, max_size=3)
+    for ck in result.certain_keys:
+        assert any(pk <= ck for pk in result.possible_keys)
+
+
+def test_discovery_minimality():
+    rel = Relation.from_rows(
+        ["id", "x"], [(1, "a"), (2, "b"), (3, "c")]
+    )
+    result = discover_keys(rel, max_size=2)
+    assert frozenset({"id"}) in result.certain_keys
+    assert frozenset({"id", "x"}) not in result.certain_keys
+    assert frozenset({"id", "x"}) not in result.possible_keys
+
+
+def test_discovery_finds_composite_keys():
+    rows = [(i % 3, i // 3) for i in range(9)]
+    rel = Relation.from_rows(["a", "b"], rows)
+    result = discover_keys(rel, max_size=2)
+    assert frozenset({"a", "b"}) in result.certain_keys
+    assert frozenset({"a"}) not in result.possible_keys
+
+
+def test_discovery_invalid_size():
+    with pytest.raises(ValueError):
+        discover_keys(Relation.from_rows(["a"], [(1,)]), max_size=0)
+
+
+def test_stats_recorded():
+    rel = Relation.from_rows(["a", "b"], [(1, 2), (3, 4)])
+    result = discover_keys(rel)
+    assert result.candidates_checked > 0
+    assert result.seconds >= 0.0

@@ -1,0 +1,95 @@
+"""Tests for repro.linalg.lasso."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lasso import lasso_coordinate_descent, lasso_regression, soft_threshold
+
+
+def test_soft_threshold():
+    assert soft_threshold(3.0, 1.0) == 2.0
+    assert soft_threshold(-3.0, 1.0) == -2.0
+    assert soft_threshold(0.5, 1.0) == 0.0
+    assert soft_threshold(-0.5, 1.0) == 0.0
+
+
+def test_quadratic_lasso_matches_closed_form_1d():
+    # min 0.5 q b^2 - c b + lam |b|  =>  b = S(c, lam) / q
+    q, c, lam = 2.0, 3.0, 0.5
+    beta = lasso_coordinate_descent(np.array([[q]]), np.array([c]), lam)
+    assert beta[0] == pytest.approx((c - lam) / q)
+
+
+def test_zero_penalty_matches_least_squares():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 5))
+    true = np.array([1.0, -2.0, 0.0, 0.5, 3.0])
+    y = X @ true
+    beta = lasso_regression(X, y, lam=0.0)
+    assert np.allclose(beta, true, atol=1e-5)
+
+
+def test_large_penalty_zeroes_everything():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(100, 4))
+    y = X @ np.array([1.0, 1.0, 1.0, 1.0])
+    beta = lasso_regression(X, y, lam=1e6)
+    assert np.allclose(beta, 0.0)
+
+
+def test_penalty_induces_sparsity_on_weak_coefficients():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(500, 3))
+    y = X @ np.array([5.0, 0.05, 0.0]) + rng.normal(scale=0.01, size=500)
+    beta = lasso_regression(X, y, lam=0.2)
+    assert abs(beta[0]) > 3.0
+    assert beta[1] == 0.0
+    assert beta[2] == 0.0
+
+
+def test_kkt_conditions_hold():
+    """At the optimum: |grad_j| <= lam for zero coords, grad_j = -sign(b_j)*lam else."""
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(300, 6))
+    y = rng.normal(size=300)
+    lam = 0.1
+    n = X.shape[0]
+    Q = X.T @ X / n
+    c = X.T @ y / n
+    beta = lasso_coordinate_descent(Q, c, lam, tol=1e-12)
+    grad = Q @ beta - c
+    for j in range(6):
+        if beta[j] == 0.0:
+            assert abs(grad[j]) <= lam + 1e-6
+        else:
+            assert grad[j] == pytest.approx(-np.sign(beta[j]) * lam, abs=1e-6)
+
+
+def test_warm_start_converges_to_same_solution():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(200, 4))
+    y = rng.normal(size=200)
+    Q, c = X.T @ X / 200, X.T @ y / 200
+    cold = lasso_coordinate_descent(Q, c, 0.05, tol=1e-12)
+    warm = lasso_coordinate_descent(Q, c, 0.05, beta0=cold + 0.1, tol=1e-12)
+    assert np.allclose(cold, warm, atol=1e-6)
+
+
+def test_negative_lambda_rejected():
+    with pytest.raises(ValueError):
+        lasso_coordinate_descent(np.eye(2), np.zeros(2), -0.1)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        lasso_coordinate_descent(np.eye(3), np.zeros(2), 0.1)
+
+
+def test_empty_problem():
+    beta = lasso_coordinate_descent(np.zeros((0, 0)), np.zeros(0), 0.1)
+    assert beta.shape == (0,)
+
+
+def test_empty_design_matrix_rejected():
+    with pytest.raises(ValueError):
+        lasso_regression(np.zeros((0, 2)), np.zeros(0), 0.1)

@@ -1,0 +1,124 @@
+"""Tests for repro.constraints.mvd (multivalued dependencies)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.mvd import (
+    MVD,
+    MvdDiscovery,
+    conditional_mutual_information,
+    mvd_holds,
+)
+from repro.dataset.relation import Relation
+
+
+def cross_product_relation():
+    """Classic MVD example: course ->> book | teacher (every course pairs
+    all its books with all its teachers)."""
+    rows = []
+    catalog = {
+        "db": (["ramakrishnan", "garcia-molina"], ["ann", "bob"]),
+        "ml": (["bishop"], ["carol", "dan", "eve"]),
+    }
+    for course, (books, teachers) in catalog.items():
+        for b in books:
+            for t in teachers:
+                rows.append((course, b, t))
+    return Relation.from_rows(["course", "book", "teacher"], rows)
+
+
+def broken_cross_product():
+    rel = cross_product_relation()
+    rows = [r for r in rel.rows() if r != ("db", "ramakrishnan", "bob")]
+    return Relation.from_rows(["course", "book", "teacher"], rows)
+
+
+def test_mvd_holds_on_cross_product():
+    assert mvd_holds(cross_product_relation(), ["course"], ["book"])
+    assert mvd_holds(cross_product_relation(), ["course"], ["teacher"])
+
+
+def test_mvd_violated_when_pair_removed():
+    assert not mvd_holds(broken_cross_product(), ["course"], ["book"])
+
+
+def test_trivial_mvds_hold():
+    rel = cross_product_relation()
+    assert mvd_holds(rel, ["course", "book"], ["teacher"])  # rest empty
+    assert mvd_holds(rel, ["course"], [])
+
+
+def test_cmi_zero_on_cross_product():
+    rel = cross_product_relation()
+    cmi = conditional_mutual_information(rel, ["book"], ["teacher"], ["course"])
+    assert cmi == pytest.approx(0.0, abs=1e-9)
+
+
+def test_cmi_positive_when_broken():
+    rel = broken_cross_product()
+    cmi = conditional_mutual_information(rel, ["book"], ["teacher"], ["course"])
+    assert cmi > 0.01
+
+
+def test_cmi_nonnegative_random():
+    rng = np.random.default_rng(0)
+    rows = [(int(rng.integers(3)), int(rng.integers(3)), int(rng.integers(3)))
+            for _ in range(100)]
+    rel = Relation.from_rows(["x", "y", "z"], rows)
+    assert conditional_mutual_information(rel, ["y"], ["z"], ["x"]) >= 0.0
+
+
+def test_discovery_finds_course_mvd():
+    res = MvdDiscovery(epsilon=1e-6).discover(cross_product_relation())
+    assert any(
+        m.determinant == ("course",) and m.dependent == "book" for m in res.mvds
+    )
+
+
+def test_discovery_minimality():
+    res = MvdDiscovery(epsilon=1e-6).discover(cross_product_relation())
+    per_dep: dict[str, list] = {}
+    for m in res.mvds:
+        per_dep.setdefault(m.dependent, []).append(frozenset(m.determinant))
+    for dets in per_dep.values():
+        for a in dets:
+            for b in dets:
+                assert a == b or not (a < b)
+
+
+def test_discovery_rejects_dependence():
+    """y = f(x) coupled to z = f(x) with shared noise: no empty-determinant
+    MVD between y and z."""
+    rng = np.random.default_rng(1)
+    rows = []
+    for _ in range(400):
+        shared = int(rng.integers(4))
+        rows.append((shared, (shared + int(rng.integers(2))) % 4))
+    rel = Relation.from_rows(["y", "z"], rows)
+    # Only two attributes: no non-trivial split exists, so nothing found.
+    res = MvdDiscovery().discover(rel)
+    assert res.mvds == []
+
+
+def test_epsilon_tolerance_admits_noise():
+    rel = broken_cross_product()
+    strict = MvdDiscovery(epsilon=0.0).discover(rel)
+    loose = MvdDiscovery(epsilon=0.3).discover(rel)
+    strict_course = [m for m in strict.mvds
+                     if m.determinant == ("course",) and m.dependent == "book"]
+    loose_course = [m for m in loose.mvds
+                    if m.determinant == ("course",) and m.dependent == "book"]
+    assert not strict_course
+    assert loose_course
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        MvdDiscovery(max_determinant_size=-1)
+    with pytest.raises(ValueError):
+        MvdDiscovery(epsilon=-0.1)
+
+
+def test_str_rendering():
+    m = MVD(determinant=("course",), dependent="book", score=0.0)
+    assert "course ->> book" in str(m)

@@ -1,0 +1,119 @@
+"""Tests for repro.dataset.noise."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.noise import (
+    MissingNoise,
+    RandomFlipNoise,
+    SystematicNoise,
+    apply_noise,
+)
+from repro.dataset.relation import MISSING, Relation, is_missing
+
+
+def make_relation(n=100):
+    rng = np.random.default_rng(0)
+    return Relation.from_rows(
+        ["a", "b"],
+        [(int(rng.integers(5)), int(rng.integers(3))) for _ in range(n)],
+    )
+
+
+def test_flip_noise_rate_respected():
+    rel = make_relation(200)
+    noisy, report = RandomFlipNoise(0.1).apply(rel, np.random.default_rng(1))
+    assert report.n_cells == round(0.1 * 200 * 2)
+    assert report.rate(rel) == pytest.approx(0.1)
+
+
+def test_flip_noise_changes_values():
+    rel = make_relation(200)
+    noisy, report = RandomFlipNoise(0.2).apply(rel, np.random.default_rng(1))
+    changed = 0
+    for (i, name) in report.cells:
+        if noisy.column(name)[i] != rel.column(name)[i]:
+            changed += 1
+    assert changed == report.n_cells  # every flipped cell differs
+
+
+def test_flip_noise_zero_is_identity():
+    rel = make_relation(50)
+    noisy, report = RandomFlipNoise(0.0).apply(rel, np.random.default_rng(1))
+    assert noisy == rel
+    assert report.n_cells == 0
+
+
+def test_flip_noise_restricted_attributes():
+    rel = make_relation(100)
+    noisy, report = RandomFlipNoise(0.5, attributes=["a"]).apply(
+        rel, np.random.default_rng(1)
+    )
+    assert all(name == "a" for _, name in report.cells)
+    assert np.array_equal(noisy.column("b"), rel.column("b"))
+
+
+def test_flip_noise_invalid_rate():
+    with pytest.raises(ValueError):
+        RandomFlipNoise(1.5)
+
+
+def test_flip_noise_single_value_domain_unchanged():
+    rel = Relation.from_rows(["a"], [("x",)] * 10)
+    noisy, _ = RandomFlipNoise(0.5).apply(rel, np.random.default_rng(0))
+    assert all(v == "x" for v in noisy.column("a"))
+
+
+def test_missing_noise_blanks_cells():
+    rel = make_relation(100)
+    noisy, report = MissingNoise(0.25).apply(rel, np.random.default_rng(2))
+    for (i, name) in report.cells:
+        assert is_missing(noisy.column(name)[i])
+    assert noisy.missing_count() == report.n_cells
+
+
+def test_systematic_noise_targets_dominant_condition_value():
+    rows = [("common", i % 4) for i in range(90)] + [("rare", i % 4) for i in range(10)]
+    rel = Relation.from_rows(["cond", "target"], rows)
+    channel = SystematicNoise("target", "cond", rate=1.0, mode="missing")
+    noisy, report = channel.apply(rel, np.random.default_rng(0))
+    assert report.n_cells == 90
+    affected_rows = {i for i, _ in report.cells}
+    for i in affected_rows:
+        assert rel.column("cond")[i] == "common"
+
+
+def test_systematic_flip_mode_is_deterministic_wrong_value():
+    rows = [("c", "x") for _ in range(50)]
+    rel = Relation.from_rows(["cond", "target"], rows)
+    # Domain has one value: flip cannot change anything.
+    noisy, _ = SystematicNoise("target", "cond", mode="flip").apply(
+        rel, np.random.default_rng(0)
+    )
+    assert all(v == "x" for v in noisy.column("target"))
+
+
+def test_systematic_flip_changes_values_with_larger_domain():
+    rows = [("c", "x")] * 25 + [("c", "y")] * 25
+    rel = Relation.from_rows(["cond", "target"], rows)
+    noisy, report = SystematicNoise("target", "cond", rate=1.0, mode="flip").apply(
+        rel, np.random.default_rng(0)
+    )
+    for i, _ in report.cells:
+        assert noisy.column("target")[i] != rel.column("target")[i]
+
+
+def test_systematic_invalid_mode():
+    with pytest.raises(ValueError):
+        SystematicNoise("t", "c", mode="bogus")
+
+
+def test_apply_noise_unions_reports():
+    rel = make_relation(100)
+    noisy, report = apply_noise(
+        rel,
+        [RandomFlipNoise(0.05, attributes=["a"]), MissingNoise(0.05, attributes=["b"])],
+        np.random.default_rng(3),
+    )
+    assert any(name == "a" for _, name in report.cells)
+    assert any(name == "b" for _, name in report.cells)

@@ -1,0 +1,100 @@
+"""Tests for repro.normalize.closure (FD theory)."""
+
+import pytest
+
+from repro.core.fd import FD
+from repro.normalize.closure import (
+    attribute_closure,
+    candidate_keys,
+    canonical_cover,
+    equivalent,
+    implies,
+    is_superkey,
+    project_fds,
+)
+
+# Textbook example: R(A,B,C,D) with A->B, B->C.
+FDS = [FD(["A"], "B"), FD(["B"], "C")]
+
+
+def test_closure_transitivity():
+    assert attribute_closure(["A"], FDS) == {"A", "B", "C"}
+
+
+def test_closure_no_fds():
+    assert attribute_closure(["A"], []) == {"A"}
+
+
+def test_closure_multi_attribute_determinant():
+    fds = [FD(["A", "B"], "C")]
+    assert "C" not in attribute_closure(["A"], fds)
+    assert "C" in attribute_closure(["A", "B"], fds)
+
+
+def test_implies():
+    assert implies(FDS, FD(["A"], "C"))  # transitivity
+    assert not implies(FDS, FD(["C"], "A"))
+
+
+def test_is_superkey():
+    schema = ["A", "B", "C", "D"]
+    assert not is_superkey(["A"], schema, FDS)
+    assert is_superkey(["A", "D"], schema, FDS)
+
+
+def test_candidate_keys_simple_chain():
+    schema = ["A", "B", "C", "D"]
+    keys = candidate_keys(schema, FDS)
+    assert keys == [frozenset({"A", "D"})]
+
+
+def test_candidate_keys_multiple():
+    # A->B, B->A: both {A,C} and {B,C} are keys of R(A,B,C).
+    fds = [FD(["A"], "B"), FD(["B"], "A")]
+    keys = candidate_keys(["A", "B", "C"], fds)
+    assert frozenset({"A", "C"}) in keys
+    assert frozenset({"B", "C"}) in keys
+
+
+def test_candidate_keys_whole_schema_when_no_fds():
+    keys = candidate_keys(["A", "B"], [])
+    assert keys == [frozenset({"A", "B"})]
+
+
+def test_canonical_cover_removes_redundant_fd():
+    fds = FDS + [FD(["A"], "C")]  # implied by transitivity
+    cover = canonical_cover(fds)
+    assert FD(["A"], "C") not in cover
+    assert equivalent(cover, fds)
+
+
+def test_canonical_cover_trims_extraneous_lhs():
+    fds = [FD(["A"], "B"), FD(["A", "B"], "C")]
+    cover = canonical_cover(fds)
+    assert FD(["A"], "C") in cover or FD(["B"], "C") in cover
+    assert equivalent(cover, fds)
+
+
+def test_canonical_cover_idempotent():
+    cover = canonical_cover(FDS)
+    assert canonical_cover(cover) == cover
+
+
+def test_equivalent_symmetric():
+    assert equivalent(FDS, FDS + [FD(["A"], "C")])
+    assert not equivalent(FDS, [FD(["A"], "B")])
+
+
+def test_project_fds_keeps_transitively_implied():
+    # Projecting A->B, B->C onto {A, C} must retain A->C.
+    projected = project_fds(FDS, ["A", "C"])
+    assert implies(projected, FD(["A"], "C"))
+    for fd in projected:
+        assert set(fd.lhs) | {fd.rhs} <= {"A", "C"}
+
+
+def test_project_fds_minimal_determinants():
+    fds = [FD(["A"], "C"), FD(["A", "B"], "C")]
+    projected = project_fds(fds, ["A", "B", "C"])
+    assert FD(["A"], "C") in projected
+    assert FD(["A", "B"], "C") not in projected

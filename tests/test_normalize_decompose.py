@@ -1,0 +1,104 @@
+"""Tests for repro.normalize.decompose (BCNF / 3NF)."""
+
+import pytest
+
+from repro.core.fd import FD
+from repro.normalize.closure import implies
+from repro.normalize.decompose import (
+    bcnf_decompose,
+    is_lossless,
+    preserves_dependencies,
+    synthesize_3nf,
+    violates_bcnf,
+)
+
+SCHEMA = ["A", "B", "C", "D"]
+FDS = [FD(["A"], "B"), FD(["B"], "C")]  # key is {A, D}
+
+
+def test_violates_bcnf():
+    assert violates_bcnf(FD(["B"], "C"), SCHEMA, FDS)
+    assert not violates_bcnf(FD(["A", "D"], "B"), SCHEMA, FDS + [FD(["A", "D"], "B")])
+
+
+def test_bcnf_fragments_have_no_violations():
+    dec = bcnf_decompose(SCHEMA, FDS)
+    for fragment, local in zip(dec.fragments, dec.fds_per_fragment):
+        for fd in local:
+            assert not violates_bcnf(fd, sorted(fragment), local), (fragment, fd)
+
+
+def test_bcnf_covers_all_attributes():
+    dec = bcnf_decompose(SCHEMA, FDS)
+    assert set().union(*dec.fragments) == set(SCHEMA)
+
+
+def test_bcnf_is_lossless():
+    dec = bcnf_decompose(SCHEMA, FDS)
+    assert is_lossless(SCHEMA, FDS, dec.fragments)
+
+
+def test_bcnf_no_fds_returns_whole_schema():
+    dec = bcnf_decompose(SCHEMA, [])
+    assert dec.fragments == [frozenset(SCHEMA)]
+
+
+def test_3nf_is_lossless_and_dependency_preserving():
+    dec = synthesize_3nf(SCHEMA, FDS)
+    assert is_lossless(SCHEMA, FDS, dec.fragments)
+    assert preserves_dependencies(FDS, dec.fragments)
+
+
+def test_3nf_covers_all_attributes():
+    dec = synthesize_3nf(SCHEMA, FDS)
+    assert set().union(*dec.fragments) == set(SCHEMA)
+
+
+def test_3nf_groups_by_determinant():
+    fds = [FD(["A"], "B"), FD(["A"], "C")]
+    dec = synthesize_3nf(["A", "B", "C"], fds)
+    assert frozenset({"A", "B", "C"}) in dec.fragments
+
+
+def test_classic_dependency_loss_example():
+    """R(City, Street, Zip): {City,Street}->Zip, Zip->City.
+    BCNF decomposition loses {City,Street}->Zip; 3NF keeps it."""
+    schema = ["City", "Street", "Zip"]
+    fds = [FD(["City", "Street"], "Zip"), FD(["Zip"], "City")]
+    bcnf = bcnf_decompose(schema, fds)
+    assert is_lossless(schema, fds, bcnf.fragments)
+    assert not preserves_dependencies(fds, bcnf.fragments)
+    tnf = synthesize_3nf(schema, fds)
+    assert is_lossless(schema, fds, tnf.fragments)
+    assert preserves_dependencies(fds, tnf.fragments)
+
+
+def test_is_lossless_detects_lossy_split():
+    # Splitting R(A,B,C) into {A,B} and {A,C} with only B->C is lossy.
+    schema = ["A", "B", "C"]
+    fds = [FD(["B"], "C")]
+    assert not is_lossless(schema, fds, [frozenset("AB"), frozenset("AC")])
+    # With A->B it becomes lossless ({A} is a key of the left fragment).
+    fds2 = [FD(["A"], "B"), FD(["B"], "C")]
+    assert is_lossless(schema, fds2, [frozenset("AB"), frozenset("BC")])
+
+
+def test_preserves_dependencies_positive():
+    fragments = [frozenset("AB"), frozenset("BC")]
+    assert preserves_dependencies(FDS, fragments)
+
+
+def test_end_to_end_with_discovered_fds():
+    """Normalize the hospital schema using FDX-discovered FDs."""
+    from repro import FDX
+    from repro.datagen import hospital
+
+    ds = hospital()
+    result = FDX().discover(ds.relation)
+    schema = ds.relation.schema.names
+    dec = synthesize_3nf(schema, result.fds)
+    assert set().union(*dec.fragments) == set(schema)
+    assert is_lossless(schema, result.fds, dec.fragments)
+    assert preserves_dependencies(result.fds, dec.fragments)
+    # Normalization actually splits the universal relation.
+    assert len(dec.fragments) >= 2

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the normalization theory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.normalize.closure import (
+    attribute_closure,
+    candidate_keys,
+    canonical_cover,
+    equivalent,
+    implies,
+    is_superkey,
+)
+from repro.normalize.decompose import (
+    bcnf_decompose,
+    is_lossless,
+    preserves_dependencies,
+    synthesize_3nf,
+)
+
+ATTRS = ["A", "B", "C", "D", "E"]
+
+
+@st.composite
+def fd_sets(draw):
+    n = draw(st.integers(0, 6))
+    fds = []
+    for _ in range(n):
+        lhs = draw(st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3))
+        rhs = draw(st.sampled_from(ATTRS))
+        if rhs in lhs:
+            continue
+        fds.append(FD(lhs, rhs))
+    return fds
+
+
+@given(fd_sets(), st.sets(st.sampled_from(ATTRS), min_size=1))
+def test_closure_is_extensive_and_monotone(fds, attrs):
+    closure = attribute_closure(attrs, fds)
+    assert set(attrs) <= closure  # extensive
+    bigger = attribute_closure(closure, fds)
+    assert bigger == closure  # idempotent
+
+
+@given(fd_sets(), st.sets(st.sampled_from(ATTRS), min_size=1),
+       st.sets(st.sampled_from(ATTRS), min_size=1))
+def test_closure_monotone_in_attributes(fds, a, b):
+    small = attribute_closure(a, fds)
+    big = attribute_closure(a | b, fds)
+    assert small <= big
+
+
+@given(fd_sets())
+def test_every_input_fd_is_implied_by_itself(fds):
+    for fd in fds:
+        assert implies(fds, fd)
+
+
+@settings(max_examples=50, deadline=None)
+@given(fd_sets())
+def test_canonical_cover_is_equivalent(fds):
+    cover = canonical_cover(fds)
+    assert equivalent(cover, fds)
+    assert len(cover) <= len(set(fds))
+
+
+@settings(max_examples=40, deadline=None)
+@given(fd_sets())
+def test_candidate_keys_are_minimal_superkeys(fds):
+    keys = candidate_keys(ATTRS, fds)
+    assert keys, "every schema has at least one key"
+    for key in keys:
+        assert is_superkey(key, ATTRS, fds)
+        for a in key:
+            assert not is_superkey(key - {a}, ATTRS, fds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(fd_sets())
+def test_3nf_synthesis_invariants(fds):
+    dec = synthesize_3nf(ATTRS, fds)
+    assert set().union(*dec.fragments) == set(ATTRS)
+    assert is_lossless(ATTRS, fds, dec.fragments)
+    assert preserves_dependencies(fds, dec.fragments)
+
+
+@settings(max_examples=25, deadline=None)
+@given(fd_sets())
+def test_bcnf_decomposition_invariants(fds):
+    dec = bcnf_decompose(ATTRS, fds)
+    assert set().union(*dec.fragments) == set(ATTRS)
+    assert is_lossless(ATTRS, fds, dec.fragments)

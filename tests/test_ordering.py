@@ -1,0 +1,90 @@
+"""Tests for repro.linalg.ordering."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.ordering import (
+    ORDERING_METHODS,
+    compute_order,
+    minimum_degree_order,
+    natural_order,
+    residual_variance_order,
+    support_graph,
+)
+
+
+def chain_theta(p=6):
+    """Tridiagonal precision: a chain graph 0-1-2-...-(p-1)."""
+    theta = 2.0 * np.eye(p)
+    for i in range(p - 1):
+        theta[i, i + 1] = theta[i + 1, i] = -0.8
+    return theta
+
+
+def test_support_graph_edges():
+    g = support_graph(chain_theta(4))
+    assert set(g.edges) == {(0, 1), (1, 2), (2, 3)}
+
+
+def test_support_graph_ignores_tiny_entries():
+    theta = np.eye(3)
+    theta[0, 1] = theta[1, 0] = 1e-12
+    g = support_graph(theta)
+    assert not g.edges
+
+
+def test_natural_order_is_identity():
+    assert natural_order(np.eye(5)).tolist() == [0, 1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("method", sorted(ORDERING_METHODS))
+def test_all_methods_return_permutations(method):
+    theta = chain_theta(8)
+    order = compute_order(theta, method)
+    assert sorted(order.tolist()) == list(range(8))
+
+
+@pytest.mark.parametrize("method", sorted(ORDERING_METHODS))
+def test_all_methods_handle_dense_matrix(method):
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(6, 6))
+    theta = A @ A.T + 6 * np.eye(6)
+    order = compute_order(theta, method)
+    assert sorted(order.tolist()) == list(range(6))
+
+
+@pytest.mark.parametrize("method", sorted(ORDERING_METHODS))
+def test_all_methods_handle_diagonal_matrix(method):
+    order = compute_order(np.diag([1.0, 2.0, 3.0]), method)
+    assert sorted(order.tolist()) == [0, 1, 2]
+
+
+def test_compute_order_unknown_method():
+    with pytest.raises(ValueError, match="unknown ordering"):
+        compute_order(np.eye(3), "bogus")
+
+
+def test_minimum_degree_prefers_low_degree_first():
+    # Star graph: center 0 has degree 4, leaves have degree 1. The hub is
+    # only eliminated once enough leaves are gone for its degree to drop.
+    p = 5
+    theta = 2.0 * np.eye(p)
+    for leaf in range(1, p):
+        theta[0, leaf] = theta[leaf, 0] = -0.5
+    order = minimum_degree_order(theta).tolist()
+    assert order.index(0) >= 3
+
+
+def test_residual_variance_order_recovers_sem_topology():
+    """For a linear SEM with equal noise, sinks are ordered last."""
+    p = 4
+    B = np.zeros((p, p))
+    B[0, 1] = 0.9
+    B[1, 2] = 0.9
+    B[2, 3] = 0.9
+    omega_inv = np.eye(p)
+    I = np.eye(p)
+    theta = (I - B) @ omega_inv @ (I - B).T
+    order = residual_variance_order(theta).tolist()
+    # Positions must respect the chain 0 -> 1 -> 2 -> 3.
+    assert order.index(0) < order.index(1) < order.index(2) < order.index(3)

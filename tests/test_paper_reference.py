@@ -1,0 +1,64 @@
+"""Tests for the encoded paper numbers and the ranking they imply."""
+
+import pytest
+
+from repro.experiments.paper_reference import (
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6_FDS,
+    paper_mean_f1,
+    paper_ranking,
+)
+from repro.experiments.runner import METHOD_ORDER
+from repro.experiments.tables import NETWORK_ORDER, REAL_WORLD_ORDER
+
+
+def test_tables_cover_all_datasets_and_methods():
+    assert set(PAPER_TABLE4) == set(NETWORK_ORDER)
+    assert set(PAPER_TABLE5) == set(NETWORK_ORDER)
+    assert set(PAPER_TABLE6_FDS) == set(REAL_WORLD_ORDER)
+    for per_method in PAPER_TABLE4.values():
+        assert set(per_method) == set(METHOD_ORDER)
+
+
+def test_f1_values_consistent_with_p_r():
+    """The printed F1s match 2PR/(P+R) — except the paper's own Child/FDX
+    row, which prints 0.667 for P=1.0, R=0.45 (harmonic mean 0.621); the
+    transcription keeps the paper's value verbatim."""
+    for dataset, per_method in PAPER_TABLE4.items():
+        for method, entry in per_method.items():
+            if entry is None or (dataset, method) == ("child", "FDX"):
+                continue
+            p, r, f1 = entry
+            expected = 0.0 if p + r == 0 else 2 * p * r / (p + r)
+            assert f1 == pytest.approx(expected, abs=0.002), (dataset, method)
+
+
+def test_paper_headline_fdx_wins():
+    """The paper's claim encoded: FDX has the best mean F1 by a wide margin."""
+    ranking = paper_ranking()
+    assert ranking[0][0] == "FDX"
+    fdx = paper_mean_f1("FDX")
+    runner_up = ranking[1][1]
+    assert fdx > 1.4 * runner_up  # the ~2x average improvement claim
+
+
+def test_paper_dnfs_where_expected():
+    assert PAPER_TABLE4["alarm"]["PYRO"] is None
+    assert PAPER_TABLE4["alarm"]["RFI(1.0)"] is None
+    assert PAPER_TABLE6_FDS["nypd"]["RFI(1.0)"] is None
+
+
+def test_paper_parsimony_profile():
+    """Paper Table 6: FDX's FD counts never exceed the exhaustive methods'
+    and stay below the attribute count (CORDS occasionally reports fewer —
+    e.g. 7 on NYPD — because its chi-squared filter can reject pairs)."""
+    attrs = {"australian": 15, "hospital": 17, "mammographic": 6,
+             "nypd": 17, "thoracic": 17, "tic-tac-toe": 10}
+    for name, per_method in PAPER_TABLE6_FDS.items():
+        fdx = per_method["FDX"]
+        assert fdx <= attrs[name]
+        for method in ("PYRO", "TANE"):
+            count = per_method[method]
+            if count is not None:
+                assert fdx <= count, (name, method)

@@ -1,0 +1,139 @@
+"""Tests for repro.baselines.partitions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.partitions import (
+    Partition,
+    column_codes,
+    fd_error_g3,
+    fd_holds,
+)
+from repro.dataset.relation import MISSING, Relation
+
+
+def rel():
+    return Relation.from_rows(
+        ["x", "y"],
+        [("a", 1), ("a", 1), ("a", 2), ("b", 3), ("b", 3), ("c", 4)],
+    )
+
+
+def test_column_codes_missing_unique():
+    r = Relation.from_rows(["x"], [(MISSING,), (MISSING,), ("a",)])
+    codes = column_codes(r, "x")
+    assert codes[0] != codes[1]  # NULL != NULL
+    assert codes[2] not in (codes[0], codes[1])
+
+
+def test_from_codes_strips_singletons():
+    p = Partition.from_codes(np.array([0, 0, 1, 2, 2, 3]))
+    assert p.n_classes == 2
+    assert p.size == 4
+
+
+def test_for_attributes_single():
+    p = Partition.for_attributes(rel(), ["x"])
+    assert p.n_classes == 2  # {a,a,a} and {b,b}; c is a singleton
+    assert p.size == 5
+
+
+def test_for_attributes_joint():
+    p = Partition.for_attributes(rel(), ["x", "y"])
+    # (a,1) twice and (b,3) twice survive stripping.
+    assert p.n_classes == 2
+    assert p.size == 4
+
+
+def test_for_attributes_empty_rejected():
+    with pytest.raises(ValueError):
+        Partition.for_attributes(rel(), [])
+
+
+def test_multiply_matches_joint():
+    r = rel()
+    px = Partition.for_attributes(r, ["x"])
+    py = Partition.for_attributes(r, ["y"])
+    assert px.multiply(py).classes == Partition.for_attributes(r, ["x", "y"]).classes
+
+
+def test_multiply_size_mismatch():
+    p1 = Partition.from_codes(np.array([0, 0]))
+    p2 = Partition.from_codes(np.array([0, 0, 1]))
+    with pytest.raises(ValueError):
+        p1.multiply(p2)
+
+
+def test_key_error():
+    p = Partition.from_codes(np.array([0, 0, 1, 2]))
+    assert p.key_error == pytest.approx(1 / 4)  # delete one row to be a key
+
+
+def test_refines_true_for_fd():
+    r = Relation.from_rows(["x", "y"], [(i % 4, (i % 4) % 2) for i in range(20)])
+    px = Partition.for_attributes(r, ["x"])
+    py = Partition.for_attributes(r, ["y"])
+    assert px.refines(py)
+    assert not py.refines(px)
+
+
+def test_fd_error_g3_exact_fd_is_zero():
+    r = Relation.from_rows(["x", "y"], [(i % 4, (i % 4) * 10) for i in range(40)])
+    p = Partition.for_attributes(r, ["x"])
+    assert fd_error_g3(p, column_codes(r, "y")) == 0.0
+    assert fd_holds(p, column_codes(r, "y"))
+
+
+def test_fd_error_g3_counts_minority_rows():
+    r = rel()
+    p = Partition.for_attributes(r, ["x"])
+    # Class {a,a,a}: y = 1,1,2 -> one removal. Class {b,b}: consistent.
+    assert fd_error_g3(p, column_codes(r, "y")) == pytest.approx(1 / 6)
+    assert not fd_holds(p, column_codes(r, "y"))
+    assert fd_holds(p, column_codes(r, "y"), max_error=0.2)
+
+
+def test_fd_error_empty_partition():
+    p = Partition(classes=(), n_rows=0)
+    assert fd_error_g3(p, np.array([], dtype=np.int64)) == 0.0
+
+
+def test_g1_counts_violating_pairs():
+    from repro.baselines.partitions import fd_error_g1
+
+    r = rel()  # class {a,a,a}: y = 1,1,2 -> 4 ordered violating pairs
+    p = Partition.for_attributes(r, ["x"])
+    assert fd_error_g1(p, column_codes(r, "y")) == pytest.approx(4 / 36)
+
+
+def test_g2_counts_involved_tuples():
+    from repro.baselines.partitions import fd_error_g2
+
+    r = rel()  # the three 'a' rows are all involved; 'b' rows are clean
+    p = Partition.for_attributes(r, ["x"])
+    assert fd_error_g2(p, column_codes(r, "y")) == pytest.approx(3 / 6)
+
+
+def test_error_measures_ordering_g3_le_g2():
+    """Classic relationship: g3 <= g2 (deleting the minority rows is never
+    more than the tuples involved in violations)."""
+    from repro.baselines.partitions import fd_error_g2
+
+    rng = np.random.default_rng(0)
+    r = Relation.from_rows(
+        ["x", "y"],
+        [(int(rng.integers(4)), int(rng.integers(3))) for _ in range(60)],
+    )
+    p = Partition.for_attributes(r, ["x"])
+    codes = column_codes(r, "y")
+    assert fd_error_g3(p, codes) <= fd_error_g2(p, codes) + 1e-12
+
+
+def test_g1_g2_zero_for_exact_fd():
+    from repro.baselines.partitions import fd_error_g1, fd_error_g2
+
+    r = Relation.from_rows(["x", "y"], [(i % 4, (i % 4) * 2) for i in range(40)])
+    p = Partition.for_attributes(r, ["x"])
+    codes = column_codes(r, "y")
+    assert fd_error_g1(p, codes) == 0.0
+    assert fd_error_g2(p, codes) == 0.0

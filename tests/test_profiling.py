@@ -1,0 +1,72 @@
+"""Tests for repro.prep.profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core.fdx import FDX
+from repro.dataset.relation import Relation
+from repro.prep.imputation import AttentionImputer
+from repro.prep.profiling import (
+    feature_ranking,
+    imputability_experiment,
+    median,
+    split_by_fd_participation,
+)
+
+
+def fd_relation(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        k = int(rng.integers(12))
+        rows.append((k, k % 4, int(rng.integers(5)), int(rng.integers(5))))
+    return Relation.from_rows(["key", "dep", "free1", "free2"], rows)
+
+
+def test_split_by_fd_participation():
+    rel = fd_relation()
+    result = FDX().discover(rel)
+    with_fd, without_fd = split_by_fd_participation(result, rel.schema.names)
+    assert "key" in with_fd and "dep" in with_fd
+    assert set(with_fd) | set(without_fd) == set(rel.schema.names)
+    assert not set(with_fd) & set(without_fd)
+
+
+def test_feature_ranking_orders_by_weight():
+    rel = fd_relation()
+    result = FDX().discover(rel)
+    ranking = feature_ranking(result, "dep", rel.schema.names)
+    assert ranking, "expected at least one ranked feature"
+    assert ranking[0][0] == "key"
+    weights = [w for _, w in ranking]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_imputability_random_fd_attribute_high_f1():
+    rel = fd_relation()
+    out = imputability_experiment(rel, "dep", AttentionImputer(), "random", seed=2)
+    assert out.n_hidden > 0
+    assert out.f1 > 0.9
+
+
+def test_imputability_independent_attribute_low_f1():
+    rel = fd_relation()
+    out = imputability_experiment(rel, "free1", AttentionImputer(), "random", seed=2)
+    assert out.f1 < 0.6
+
+
+def test_imputability_systematic_mode():
+    rel = fd_relation()
+    out = imputability_experiment(rel, "dep", AttentionImputer(), "systematic", seed=2)
+    assert out.noise_kind == "systematic"
+    assert out.n_hidden > 0
+
+
+def test_imputability_unknown_noise_kind():
+    with pytest.raises(ValueError):
+        imputability_experiment(fd_relation(), "dep", AttentionImputer(), "bogus")
+
+
+def test_median_helper():
+    assert median([]) == 0.0
+    assert median([1.0, 3.0, 2.0]) == 2.0

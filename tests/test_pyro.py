@@ -1,0 +1,78 @@
+"""Tests for repro.baselines.pyro."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pyro import Pyro
+from repro.baselines.tane import Tane, TimeBudgetExceeded
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+
+
+def exact_fd_relation(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        k = int(rng.integers(10))
+        rows.append((k, k % 3, (k * 7) % 5, int(rng.integers(50))))
+    return Relation.from_rows(["k", "a", "b", "z"], rows)
+
+
+def test_discovers_exact_fds():
+    res = Pyro(max_error=0.0).discover(exact_fd_relation())
+    assert FD(["k"], "a") in res.fds
+    assert FD(["k"], "b") in res.fds
+
+
+def test_agrees_with_tane_on_minimal_fds_depth_limited():
+    """Same semantics as TANE at matched lattice depth: identical minimal
+    FD sets on exact data."""
+    rel = exact_fd_relation()
+    pyro_fds = set(Pyro(max_error=0.0, max_lhs_size=2).discover(rel).fds)
+    tane_fds = set(Tane(max_error=0.0, max_lhs_size=2).discover(rel).fds)
+    assert pyro_fds == tane_fds
+
+
+def test_minimality():
+    res = Pyro(max_error=0.0).discover(exact_fd_relation())
+    fds = set(res.fds)
+    for fd in fds:
+        for other in fds:
+            if other != fd and other.rhs == fd.rhs:
+                assert not set(other.lhs) < set(fd.lhs)
+
+
+def test_estimates_cheaper_than_validations():
+    res = Pyro(max_error=0.0).discover(exact_fd_relation())
+    assert res.validations <= res.estimates_computed
+
+
+def test_sampling_slack_still_validates_borderline():
+    """Even with a tiny sample, exact validation confirms real FDs."""
+    res = Pyro(max_error=0.0, sample_rows=20).discover(exact_fd_relation(500))
+    assert FD(["k"], "a") in res.fds
+
+
+def test_time_limit_raises():
+    rng = np.random.default_rng(0)
+    rows = [tuple(int(rng.integers(40)) for _ in range(14)) for _ in range(800)]
+    rel = Relation.from_rows([f"c{i}" for i in range(14)], rows)
+    with pytest.raises(TimeBudgetExceeded):
+        Pyro(max_error=0.2, max_lhs_size=5, time_limit=0.05).discover(rel)
+
+
+def test_errors_below_threshold():
+    res = Pyro(max_error=0.05).discover(exact_fd_relation())
+    assert all(e <= 0.05 + 1e-9 for e in res.errors.values())
+
+
+def test_invalid_error_rejected():
+    with pytest.raises(ValueError):
+        Pyro(max_error=-1)
+
+
+def test_deterministic_given_seed():
+    rel = exact_fd_relation()
+    a = Pyro(seed=5).discover(rel).fds
+    b = Pyro(seed=5).discover(rel).fds
+    assert a == b

@@ -1,0 +1,152 @@
+"""Tests for repro.datagen.realworld and tictactoe."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.partitions import Partition, column_codes, fd_error_g3
+from repro.datagen.realworld import (
+    REAL_WORLD_DATASETS,
+    australian,
+    hospital,
+    load_dataset,
+    mammographic,
+    nypd,
+    thoracic,
+    tictactoe_dataset,
+)
+from repro.datagen.tictactoe import tictactoe
+
+
+@pytest.mark.parametrize(
+    "name,rows,attrs",
+    [
+        ("australian", 690, 15),
+        ("hospital", 1000, 17),
+        ("mammographic", 830, 6),
+        ("thoracic", 470, 17),
+        ("tic-tac-toe", 958, 10),
+    ],
+)
+def test_table3_shapes(name, rows, attrs):
+    ds = load_dataset(name)
+    assert ds.relation.shape == (rows, attrs)
+
+
+def test_nypd_shape_parameterized():
+    ds = nypd(n_rows=1500)
+    assert ds.relation.shape == (1500, 17)
+
+
+def test_registry_complete():
+    assert set(REAL_WORLD_DATASETS) == {
+        "australian", "hospital", "mammographic", "nypd", "thoracic", "tic-tac-toe",
+    }
+
+
+def test_load_dataset_unknown():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        load_dataset("bogus")
+
+
+def test_generators_deterministic():
+    a = hospital(seed=3).relation
+    b = hospital(seed=3).relation
+    assert a == b
+
+
+def test_hospital_embedded_fds_hold_modulo_missing():
+    ds = hospital(missing_rate=0.0)
+    for fd in ds.embedded_fds:
+        part = Partition.for_attributes(ds.relation, fd.lhs)
+        err = fd_error_g3(part, column_codes(ds.relation, fd.rhs))
+        assert err == 0.0, str(fd)
+
+
+def test_hospital_state_skew():
+    """One state dominates ~89% of rows (paper §5.4)."""
+    ds = hospital(missing_rate=0.0)
+    counts = ds.relation.value_counts("State")
+    top = max(counts.values()) / ds.relation.n_rows
+    assert 0.75 <= top <= 0.98
+
+
+def test_hospital_stateavg_is_concatenation():
+    ds = hospital(missing_rate=0.0)
+    state = ds.relation.column("State")
+    code = ds.relation.column("MeasureCode")
+    avg = ds.relation.column("Stateavg")
+    for i in range(50):
+        assert avg[i] == f"{state[i]}_{code[i]}"
+
+
+def test_missing_values_present():
+    ds = hospital(missing_rate=0.05)
+    assert ds.relation.missing_fraction() == pytest.approx(0.05, abs=0.01)
+
+
+def test_nypd_embedded_fds_hold_modulo_missing():
+    ds = nypd(n_rows=2000, missing_rate=0.0)
+    for fd in ds.embedded_fds:
+        part = Partition.for_attributes(ds.relation, fd.lhs)
+        err = fd_error_g3(part, column_codes(ds.relation, fd.rhs))
+        assert err == 0.0, str(fd)
+
+
+def test_australian_a8_determines_a15_softly():
+    ds = australian(missing_rate=0.0)
+    part = Partition.for_attributes(ds.relation, ["A8"])
+    err = fd_error_g3(part, column_codes(ds.relation, "A15"))
+    assert err < 0.1
+
+
+def test_australian_target_recorded():
+    assert australian().target == "A15"
+    assert mammographic().target == "severity"
+    assert thoracic().target == "Risk1Yr"
+
+
+def test_mammographic_chain():
+    ds = mammographic(missing_rate=0.0)
+    part = Partition.for_attributes(ds.relation, ["shape", "margin"])
+    err = fd_error_g3(part, column_codes(ds.relation, "severity"))
+    assert err < 0.12
+    part = Partition.for_attributes(ds.relation, ["severity"])
+    err = fd_error_g3(part, column_codes(ds.relation, "rads"))
+    assert err < 0.15
+
+
+def test_fd_attributes_property():
+    ds = mammographic()
+    assert {"shape", "margin", "severity", "rads"} <= ds.fd_attributes
+
+
+# --- tic-tac-toe ---------------------------------------------------------
+
+def test_tictactoe_exact_counts():
+    rel = tictactoe()
+    assert rel.shape == (958, 10)
+    counts = rel.value_counts("class")
+    assert counts == {"positive": 626, "negative": 332}
+
+
+def test_tictactoe_rows_unique():
+    rel = tictactoe()
+    assert len({r for r in rel.rows()}) == 958
+
+
+def test_tictactoe_board_values():
+    rel = tictactoe()
+    for name in rel.schema.names[:9]:
+        assert set(rel.domain(name)) <= {"x", "o", "b"}
+
+
+def test_tictactoe_class_is_function_of_board():
+    ds = tictactoe_dataset()
+    fd = ds.embedded_fds[0]
+    part = Partition.for_attributes(ds.relation, fd.lhs)
+    assert fd_error_g3(part, column_codes(ds.relation, "class")) == 0.0
+
+
+def test_tictactoe_missing_rate_option():
+    ds = tictactoe_dataset(missing_rate=0.05)
+    assert ds.relation.missing_count() > 0

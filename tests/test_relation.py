@@ -1,0 +1,148 @@
+"""Tests for repro.dataset.relation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import MISSING, Relation, concat_rows, is_missing
+from repro.dataset.schema import Schema
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["city", "zip"],
+        [("a", 1), ("a", 1), ("b", 2), ("c", MISSING)],
+    )
+
+
+def test_is_missing_none_and_nan():
+    assert is_missing(None)
+    assert is_missing(float("nan"))
+    assert not is_missing(0)
+    assert not is_missing("")
+
+
+def test_shape_and_len(rel):
+    assert rel.shape == (4, 2)
+    assert len(rel) == 4
+    assert rel.n_attributes == 2
+
+
+def test_from_rows_arity_mismatch():
+    with pytest.raises(ValueError, match="arity"):
+        Relation.from_rows(["a", "b"], [(1,)])
+
+
+def test_columns_must_match_schema():
+    with pytest.raises(ValueError, match="columns do not match"):
+        Relation(Schema(["a"]), {"b": [1]})
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(ValueError, match="ragged"):
+        Relation(Schema(["a", "b"]), {"a": [1, 2], "b": [1]})
+
+
+def test_column_returns_copy(rel):
+    col = rel.column("city")
+    col[0] = "mutated"
+    assert rel.column("city")[0] == "a"
+
+
+def test_row_and_rows(rel):
+    assert rel.row(0) == ("a", 1)
+    assert list(rel.rows())[2] == ("b", 2)
+
+
+def test_missing_normalized_to_none():
+    r = Relation.from_rows(["x"], [(float("nan"),), (None,)])
+    assert r.column("x")[0] is MISSING
+    assert r.column("x")[1] is MISSING
+
+
+def test_project(rel):
+    p = rel.project(["zip"])
+    assert p.schema.names == ["zip"]
+    assert p.n_rows == 4
+
+
+def test_select_rows_and_head(rel):
+    sel = rel.select_rows([2, 0])
+    assert sel.row(0) == ("b", 2)
+    assert rel.head(2).n_rows == 2
+
+
+def test_sample_rows_without_replacement(rel):
+    s = rel.sample_rows(3, np.random.default_rng(0))
+    assert s.n_rows == 3
+
+
+def test_sample_rows_caps_at_n(rel):
+    s = rel.sample_rows(100, np.random.default_rng(0))
+    assert s.n_rows == 4
+
+
+def test_shuffled_is_permutation(rel):
+    s = rel.shuffled(np.random.default_rng(0))
+    assert sorted(map(repr, s.rows())) == sorted(map(repr, rel.rows()))
+
+
+def test_map_column_skips_missing(rel):
+    r = rel.map_column("zip", lambda v: v * 10)
+    assert r.column("zip")[0] == 10
+    assert r.column("zip")[3] is MISSING
+
+
+def test_with_column(rel):
+    r = rel.with_column("city", ["x", "y", "z", "w"])
+    assert r.column("city")[0] == "x"
+    with pytest.raises(KeyError):
+        rel.with_column("nope", [1, 2, 3, 4])
+
+
+def test_domain_and_counts(rel):
+    assert rel.domain("city") == ["a", "b", "c"]
+    assert rel.domain_size("zip") == 2
+    assert rel.value_counts("city") == {"a": 2, "b": 1, "c": 1}
+
+
+def test_missing_count_and_fraction(rel):
+    assert rel.missing_count() == 1
+    assert rel.missing_count("zip") == 1
+    assert rel.missing_count("city") == 0
+    assert rel.missing_fraction() == pytest.approx(1 / 8)
+
+
+def test_to_matrix(rel):
+    m = rel.to_matrix()
+    assert m.shape == (4, 2)
+    assert m[0, 0] == "a"
+
+
+def test_equality(rel):
+    other = Relation.from_rows(
+        ["city", "zip"], [("a", 1), ("a", 1), ("b", 2), ("c", MISSING)]
+    )
+    assert rel == other
+    assert rel != other.project(["city"])
+
+
+def test_concat_rows(rel):
+    combined = concat_rows([rel, rel])
+    assert combined.n_rows == 8
+
+
+def test_concat_rows_schema_mismatch(rel):
+    with pytest.raises(ValueError, match="schemas differ"):
+        concat_rows([rel, rel.project(["city"])])
+
+
+def test_concat_rows_empty():
+    with pytest.raises(ValueError):
+        concat_rows([])
+
+
+def test_empty_relation():
+    r = Relation.from_rows(["a"], [])
+    assert r.n_rows == 0
+    assert r.missing_fraction() == 0.0

@@ -1,0 +1,120 @@
+"""Tests for repro.prep.repair (FD-driven error detection and repair)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import FD
+from repro.dataset.noise import MissingNoise, RandomFlipNoise
+from repro.dataset.relation import MISSING, Relation
+from repro.prep.repair import (
+    find_violations,
+    repair,
+    repair_precision_recall,
+)
+
+FD_ZIP_CITY = FD(["zip"], "city")
+
+
+def clean_relation(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    city_of = {z: f"city_{z % 6}" for z in range(12)}
+    rows = []
+    for _ in range(n):
+        z = int(rng.integers(12))
+        rows.append((z, city_of[z], int(rng.integers(4))))
+    return Relation.from_rows(["zip", "city", "other"], rows)
+
+
+def test_no_violations_on_clean_data():
+    rel = clean_relation()
+    assert find_violations(rel, [FD_ZIP_CITY]) == []
+
+
+def test_violations_found_after_noise():
+    rel = clean_relation()
+    noisy, report = RandomFlipNoise(0.05, attributes=["city"]).apply(
+        rel, np.random.default_rng(1)
+    )
+    violations = find_violations(noisy, [FD_ZIP_CITY])
+    flagged = {(v.row, v.attribute) for v in violations}
+    # Most corrupted cells are flagged, and suggestions match the truth.
+    assert len(flagged & report.cells) >= 0.8 * len(report.cells)
+    truth = rel.column("city")
+    for v in violations:
+        if (v.row, v.attribute) in report.cells:
+            assert v.suggested == truth[v.row]
+
+
+def test_violation_confidence_threshold():
+    # Group with a 50/50 split has no confident majority.
+    rows = [(1, "a"), (1, "a"), (1, "b"), (1, "b")]
+    rel = Relation.from_rows(["zip", "city"], rows)
+    assert find_violations(rel, [FD_ZIP_CITY], min_confidence=0.6) == []
+
+
+def test_repair_restores_corrupted_cells():
+    rel = clean_relation()
+    noisy, _ = RandomFlipNoise(0.05, attributes=["city"]).apply(
+        rel, np.random.default_rng(2)
+    )
+    repaired, report = repair(noisy, [FD_ZIP_CITY])
+    assert report.repaired_cells > 0
+    precision, recall = repair_precision_recall(report, rel, noisy, repaired)
+    assert precision > 0.9
+    assert recall > 0.7
+
+
+def test_repair_imputes_missing_dependents():
+    rel = clean_relation()
+    noisy, _ = MissingNoise(0.1, attributes=["city"]).apply(
+        rel, np.random.default_rng(3)
+    )
+    repaired, report = repair(noisy, [FD_ZIP_CITY])
+    assert report.imputed_cells > 0
+    assert repaired.missing_count("city") < noisy.missing_count("city")
+
+
+def test_repair_can_skip_imputation():
+    rel = clean_relation()
+    noisy, _ = MissingNoise(0.1, attributes=["city"]).apply(
+        rel, np.random.default_rng(3)
+    )
+    repaired, report = repair(noisy, [FD_ZIP_CITY], impute_missing=False)
+    assert report.imputed_cells == 0
+    assert repaired.missing_count("city") == noisy.missing_count("city")
+
+
+def test_repair_conservative_on_ambiguous_groups():
+    rows = [(1, "a")] * 2 + [(1, "b")] * 2
+    rel = Relation.from_rows(["zip", "city"], rows)
+    repaired, report = repair(rel, [FD_ZIP_CITY], min_confidence=0.8)
+    assert report.repaired_cells == 0
+    assert repaired == rel
+
+
+def test_repair_ignores_unknown_attributes():
+    rel = clean_relation(50)
+    repaired, report = repair(rel, [FD(["nope"], "city"), FD(["zip"], "missing_attr")])
+    assert repaired == rel
+    assert report.n_violations == 0
+
+
+def test_missing_determinants_excluded_from_groups():
+    rows = [(MISSING, "a"), (MISSING, "b"), (1, "c"), (1, "c")]
+    rel = Relation.from_rows(["zip", "city"], rows)
+    assert find_violations(rel, [FD_ZIP_CITY]) == []
+
+
+def test_end_to_end_discover_then_repair():
+    """FDX output feeds the repairer directly."""
+    from repro import FDX
+
+    rel = clean_relation(600)
+    noisy, _ = RandomFlipNoise(0.04, attributes=["city"]).apply(
+        rel, np.random.default_rng(5)
+    )
+    fds = FDX().discover(noisy).fds
+    repaired, report = repair(noisy, fds)
+    precision, recall = repair_precision_recall(report, rel, noisy, repaired)
+    assert report.repaired_cells > 0
+    assert precision > 0.8

@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import Figure, Table
+
+
+def test_table_render_alignment_and_rows():
+    t = Table("Demo", ["name", "value"])
+    t.add_row("alpha", 1.23456)
+    t.add_row("b", 7)
+    text = t.render()
+    assert "Demo" in text
+    assert "1.235" in text  # floats formatted to 3 places
+    assert text.splitlines()[2].startswith("name")
+
+
+def test_table_arity_check():
+    t = Table("Demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_table_markdown():
+    t = Table("Demo", ["a", "b"])
+    t.add_row("x", 0.5)
+    md = t.to_markdown()
+    assert md.startswith("### Demo")
+    assert "| x | 0.500 |" in md
+
+
+def test_table_column_access():
+    t = Table("Demo", ["a", "b"])
+    t.add_row(1, 2)
+    t.add_row(3, 4)
+    assert t.column("b") == [2, 4]
+
+
+def test_figure_render():
+    f = Figure("Fig", "x", "y")
+    f.add_series("s1", [1, 2], [0.1, 0.2])
+    text = f.render()
+    assert "Fig" in text
+    assert "s1" in text
+    assert "1:0.100" in text
+
+
+def test_figure_series_float_coercion():
+    f = Figure("Fig", "x", "y")
+    f.add_series("s", [0], [1])
+    assert f.series[0].y == [1.0]
+
+
+def test_figure_render_marks_dnf():
+    f = Figure("Fig", "x", "y")
+    f.add_series("s", [1, 2], [0.5, float("nan")])
+    assert "DNF" in f.render()
+
+
+def test_figure_sparklines():
+    f = Figure("Fig", "x", "y")
+    f.add_series("a", [1, 2, 3], [0.0, 0.5, 1.0])
+    f.add_series("b", [1, 2, 3], [1.0, float("nan"), 0.0])
+    art = f.sparklines()
+    assert "x" in art      # DNF marker
+    assert "█" in art      # peak block
+    assert art.count("|") == 4

@@ -1,0 +1,62 @@
+"""Tests for repro.prep.reporting (one-shot profiling reports)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.prep.reporting import ProfilingReport, build_profiling_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    rng = np.random.default_rng(0)
+    rows = []
+    for i in range(400):
+        z = int(rng.integers(10))
+        rows.append((i, z, f"city_{z % 5}", int(rng.integers(4))))
+    rel = Relation.from_rows(["id", "zip", "city", "free"], rows)
+    return build_profiling_report(rel, n_resamples=3)
+
+
+def test_all_sections_populated(report):
+    assert report.profile.n_rows == 400
+    assert report.stability.fds
+    assert report.keys.possible_keys
+    assert report.denial_constraints.constraints
+
+
+def test_key_and_fd_findings(report):
+    assert frozenset({"id"}) in report.keys.certain_keys
+    assert any(fd.rhs == "city" and "zip" in fd.lhs for fd in report.stability.fds)
+
+
+def test_cleaning_outlook_partition(report):
+    assert "city" in report.cleanable
+    assert "free" in report.hard_to_clean
+    assert not set(report.cleanable) & set(report.hard_to_clean)
+
+
+def test_markdown_rendering(report):
+    md = report.to_markdown(title="Test profile")
+    assert md.startswith("# Test profile")
+    for heading in ("## Column statistics", "## Functional dependencies",
+                    "## Keys", "## Denial constraints", "## Cleaning outlook"):
+        assert heading in md
+    assert "stability" in md
+    assert "zip" in md
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+    from repro.dataset.io import write_csv
+
+    rng = np.random.default_rng(1)
+    rows = [(int(z), f"c{int(z) % 3}") for z in rng.integers(6, size=150)]
+    rel = Relation.from_rows(["zip", "city"], rows)
+    path = tmp_path / "data.csv"
+    write_csv(rel, path)
+    out_path = tmp_path / "report.md"
+    assert main(["report", str(path), "--output", str(out_path),
+                 "--resamples", "2"]) == 0
+    text = out_path.read_text()
+    assert "## Functional dependencies" in text

@@ -1,0 +1,81 @@
+"""Tests for repro.baselines.rfi."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rfi import Rfi
+from repro.baselines.tane import TimeBudgetExceeded
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+
+
+def fd_relation(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(12))
+        rows.append((a, a % 4, int(rng.integers(5))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+def test_top1_per_attribute():
+    res = Rfi().discover(fd_relation())
+    rhs_seen = [fd.rhs for fd in res.fds]
+    assert len(rhs_seen) == len(set(rhs_seen))
+
+
+def test_finds_true_determinant():
+    res = Rfi().discover(fd_relation())
+    fd_b = next((fd for fd in res.fds if fd.rhs == "b"), None)
+    assert fd_b is not None
+    assert "a" in fd_b.lhs
+
+
+def test_scores_in_unit_interval():
+    res = Rfi().discover(fd_relation())
+    assert all(0.0 <= s <= 1.0 for s in res.scores.values())
+
+
+def test_min_score_filters_weak_fds():
+    strict = Rfi(min_score=0.99).discover(fd_relation())
+    loose = Rfi(min_score=0.0).discover(fd_relation())
+    assert len(strict.fds) <= len(loose.fds)
+
+
+def test_bias_correction_rejects_spurious_key_determinants():
+    """A unique key explains any attribute perfectly in-sample; the
+    permutation bias correction must discount it."""
+    rng = np.random.default_rng(1)
+    rows = [(i, int(rng.integers(3))) for i in range(300)]
+    rel = Relation.from_rows(["key", "y"], rows)
+    res = Rfi(min_score=0.2).discover(rel)
+    assert all(fd.rhs != "y" or "key" not in fd.lhs for fd in res.fds)
+
+
+def test_alpha_bounds():
+    with pytest.raises(ValueError):
+        Rfi(alpha=0.0)
+    with pytest.raises(ValueError):
+        Rfi(alpha=1.5)
+
+
+def test_smaller_alpha_scores_fewer_candidates():
+    rel = fd_relation()
+    full = Rfi(alpha=1.0, beam_width=6).discover(rel)
+    approx = Rfi(alpha=0.3, beam_width=6).discover(rel)
+    assert approx.candidates_scored <= full.candidates_scored
+
+
+def test_time_limit_raises():
+    rng = np.random.default_rng(0)
+    rows = [tuple(int(rng.integers(30)) for _ in range(15)) for _ in range(1500)]
+    rel = Relation.from_rows([f"c{i}" for i in range(15)], rows)
+    with pytest.raises(TimeBudgetExceeded):
+        Rfi(time_limit=0.01).discover(rel)
+
+
+def test_constant_attribute_gets_no_fd():
+    rows = [(int(i % 5), "const") for i in range(100)]
+    rel = Relation.from_rows(["a", "b"], rows)
+    res = Rfi().discover(rel)
+    assert all(fd.rhs != "b" for fd in res.fds)

@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.runner."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.experiments.runner import METHOD_ORDER, METHODS, RunOutcome, run_method
+
+
+def small_relation(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(6))
+        rows.append((a, a % 3, int(rng.integers(4))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+def test_registry_matches_paper_method_list():
+    assert METHOD_ORDER == [
+        "FDX", "GL", "PYRO", "TANE", "CORDS", "RFI(.3)", "RFI(.5)", "RFI(1.0)",
+    ]
+    assert set(METHODS) == set(METHOD_ORDER)
+
+
+@pytest.mark.parametrize("method", ["FDX", "PYRO", "TANE", "CORDS"])
+def test_fast_methods_run(method):
+    outcome = run_method(method, small_relation(), noise_rate=0.05, time_limit=30)
+    assert isinstance(outcome, RunOutcome)
+    assert not outcome.timed_out
+    assert outcome.seconds > 0
+    assert outcome.n_fds == len(outcome.fds)
+
+
+def test_rfi_runs_on_tiny_input():
+    outcome = run_method("RFI(.3)", small_relation(60), time_limit=60)
+    assert not outcome.timed_out
+
+
+def test_timeout_maps_to_dnf():
+    rng = np.random.default_rng(1)
+    rows = [tuple(int(rng.integers(25)) for _ in range(12)) for _ in range(800)]
+    wide = Relation.from_rows([f"c{i}" for i in range(12)], rows)
+    outcome = run_method("RFI(1.0)", wide, time_limit=0.01)
+    assert outcome.timed_out
+    assert outcome.fds == []
+
+
+def test_unknown_method():
+    with pytest.raises(ValueError, match="unknown method"):
+        run_method("NOPE", small_relation())
+
+
+def test_extras_capture_method_metadata():
+    rfi = run_method("RFI(.3)", small_relation(80), time_limit=60)
+    if not rfi.timed_out and rfi.fds:
+        assert "scores" in rfi.extra
+    fdx = run_method("FDX", small_relation(80))
+    assert "diagnostics" in fdx.extra
+
+
+def test_gl_runs_with_budget():
+    outcome = run_method("GL", small_relation(120), time_limit=30)
+    assert not outcome.timed_out
+
+
+def test_custom_factory():
+    from repro.core.fdx import FDX
+
+    outcome = run_method(
+        "custom", small_relation(), factory=lambda noise, tl: FDX(sparsity=0.2)
+    )
+    assert outcome.method == "custom"

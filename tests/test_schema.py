@@ -1,0 +1,85 @@
+"""Tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, AttributeType, Schema, SchemaBuilder
+
+
+def test_schema_from_strings_defaults_to_categorical():
+    schema = Schema(["a", "b"])
+    assert schema.names == ["a", "b"]
+    assert schema.type_of("a") is AttributeType.CATEGORICAL
+
+
+def test_schema_preserves_order():
+    schema = Schema(["z", "a", "m"])
+    assert schema.names == ["z", "a", "m"]
+
+
+def test_schema_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        Schema(["a", "b", "a"])
+
+
+def test_schema_rejects_bad_item_type():
+    with pytest.raises(TypeError):
+        Schema([1, 2])
+
+
+def test_attribute_requires_name():
+    with pytest.raises(ValueError):
+        Attribute("")
+
+
+def test_index_of_known_and_unknown():
+    schema = Schema(["a", "b", "c"])
+    assert schema.index_of("b") == 1
+    with pytest.raises(KeyError):
+        schema.index_of("nope")
+
+
+def test_contains_and_getitem():
+    schema = Schema(["a", "b"])
+    assert "a" in schema
+    assert "x" not in schema
+    assert schema["a"].name == "a"
+    assert schema[1].name == "b"
+
+
+def test_schema_equality_and_hash():
+    s1 = Schema(["a", "b"])
+    s2 = Schema(["a", "b"])
+    s3 = Schema(["b", "a"])
+    assert s1 == s2
+    assert hash(s1) == hash(s2)
+    assert s1 != s3
+
+
+def test_project_restricts_and_reorders():
+    schema = Schema(["a", "b", "c"])
+    proj = schema.project(["c", "a"])
+    assert proj.names == ["c", "a"]
+
+
+def test_schema_iteration_yields_attributes():
+    schema = Schema(["a", "b"])
+    names = [attr.name for attr in schema]
+    assert names == ["a", "b"]
+
+
+def test_builder_mixed_types():
+    schema = (
+        SchemaBuilder()
+        .categorical("city")
+        .numeric("pop", "area")
+        .text("notes")
+        .build()
+    )
+    assert schema.type_of("city") is AttributeType.CATEGORICAL
+    assert schema.type_of("pop") is AttributeType.NUMERIC
+    assert schema.type_of("area") is AttributeType.NUMERIC
+    assert schema.type_of("notes") is AttributeType.TEXT
+
+
+def test_len():
+    assert len(Schema(["a", "b", "c"])) == 3

@@ -1,0 +1,124 @@
+"""Tests for repro.apps.selectivity."""
+
+import numpy as np
+import pytest
+
+from repro.apps.selectivity import (
+    IndependenceEstimator,
+    StructuredSelectivityEstimator,
+    q_error,
+    true_selectivity,
+)
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+
+
+def fd_relation(n=2000, seed=0):
+    """zip -> city (deterministic); other independent."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        z = int(rng.integers(10))
+        rows.append((z, f"city_{z % 5}", int(rng.integers(4))))
+    return Relation.from_rows(["zip", "city", "other"], rows)
+
+
+FDS = [FD(["zip"], "city")]
+ORDER = ["zip", "city", "other"]
+
+
+def test_true_selectivity_counts():
+    rel = Relation.from_rows(["a"], [(1,), (1,), (2,), (2,)])
+    assert true_selectivity(rel, {"a": 1}) == 0.5
+    assert true_selectivity(rel, {"a": 9}) == 0.0
+    assert true_selectivity(rel, {}) == 1.0
+
+
+def test_independence_estimator_marginals():
+    rel = fd_relation()
+    est = IndependenceEstimator().fit(rel)
+    single = est.estimate({"zip": 3})
+    assert single == pytest.approx(true_selectivity(rel, {"zip": 3}), abs=0.02)
+
+
+def test_independence_underestimates_correlated_conjunction():
+    """zip=3 AND city=city_3 is as selective as zip=3 alone; independence
+    multiplies the marginals and underestimates by ~5x."""
+    rel = fd_relation()
+    est = IndependenceEstimator().fit(rel)
+    truth = true_selectivity(rel, {"zip": 3, "city": "city_3"})
+    assert est.estimate({"zip": 3, "city": "city_3"}) < truth / 2
+
+
+def test_structured_estimator_handles_fd_conjunction():
+    rel = fd_relation()
+    est = StructuredSelectivityEstimator(FDS, ORDER, n_samples=30_000).fit(rel)
+    predicates = {"zip": 3, "city": "city_3"}
+    truth = true_selectivity(rel, predicates)
+    assert est.estimate(predicates) == pytest.approx(truth, abs=0.02)
+
+
+def test_structured_beats_independence_on_q_error():
+    rel = fd_relation()
+    structured = StructuredSelectivityEstimator(FDS, ORDER, n_samples=30_000).fit(rel)
+    independent = IndependenceEstimator().fit(rel)
+    worst_s, worst_i = 1.0, 1.0
+    for z in range(5):
+        predicates = {"zip": z, "city": f"city_{z % 5}"}
+        truth = true_selectivity(rel, predicates)
+        worst_s = max(worst_s, q_error(structured.estimate(predicates), truth))
+        worst_i = max(worst_i, q_error(independent.estimate(predicates), truth))
+    assert worst_s < worst_i
+
+
+def test_contradictory_predicate_near_zero():
+    rel = fd_relation()
+    est = StructuredSelectivityEstimator(FDS, ORDER, n_samples=20_000).fit(rel)
+    # zip=3 implies city_3; city_0 contradicts it.
+    assert est.estimate({"zip": 3, "city": "city_0"}) < 0.01
+
+
+def test_independent_attribute_unaffected():
+    rel = fd_relation()
+    est = StructuredSelectivityEstimator(FDS, ORDER, n_samples=30_000).fit(rel)
+    truth = true_selectivity(rel, {"other": 2})
+    assert est.estimate({"other": 2}) == pytest.approx(truth, abs=0.02)
+
+
+def test_order_consistency_validated():
+    with pytest.raises(ValueError, match="not consistent"):
+        StructuredSelectivityEstimator([FD(["city"], "zip")], ORDER)
+    with pytest.raises(ValueError, match="not in attribute order"):
+        StructuredSelectivityEstimator([FD(["zip"], "nope")], ORDER)
+
+
+def test_estimate_before_fit_raises():
+    est = StructuredSelectivityEstimator(FDS, ORDER)
+    with pytest.raises(RuntimeError):
+        est.estimate({"zip": 1})
+
+
+def test_unknown_predicate_attribute():
+    rel = fd_relation(200)
+    est = StructuredSelectivityEstimator(FDS, ORDER, n_samples=1000).fit(rel)
+    with pytest.raises(KeyError):
+        est.estimate({"nope": 1})
+
+
+def test_q_error_basics():
+    assert q_error(0.1, 0.1) == 1.0
+    assert q_error(0.2, 0.1) == pytest.approx(2.0)
+    assert q_error(0.0, 0.1) > 1.0  # floored, no division by zero
+
+
+def test_end_to_end_with_fdx_output():
+    from repro.core.fdx import FDX
+
+    rel = fd_relation()
+    result = FDX().discover(rel)
+    est = StructuredSelectivityEstimator(
+        result.fds, result.attribute_order, n_samples=20_000
+    ).fit(rel)
+    predicates = {"zip": 4, "city": "city_4"}
+    truth = true_selectivity(rel, predicates)
+    assert q_error(est.estimate(predicates), truth) < 1.5

@@ -1,0 +1,102 @@
+"""Tests for repro.core.softlogic (the Equation 2 -> 3 bridge)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.softlogic import (
+    equation2_satisfaction,
+    fd_linear_response,
+    soft_and,
+    soft_conjunction,
+    soft_not,
+    soft_or,
+)
+
+unit = st.floats(0.0, 1.0)
+
+
+def test_boolean_vertices_and():
+    assert soft_and(1.0, 1.0) == 1.0
+    assert soft_and(1.0, 0.0) == 0.0
+    assert soft_and(0.0, 0.0) == 0.0
+
+
+def test_boolean_vertices_or():
+    assert soft_or(0.0, 0.0) == 0.0
+    assert soft_or(1.0, 0.0) == 1.0
+    assert soft_or(1.0, 1.0) == 1.0
+
+
+def test_not_involution():
+    assert soft_not(soft_not(0.3)) == pytest.approx(0.3)
+
+
+@given(unit, unit)
+def test_and_bounds(a, b):
+    v = float(soft_and(a, b))
+    assert 0.0 <= v <= min(a, b) + 1e-9
+
+
+@given(unit, unit)
+def test_de_morgan(a, b):
+    lhs = float(soft_not(soft_and(a, b)))
+    rhs = float(soft_or(soft_not(a), soft_not(b)))
+    assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+@given(unit, unit)
+def test_or_commutative(a, b):
+    assert float(soft_or(a, b)) == pytest.approx(float(soft_or(b, a)))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        soft_and(1.5, 0.2)
+    with pytest.raises(ValueError):
+        soft_not(-0.1)
+
+
+def test_conjunction_is_mean():
+    vals = [np.array([1.0, 0.0]), np.array([1.0, 1.0]), np.array([0.0, 1.0])]
+    out = soft_conjunction(vals)
+    assert np.allclose(out, [2 / 3, 2 / 3])
+
+
+def test_conjunction_empty_rejected():
+    with pytest.raises(ValueError):
+        soft_conjunction([])
+
+
+def test_fd_linear_response_matches_equation3():
+    """The response equals B-column weights 1/|X| applied to agreements."""
+    agreements = np.array([[1.0, 1.0, 1.0], [1.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+    out = fd_linear_response(agreements)
+    assert np.allclose(out, agreements.mean(axis=1))
+
+
+def test_fd_linear_response_rejects_1d():
+    with pytest.raises(ValueError):
+        fd_linear_response(np.array([1.0, 0.0]))
+
+
+def test_equation2_satisfaction_on_fd_data():
+    """On data with a real FD, conditional agreement probability is ~1."""
+    rng = np.random.default_rng(0)
+    x = rng.integers(5, size=4000)
+    y = x % 3
+    i, j = rng.integers(4000, size=2000), rng.integers(4000, size=2000)
+    lhs_agree = (x[i] == x[j]).astype(float)
+    rhs_agree = (y[i] == y[j]).astype(float)
+    assert equation2_satisfaction(lhs_agree, rhs_agree) == 1.0
+
+
+def test_equation2_vacuous_condition():
+    assert equation2_satisfaction(np.zeros(10), np.ones(10)) == 1.0
+
+
+def test_equation2_detects_violations():
+    lhs = np.ones(10)
+    rhs = np.array([1.0] * 7 + [0.0] * 3)
+    assert equation2_satisfaction(lhs, rhs) == pytest.approx(0.7)

@@ -1,0 +1,72 @@
+"""Tests for repro.core.stability (stability selection for FDs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import FD
+from repro.core.fdx import FDX
+from repro.core.stability import stability_selection
+from repro.dataset.relation import Relation
+
+
+def strong_fd_relation(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(10))
+        rows.append((a, a % 4, int(rng.integers(6))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+def test_strong_fd_is_stable():
+    result = stability_selection(strong_fd_relation(), n_resamples=6)
+    fd = next(f for f in result.fds if f == FD(["a"], "b"))
+    assert result.fd_scores[fd] >= 0.9
+    assert FD(["a"], "b") in result.stable_fds(0.8)
+
+
+def test_scores_in_unit_interval():
+    result = stability_selection(strong_fd_relation(300), n_resamples=4)
+    assert all(0.0 <= s <= 1.0 for s in result.fd_scores.values())
+    assert all(0.0 <= f <= 1.0 for f in result.edge_frequencies.values())
+
+
+def test_edge_frequencies_cover_full_run_edges():
+    result = stability_selection(strong_fd_relation(), n_resamples=5)
+    assert ("a", "b") in result.edge_frequencies
+
+
+def test_full_result_attached():
+    result = stability_selection(strong_fd_relation(300), n_resamples=3)
+    assert result.full_result is not None
+    assert result.fds == list(result.full_result.fds)
+
+
+def test_custom_fdx_configuration_used():
+    fdx = FDX(sparsity=0.5)  # very aggressive: nothing survives
+    result = stability_selection(strong_fd_relation(300), fdx=fdx, n_resamples=3)
+    assert result.fds == []
+
+
+def test_parameter_validation():
+    rel = strong_fd_relation(100)
+    with pytest.raises(ValueError):
+        stability_selection(rel, sample_fraction=0.0)
+    with pytest.raises(ValueError):
+        stability_selection(rel, n_resamples=0)
+
+
+def test_deterministic_given_seed():
+    rel = strong_fd_relation(400)
+    a = stability_selection(rel, n_resamples=3, seed=5)
+    b = stability_selection(rel, n_resamples=3, seed=5)
+    assert a.fd_scores == b.fd_scores
+
+
+def test_result_to_dict_json_roundtrip():
+    import json
+
+    result = FDX().discover(strong_fd_relation(300))
+    payload = json.loads(json.dumps(result.to_dict(), default=str))
+    assert payload["fds"]
+    assert payload["n_pair_samples"] == result.n_pair_samples

@@ -1,0 +1,95 @@
+"""Tests for repro.prep.statistics (relation profiling)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import MISSING, Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+from repro.prep.statistics import profile_relation
+
+
+def make_relation():
+    schema = Schema([
+        Attribute("id"),
+        Attribute("cat"),
+        Attribute("const"),
+        Attribute("num", AttributeType.NUMERIC),
+    ])
+    n = 50
+    return Relation(schema, {
+        "id": list(range(n)),
+        "cat": ["a" if i % 3 else "b" for i in range(n)],
+        "const": ["x"] * n,
+        "num": [float(i % 5) if i % 10 else MISSING for i in range(n)],
+    })
+
+
+def test_profile_shape():
+    p = profile_relation(make_relation())
+    assert p.n_rows == 50
+    assert p.n_attributes == 4
+    assert len(p.attributes) == 4
+
+
+def test_soft_key_detection():
+    p = profile_relation(make_relation())
+    assert "id" in p.soft_keys()
+    assert "cat" not in p.soft_keys()
+
+
+def test_constant_detection():
+    p = profile_relation(make_relation())
+    assert p.attribute("const").is_constant
+    assert p.attribute("const").entropy == 0.0
+    assert not p.attribute("cat").is_constant
+
+
+def test_missing_counts():
+    p = profile_relation(make_relation())
+    num = p.attribute("num")
+    assert num.n_missing == 5
+    assert num.missing_fraction == pytest.approx(0.1)
+
+
+def test_top_value_and_fraction():
+    p = profile_relation(make_relation())
+    cat = p.attribute("cat")
+    assert cat.top_value == "a"
+    assert cat.top_fraction > 0.6
+
+
+def test_distinct_counts():
+    p = profile_relation(make_relation())
+    assert p.attribute("id").n_distinct == 50
+    assert p.attribute("cat").n_distinct == 2
+
+
+def test_unknown_attribute_raises():
+    p = profile_relation(make_relation())
+    with pytest.raises(KeyError):
+        p.attribute("nope")
+
+
+def test_render_contains_flags():
+    text = profile_relation(make_relation()).render()
+    assert "key" in text
+    assert "const" in text
+    assert "id" in text
+
+
+def test_empty_relation():
+    p = profile_relation(Relation.from_rows(["a"], []))
+    assert p.n_rows == 0
+    assert p.attributes[0].n_distinct == 0
+    assert not p.attributes[0].is_soft_key
+
+
+def test_cli_profile_command(tmp_path, capsys):
+    from repro.cli import main
+    from repro.dataset.io import write_csv
+
+    path = tmp_path / "d.csv"
+    write_csv(make_relation(), path)
+    assert main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "50 rows" in out

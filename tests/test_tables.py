@@ -1,0 +1,109 @@
+"""Tests for repro.experiments.tables (reduced-scale smoke runs)."""
+
+import pytest
+
+from repro.experiments.report import Table
+from repro.experiments.tables import (
+    NETWORK_ORDER,
+    known_structure_runs,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table8,
+    table9,
+)
+
+
+def test_table1_matches_registry():
+    t = table1()
+    assert [row[0] for row in t.rows] == [n.capitalize() for n in NETWORK_ORDER]
+    attrs = dict(zip(t.column("Data set"), t.column("Attributes")))
+    assert attrs["Alarm"] == 37
+    assert attrs["Asia"] == 8
+
+
+def test_table2_static_content():
+    t = table2()
+    assert t.column("Property")[0] == "Noise Rate (n)"
+    assert "100000" in str(t.column("Large/High")[1])
+
+
+def test_table3_row_counts():
+    t = table3(nypd_rows=500)
+    tuples = dict(zip(t.column("Data set"), t.column("Tuples")))
+    assert tuples["australian"] == 690
+    assert tuples["nypd"] == 500
+
+
+@pytest.fixture(scope="module")
+def tiny_runs():
+    return known_structure_runs(
+        n_rows=400,
+        time_limit=20.0,
+        methods=("FDX", "CORDS"),
+        networks=("cancer", "earthquake"),
+    )
+
+
+def test_known_structure_runs_structure(tiny_runs):
+    assert set(tiny_runs) == {"cancer", "earthquake"}
+    for per_method in tiny_runs.values():
+        assert set(per_method) == {"FDX", "CORDS"}
+        for outcome, prf in per_method.values():
+            assert 0.0 <= prf.precision <= 1.0
+            assert 0.0 <= prf.recall <= 1.0
+
+
+def test_table4_renders_from_runs(tiny_runs):
+    t = table4(tiny_runs)
+    assert isinstance(t, Table)
+    # 2 networks x 3 metric rows.
+    assert len(t.rows) == 6
+    metrics = t.column("Metric")
+    assert metrics == ["P", "R", "F1"] * 2
+
+
+def test_table5_renders_from_runs(tiny_runs):
+    t = table5(tiny_runs)
+    assert len(t.rows) == 2
+    fdx_times = t.column("FDX")
+    assert all(isinstance(v, float) for v in fdx_times)
+
+
+def test_table6_reduced():
+    t = table6(
+        datasets=("mammographic",),
+        methods=("FDX", "CORDS"),
+        time_limit=30.0,
+    )
+    assert len(t.rows) == 2  # time + #FDs
+    assert t.rows[0][1] == "time (sec)"
+    assert t.rows[1][1] == "# of FDs"
+    n_fdx = t.rows[1][2]
+    assert isinstance(n_fdx, int) and n_fdx <= 6
+
+
+def test_table8_sparsity_sweep_reduced():
+    t = table8(n_rows=400, networks=("cancer",), grid=(0.0, 0.2))
+    assert len(t.rows) == 4  # P/R/F1/#FDs for one network
+    nfds_row = t.rows[3]
+    assert nfds_row[2] >= nfds_row[3]  # FDs shrink as sparsity grows
+
+
+def test_lambda_sensitivity_reduced():
+    from repro.experiments.tables import lambda_sensitivity
+
+    t = lambda_sensitivity(n_rows=400, networks=("cancer",), grid=(0.01, 0.1))
+    assert len(t.rows) == 3
+    assert t.headers[2:] == ["0.01", "0.1"]
+    f1_row = next(row for row in t.rows if row[1] == "F1")
+    assert all(0.0 <= v <= 1.0 for v in f1_row[2:])
+
+
+def test_table9_ordering_sweep_reduced():
+    t = table9(n_rows=400, networks=("cancer",), orderings=("mindegree", "natural"))
+    assert t.headers[2] == "heuristic"  # paper's label for mindegree
+    assert len(t.rows) == 3

@@ -1,0 +1,97 @@
+"""Tests for repro.baselines.tane."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tane import Tane, TimeBudgetExceeded
+from repro.core.fd import FD
+from repro.dataset.noise import RandomFlipNoise
+from repro.dataset.relation import Relation
+
+
+def exact_fd_relation(n=200, seed=0):
+    """k determines a and b exactly; z is independent noise."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        k = int(rng.integers(10))
+        rows.append((k, k % 3, (k * 7) % 5, int(rng.integers(50))))
+    return Relation.from_rows(["k", "a", "b", "z"], rows)
+
+
+def test_discovers_exact_fds():
+    res = Tane(max_error=0.0).discover(exact_fd_relation())
+    assert FD(["k"], "a") in res.fds
+    assert FD(["k"], "b") in res.fds
+
+
+def test_fds_are_minimal():
+    res = Tane(max_error=0.0).discover(exact_fd_relation())
+    for fd in res.fds:
+        for sub in fd.lhs:
+            if len(fd.lhs) > 1:
+                smaller = FD(set(fd.lhs) - {sub}, fd.rhs)
+                assert smaller not in res.fds or smaller == fd
+
+
+def test_discovered_fds_actually_hold():
+    rel = exact_fd_relation()
+    res = Tane(max_error=0.0).discover(rel)
+    from repro.baselines.partitions import Partition, column_codes, fd_error_g3
+
+    for fd in res.fds:
+        err = fd_error_g3(Partition.for_attributes(rel, fd.lhs), column_codes(rel, fd.rhs))
+        assert err == 0.0
+
+
+def test_approximate_tolerance_recovers_noisy_fd():
+    rel = exact_fd_relation(400)
+    noisy, _ = RandomFlipNoise(0.05, attributes=["a"]).apply(
+        rel, np.random.default_rng(1)
+    )
+    strict = Tane(max_error=0.0).discover(noisy)
+    tolerant = Tane(max_error=0.1).discover(noisy)
+    assert FD(["k"], "a") not in strict.fds
+    assert FD(["k"], "a") in tolerant.fds
+
+
+def test_error_recorded_for_each_fd():
+    res = Tane(max_error=0.1).discover(exact_fd_relation())
+    assert all(0.0 <= e <= 0.1 + 1e-9 for e in res.errors.values())
+
+
+def test_max_lhs_size_limits_depth():
+    res = Tane(max_error=0.0, max_lhs_size=1).discover(exact_fd_relation())
+    assert all(fd.arity == 1 for fd in res.fds)
+
+
+def test_time_limit_raises():
+    rng = np.random.default_rng(0)
+    rows = [tuple(int(rng.integers(50)) for _ in range(12)) for _ in range(500)]
+    rel = Relation.from_rows([f"c{i}" for i in range(12)], rows)
+    with pytest.raises(TimeBudgetExceeded):
+        Tane(max_error=0.3, max_lhs_size=6, time_limit=0.05).discover(rel)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        Tane(max_error=-0.1)
+    with pytest.raises(ValueError):
+        Tane(max_lhs_size=0)
+
+
+def test_stats_populated():
+    res = Tane().discover(exact_fd_relation())
+    assert res.candidates_validated > 0
+    assert res.levels_explored >= 1
+    assert res.seconds > 0
+
+
+def test_exhaustive_output_is_large_on_correlated_data():
+    """TANE's syntactic search discovers many FDs on small noisy domains
+    (the overfitting profile the paper reports)."""
+    rng = np.random.default_rng(2)
+    rows = [tuple(int(rng.integers(3)) for _ in range(5)) for _ in range(60)]
+    rel = Relation.from_rows([f"c{i}" for i in range(5)], rows)
+    res = Tane(max_error=0.35).discover(rel)
+    assert len(res.fds) >= 5

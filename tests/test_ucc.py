@@ -1,0 +1,83 @@
+"""Tests for repro.baselines.ucc (unique column combinations)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tane import TimeBudgetExceeded
+from repro.baselines.ucc import UccDiscovery
+from repro.dataset.relation import MISSING, Relation
+
+
+def keyed_relation(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [(i, i % 8, i // 8, int(rng.integers(3))) for i in range(n)]
+    # (b, c) jointly reconstruct i -> also a key; a alone is not.
+    return Relation.from_rows(["id", "b", "c", "noise"], rows)
+
+
+def test_single_column_key_found():
+    res = UccDiscovery().discover(keyed_relation())
+    assert frozenset({"id"}) in res.uccs
+
+
+def test_composite_key_found_and_minimal():
+    res = UccDiscovery(max_size=2).discover(keyed_relation())
+    assert frozenset({"b", "c"}) in res.uccs
+    # No UCC is a superset of another.
+    for u in res.uccs:
+        for v in res.uccs:
+            assert u == v or not (u < v)
+
+
+def test_supersets_of_keys_not_reported():
+    res = UccDiscovery(max_size=3).discover(keyed_relation())
+    assert frozenset({"id", "noise"}) not in res.uccs
+
+
+def test_no_keys_in_duplicated_relation():
+    rel = Relation.from_rows(["a", "b"], [(1, 2)] * 10)
+    res = UccDiscovery(max_size=2).discover(rel)
+    assert res.uccs == []
+
+
+def test_approximate_ucc_tolerates_duplicates():
+    rows = [(i,) for i in range(98)] + [(0,), (1,)]  # two duplicate ids
+    rel = Relation.from_rows(["id"], rows)
+    strict = UccDiscovery(max_error=0.0).discover(rel)
+    loose = UccDiscovery(max_error=0.05).discover(rel)
+    assert frozenset({"id"}) not in strict.uccs
+    assert frozenset({"id"}) in loose.uccs
+    assert loose.errors[frozenset({"id"})] == pytest.approx(2 / 100)
+
+
+def test_missing_values_never_match():
+    """NULL != NULL: a column of all missing values is (vacuously) a key."""
+    rel = Relation.from_rows(["x"], [(MISSING,)] * 10)
+    res = UccDiscovery().discover(rel)
+    assert frozenset({"x"}) in res.uccs
+
+
+def test_max_size_respected():
+    res = UccDiscovery(max_size=1).discover(keyed_relation())
+    assert all(len(u) == 1 for u in res.uccs)
+
+
+def test_time_limit():
+    rng = np.random.default_rng(0)
+    rows = [tuple(int(rng.integers(2)) for _ in range(16)) for _ in range(2000)]
+    rel = Relation.from_rows([f"c{i}" for i in range(16)], rows)
+    with pytest.raises(TimeBudgetExceeded):
+        UccDiscovery(max_size=8, time_limit=0.01).discover(rel)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        UccDiscovery(max_error=-1)
+    with pytest.raises(ValueError):
+        UccDiscovery(max_size=0)
+
+
+def test_stats_recorded():
+    res = UccDiscovery(max_size=2).discover(keyed_relation())
+    assert res.candidates_checked > 0
+    assert res.seconds > 0
