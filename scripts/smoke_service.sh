@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Smoke test for `python -m repro serve`: boots the real server process,
+# runs one discover round trip and one streaming-session round trip via
+# the Python client, checks the cache hit shows up in /v1/metrics, and
+# exits nonzero on any failure. Invoked by the tier-2 pytest marker
+# (tests/test_service_smoke.py) and usable standalone:
+#
+#   bash scripts/smoke_service.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:$PYTHONPATH}"
+PYTHON="${PYTHON:-python}"
+
+PORT="$("$PYTHON" - <<'EOF'
+import socket
+with socket.socket() as s:
+    s.bind(("127.0.0.1", 0))
+    print(s.getsockname()[1])
+EOF
+)"
+
+"$PYTHON" -m repro serve --port "$PORT" --workers 2 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+
+"$PYTHON" - "$PORT" <<'EOF'
+import sys
+
+import numpy as np
+
+from repro.core.fd import FD
+from repro.service import ServiceClient
+
+port = int(sys.argv[1])
+client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
+client.wait_until_healthy(timeout=30.0)
+
+from repro.dataset.relation import Relation
+
+rng = np.random.default_rng(0)
+rows = []
+for _ in range(1000):
+    base = int(rng.integers(20))
+    rows.append(tuple([base, base % 5] + [int(rng.integers(6)) for _ in range(8)]))
+relation = Relation.from_rows([f"a{i}" for i in range(10)], rows)
+
+# One-shot discover + cache hit on the identical repeat.
+result = client.discover(relation)
+assert FD(["a0"], "a1") in set(result.fds), result.fds
+assert client.discover_raw(relation)["cached"] is True
+assert client.metrics()["counters"]["discover_cache_hits"] >= 1
+
+# Streaming session round trip.
+session = client.create_session()
+for start in range(0, 1000, 250):
+    client.append_batch(session, relation.select_rows(np.arange(start, start + 250)))
+session_result = client.session_fds(session)
+assert FD(["a0"], "a1") in set(session_result.fds), session_result.fds
+client.close_session(session)
+
+print("smoke_service: OK")
+EOF

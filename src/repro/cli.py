@@ -9,14 +9,17 @@ Commands
 ``report``      full markdown profiling report (FDs, keys, DCs, outlook).
 ``constraints`` discover keys / denial constraints / constant CFDs.
 ``dataset``     materialize a built-in benchmark dataset to CSV.
+``serve``       run the concurrent FD-discovery HTTP service.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from . import __version__
 from .core.fdx import FDX
 from .dataset.io import read_csv, write_csv
 
@@ -31,8 +34,6 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     )
     result = fdx.discover(relation)
     if args.json:
-        import json
-
         print(json.dumps(result.to_dict(), indent=2, default=str))
         return 0
     print(f"{relation.n_rows} rows x {relation.n_attributes} attributes")
@@ -168,10 +169,28 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FDX (SIGMOD 2020) reproduction: FD discovery in noisy data",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -222,6 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None)
     p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("serve", help="run the FD-discovery HTTP service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent discovery worker threads")
+    p.add_argument("--job-timeout", type=float, default=300.0,
+                   help="per-job wall-clock budget in seconds")
+    p.add_argument("--cache-entries", type=int, default=128,
+                   help="result-cache capacity (0 disables caching)")
+    p.add_argument("--cache-ttl", type=float, default=3600.0,
+                   help="result-cache entry lifetime in seconds")
+    p.add_argument("--max-sessions", type=int, default=256)
+    p.add_argument("--session-ttl", type=float, default=1800.0,
+                   help="idle streaming-session lifetime in seconds")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

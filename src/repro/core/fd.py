@@ -41,6 +41,22 @@ class FD:
         """Directed edges ``(determinant, dependent)`` of this FD."""
         return {(a, self.rhs) for a in self.lhs}
 
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        return {"lhs": list(self.lhs), "rhs": self.rhs}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FD":
+        """Rebuild an FD from a :meth:`to_dict` payload."""
+        try:
+            lhs = payload["lhs"]
+            rhs = payload["rhs"]
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"malformed FD payload: {payload!r}") from exc
+        if isinstance(lhs, str) or not isinstance(rhs, str):
+            raise ValueError(f"malformed FD payload: {payload!r}")
+        return cls(lhs, rhs)
+
     def generalizes(self, other: "FD") -> bool:
         """True if this FD has the same rhs and a subset determinant."""
         return self.rhs == other.rhs and set(self.lhs) <= set(other.lhs)

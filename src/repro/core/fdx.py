@@ -63,9 +63,14 @@ class FDXResult:
         return None
 
     def to_dict(self) -> dict:
-        """JSON-friendly summary of the discovery result."""
+        """JSON-friendly summary of the discovery result.
+
+        The inverse is :meth:`from_dict`; ``to_dict`` deliberately omits
+        the (dense, derivable) precision/covariance matrices, so a
+        round-tripped result carries identity placeholders for them.
+        """
         return {
-            "fds": [{"lhs": list(fd.lhs), "rhs": fd.rhs} for fd in self.fds],
+            "fds": [fd.to_dict() for fd in self.fds],
             "attribute_order": list(self.attribute_order),
             "autoregression": self.autoregression.tolist(),
             "transform_seconds": self.transform_seconds,
@@ -73,6 +78,39 @@ class FDXResult:
             "n_pair_samples": self.n_pair_samples,
             "diagnostics": dict(self.diagnostics),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FDXResult":
+        """Rebuild a result from a :meth:`to_dict` payload (wire inverse).
+
+        Accepts optional ``precision`` / ``covariance`` keys for payloads
+        that carry the full model; otherwise identity matrices of matching
+        size stand in, keeping ``from_dict(d).to_dict() == d``.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"expected a result dict, got {type(payload)!r}")
+        try:
+            order = list(payload["attribute_order"])
+            fds = [FD.from_dict(d) for d in payload["fds"]]
+            autoregression = np.asarray(payload["autoregression"], dtype=float)
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed FDXResult payload: {exc}") from exc
+        p = len(order)
+        if p == 0:
+            autoregression = autoregression.reshape((0, 0))
+        precision = payload.get("precision")
+        covariance = payload.get("covariance")
+        return cls(
+            fds=fds,
+            attribute_order=order,
+            autoregression=autoregression,
+            precision=np.asarray(precision, dtype=float) if precision is not None else np.eye(p),
+            covariance=np.asarray(covariance, dtype=float) if covariance is not None else np.eye(p),
+            transform_seconds=float(payload.get("transform_seconds", 0.0)),
+            model_seconds=float(payload.get("model_seconds", 0.0)),
+            n_pair_samples=int(payload.get("n_pair_samples", 0)),
+            diagnostics=dict(payload.get("diagnostics", {})),
+        )
 
     def heatmap_rows(self, names: list[str]) -> list[str]:
         """ASCII rendering of the autoregression matrix (paper Fig. 3/5)."""

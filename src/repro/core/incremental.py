@@ -98,8 +98,12 @@ class IncrementalFDX:
 
         Batches smaller than ``min_batch_rows`` are buffered and merged
         with the next batch so that the within-batch transform always has
-        enough rows to form representative pairs.
+        enough rows to form representative pairs. An empty batch is a
+        no-op (it does not even pin the schema), so pollers that flush
+        whatever they have cannot wedge the stream.
         """
+        if batch.n_rows == 0:
+            return
         if self._schema is None:
             self._schema = batch.schema
         elif batch.schema != self._schema:

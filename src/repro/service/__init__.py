@@ -1,0 +1,54 @@
+"""`repro.service`: a concurrent FD-discovery server (extension).
+
+The in-process :class:`repro.FDX` API pays the full transform +
+graphical-lasso cost on every call. This subsystem turns the
+reproduction into a long-lived service that amortizes that work:
+
+* :mod:`~repro.service.protocol` — versioned JSON wire schemas,
+* :mod:`~repro.service.jobs` — bounded worker pool with job lifecycle,
+  per-job timeouts and cancellation,
+* :mod:`~repro.service.cache` — fingerprinted LRU/TTL result cache,
+* :mod:`~repro.service.sessions` — streaming sessions over
+  :class:`repro.core.IncrementalFDX`,
+* :mod:`~repro.service.metrics` — request counters and latency percentiles,
+* :mod:`~repro.service.server` — the stdlib ``http.server`` front end
+  (``python -m repro serve``),
+* :mod:`~repro.service.client` — a blocking Python client.
+
+Everything is standard library + the repro core: no web framework.
+"""
+
+from .cache import ResultCache, dataset_fingerprint
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobManager
+from .metrics import Metrics
+from .protocol import (
+    PROTOCOL_VERSION,
+    Hyperparameters,
+    ProtocolError,
+    relation_from_wire,
+    relation_to_wire,
+)
+from .server import DiscoveryService, ServiceHandle, serve, start_in_thread
+from .sessions import Session, SessionManager
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DiscoveryService",
+    "Hyperparameters",
+    "Job",
+    "JobManager",
+    "Metrics",
+    "ProtocolError",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "Session",
+    "SessionManager",
+    "dataset_fingerprint",
+    "relation_from_wire",
+    "relation_to_wire",
+    "serve",
+    "start_in_thread",
+]

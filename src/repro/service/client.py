@@ -1,0 +1,196 @@
+"""Blocking Python client for the FD-discovery service.
+
+Stdlib-only (``urllib``), mirroring the ``/v1`` wire protocol. Relation
+arguments are :class:`repro.Relation` objects — the client serializes
+them; result payloads come back as :class:`repro.FDXResult` via
+``FDXResult.from_dict``, so service callers get the same object the
+in-process API returns.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from ..core.fdx import FDXResult
+from ..dataset.relation import Relation
+from .jobs import TERMINAL_STATES
+from .protocol import PROTOCOL_VERSION, relation_to_wire
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error payload (or unreachable)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Thin blocking client; one instance per base URL, thread-safe."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Any | None = None, raw: bytes | None = None
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        data = raw if raw is not None else (
+            None if body is None else json.dumps(body, default=str).encode()
+        )
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read() or b"{}")
+                message = detail.get("error", {}).get("message", str(exc))
+            except (json.JSONDecodeError, AttributeError):
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+        version = payload.get("protocol_version")
+        if version is not None and version > PROTOCOL_VERSION:
+            raise ServiceError(
+                f"server speaks protocol v{version}, client understands v{PROTOCOL_VERSION}"
+            )
+        return payload
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover(
+        self,
+        relation: Relation,
+        hyperparameters: Mapping[str, Any] | None = None,
+    ) -> FDXResult:
+        """Synchronous discovery (waits for the result server-side)."""
+        payload = self.discover_raw(relation, hyperparameters, wait=True)
+        return FDXResult.from_dict(payload["result"])
+
+    def discover_raw(
+        self,
+        relation: Relation,
+        hyperparameters: Mapping[str, Any] | None = None,
+        wait: bool = True,
+    ) -> dict:
+        """Full response envelope (exposes ``cached``/``fingerprint``)."""
+        body = {"relation": relation_to_wire(relation), "wait": wait}
+        if hyperparameters:
+            body["hyperparameters"] = dict(hyperparameters)
+        return self._request("POST", "/v1/discover", body)
+
+    def prepare_discover_body(
+        self,
+        relation: Relation,
+        hyperparameters: Mapping[str, Any] | None = None,
+        wait: bool = True,
+    ) -> bytes:
+        """Pre-serialize a discover request for repeated submission.
+
+        Like a prepared statement: the client pays relation serialization
+        once, and byte-identical resubmissions also let the server answer
+        from its request-body memo without re-parsing the JSON.
+        """
+        body = {"relation": relation_to_wire(relation), "wait": wait}
+        if hyperparameters:
+            body["hyperparameters"] = dict(hyperparameters)
+        return json.dumps(body, default=str).encode()
+
+    def discover_prepared(self, prepared: bytes) -> dict:
+        """POST a body from :meth:`prepare_discover_body`; full envelope."""
+        return self._request("POST", "/v1/discover", raw=prepared)
+
+    def submit(
+        self,
+        relation: Relation,
+        hyperparameters: Mapping[str, Any] | None = None,
+    ) -> str:
+        """Asynchronous discovery: returns a job id to poll."""
+        payload = self.discover_raw(relation, hyperparameters, wait=False)
+        # A cache hit completes instantly and carries no job to poll.
+        if payload.get("cached"):
+            return ""
+        return payload["job_id"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel_job(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait_for_job(
+        self, job_id: str, timeout: float = 120.0, poll_interval: float = 0.05
+    ) -> dict:
+        """Poll until the job is terminal; raises on timeout/failure."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] in TERMINAL_STATES:
+                if status["state"] != "done":
+                    raise ServiceError(
+                        f"job {job_id} ended {status['state']}: "
+                        f"{status.get('error', 'no detail')}"
+                    )
+                return status
+            if time.monotonic() > deadline:
+                raise ServiceError(f"job {job_id} still {status['state']} after {timeout}s")
+            time.sleep(poll_interval)
+
+    # -- sessions ----------------------------------------------------------
+
+    def create_session(self, hyperparameters: Mapping[str, Any] | None = None) -> str:
+        body = {"hyperparameters": dict(hyperparameters)} if hyperparameters else {}
+        return self._request("POST", "/v1/sessions", body)["session_id"]
+
+    def append_batch(self, session_id: str, batch: Relation) -> dict:
+        return self._request(
+            "POST",
+            f"/v1/sessions/{session_id}/batches",
+            {"relation": relation_to_wire(batch)},
+        )
+
+    def session_fds(self, session_id: str) -> FDXResult:
+        payload = self._request("GET", f"/v1/sessions/{session_id}/fds")
+        return FDXResult.from_dict(payload["result"])
+
+    def session_info(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}")
+
+    def reset_session(self, session_id: str) -> dict:
+        return self._request("POST", f"/v1/sessions/{session_id}/reset")
+
+    def close_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    # -- introspection -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def wait_until_healthy(self, timeout: float = 10.0) -> dict:
+        """Poll ``/v1/healthz`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)

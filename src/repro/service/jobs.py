@@ -1,0 +1,268 @@
+"""Bounded-concurrency job manager for discovery requests.
+
+Requests are turned into :class:`Job` objects and executed on a
+``concurrent.futures.ThreadPoolExecutor`` with a fixed worker count, so a
+burst of expensive discoveries queues instead of oversubscribing the
+host. Each job walks ``QUEUED -> RUNNING -> DONE | FAILED | CANCELLED``:
+
+* **timeout** — jobs carry a per-job wall-clock budget measured from the
+  moment they start running. Python threads cannot be interrupted, so a
+  blown budget is enforced at observation time: the job *reports* FAILED
+  as soon as its deadline passes, and whatever the worker eventually
+  produces is discarded.
+* **cancellation** — a queued job is cancelled outright (the executor
+  never runs it); a running job is flagged and its result discarded when
+  the worker finishes.
+
+Finished jobs are retained (bounded, FIFO-pruned) so clients can poll
+``/v1/jobs/<id>`` after completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class Job:
+    """One unit of work and its observable lifecycle."""
+
+    def __init__(self, job_id: str, timeout: float | None, kind: str = "discover") -> None:
+        self.id = job_id
+        self.kind = kind
+        self.timeout = timeout
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: Any = None
+        self.error: str | None = None
+        self._state = QUEUED
+        self._cancel_requested = False
+        self._lock = threading.Lock()
+        self._done_event = threading.Event()
+        self.future: Future | None = None
+
+    # -- lifecycle (called by the manager/worker) --------------------------
+
+    def _begin(self) -> bool:
+        """Transition to RUNNING; False if the job was already cancelled."""
+        with self._lock:
+            if self._cancel_requested or self._state in TERMINAL_STATES:
+                self._finish_locked(CANCELLED, error="cancelled before start")
+                return False
+            self._state = RUNNING
+            self.started_at = time.monotonic()
+            return True
+
+    def _finish_locked(self, state: str, *, result: Any = None, error: str | None = None) -> None:
+        if self._state in TERMINAL_STATES:
+            return
+        self._state = state
+        self.result = result
+        self.error = error
+        self.finished_at = time.monotonic()
+        self._done_event.set()
+
+    def _complete(self, result: Any) -> None:
+        with self._lock:
+            if self._timed_out_locked():
+                self._finish_locked(
+                    FAILED, error=f"timed out after {self.timeout:.3f}s"
+                )
+            elif self._cancel_requested:
+                self._finish_locked(CANCELLED, error="cancelled while running")
+            else:
+                self._finish_locked(DONE, result=result)
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._cancel_requested:
+                self._finish_locked(CANCELLED, error="cancelled while running")
+            else:
+                self._finish_locked(FAILED, error=f"{type(exc).__name__}: {exc}")
+
+    def _timed_out_locked(self) -> bool:
+        return (
+            self.timeout is not None
+            and self.started_at is not None
+            and self._state == RUNNING
+            and time.monotonic() - self.started_at > self.timeout
+        )
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state; a blown deadline surfaces as FAILED immediately."""
+        with self._lock:
+            if self._timed_out_locked():
+                self._finish_locked(FAILED, error=f"timed out after {self.timeout:.3f}s")
+            return self._state
+
+    def cancel(self) -> bool:
+        """Request cancellation; True if the job will not produce a result."""
+        future = self.future
+        if future is not None and future.cancel():
+            with self._lock:
+                self._finish_locked(CANCELLED, error="cancelled while queued")
+            return True
+        with self._lock:
+            if self._state in TERMINAL_STATES:
+                return self._state == CANCELLED
+            self._cancel_requested = True
+            return True
+
+    def wait(self, timeout: float | None = None) -> str:
+        """Block until the job reaches a terminal state (or ``timeout``).
+
+        Polls in short slices rather than blocking on the event alone so
+        observation-time deadline enforcement fires promptly.
+        """
+        end = None if timeout is None else time.monotonic() + timeout
+        while True:
+            state = self.state
+            if state in TERMINAL_STATES:
+                return state
+            remaining = None if end is None else end - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return state
+            slice_ = 0.05 if remaining is None else min(0.05, remaining)
+            self._done_event.wait(slice_)
+
+    def to_dict(self) -> dict:
+        """Status payload for ``/v1/jobs/<id>``."""
+        state = self.state
+        with self._lock:
+            runtime = None
+            if self.started_at is not None:
+                clock_end = self.finished_at if self.finished_at is not None else time.monotonic()
+                runtime = clock_end - self.started_at
+            payload = {
+                "job_id": self.id,
+                "kind": self.kind,
+                "state": state,
+                "submitted_at": self.submitted_at,
+                "runtime_seconds": runtime,
+                "timeout_seconds": self.timeout,
+            }
+            if self.error is not None:
+                payload["error"] = self.error
+            if state == DONE and self.result is not None:
+                payload["result"] = self.result
+            return payload
+
+
+class JobManager:
+    """Run callables on a bounded pool with observable job lifecycles."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        default_timeout: float | None = 300.0,
+        max_retained: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self.max_retained = max_retained
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._n_submitted = 0
+        self._closed = False
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        *,
+        timeout: float | None = None,
+        kind: str = "discover",
+    ) -> Job:
+        """Queue ``fn`` and return its :class:`Job` handle immediately."""
+        if timeout is None:
+            timeout = self.default_timeout
+        job_id = f"job-{next(self._counter):06d}-{uuid.uuid4().hex[:8]}"
+        job = Job(job_id, timeout=timeout, kind=kind)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is shut down")
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._n_submitted += 1
+            self._prune_locked()
+        job.future = self._executor.submit(self._run, job, fn)
+        return job
+
+    def _run(self, job: Job, fn: Callable[[], Any]) -> None:
+        if not job._begin():
+            return
+        try:
+            result = fn()
+        except BaseException as exc:  # worker thread: report, never raise
+            job._fail(exc)
+        else:
+            job._complete(result)
+
+    def _prune_locked(self) -> None:
+        while len(self._order) > self.max_retained:
+            for i, job_id in enumerate(self._order):
+                if self._jobs[job_id].state in TERMINAL_STATES:
+                    del self._jobs[job_id]
+                    del self._order[i]
+                    break
+            else:
+                return  # everything retained is still live
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        job = self.get(job_id)
+        return job.cancel() if job is not None else False
+
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet running."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == QUEUED)
+
+    def n_running(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == RUNNING)
+
+    def stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "submitted": self._n_submitted,
+                "retained": len(self._jobs),
+                "queue_depth": states.get(QUEUED, 0),
+                "running": states.get(RUNNING, 0),
+                "states": states,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,64 @@
+"""Lightweight service metrics: counters and latency percentiles.
+
+Request handlers record one observation per request; ``snapshot()``
+produces the ``/v1/metrics`` payload. Latencies are kept in a bounded
+per-endpoint ring (last ``window`` observations) so percentiles reflect
+recent behaviour and memory stays constant under heavy traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class Metrics:
+    """Thread-safe counters + per-endpoint latency reservoirs."""
+
+    def __init__(self, window: int = 1024) -> None:
+        self.window = window
+        self.started_at = time.time()
+        self._counters: dict[str, int] = {}
+        self._latencies: dict[str, deque[float]] = {}
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            ring = self._latencies.get(endpoint)
+            if ring is None:
+                ring = self._latencies[endpoint] = deque(maxlen=self.window)
+            ring.append(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            latencies = {}
+            for endpoint, ring in self._latencies.items():
+                values = sorted(ring)
+                latencies[endpoint] = {
+                    "count": len(values),
+                    "p50_seconds": _percentile(values, 0.50),
+                    "p95_seconds": _percentile(values, 0.95),
+                    "max_seconds": values[-1] if values else 0.0,
+                }
+            return {
+                "uptime_seconds": time.time() - self.started_at,
+                "counters": dict(self._counters),
+                "latency": latencies,
+            }

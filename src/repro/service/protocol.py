@@ -1,0 +1,173 @@
+"""Versioned wire schemas for the FD-discovery service.
+
+Everything that crosses the HTTP boundary is defined here, so the server
+handler and the blocking client share one vocabulary:
+
+* relations are shipped column-oriented (``{"attributes": [...],
+  "columns": {name: [...]}}``) or row-oriented (``"rows": [[...], ...]``),
+* hyperparameters are a flat, canonicalizable dict
+  (:class:`Hyperparameters`), which also feeds the cache fingerprint,
+* discovery results travel as ``FDXResult.to_dict()`` payloads and are
+  rebuilt client-side with ``FDXResult.from_dict`` — the round-trip
+  inverse added for this service.
+
+``PROTOCOL_VERSION`` is embedded in every response envelope; clients
+should reject a major version they do not understand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..dataset.relation import MISSING, Relation
+from ..dataset.schema import Attribute, AttributeType, Schema
+
+#: Wire-format version embedded in every response envelope.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on cells per shipped relation (memory guard for one request).
+MAX_CELLS = 5_000_000
+
+
+class ProtocolError(ValueError):
+    """A malformed request payload; maps to an HTTP 4xx."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class Hyperparameters:
+    """Discovery hyperparameters accepted over the wire.
+
+    Mirrors the :class:`repro.core.fdx.FDX` /
+    :class:`repro.core.incremental.IncrementalFDX` constructor surface
+    that makes sense per-request. ``canonical()`` is a stable, hashable
+    projection used by the result-cache fingerprint.
+    """
+
+    lam: float = 0.02
+    sparsity: float = 0.05
+    ordering: str = "natural"
+    shrinkage: float = 0.01
+    max_rows_per_attribute: int | None = None
+    min_batch_rows: int = 50
+    decay: float = 1.0
+    seed: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any] | None) -> "Hyperparameters":
+        if payload is None:
+            return cls()
+        if not isinstance(payload, Mapping):
+            raise ProtocolError("'hyperparameters' must be an object")
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ProtocolError(f"unknown hyperparameters: {sorted(unknown)}")
+        try:
+            return cls(**dict(payload))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad hyperparameters: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {
+            "lam": self.lam,
+            "sparsity": self.sparsity,
+            "ordering": self.ordering,
+            "shrinkage": self.shrinkage,
+            "max_rows_per_attribute": self.max_rows_per_attribute,
+            "min_batch_rows": self.min_batch_rows,
+            "decay": self.decay,
+            "seed": self.seed,
+        }
+
+    def canonical(self) -> tuple:
+        """Deterministic tuple for fingerprinting (sorted key order)."""
+        return tuple(sorted((k, repr(v)) for k, v in self.to_dict().items()))
+
+
+# -- relations over the wire -------------------------------------------------
+
+def relation_to_wire(relation: Relation) -> dict:
+    """Column-oriented JSON payload for ``relation`` (MISSING -> null)."""
+    return {
+        "attributes": [
+            {"name": a.name, "dtype": a.dtype.value} for a in relation.schema.attributes
+        ],
+        "columns": {
+            name: [None if v is MISSING else v for v in relation.column(name)]
+            for name in relation.schema.names
+        },
+    }
+
+
+def _parse_attributes(spec: Any) -> Schema:
+    if not isinstance(spec, (list, tuple)) or not spec:
+        raise ProtocolError("'attributes' must be a non-empty list")
+    attrs: list[Attribute] = []
+    for item in spec:
+        if isinstance(item, str):
+            attrs.append(Attribute(item))
+        elif isinstance(item, Mapping) and "name" in item:
+            dtype = item.get("dtype", AttributeType.CATEGORICAL.value)
+            try:
+                attrs.append(Attribute(str(item["name"]), AttributeType(dtype)))
+            except ValueError as exc:
+                raise ProtocolError(f"bad attribute dtype {dtype!r}") from exc
+        else:
+            raise ProtocolError(f"bad attribute spec {item!r}")
+    try:
+        return Schema(attrs)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def relation_from_wire(payload: Any) -> Relation:
+    """Parse a relation payload (columns- or rows-oriented) with validation."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("'relation' must be an object")
+    schema = _parse_attributes(payload.get("attributes"))
+    columns = payload.get("columns")
+    rows = payload.get("rows")
+    if (columns is None) == (rows is None):
+        raise ProtocolError("relation needs exactly one of 'columns' or 'rows'")
+    if columns is not None:
+        if not isinstance(columns, Mapping):
+            raise ProtocolError("'columns' must map attribute name -> values")
+        lengths = {len(v) for v in columns.values() if isinstance(v, (list, tuple))}
+        n_rows = lengths.pop() if len(lengths) == 1 else None
+        if n_rows is None and columns:
+            raise ProtocolError("ragged or non-list columns")
+        _check_cells(n_rows or 0, len(schema))
+        try:
+            return Relation(schema, columns)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    if not isinstance(rows, (list, tuple)):
+        raise ProtocolError("'rows' must be a list of row arrays")
+    _check_cells(len(rows), len(schema))
+    try:
+        return Relation.from_rows(schema, rows)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def _check_cells(n_rows: int, n_attrs: int) -> None:
+    if n_rows * n_attrs > MAX_CELLS:
+        raise ProtocolError(
+            f"relation too large: {n_rows} x {n_attrs} exceeds {MAX_CELLS} cells",
+            status=413,
+        )
+
+
+# -- response envelopes ------------------------------------------------------
+
+def envelope(payload: dict) -> dict:
+    """Wrap a response body with the protocol version."""
+    return {"protocol_version": PROTOCOL_VERSION, **payload}
+
+
+def error_payload(message: str, status: int) -> dict:
+    return envelope({"error": {"message": message, "status": status}})

@@ -1,0 +1,429 @@
+"""HTTP server for concurrent FD discovery (`python -m repro serve`).
+
+Two layers live here:
+
+* :class:`DiscoveryService` — the transport-free application object
+  wiring together the job manager, result cache, streaming sessions and
+  metrics. Every method takes/returns plain dicts (plus an HTTP status),
+  so it is directly unit-testable without sockets.
+* the handler built by :func:`_make_handler` — a thin
+  ``http.server`` routing shim over it, served by
+  ``ThreadingHTTPServer`` (one thread per connection; the expensive
+  discovery work is still bounded by the job manager's worker pool).
+
+Endpoints (all JSON, all prefixed ``/v1``):
+
+=======================  ====================================================
+``POST /v1/discover``    run FDX on a shipped relation; ``"wait": false``
+                         returns 202 + job id, else blocks for the result.
+                         Identical (relation, hyperparameters) requests are
+                         served from the fingerprint cache.
+``GET  /v1/jobs/<id>``   job status (+result once done)
+``DELETE /v1/jobs/<id>`` cancel a queued/running job
+``POST /v1/sessions``    open a streaming session (body: hyperparameters)
+``POST /v1/sessions/<id>/batches``  append rows to a session
+``GET  /v1/sessions/<id>/fds``      FDs over everything appended so far
+``POST /v1/sessions/<id>/reset``    forget the session's statistics
+``GET  /v1/sessions/<id>``          session info
+``DELETE /v1/sessions/<id>``        close the session
+``GET  /v1/healthz``     liveness + version
+``GET  /v1/metrics``     counters, cache hit rate, queue depth, latency
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .. import __version__
+from ..core.fdx import FDX
+from .cache import ResultCache, dataset_fingerprint
+from .jobs import DONE, JobManager
+from .metrics import Metrics
+from .protocol import (
+    Hyperparameters,
+    ProtocolError,
+    envelope,
+    error_payload,
+    relation_from_wire,
+)
+from .sessions import SessionManager
+
+
+class DiscoveryService:
+    """Transport-free application core of the FD-discovery service."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        job_timeout: float | None = 300.0,
+        cache_entries: int = 128,
+        cache_ttl: float = 3600.0,
+        max_sessions: int = 256,
+        session_ttl: float = 1800.0,
+    ) -> None:
+        self.jobs = JobManager(workers=workers, default_timeout=job_timeout)
+        self.cache = ResultCache(max_entries=cache_entries, ttl_seconds=cache_ttl)
+        # Memo from raw request-body digest to dataset fingerprint: lets a
+        # byte-identical repeat request skip JSON parsing, Relation
+        # construction and content hashing. The fingerprint cache above
+        # stays the source of truth (its TTL/LRU still govern results).
+        self._body_index = ResultCache(
+            max_entries=cache_entries * 8, ttl_seconds=cache_ttl
+        )
+        self.sessions = SessionManager(max_sessions=max_sessions, ttl_seconds=session_ttl)
+        self.metrics = Metrics()
+
+    def close(self) -> None:
+        self.jobs.shutdown(wait=False)
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover_bytes(self, raw: bytes | None) -> tuple[int, dict]:
+        """HTTP fast path: resolve a raw ``/v1/discover`` body.
+
+        A byte-identical repeat of a cached request is answered from one
+        SHA-256 of the body plus two cache lookups, without touching the
+        JSON parser or building a :class:`Relation`.
+        """
+        if not raw:
+            raise ProtocolError("request body must be a JSON object")
+        digest = hashlib.sha256(raw).hexdigest()
+        fingerprint = self._body_index.get(digest)
+        if fingerprint is not None:
+            cached = self.cache.get(fingerprint)
+            if cached is not None:
+                self.metrics.increment("discover_cache_hits")
+                return 200, envelope(
+                    {"cached": True, "fingerprint": fingerprint, "result": cached}
+                )
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from exc
+        status, body = self.discover(payload)
+        if "fingerprint" in body:
+            self._body_index.put(digest, body["fingerprint"])
+        return status, body
+
+    def discover(self, payload: Any) -> tuple[int, dict]:
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        relation = relation_from_wire(payload.get("relation"))
+        hyperparameters = Hyperparameters.from_payload(payload.get("hyperparameters"))
+        wait = payload.get("wait", True)
+        if not isinstance(wait, bool):
+            raise ProtocolError("'wait' must be a boolean")
+
+        fingerprint = dataset_fingerprint(relation, hyperparameters)
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            self.metrics.increment("discover_cache_hits")
+            return 200, envelope(
+                {"cached": True, "fingerprint": fingerprint, "result": cached}
+            )
+        self.metrics.increment("discover_cache_misses")
+
+        def run() -> dict:
+            fdx = FDX(
+                lam=hyperparameters.lam,
+                sparsity=hyperparameters.sparsity,
+                ordering=hyperparameters.ordering,
+                shrinkage=hyperparameters.shrinkage,
+                max_rows_per_attribute=hyperparameters.max_rows_per_attribute,
+                seed=hyperparameters.seed,
+            )
+            result = fdx.discover(relation).to_dict()
+            self.cache.put(fingerprint, result)
+            return result
+
+        job = self.jobs.submit(run)
+        if not wait:
+            return 202, envelope(
+                {"job_id": job.id, "state": job.state, "fingerprint": fingerprint}
+            )
+        state = job.wait()
+        if state == DONE:
+            return 200, envelope(
+                {
+                    "cached": False,
+                    "fingerprint": fingerprint,
+                    "job_id": job.id,
+                    "result": job.result,
+                }
+            )
+        return 500, error_payload(job.error or f"job ended in state {state}", 500)
+
+    def job_status(self, job_id: str) -> tuple[int, dict]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, error_payload(f"unknown job {job_id!r}", 404)
+        return 200, envelope(job.to_dict())
+
+    def cancel_job(self, job_id: str) -> tuple[int, dict]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, error_payload(f"unknown job {job_id!r}", 404)
+        job.cancel()
+        return 200, envelope(job.to_dict())
+
+    # -- sessions ----------------------------------------------------------
+
+    def create_session(self, payload: Any) -> tuple[int, dict]:
+        payload = payload if isinstance(payload, dict) else {}
+        hyperparameters = Hyperparameters.from_payload(payload.get("hyperparameters"))
+        session = self.sessions.create(hyperparameters)
+        self.metrics.increment("sessions_created")
+        return 201, envelope(session.to_dict())
+
+    def session_info(self, session_id: str) -> tuple[int, dict]:
+        return 200, envelope(self.sessions.get(session_id).to_dict())
+
+    def append_batch(self, session_id: str, payload: Any) -> tuple[int, dict]:
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        batch = relation_from_wire(payload.get("relation"))
+        info = self.sessions.append_batch(session_id, batch)
+        self.metrics.increment("session_batches")
+        self.metrics.increment("session_rows", by=batch.n_rows)
+        return 200, envelope(info)
+
+    def session_fds(self, session_id: str) -> tuple[int, dict]:
+        result = self.sessions.discover(session_id)
+        self.metrics.increment("session_discoveries")
+        return 200, envelope(
+            {"session_id": session_id, "result": result.to_dict()}
+        )
+
+    def reset_session(self, session_id: str) -> tuple[int, dict]:
+        return 200, envelope(self.sessions.reset(session_id))
+
+    def close_session(self, session_id: str) -> tuple[int, dict]:
+        if not self.sessions.close(session_id):
+            return 404, error_payload(f"unknown session {session_id!r}", 404)
+        return 200, envelope({"session_id": session_id, "closed": True})
+
+    # -- introspection -----------------------------------------------------
+
+    def healthz(self) -> tuple[int, dict]:
+        return 200, envelope(
+            {
+                "status": "ok",
+                "version": __version__,
+                "uptime_seconds": time.time() - self.metrics.started_at,
+            }
+        )
+
+    def metrics_payload(self) -> tuple[int, dict]:
+        snap = self.metrics.snapshot()
+        cache = self.cache.stats()
+        snap["cache"] = cache
+        snap["cache_hit_rate"] = cache["hit_rate"]
+        snap["jobs"] = self.jobs.stats()
+        snap["queue_depth"] = snap["jobs"]["queue_depth"]
+        snap["sessions"] = self.sessions.stats()
+        return 200, envelope(snap)
+
+
+# -- HTTP shim ---------------------------------------------------------------
+
+def _make_handler(service: DiscoveryService, quiet: bool = True):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-fdx/{__version__}"
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            if not quiet:  # pragma: no cover - debug aid
+                super().log_message(format, *args)
+
+        def _read_raw(self) -> bytes | None:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length == 0:
+                return None
+            return self.rfile.read(length)
+
+        def _read_json(self) -> Any:
+            raw = self._read_raw()
+            if raw is None:
+                return None
+            try:
+                return json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+        def _reply(self, status: int, body: dict) -> None:
+            data = json.dumps(body, default=str).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _route(self, method: str) -> None:
+            started = time.perf_counter()
+            endpoint = "?"
+            service.metrics.increment("requests_total")
+            try:
+                endpoint, status, body = self._dispatch(method)
+            except ProtocolError as exc:
+                service.metrics.increment("errors_total")
+                status, body = exc.status, error_payload(str(exc), exc.status)
+            except Exception as exc:  # noqa: BLE001 - never kill the thread
+                service.metrics.increment("errors_total")
+                status, body = 500, error_payload(
+                    f"internal error: {type(exc).__name__}: {exc}", 500
+                )
+            try:
+                self._reply(status, body)
+            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                service.metrics.increment("client_disconnects")
+                return
+            service.metrics.observe_latency(endpoint, time.perf_counter() - started)
+
+        def _dispatch(self, method: str) -> tuple[str, int, dict]:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if not parts or parts[0] != "v1":
+                return "?", 404, error_payload(f"no such path {self.path!r}", 404)
+            parts = parts[1:]
+
+            if parts == ["healthz"] and method == "GET":
+                return "healthz", *service.healthz()
+            if parts == ["metrics"] and method == "GET":
+                return "metrics", *service.metrics_payload()
+            if parts == ["discover"] and method == "POST":
+                return "discover", *service.discover_bytes(self._read_raw())
+            if len(parts) == 2 and parts[0] == "jobs":
+                if method == "GET":
+                    return "jobs", *service.job_status(parts[1])
+                if method == "DELETE":
+                    return "jobs", *service.cancel_job(parts[1])
+            if parts and parts[0] == "sessions":
+                return self._dispatch_sessions(method, parts[1:])
+            return "?", 404, error_payload(
+                f"no route for {method} {self.path!r}", 404
+            )
+
+        def _dispatch_sessions(self, method: str, rest: list[str]) -> tuple[str, int, dict]:
+            if not rest:
+                if method == "POST":
+                    return "sessions", *service.create_session(self._read_json())
+            elif len(rest) == 1:
+                if method == "GET":
+                    return "sessions", *service.session_info(rest[0])
+                if method == "DELETE":
+                    return "sessions", *service.close_session(rest[0])
+            elif len(rest) == 2:
+                sid, action = rest
+                if action == "batches" and method == "POST":
+                    return "session_batches", *service.append_batch(sid, self._read_json())
+                if action == "fds" and method == "GET":
+                    return "session_fds", *service.session_fds(sid)
+                if action == "reset" and method == "POST":
+                    return "sessions", *service.reset_session(sid)
+            return "?", 404, error_payload(
+                f"no route for {method} {self.path!r}", 404
+            )
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._route("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._route("POST")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._route("DELETE")
+
+    return Handler
+
+
+class ServiceHandle:
+    """A running server plus its lifecycle controls (mainly for tests)."""
+
+    def __init__(self, server: ThreadingHTTPServer, service: DiscoveryService,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self.service = service
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host = self.server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def shutdown(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+        self.thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: DiscoveryService | None = None,
+    quiet: bool = True,
+    **service_kwargs,
+) -> tuple[ThreadingHTTPServer, DiscoveryService]:
+    """Bind a server (port 0 = ephemeral) without starting its loop."""
+    service = service or DiscoveryService(**service_kwargs)
+    server = ThreadingHTTPServer((host, port), _make_handler(service, quiet=quiet))
+    server.daemon_threads = True
+    return server, service
+
+
+def start_in_thread(
+    host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> ServiceHandle:
+    """Start a server on a daemon thread; returns a :class:`ServiceHandle`."""
+    server, service = build_server(host=host, port=port, **kwargs)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return ServiceHandle(server, service, thread)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 4,
+    quiet: bool = False,
+    **service_kwargs,
+) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    try:
+        server, service = build_server(
+            host=host, port=port, workers=workers, quiet=quiet, **service_kwargs
+        )
+    except OSError as exc:
+        print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    actual = server.server_address
+    print(f"repro-fdx service v{__version__} listening on http://{actual[0]}:{actual[1]} "
+          f"({workers} workers)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0

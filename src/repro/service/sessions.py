@@ -1,0 +1,150 @@
+"""Streaming discovery sessions wrapping :class:`IncrementalFDX`.
+
+A session is server-side accumulated state: clients POST row batches and
+GET refreshed FDs without ever resending earlier data — the service holds
+only the O(p^2) second-moment statistics, not the rows. Sessions are
+identified by opaque ids, guarded by a per-session lock (IncrementalFDX
+is not thread-safe), capped in number, and expired after an idle TTL so
+abandoned clients cannot leak state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+
+from ..core.fdx import FDXResult
+from ..core.incremental import IncrementalFDX
+from ..dataset.relation import Relation
+from .protocol import Hyperparameters, ProtocolError
+
+
+class SessionError(ProtocolError):
+    """Session-level failure (unknown id, capacity); maps to HTTP 4xx."""
+
+
+class Session:
+    """One streaming-discovery conversation."""
+
+    def __init__(self, session_id: str, hyperparameters: Hyperparameters) -> None:
+        self.id = session_id
+        self.hyperparameters = hyperparameters
+        self.engine = IncrementalFDX(
+            lam=hyperparameters.lam,
+            sparsity=hyperparameters.sparsity,
+            ordering=hyperparameters.ordering,
+            shrinkage=hyperparameters.shrinkage,
+            min_batch_rows=hyperparameters.min_batch_rows,
+            decay=hyperparameters.decay,
+            seed=hyperparameters.seed,
+        )
+        self.created_at = time.time()
+        self.last_used = time.monotonic()
+        self.n_appends = 0
+        self.lock = threading.Lock()
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.id,
+            "created_at": self.created_at,
+            "hyperparameters": self.hyperparameters.to_dict(),
+            "n_appends": self.n_appends,
+            "n_rows_seen": self.engine.n_rows_seen,
+            "n_batches": self.engine.n_batches,
+            "n_pair_samples": self.engine.n_pair_samples,
+        }
+
+
+class SessionManager:
+    """Create, look up, and expire streaming sessions (thread-safe)."""
+
+    def __init__(self, max_sessions: int = 256, ttl_seconds: float = 1800.0) -> None:
+        self.max_sessions = max_sessions
+        self.ttl_seconds = ttl_seconds
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.expired = 0
+
+    def create(self, hyperparameters: Hyperparameters | None = None) -> Session:
+        session = Session(
+            f"sess-{uuid.uuid4().hex[:16]}", hyperparameters or Hyperparameters()
+        )
+        with self._lock:
+            self._sweep_locked()
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionError(
+                    f"session capacity reached ({self.max_sessions})", status=429
+                )
+            self._sessions[session.id] = session
+            self.created += 1
+        return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            self._sweep_locked()
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}", status=404)
+        session.touch()
+        return session
+
+    def close(self, session_id: str) -> bool:
+        with self._lock:
+            return self._sessions.pop(session_id, None) is not None
+
+    def _sweep_locked(self) -> None:
+        now = time.monotonic()
+        stale = [
+            sid
+            for sid, s in self._sessions.items()
+            if now - s.last_used > self.ttl_seconds
+        ]
+        for sid in stale:
+            del self._sessions[sid]
+            self.expired += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- operations --------------------------------------------------------
+
+    def append_batch(self, session_id: str, batch: Relation) -> dict:
+        session = self.get(session_id)
+        with session.lock:
+            try:
+                session.engine.add_batch(batch)
+            except ValueError as exc:  # e.g. schema mismatch
+                raise ProtocolError(str(exc), status=409) from exc
+            session.n_appends += 1
+            return session.to_dict()
+
+    def discover(self, session_id: str) -> FDXResult:
+        session = self.get(session_id)
+        with session.lock:
+            try:
+                return session.engine.discover()
+            except RuntimeError as exc:  # not enough data yet
+                raise ProtocolError(str(exc), status=409) from exc
+
+    def reset(self, session_id: str) -> dict:
+        session = self.get(session_id)
+        with session.lock:
+            session.engine.reset()
+            session.n_appends = 0
+            return session.to_dict()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "active": len(self._sessions),
+                "max_sessions": self.max_sessions,
+                "ttl_seconds": self.ttl_seconds,
+                "created": self.created,
+                "expired": self.expired,
+            }

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+import repro
+from repro.cli import build_parser, main
 from repro.dataset.io import write_csv
 from repro.dataset.relation import Relation
 
@@ -26,6 +29,34 @@ def test_discover_command(csv_path, capsys):
 def test_discover_with_heatmap(csv_path, capsys):
     assert main(["discover", csv_path, "--heatmap", "--sparsity", "0.1"]) == 0
     assert "autoregression" in capsys.readouterr().out
+
+
+def test_discover_json_output_parses(csv_path, capsys):
+    assert main(["discover", csv_path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) >= {"fds", "attribute_order", "autoregression"}
+    assert payload["attribute_order"] and all(
+        set(fd) == {"lhs", "rhs"} for fd in payload["fds"]
+    )
+    # The JSON output is the documented wire format: from_dict accepts it.
+    from repro.core.fdx import FDXResult
+
+    rebuilt = FDXResult.from_dict(payload)
+    assert rebuilt.to_dict() == payload
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_serve_subcommand_registered():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "0", "--workers", "2"])
+    assert args.port == 0 and args.workers == 2
+    assert args.func.__name__ == "_cmd_serve"
 
 
 def test_experiment_table(capsys):

@@ -29,6 +29,7 @@ def load(name):
     "streaming_discovery",
     "beyond_fds",
     "query_optimization",
+    "service_client",
 ])
 def test_fast_example_runs(name, capsys):
     module = load(name)

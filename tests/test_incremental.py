@@ -131,6 +131,51 @@ def test_decay_validation():
         IncrementalFDX(decay=1.5)
 
 
+def test_empty_batch_is_a_noop():
+    inc = IncrementalFDX()
+    empty = fd_relation(100).select_rows(np.arange(0))
+    inc.add_batch(empty)
+    assert inc.n_rows_seen == 0
+    # An empty first batch must not pin the schema either.
+    inc.add_batch(Relation.from_rows(["x", "y"], [(i % 4, i % 2) for i in range(100)]))
+    assert inc.n_rows_seen == 100
+
+
+def test_empty_batch_between_real_batches():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(100))
+    before = inc.n_pair_samples
+    inc.add_batch(fd_relation(100).select_rows(np.arange(0)))
+    assert inc.n_pair_samples == before
+    inc.add_batch(fd_relation(100, seed=1))
+    assert inc.n_rows_seen == 200
+
+
+def test_unseen_schema_raises_cleanly_and_keeps_state():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(200))
+    with pytest.raises(ValueError, match="schema"):
+        inc.add_batch(Relation.from_rows(["a", "b"], [(1, 2)] * 100))
+    # The failed append must not have corrupted the accumulated state.
+    assert inc.n_rows_seen == 200
+    assert FD(["a"], "b") in set(inc.discover().fds)
+
+
+def test_reset_after_discover_allows_fresh_stream():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(300))
+    first = inc.discover()
+    assert FD(["a"], "b") in set(first.fds)
+    inc.reset()
+    assert inc.n_rows_seen == 0 and inc.n_batches == 0
+    # A fresh stream with a different schema is accepted after reset.
+    rows = [(i % 6, (i % 6) % 3) for i in range(300)]
+    inc.add_batch(Relation.from_rows(["x", "y"], rows))
+    second = inc.discover()
+    assert second.diagnostics["n_batches"] == 1
+    assert all(fd.rhs in ("x", "y") for fd in second.fds)
+
+
 def test_pair_sample_count_accumulates():
     inc = IncrementalFDX()
     inc.add_batch(fd_relation(100, seed=1))

@@ -1,0 +1,137 @@
+"""Round-trip serialization of FD / FDXResult (the service wire formats).
+
+``to_dict -> json -> from_dict`` must be the identity on the dict
+projection: the service ships results as JSON and clients rebuild
+:class:`FDXResult` objects from them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.core.fdx import FDX, FDXResult
+from repro.dataset.relation import Relation
+
+# --- strategies -----------------------------------------------------------
+
+attr_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=4),
+    min_size=2, max_size=6, unique=True,
+)
+
+
+@st.composite
+def fds(draw):
+    names = draw(attr_names)
+    rhs = draw(st.sampled_from(names))
+    candidates = [n for n in names if n != rhs]
+    lhs = draw(st.lists(st.sampled_from(candidates), min_size=1, unique=True))
+    return FD(lhs, rhs)
+
+
+@st.composite
+def fdx_results(draw):
+    names = draw(attr_names)
+    p = len(names)
+    auto = draw(
+        st.lists(
+            st.lists(st.floats(-2.0, 2.0, allow_nan=False), min_size=p, max_size=p),
+            min_size=p, max_size=p,
+        )
+    )
+    result_fds = []
+    for rhs in names:
+        candidates = [n for n in names if n != rhs]
+        lhs = draw(st.lists(st.sampled_from(candidates), unique=True))
+        if lhs:
+            result_fds.append(FD(lhs, rhs))
+    return FDXResult(
+        fds=result_fds,
+        attribute_order=list(draw(st.permutations(names))),
+        autoregression=np.asarray(auto),
+        precision=np.eye(p),
+        covariance=np.eye(p),
+        transform_seconds=draw(st.floats(0, 10, allow_nan=False)),
+        model_seconds=draw(st.floats(0, 10, allow_nan=False)),
+        n_pair_samples=draw(st.integers(0, 10**6)),
+        diagnostics={"n_batches": draw(st.integers(0, 5))},
+    )
+
+
+# --- FD -------------------------------------------------------------------
+
+@given(fds())
+def test_fd_roundtrip(fd):
+    assert FD.from_dict(json.loads(json.dumps(fd.to_dict()))) == fd
+
+
+@pytest.mark.parametrize("payload", [
+    {}, {"lhs": ["a"]}, {"rhs": "b"}, {"lhs": "a", "rhs": "b"},
+    {"lhs": ["a"], "rhs": ["b"]}, None, "a -> b",
+])
+def test_fd_from_dict_rejects_malformed(payload):
+    with pytest.raises(ValueError):
+        FD.from_dict(payload)
+
+
+def test_fd_from_dict_canonicalizes_lhs():
+    fd = FD.from_dict({"lhs": ["b", "a", "b"], "rhs": "c"})
+    assert fd.lhs == ("a", "b")
+
+
+# --- FDXResult ------------------------------------------------------------
+
+@settings(max_examples=50)
+@given(fdx_results())
+def test_fdxresult_dict_roundtrip(result):
+    wire = json.loads(json.dumps(result.to_dict()))
+    rebuilt = FDXResult.from_dict(wire)
+    assert rebuilt.to_dict() == result.to_dict()
+    assert rebuilt.fds == result.fds
+    assert rebuilt.attribute_order == result.attribute_order
+    assert np.allclose(rebuilt.autoregression, result.autoregression)
+
+
+def test_fdxresult_roundtrip_from_real_discovery():
+    rows = [(f"z{i % 7}", f"c{i % 7}", f"s{i % 2}") for i in range(300)]
+    rel = Relation.from_rows(["zip", "city", "state"], rows)
+    result = FDX().discover(rel)
+    rebuilt = FDXResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.to_dict() == result.to_dict()
+    assert set(rebuilt.fds) == set(result.fds)
+    # Placeholders (identity) stand in for the omitted dense matrices.
+    assert rebuilt.precision.shape == (3, 3)
+
+
+def test_fdxresult_from_dict_optional_matrices():
+    result = FDX().discover(
+        Relation.from_rows(["a", "b"], [(i % 4, i % 2) for i in range(200)])
+    )
+    wire = result.to_dict()
+    wire["precision"] = result.precision.tolist()
+    wire["covariance"] = result.covariance.tolist()
+    rebuilt = FDXResult.from_dict(wire)
+    assert np.allclose(rebuilt.precision, result.precision)
+    assert np.allclose(rebuilt.covariance, result.covariance)
+
+
+def test_fdxresult_from_dict_rejects_malformed():
+    with pytest.raises(ValueError):
+        FDXResult.from_dict("not a dict")
+    with pytest.raises(ValueError):
+        FDXResult.from_dict({"fds": []})  # missing attribute_order etc.
+
+
+def test_fdxresult_empty_relation_roundtrip():
+    result = FDXResult(
+        fds=[], attribute_order=[], autoregression=np.zeros((0, 0)),
+        precision=np.zeros((0, 0)), covariance=np.zeros((0, 0)),
+        transform_seconds=0.0, model_seconds=0.0, n_pair_samples=0,
+    )
+    rebuilt = FDXResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.to_dict() == result.to_dict()
+    assert rebuilt.autoregression.shape == (0, 0)

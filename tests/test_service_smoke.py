@@ -1,0 +1,31 @@
+"""Tier-2 smoke test: the real `python -m repro serve` process end to end.
+
+Runs ``scripts/smoke_service.sh`` (server subprocess + client round
+trips) and is excluded from the default tier-1 run by the ``tier2``
+marker; select it with ``pytest -m tier2``.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "smoke_service.sh"
+
+
+@pytest.mark.tier2
+def test_smoke_service_script():
+    bash = shutil.which("bash")
+    if bash is None:
+        pytest.skip("bash not available")
+    completed = subprocess.run(
+        [bash, str(SCRIPT)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, (
+        f"smoke script failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert "smoke_service: OK" in completed.stdout
