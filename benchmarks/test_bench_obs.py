@@ -1,0 +1,100 @@
+"""Observability overhead benchmarks (regression guards, no paper counterpart).
+
+The tracer must be near-free when disabled: ``FDX.discover`` emits a
+handful of spans per run, so the budget is that all disabled-tracer span
+bookkeeping amortized over one discovery stays under 5% of the discovery
+itself. Also records the enabled-vs-disabled discovery comparison so the
+real cost of tracing is visible in the benchmark log.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.fdx import FDX
+from repro.dataset.relation import Relation
+from repro.obs import InMemorySink, Tracer
+
+from conftest import emit
+
+
+def _relation(n=1000, p=10, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        base = int(rng.integers(20))
+        rows.append(tuple([base, base % 5] + [int(rng.integers(6)) for _ in range(p - 2)]))
+    return Relation.from_rows([f"a{i}" for i in range(p)], rows)
+
+
+def _spans_per_discovery(tracer, relation):
+    """Count the spans one discovery opens under this tracer."""
+    probe = Tracer(enabled=True)
+    FDX(seed=0, tracer=probe).discover(relation)
+    return sum(1 for _ in probe.last_root.walk())
+
+
+def test_disabled_tracer_overhead_under_5_percent(run_once):
+    """Per-discovery cost of disabled-tracer span bookkeeping <= 5%."""
+    relation = _relation()
+    disabled = Tracer(enabled=False)
+    n_spans = _spans_per_discovery(disabled, relation)
+
+    def measure():
+        # Wall time of one un-traced discovery (the denominator).
+        fdx = FDX(seed=0, tracer=disabled)
+        t0 = time.perf_counter()
+        fdx.discover(relation)
+        discover_seconds = time.perf_counter() - t0
+
+        # Cost of a disabled span enter/exit, amortized (the numerator).
+        # 100k iterations keeps timer noise well below the 5% budget.
+        iterations = 100_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            with disabled.span("noop", key="value"):
+                pass
+        per_span = (time.perf_counter() - t0) / iterations
+        return discover_seconds, per_span
+
+    discover_seconds, per_span = run_once(measure)
+    overhead = per_span * n_spans
+    ratio = overhead / discover_seconds
+    emit(
+        "disabled-tracer overhead:\n"
+        f"  spans per discovery : {n_spans}\n"
+        f"  per-span cost       : {per_span * 1e9:.0f} ns\n"
+        f"  amortized overhead  : {overhead * 1e6:.1f} us over "
+        f"{discover_seconds * 1e3:.1f} ms ({ratio:.5%})"
+    )
+    assert ratio <= 0.05, f"disabled tracer costs {ratio:.2%} of a discovery"
+
+
+def test_enabled_vs_disabled_discovery(run_once):
+    """Record the full cost of tracing (spans + glasso telemetry)."""
+    relation = _relation()
+
+    def measure():
+        timings = {}
+        for label, tracer in (
+            ("disabled", Tracer(enabled=False)),
+            ("enabled", Tracer(enabled=True, sinks=[InMemorySink()])),
+        ):
+            fdx = FDX(seed=0, tracer=tracer)
+            fdx.discover(relation)  # warm caches, then time
+            t0 = time.perf_counter()
+            result = fdx.discover(relation)
+            timings[label] = time.perf_counter() - t0
+            assert result.fds
+        return timings
+
+    timings = run_once(measure)
+    emit(
+        "tracing cost per discovery (1000x10):\n"
+        f"  disabled : {timings['disabled'] * 1e3:.1f} ms\n"
+        f"  enabled  : {timings['enabled'] * 1e3:.1f} ms\n"
+        f"  ratio    : {timings['enabled'] / timings['disabled']:.2f}x"
+    )
+    # Enabled tracing adds per-iteration glasso telemetry; it must stay
+    # within an order of magnitude, not within the 5% disabled budget.
+    assert timings["enabled"] < timings["disabled"] * 10

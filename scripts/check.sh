@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command repo check: byte-compile everything, run the tier-1 suite,
+# then the tier-2 observability smoke tests (real CLI + server
+# subprocesses). Usable standalone and in CI:
+#
+#   bash scripts/check.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:$PYTHONPATH}"
+PYTHON="${PYTHON:-python}"
+
+echo "== compileall =="
+"$PYTHON" -m compileall -q src tests benchmarks
+
+echo "== tier-1 tests =="
+"$PYTHON" -m pytest -x -q
+
+echo "== tier-2 observability smoke =="
+"$PYTHON" -m pytest -q -m tier2 tests/test_obs_smoke.py
+
+echo "check: OK"

@@ -26,25 +26,59 @@ from .dataset.io import read_csv, write_csv
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
+    tracer = None
+    trace_sink = None
+    if args.trace or args.trace_out:
+        from .obs import JsonlSink, Tracer
+
+        trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
+        tracer = Tracer(enabled=True, sinks=[trace_sink] if trace_sink else [])
     fdx = FDX(
         lam=args.lam,
         sparsity=args.sparsity,
         ordering=args.ordering,
         max_rows_per_attribute=args.max_rows,
+        tracer=tracer,
     )
     result = fdx.discover(relation)
+    if trace_sink is not None:
+        trace_sink.close()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
-        return 0
-    print(f"{relation.n_rows} rows x {relation.n_attributes} attributes")
-    print(f"discovered {len(result.fds)} FDs in {result.total_seconds:.2f}s:")
-    for fd in result.fds:
-        print(f"  {fd}")
-    if args.heatmap:
-        print("\nautoregression |B|:")
-        for line in result.heatmap_rows(relation.schema.names):
-            print(f"  {line}")
+        if tracer is None:
+            return 0
+    else:
+        print(f"{relation.n_rows} rows x {relation.n_attributes} attributes")
+        print(f"discovered {len(result.fds)} FDs in {result.total_seconds:.2f}s:")
+        for fd in result.fds:
+            print(f"  {fd}")
+        if args.heatmap:
+            print("\nautoregression |B|:")
+            for line in result.heatmap_rows(relation.schema.names):
+                print(f"  {line}")
+    if tracer is not None:
+        _print_trace_summary(tracer, result)
     return 0
+
+
+def _print_trace_summary(tracer, result) -> None:
+    """Stage-tree timing summary for ``discover --trace``."""
+    from .obs import render_tree
+
+    root = tracer.last_root
+    if root is None:
+        return
+    print(f"\ntrace {root.trace_id}:")
+    for line in render_tree(root):
+        print(f"  {line}")
+    stage_seconds = result.diagnostics.get("stage_seconds", {})
+    stage_sum = sum(stage_seconds.values())
+    total = result.total_seconds
+    coverage = 100.0 * stage_sum / total if total > 0 else 100.0
+    print(f"  stages: " + "  ".join(
+        f"{name}={seconds * 1000:.2f}ms" for name, seconds in stage_seconds.items()
+    ))
+    print(f"  stage sum {stage_sum:.4f}s of total {total:.4f}s ({coverage:.1f}%)")
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -181,6 +215,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         max_sessions=args.max_sessions,
         session_ttl=args.session_ttl,
+        obs_jsonl=args.obs_jsonl,
     )
 
 
@@ -203,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cap rows per attribute in the transform")
     p.add_argument("--heatmap", action="store_true", help="print |B| heatmap")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.add_argument("--trace", action="store_true",
+                   help="print a per-stage span timing tree")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="also append span events as JSONL to FILE (implies --trace)")
     p.set_defaults(func=_cmd_discover)
 
     p = sub.add_parser("profile", help="single-column statistics of a CSV file")
@@ -256,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-sessions", type=int, default=256)
     p.add_argument("--session-ttl", type=float, default=1800.0,
                    help="idle streaming-session lifetime in seconds")
+    p.add_argument("--obs-jsonl", default=None, metavar="FILE",
+                   help="append span + request events as JSONL to FILE "
+                        "(also enables span tracing of the pipeline)")
     p.set_defaults(func=_cmd_serve)
     return parser
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dataset.relation import Relation
+from ..obs.trace import Tracer, get_tracer
 from .fd import FD
 from .structure import learn_structure
 from .transform import (
@@ -183,6 +184,12 @@ class FDX:
         is the "no zero-mean correction" ablation.
     seed:
         Seed for the transform's row shuffle.
+    tracer:
+        Observability tracer (:class:`repro.obs.Tracer`) used to emit
+        per-stage spans from :meth:`discover`. Defaults to the
+        process-global tracer, which is a near-free no-op unless enabled
+        (e.g. by ``python -m repro discover --trace`` or the service's
+        ``--obs-jsonl``).
     """
 
     def __init__(
@@ -198,6 +205,7 @@ class FDX:
         numeric_tolerance: float | None = None,
         text_jaccard: float | None = None,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         if transform not in ("circular", "uniform"):
             raise ValueError(f"unknown transform {transform!r}")
@@ -214,6 +222,7 @@ class FDX:
         self.numeric_tolerance = numeric_tolerance
         self.text_jaccard = text_jaccard
         self.seed = seed
+        self.tracer = tracer
 
     def transform_relation(self, relation: Relation) -> np.ndarray:
         """Run the configured tuple-pair transform (exposed for ablation).
@@ -259,22 +268,53 @@ class FDX:
                 model_seconds=0.0,
                 n_pair_samples=0,
             )
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         t0 = time.perf_counter()
-        samples = self.transform_relation(relation)
-        t1 = time.perf_counter()
-        estimate = learn_structure(
-            samples,
-            lam=self.lam,
-            ordering=self.ordering,
-            shrinkage=self.shrinkage,
-            assume_centered=self.center_blocks and self.transform == "circular",
-            estimator=self.estimator,
-        )
-        names = relation.schema.names
-        fds = generate_fds(
-            estimate.autoregression, estimate.order, names, sparsity=self.sparsity
-        )
-        t2 = time.perf_counter()
+        with tracer.span(
+            "fdx.discover",
+            n_rows=relation.n_rows,
+            n_attributes=relation.n_attributes,
+        ) as root:
+            with tracer.span("fdx.transform", kind=self.transform):
+                samples = self.transform_relation(relation)
+            t1 = time.perf_counter()
+            estimate = learn_structure(
+                samples,
+                lam=self.lam,
+                ordering=self.ordering,
+                shrinkage=self.shrinkage,
+                assume_centered=self.center_blocks and self.transform == "circular",
+                estimator=self.estimator,
+                tracer=tracer,
+            )
+            names = relation.schema.names
+            t_gen = time.perf_counter()
+            with tracer.span("fdx.generate_fds", sparsity=self.sparsity):
+                fds = generate_fds(
+                    estimate.autoregression, estimate.order, names,
+                    sparsity=self.sparsity,
+                )
+            t2 = time.perf_counter()
+            root.set_attributes(
+                n_fds=len(fds),
+                n_pair_samples=int(samples.shape[0]),
+                glasso_iterations=estimate.glasso_iterations,
+            )
+        stage_seconds = {
+            "transform": t1 - t0,
+            **estimate.stage_seconds,
+            "fd_generation": t2 - t_gen,
+        }
+        diagnostics = {
+            "glasso_iterations": estimate.glasso_iterations,
+            "glasso_converged": estimate.glasso_converged,
+            "final_objective": estimate.glasso_objective,
+            "stage_seconds": stage_seconds,
+        }
+        if estimate.glasso_trace is not None:
+            diagnostics["glasso_objective_trace"] = [
+                step["objective"] for step in estimate.glasso_trace
+            ]
         order_names = [names[i] for i in estimate.order]
         return FDXResult(
             fds=fds,
@@ -285,8 +325,5 @@ class FDX:
             transform_seconds=t1 - t0,
             model_seconds=t2 - t1,
             n_pair_samples=samples.shape[0],
-            diagnostics={
-                "glasso_iterations": estimate.glasso_iterations,
-                "glasso_converged": estimate.glasso_converged,
-            },
+            diagnostics=diagnostics,
         )

@@ -10,7 +10,8 @@ the strictly-upper autoregression matrix of the linear SEM
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from ..linalg.covariance import (
 from ..linalg.glasso import graphical_lasso
 from ..linalg.neighborhood import neighborhood_selection
 from ..linalg.ordering import compute_order
+from ..obs.trace import Tracer, get_tracer
 
 
 @dataclass
@@ -34,6 +36,13 @@ class StructureEstimate:
     factorization: OrderedFactorization
     glasso_iterations: int
     glasso_converged: bool
+    #: Final graphical-lasso objective (None for the neighborhood estimator).
+    glasso_objective: float | None = None
+    #: Per-stage wall-clock seconds: covariance / glasso / factorization.
+    stage_seconds: dict = field(default_factory=dict)
+    #: Per-iteration ``{iteration, objective, duality_gap, change}`` dicts,
+    #: recorded only when tracing is enabled (the callback costs O(p^3)).
+    glasso_trace: list | None = None
 
     @property
     def order(self) -> np.ndarray:
@@ -56,6 +65,7 @@ def learn_structure(
     estimator: str = "glasso",
     covariance: str = "empirical",
     max_iter: int = 100,
+    tracer: Tracer | None = None,
 ) -> StructureEstimate:
     """Estimate the ordered linear-SEM structure of ``samples``.
 
@@ -88,48 +98,92 @@ def learn_structure(
         ``"empirical"`` (default), ``"trimmed"`` or ``"spearman"`` —
         robust alternatives from :mod:`repro.linalg.robust` for inputs
         with adversarial rows (the paper's refs [6, 12]).
+    tracer:
+        Observability tracer; defaults to the process-global one (a
+        no-op unless enabled). Emits ``structure.covariance``,
+        ``structure.glasso`` and ``structure.factorization`` spans, and
+        — when enabled — records a per-iteration objective/duality-gap
+        trace from the graphical lasso.
     """
+    tracer = tracer if tracer is not None else get_tracer()
     samples = np.asarray(samples, dtype=float)
     if samples.ndim != 2:
         raise ValueError("samples must be a 2-D matrix")
-    if covariance == "empirical":
-        S = empirical_covariance(samples, assume_centered=assume_centered)
-    elif covariance == "trimmed":
-        from ..linalg.robust import trimmed_covariance
+    t0 = time.perf_counter()
+    with tracer.span("structure.covariance", estimator=covariance,
+                     shrinkage=shrinkage, standardize=standardize):
+        if covariance == "empirical":
+            S = empirical_covariance(samples, assume_centered=assume_centered)
+        elif covariance == "trimmed":
+            from ..linalg.robust import trimmed_covariance
 
-        S = trimmed_covariance(samples, assume_centered=assume_centered)
-    elif covariance == "spearman":
-        from ..linalg.robust import spearman_covariance
+            S = trimmed_covariance(samples, assume_centered=assume_centered)
+        elif covariance == "spearman":
+            from ..linalg.robust import spearman_covariance
 
-        S = spearman_covariance(samples)
-    else:
-        raise ValueError(f"unknown covariance estimator {covariance!r}")
-    if standardize:
-        S = correlation_from_covariance(S)
-    if shrinkage > 0:
-        S = shrunk_covariance(S, shrinkage)
-    if isinstance(lam, str):
-        if lam != "ebic":
-            raise ValueError(f"unknown penalty rule {lam!r}; use a float or 'ebic'")
-        from ..linalg.model_selection import select_lambda_ebic
+            S = spearman_covariance(samples)
+        else:
+            raise ValueError(f"unknown covariance estimator {covariance!r}")
+        if standardize:
+            S = correlation_from_covariance(S)
+        if shrinkage > 0:
+            S = shrunk_covariance(S, shrinkage)
+        if isinstance(lam, str):
+            if lam != "ebic":
+                raise ValueError(f"unknown penalty rule {lam!r}; use a float or 'ebic'")
+            from ..linalg.model_selection import select_lambda_ebic
 
-        lam = select_lambda_ebic(S, n_samples=samples.shape[0]).best_lambda
-    if estimator == "glasso":
-        result = graphical_lasso(S, lam, max_iter=max_iter)
-        precision = result.precision
-        iterations, converged = result.n_iter, result.converged
-    elif estimator == "neighborhood":
-        nb = neighborhood_selection(S, lam)
-        precision = nb.precision
-        iterations, converged = 1, True
-    else:
-        raise ValueError(f"unknown estimator {estimator!r}")
-    order = compute_order(precision, method=ordering)
-    factorization = factorize_with_order(precision, order)
+            lam = select_lambda_ebic(S, n_samples=samples.shape[0]).best_lambda
+    t1 = time.perf_counter()
+    glasso_objective: float | None = None
+    glasso_trace: list | None = None
+    with tracer.span("structure.glasso", estimator=estimator, lam=float(lam)) as span:
+        if estimator == "glasso":
+            callback = None
+            if tracer.enabled:
+                glasso_trace = []
+                callback = glasso_trace.append
+            result = graphical_lasso(S, lam, max_iter=max_iter, callback=callback)
+            precision = result.precision
+            iterations, converged = result.n_iter, result.converged
+            glasso_objective = result.objective
+            span.set_attributes(
+                iterations=iterations,
+                converged=converged,
+                objective=result.objective,
+                duality_gap=result.dual_gap,
+            )
+            if glasso_trace is not None:
+                span.set_attribute(
+                    "objective_trace", [step["objective"] for step in glasso_trace]
+                )
+                span.set_attribute(
+                    "duality_gap_trace",
+                    [step["duality_gap"] for step in glasso_trace],
+                )
+        elif estimator == "neighborhood":
+            nb = neighborhood_selection(S, lam)
+            precision = nb.precision
+            iterations, converged = 1, True
+            span.set_attributes(iterations=1, converged=True)
+        else:
+            raise ValueError(f"unknown estimator {estimator!r}")
+    t2 = time.perf_counter()
+    with tracer.span("structure.factorization", ordering=ordering):
+        order = compute_order(precision, method=ordering)
+        factorization = factorize_with_order(precision, order)
+    t3 = time.perf_counter()
     return StructureEstimate(
         covariance=S,
         precision=precision,
         factorization=factorization,
         glasso_iterations=iterations,
         glasso_converged=converged,
+        glasso_objective=glasso_objective,
+        stage_seconds={
+            "covariance": t1 - t0,
+            "glasso": t2 - t1,
+            "factorization": t3 - t2,
+        },
+        glasso_trace=glasso_trace,
     )

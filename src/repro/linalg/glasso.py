@@ -9,6 +9,7 @@ structure-learning step (§4.2): ``min_{Theta > 0} -log det Theta
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -23,6 +24,10 @@ class GraphicalLassoResult:
     precision: np.ndarray
     n_iter: int
     converged: bool
+    #: Final penalized negative log-likelihood (see :func:`glasso_objective`).
+    objective: float = float("nan")
+    #: Final duality gap estimate (0 at the optimum; telemetry only).
+    dual_gap: float = float("nan")
 
     @property
     def support(self) -> np.ndarray:
@@ -41,12 +46,56 @@ def _regularized_inverse(S: np.ndarray, ridge: float = 1e-8) -> np.ndarray:
         return np.linalg.pinv(S + ridge * np.eye(p))
 
 
+def glasso_objective(S: np.ndarray, precision: np.ndarray, lam: float) -> float:
+    """Penalized objective ``-log det Theta + tr(S Theta) + lam ||Theta||_1``.
+
+    ``+inf`` when ``Theta`` is not positive definite (the iterates can
+    leave the cone transiently; the objective is telemetry, not a step
+    criterion).
+    """
+    sign, logdet = np.linalg.slogdet(precision)
+    if sign <= 0:
+        return float("inf")
+    return float(
+        -logdet + np.sum(S * precision) + lam * np.abs(precision).sum()
+    )
+
+
+def glasso_dual_gap(S: np.ndarray, precision: np.ndarray, lam: float) -> float:
+    """Duality-gap estimate ``tr(S Theta) + lam ||Theta||_1 - p``.
+
+    Zero at the optimum of the (diagonal-penalized) graphical-lasso
+    program, where ``tr((S + lam Z) Theta) = p`` for a subgradient ``Z``
+    of the L1 norm.
+    """
+    p = S.shape[0]
+    return float(np.sum(S * precision) + lam * np.abs(precision).sum() - p)
+
+
+def _precision_from_working(W: np.ndarray, betas: np.ndarray) -> np.ndarray:
+    """Recover ``Theta`` from the working covariance and lasso coefficients."""
+    p = W.shape[0]
+    indices = np.arange(p)
+    precision = np.zeros((p, p))
+    for j in range(p):
+        rest = indices[indices != j]
+        beta = betas[j]
+        w12 = W[rest, j]
+        denom = W[j, j] - w12 @ beta
+        theta_jj = 1.0 / denom if denom > 1e-12 else 1.0 / max(W[j, j], 1e-12)
+        precision[j, j] = theta_jj
+        precision[rest, j] = -beta * theta_jj
+    # Symmetrize (numerical asymmetry from the column sweeps).
+    return 0.5 * (precision + precision.T)
+
+
 def graphical_lasso(
     S: np.ndarray,
     lam: float,
     max_iter: int = 100,
     tol: float = 1e-4,
     inner_max_iter: int = 200,
+    callback: Callable[[dict], None] | None = None,
 ) -> GraphicalLassoResult:
     """Estimate a sparse precision matrix from covariance ``S``.
 
@@ -61,6 +110,12 @@ def graphical_lasso(
         Convergence threshold on the mean absolute change of the working
         covariance's off-diagonal, relative to the mean absolute
         off-diagonal of ``S``.
+    callback:
+        Optional per-outer-iteration observer, called with a dict
+        ``{"iteration", "objective", "duality_gap", "change"}``. Each
+        call pays an extra ``O(p^3)`` precision recovery + ``slogdet``,
+        so leave it ``None`` on the hot path (the tracer enables it only
+        when tracing is on).
     """
     S = np.asarray(S, dtype=float)
     p = S.shape[0]
@@ -70,15 +125,21 @@ def graphical_lasso(
         raise ValueError(f"lam must be non-negative, got {lam}")
     if p == 0:
         empty = np.zeros((0, 0))
-        return GraphicalLassoResult(empty, empty, 0, True)
+        return GraphicalLassoResult(empty, empty, 0, True, 0.0, 0.0)
     if p == 1:
         w = S[0, 0] + lam
         cov = np.array([[w]])
         prec = np.array([[1.0 / w if w > 0 else 0.0]])
-        return GraphicalLassoResult(cov, prec, 0, True)
+        return GraphicalLassoResult(
+            cov, prec, 0, True,
+            glasso_objective(S, prec, lam), glasso_dual_gap(S, prec, lam),
+        )
     if lam == 0.0:
         precision = _regularized_inverse(S)
-        return GraphicalLassoResult(S.copy(), precision, 0, True)
+        return GraphicalLassoResult(
+            S.copy(), precision, 0, True,
+            glasso_objective(S, precision, 0.0), glasso_dual_gap(S, precision, 0.0),
+        )
 
     W = S.copy()
     W[np.diag_indices_from(W)] += lam
@@ -104,23 +165,23 @@ def graphical_lasso(
             W[rest, j] = w12
             W[j, rest] = w12
         change = np.mean(np.abs(W[off_mask] - W_old[off_mask]))
+        if callback is not None:
+            iterate = _precision_from_working(W, betas)
+            callback({
+                "iteration": n_iter,
+                "objective": glasso_objective(S, iterate, lam),
+                "duality_gap": glasso_dual_gap(S, iterate, lam),
+                "change": float(change),
+            })
         if change < threshold:
             converged = True
             break
 
-    # Recover the precision matrix from the final W and betas.
-    precision = np.zeros((p, p))
-    for j in range(p):
-        rest = indices[indices != j]
-        beta = betas[j]
-        w12 = W[rest, j]
-        denom = W[j, j] - w12 @ beta
-        theta_jj = 1.0 / denom if denom > 1e-12 else 1.0 / max(W[j, j], 1e-12)
-        precision[j, j] = theta_jj
-        precision[rest, j] = -beta * theta_jj
-    # Symmetrize (numerical asymmetry from the column sweeps).
-    precision = 0.5 * (precision + precision.T)
-    return GraphicalLassoResult(W, precision, n_iter, converged)
+    precision = _precision_from_working(W, betas)
+    return GraphicalLassoResult(
+        W, precision, n_iter, converged,
+        glasso_objective(S, precision, lam), glasso_dual_gap(S, precision, lam),
+    )
 
 
 def precision_to_partial_correlation(precision: np.ndarray) -> np.ndarray:

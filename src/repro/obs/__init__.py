@@ -1,0 +1,73 @@
+"""`repro.obs`: end-to-end observability for the FDX pipeline and service.
+
+Three stdlib-only pieces:
+
+* :mod:`~repro.obs.trace` — span-based tracer (context-manager /
+  decorator API, monotonic timings, nested spans, per-span attributes)
+  whose current span and trace id travel in :mod:`contextvars`, so
+  service worker threads inherit the request's trace id;
+* :mod:`~repro.obs.registry` — unified metrics registry with counters,
+  gauges and fixed-bucket histograms (p50/p95/p99), superseding the old
+  ``repro.service.metrics`` counters;
+* :mod:`~repro.obs.sinks` — pluggable event sinks (in-memory ring,
+  JSONL file) plus the Prometheus text exposition served at
+  ``GET /v1/metrics?format=prometheus``.
+
+The disabled tracer is a near-free no-op, so the pipeline
+instrumentation in :meth:`repro.FDX.discover` stays within a measured
+<=5% overhead budget (``benchmarks/test_bench_obs.py``).
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from .sinks import (
+    PROMETHEUS_CONTENT_TYPE,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    render_prometheus,
+)
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    current_trace_id,
+    get_tracer,
+    new_trace_id,
+    render_tree,
+    reset_trace_id,
+    set_global_tracer,
+    set_trace_id,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSink",
+    "Span",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "get_tracer",
+    "new_trace_id",
+    "percentile",
+    "render_prometheus",
+    "render_tree",
+    "reset_trace_id",
+    "set_global_tracer",
+    "set_trace_id",
+]

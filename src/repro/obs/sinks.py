@@ -1,0 +1,186 @@
+"""Event sinks and the Prometheus text exposition.
+
+Sinks receive one dict per observability *event* (a finished span, a
+request log line, a job transition) via ``emit(event)``. Three are
+provided:
+
+* :class:`NullSink` — drops everything (placeholder/default),
+* :class:`InMemorySink` — bounded ring, for tests and introspection,
+* :class:`JsonlSink` — one JSON line per event appended to a file;
+  writes are serialized under a lock so concurrent emitters never
+  interleave partial lines.
+
+:func:`render_prometheus` renders a
+:class:`~repro.obs.registry.MetricsRegistry` in the Prometheus text
+exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers,
+escaped label values, and cumulative ``_bucket``/``_sum``/``_count``
+series for histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from collections import deque
+from typing import IO
+
+from .registry import MetricsRegistry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+class NullSink:
+    """Swallows every event."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink:
+    """Thread-safe bounded ring of the most recent events."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.n_emitted = 0
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            self._ring.append(event)
+            self.n_emitted += 1
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append-only JSONL event log.
+
+    Each ``emit`` serializes the event *outside* the lock, then performs
+    a single locked ``write`` + ``flush`` of the complete line, so
+    concurrent writers (request handler threads, job workers) can never
+    interleave partial lines — every line in the file parses as one JSON
+    object.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, default=str, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _sanitize_name(name: str) -> str:
+    if _NAME_OK.match(name):
+        return name
+    name = _NAME_BAD_CHARS.sub("_", name)
+    if not name or not (name[0].isalpha() or name[0] in "_:"):
+        name = "_" + name
+    return name
+
+
+def _sanitize_label_name(name: str) -> str:
+    name = _LABEL_BAD_CHARS.sub("_", name)
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape ``\\``, ``"`` and newlines per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_sanitize_label_name(k)}="{escape_label_value(v)}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered metric in the Prometheus text format."""
+    lines: list[str] = []
+    for name, kind, help_text, metrics in registry.collect():
+        exp_name = _sanitize_name(name)
+        if help_text:
+            lines.append(f"# HELP {exp_name} {escape_label_value(help_text)}")
+        lines.append(f"# TYPE {exp_name} {kind}")
+        for metric in metrics:
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{exp_name}{_fmt_labels(metric.labels)} {_fmt_value(metric.value)}"
+                )
+            else:  # histogram
+                for bound, cumulative in metric.cumulative_counts():
+                    le = "+Inf" if bound == math.inf else _fmt_value(bound)
+                    lines.append(
+                        f"{exp_name}_bucket"
+                        f"{_fmt_labels(metric.labels, (('le', le),))} {cumulative}"
+                    )
+                lines.append(
+                    f"{exp_name}_sum{_fmt_labels(metric.labels)} "
+                    f"{_fmt_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{exp_name}_count{_fmt_labels(metric.labels)} {metric.count}"
+                )
+    return "\n".join(lines) + "\n"

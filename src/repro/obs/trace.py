@@ -1,0 +1,333 @@
+"""Span-based tracing for the FDX pipeline and service.
+
+A :class:`Span` is one timed unit of work (a pipeline stage, an HTTP
+request, a worker job); spans nest, carry free-form attributes, and are
+grouped under a shared *trace id*. The current span and trace id travel
+in :mod:`contextvars`, so nested pipeline stages attach to the enclosing
+request automatically — and, because the job manager submits work with
+``contextvars.copy_context()``, service worker threads inherit the
+request's trace id.
+
+The disabled tracer is a near-free no-op: ``tracer.span(...)`` returns a
+shared null context manager (no allocation, no clock reads), keeping the
+always-on instrumentation of the hot path within the <=5% overhead
+budget enforced by ``benchmarks/test_bench_obs.py``.
+
+Usage::
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("fdx.discover", rows=relation.n_rows) as root:
+        with tracer.span("fdx.transform"):
+            ...
+    print("\n".join(render_tree(tracer.last_root)))
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Callable, Iterator
+
+#: Contextvar holding the innermost open span (per thread of control).
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+#: Contextvar holding an externally imposed trace id (e.g. from an
+#: ``X-Trace-Id`` request header) used when a root span opens.
+_CURRENT_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_span() -> "Span | None":
+    """The innermost open span in this context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+def current_trace_id() -> str | None:
+    """The active trace id: the open span's, else the context override."""
+    span = _CURRENT_SPAN.get()
+    if span is not None:
+        return span.trace_id
+    return _CURRENT_TRACE_ID.get()
+
+
+def set_trace_id(trace_id: str | None) -> contextvars.Token:
+    """Impose ``trace_id`` on this context; returns a reset token."""
+    return _CURRENT_TRACE_ID.set(trace_id)
+
+
+def reset_trace_id(token: contextvars.Token) -> None:
+    _CURRENT_TRACE_ID.reset(token)
+
+
+class Span:
+    """One timed, attributed, possibly nested unit of work."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "children",
+        "started_at",
+        "duration_seconds",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None = None,
+        attributes: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = uuid.uuid4().hex[:16]
+        self.parent_id = parent_id
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.children: list[Span] = []
+        self.started_at = time.time()  # wall clock, for logs
+        self.duration_seconds = 0.0
+        self._t0 = time.perf_counter()  # monotonic, for durations
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSONL-sink event payload for one finished span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"{self.duration_seconds * 1000:.2f}ms, {len(self.children)} children)"
+        )
+
+
+class NullSpan:
+    """Inert stand-in returned by a disabled tracer's ``span(...)``."""
+
+    __slots__ = ()
+    name = "null"
+    trace_id = None
+    span_id = None
+    parent_id = None
+    duration_seconds = 0.0
+    attributes: dict = {}
+    children: list = []
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attributes: Any) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class _NullSpanContext:
+    """Shared, allocation-free context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one real span."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Span:
+        parent = _CURRENT_SPAN.get()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = _CURRENT_TRACE_ID.get() or new_trace_id()
+            parent_id = None
+        span = Span(self._name, trace_id, parent_id=parent_id, attributes=self._attributes)
+        if parent is not None:
+            parent.children.append(span)
+        self._span = span
+        self._token = _CURRENT_SPAN.set(span)
+        span._t0 = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.duration_seconds = time.perf_counter() - span._t0
+        if exc_type is not None:
+            span.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+        _CURRENT_SPAN.reset(self._token)
+        self._tracer._finish(span)
+        return False
+
+
+class Tracer:
+    """Factory for spans, with pluggable sinks and a root-span ring.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default for the module-global tracer), ``span``
+        returns a shared no-op context manager.
+    sinks:
+        Objects with an ``emit(event: dict)`` method (see
+        :mod:`repro.obs.sinks`); every finished span is emitted as one
+        event.
+    keep_roots:
+        How many finished *root* spans to retain on ``self.roots`` for
+        rendering/testing (bounded ring).
+    """
+
+    def __init__(self, enabled: bool = False, sinks: list | None = None,
+                 keep_roots: int = 64) -> None:
+        self.enabled = enabled
+        self.sinks = list(sinks or [])
+        self.roots: deque[Span] = deque(maxlen=keep_roots)
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span context; no-op (shared null context) when disabled."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, attributes)
+
+    def wrap(self, name: str | None = None, **attributes: Any) -> Callable:
+        """Decorator form: time every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    @property
+    def last_root(self) -> Span | None:
+        """The most recently finished root span, if any."""
+        with self._lock:
+            return self.roots[-1] if self.roots else None
+
+    def _finish(self, span: Span) -> None:
+        if span.parent_id is None:
+            with self._lock:
+                self.roots.append(span)
+        for sink in self.sinks:
+            try:
+                sink.emit(span.to_dict())
+            except Exception:  # pragma: no cover - sinks must not break work
+                pass
+
+
+#: Module-global tracer; disabled by default so library use is free.
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled unless configured)."""
+    return _GLOBAL_TRACER
+
+
+def set_global_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def _scalar_attributes(span: Span) -> str:
+    parts = []
+    for key, value in span.attributes.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        elif isinstance(value, (str, int, bool)):
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_tree(span: Span, total_seconds: float | None = None) -> list[str]:
+    """ASCII stage tree for one finished root span (CLI ``--trace``)."""
+    total = total_seconds if total_seconds is not None else span.duration_seconds
+    total = max(total, 1e-12)
+    width = max(len(s.name) + 2 * _depth(span, s) for s in span.walk())
+    lines = []
+
+    def visit(s: Span, depth: int) -> None:
+        label = "  " * depth + s.name
+        pct = 100.0 * s.duration_seconds / total
+        attrs = _scalar_attributes(s)
+        line = f"{label:<{width}}  {s.duration_seconds * 1000:10.2f} ms  {pct:5.1f}%"
+        if attrs:
+            line += f"  [{attrs}]"
+        lines.append(line)
+        for child in s.children:
+            visit(child, depth + 1)
+
+    visit(span, 0)
+    return lines
+
+
+def _depth(root: Span, target: Span) -> int:
+    def find(s: Span, depth: int) -> int | None:
+        if s is target:
+            return depth
+        for child in s.children:
+            got = find(child, depth + 1)
+            if got is not None:
+                return got
+        return None
+
+    return find(root, 0) or 0

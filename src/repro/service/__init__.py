@@ -10,12 +10,16 @@ reproduction into a long-lived service that amortizes that work:
 * :mod:`~repro.service.cache` — fingerprinted LRU/TTL result cache,
 * :mod:`~repro.service.sessions` — streaming sessions over
   :class:`repro.core.IncrementalFDX`,
-* :mod:`~repro.service.metrics` — request counters and latency percentiles,
+* :mod:`~repro.service.metrics` — compatibility facade over the unified
+  :class:`repro.obs.MetricsRegistry` (counters, gauges, histograms;
+  Prometheus exposition at ``GET /v1/metrics?format=prometheus``),
 * :mod:`~repro.service.server` — the stdlib ``http.server`` front end
-  (``python -m repro serve``),
+  (``python -m repro serve``), with per-request ``X-Trace-Id``
+  correlation and structured JSONL request logging,
 * :mod:`~repro.service.client` — a blocking Python client.
 
 Everything is standard library + the repro core: no web framework.
+Tracing/metrics plumbing lives in :mod:`repro.obs`.
 """
 
 from .cache import ResultCache, dataset_fingerprint

@@ -60,17 +60,39 @@ class ResultCache:
 
     ``max_entries <= 0`` disables caching entirely (every ``get`` is a
     miss and ``put`` is a no-op) — useful for load tests.
+
+    When an observability ``registry``
+    (:class:`repro.obs.registry.MetricsRegistry`) is supplied, every
+    hit/miss/eviction/expiration also increments a
+    ``cache_events_total{cache=<name>, event=...}`` counter so cache
+    behaviour shows up in the Prometheus exposition.
     """
 
-    def __init__(self, max_entries: int = 128, ttl_seconds: float = 3600.0) -> None:
+    def __init__(
+        self,
+        max_entries: int = 128,
+        ttl_seconds: float = 3600.0,
+        registry=None,
+        name: str = "results",
+    ) -> None:
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
+        self.name = name
+        self._registry = registry
         self._entries: OrderedDict[str, tuple[float, Any]] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+
+    def _record(self, event: str, by: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                "cache_events_total",
+                labels={"cache": self.name, "event": event},
+                help="Result-cache events by cache and outcome",
+            ).inc(by)
 
     def __len__(self) -> int:
         with self._lock:
@@ -84,12 +106,15 @@ class ResultCache:
             if entry is not None and now - entry[0] > self.ttl_seconds:
                 del self._entries[key]
                 self.expirations += 1
+                self._record("expiration")
                 entry = None
             if entry is None:
                 self.misses += 1
+                self._record("miss")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._record("hit")
             return entry[1]
 
     def put(self, key: str, payload: Any) -> None:
@@ -101,6 +126,7 @@ class ResultCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                self._record("eviction")
 
     def clear(self) -> None:
         with self._lock:

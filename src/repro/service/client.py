@@ -184,6 +184,18 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """Raw Prometheus text exposition from ``/v1/metrics?format=prometheus``."""
+        url = f"{self.base_url}/v1/metrics?format=prometheus"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(str(exc), status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+
     def wait_until_healthy(self, timeout: float = 10.0) -> dict:
         """Poll ``/v1/healthz`` until the server answers (startup helper)."""
         deadline = time.monotonic() + timeout

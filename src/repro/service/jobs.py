@@ -20,6 +20,7 @@ Finished jobs are retained (bounded, FIFO-pruned) so clients can poll
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import threading
 import time
@@ -208,7 +209,12 @@ class JobManager:
             self._order.append(job_id)
             self._n_submitted += 1
             self._prune_locked()
-        job.future = self._executor.submit(self._run, job, fn)
+        # Run the job inside a copy of the submitter's context so
+        # contextvars — notably the observability trace id of the HTTP
+        # request that spawned this job — propagate into the worker
+        # thread (threads do not inherit contextvars by themselves).
+        context = contextvars.copy_context()
+        job.future = self._executor.submit(context.run, self._run, job, fn)
         return job
 
     def _run(self, job: Job, fn: Callable[[], Any]) -> None:

@@ -1,9 +1,22 @@
-"""Lightweight service metrics: counters and latency percentiles.
+"""Service metrics facade (superseded by :mod:`repro.obs.registry`).
 
-Request handlers record one observation per request; ``snapshot()``
-produces the ``/v1/metrics`` payload. Latencies are kept in a bounded
-per-endpoint ring (last ``window`` observations) so percentiles reflect
-recent behaviour and memory stays constant under heavy traffic.
+This module used to own its counters and percentile math; both now live
+in the unified observability registry. What remains is a thin
+compatibility layer:
+
+* :class:`Metrics` keeps its historical API (``increment`` /
+  ``counter`` / ``observe_latency`` / ``snapshot``) and the exact
+  ``/v1/metrics`` JSON shape, but every update is mirrored into a
+  shared :class:`repro.obs.registry.MetricsRegistry` — the source the
+  Prometheus exposition (``GET /v1/metrics?format=prometheus``) renders.
+* ``_percentile`` is re-homed in :mod:`repro.obs.registry` (with a
+  ceil-based nearest rank instead of the old banker's-``round`` rank,
+  which under-reported p95 for some window sizes); the old import path
+  keeps working via this re-export.
+
+Latency percentiles in the JSON payload are still exact (computed from
+a bounded per-endpoint ring of raw observations); the registry's
+histograms answer at bucket resolution for Prometheus.
 """
 
 from __future__ import annotations
@@ -12,21 +25,28 @@ import threading
 import time
 from collections import deque
 
+from ..obs.registry import (  # noqa: F401  (re-exported compatibility names)
+    MetricsRegistry,
+    _percentile,
+    percentile,
+)
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
+#: Registry histogram that mirrors ``observe_latency`` observations.
+REQUEST_LATENCY_METRIC = "http_request_seconds"
 
 
 class Metrics:
-    """Thread-safe counters + per-endpoint latency reservoirs."""
+    """Thread-safe counters + per-endpoint latency reservoirs.
 
-    def __init__(self, window: int = 1024) -> None:
+    ``registry`` (optional) is the unified metrics registry to mirror
+    into; one is created when not supplied, so standalone use keeps
+    working.
+    """
+
+    def __init__(self, window: int = 1024, registry: MetricsRegistry | None = None) -> None:
         self.window = window
         self.started_at = time.time()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._counters: dict[str, int] = {}
         self._latencies: dict[str, deque[float]] = {}
         self._lock = threading.Lock()
@@ -34,6 +54,7 @@ class Metrics:
     def increment(self, name: str, by: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + by
+        self.registry.counter(name).inc(by)
 
     def counter(self, name: str) -> int:
         with self._lock:
@@ -45,6 +66,11 @@ class Metrics:
             if ring is None:
                 ring = self._latencies[endpoint] = deque(maxlen=self.window)
             ring.append(seconds)
+        self.registry.histogram(
+            REQUEST_LATENCY_METRIC,
+            labels={"endpoint": endpoint},
+            help="HTTP request latency by endpoint",
+        ).observe(seconds)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -53,8 +79,9 @@ class Metrics:
                 values = sorted(ring)
                 latencies[endpoint] = {
                     "count": len(values),
-                    "p50_seconds": _percentile(values, 0.50),
-                    "p95_seconds": _percentile(values, 0.95),
+                    "p50_seconds": percentile(values, 0.50),
+                    "p95_seconds": percentile(values, 0.95),
+                    "p99_seconds": percentile(values, 0.99),
                     "max_seconds": values[-1] if values else 0.0,
                 }
             return {

@@ -43,6 +43,9 @@ from typing import Any
 
 from .. import __version__
 from ..core.fdx import FDX
+from ..obs.registry import MetricsRegistry
+from ..obs.sinks import PROMETHEUS_CONTENT_TYPE, JsonlSink, render_prometheus
+from ..obs.trace import Tracer, new_trace_id, reset_trace_id, set_trace_id
 from .cache import ResultCache, dataset_fingerprint
 from .jobs import DONE, JobManager
 from .metrics import Metrics
@@ -56,6 +59,16 @@ from .protocol import (
 from .sessions import SessionManager
 
 
+class PlainText:
+    """Marker wrapper: reply with raw text instead of a JSON envelope."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str = PROMETHEUS_CONTENT_TYPE) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
 class DiscoveryService:
     """Transport-free application core of the FD-discovery service."""
 
@@ -67,21 +80,65 @@ class DiscoveryService:
         cache_ttl: float = 3600.0,
         max_sessions: int = 256,
         session_ttl: float = 1800.0,
+        obs_jsonl: str | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        self.registry = MetricsRegistry()
+        self.metrics = Metrics(registry=self.registry)
+        self._obs_sink = JsonlSink(obs_jsonl) if obs_jsonl else None
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            sinks = [self._obs_sink] if self._obs_sink is not None else []
+            # Span tracing is on whenever an event log is configured;
+            # otherwise the tracer stays a near-free no-op.
+            self.tracer = Tracer(enabled=bool(sinks), sinks=sinks)
         self.jobs = JobManager(workers=workers, default_timeout=job_timeout)
-        self.cache = ResultCache(max_entries=cache_entries, ttl_seconds=cache_ttl)
+        self.cache = ResultCache(
+            max_entries=cache_entries, ttl_seconds=cache_ttl,
+            registry=self.registry, name="results",
+        )
         # Memo from raw request-body digest to dataset fingerprint: lets a
         # byte-identical repeat request skip JSON parsing, Relation
         # construction and content hashing. The fingerprint cache above
         # stays the source of truth (its TTL/LRU still govern results).
         self._body_index = ResultCache(
-            max_entries=cache_entries * 8, ttl_seconds=cache_ttl
+            max_entries=cache_entries * 8, ttl_seconds=cache_ttl,
+            registry=self.registry, name="bodies",
         )
         self.sessions = SessionManager(max_sessions=max_sessions, ttl_seconds=session_ttl)
-        self.metrics = Metrics()
 
     def close(self) -> None:
         self.jobs.shutdown(wait=False)
+        if self._obs_sink is not None:
+            self._obs_sink.close()
+
+    # -- observability -----------------------------------------------------
+
+    def log_request(self, record: dict) -> None:
+        """Forward one per-request log record to the JSONL event sink."""
+        if self._obs_sink is not None:
+            self._obs_sink.emit({"type": "request", **record})
+
+    def _record_discovery(self, result: dict, seconds: float) -> None:
+        """Pipeline telemetry shared by one-shot jobs and sessions."""
+        diagnostics = result.get("diagnostics", {}) if isinstance(result, dict) else {}
+        self.registry.counter(
+            "fdx_discoveries_total", help="Completed FDX discovery runs"
+        ).inc()
+        iterations = diagnostics.get("glasso_iterations", 0) or 0
+        self.registry.counter(
+            "fdx_glasso_iterations_total",
+            help="Graphical-lasso outer iterations across all discoveries",
+        ).inc(int(iterations))
+        if not diagnostics.get("glasso_converged", True):
+            self.registry.counter(
+                "fdx_glasso_nonconverged_total",
+                help="Discoveries whose graphical lasso hit max_iter",
+            ).inc()
+        self.registry.histogram(
+            "fdx_discover_seconds", help="End-to-end FDX discovery latency"
+        ).observe(seconds)
 
     # -- discovery ---------------------------------------------------------
 
@@ -131,16 +188,22 @@ class DiscoveryService:
         self.metrics.increment("discover_cache_misses")
 
         def run() -> dict:
-            fdx = FDX(
-                lam=hyperparameters.lam,
-                sparsity=hyperparameters.sparsity,
-                ordering=hyperparameters.ordering,
-                shrinkage=hyperparameters.shrinkage,
-                max_rows_per_attribute=hyperparameters.max_rows_per_attribute,
-                seed=hyperparameters.seed,
-            )
-            result = fdx.discover(relation).to_dict()
+            started = time.perf_counter()
+            with self.tracer.span(
+                "service.job", kind="discover", fingerprint=fingerprint
+            ):
+                fdx = FDX(
+                    lam=hyperparameters.lam,
+                    sparsity=hyperparameters.sparsity,
+                    ordering=hyperparameters.ordering,
+                    shrinkage=hyperparameters.shrinkage,
+                    max_rows_per_attribute=hyperparameters.max_rows_per_attribute,
+                    seed=hyperparameters.seed,
+                    tracer=self.tracer,
+                )
+                result = fdx.discover(relation).to_dict()
             self.cache.put(fingerprint, result)
+            self._record_discovery(result, time.perf_counter() - started)
             return result
 
         job = self.jobs.submit(run)
@@ -195,11 +258,13 @@ class DiscoveryService:
         return 200, envelope(info)
 
     def session_fds(self, session_id: str) -> tuple[int, dict]:
-        result = self.sessions.discover(session_id)
+        started = time.perf_counter()
+        with self.tracer.span("service.session_discover", session_id=session_id):
+            result = self.sessions.discover(session_id)
         self.metrics.increment("session_discoveries")
-        return 200, envelope(
-            {"session_id": session_id, "result": result.to_dict()}
-        )
+        payload = result.to_dict()
+        self._record_discovery(payload, time.perf_counter() - started)
+        return 200, envelope({"session_id": session_id, "result": payload})
 
     def reset_session(self, session_id: str) -> tuple[int, dict]:
         return 200, envelope(self.sessions.reset(session_id))
@@ -230,6 +295,27 @@ class DiscoveryService:
         snap["sessions"] = self.sessions.stats()
         return 200, envelope(snap)
 
+    def metrics_prometheus(self) -> str:
+        """Text exposition for ``GET /v1/metrics?format=prometheus``."""
+        gauge = self.registry.gauge
+        gauge("service_uptime_seconds", help="Seconds since service start").set(
+            time.time() - self.metrics.started_at
+        )
+        jobs = self.jobs.stats()
+        gauge("jobs_queue_depth", help="Jobs submitted but not yet running").set(
+            jobs["queue_depth"]
+        )
+        gauge("jobs_running", help="Jobs currently executing").set(jobs["running"])
+        gauge("jobs_workers", help="Worker pool size").set(jobs["workers"])
+        cache = self.cache.stats()
+        gauge("cache_entries", labels={"cache": "results"},
+              help="Live cache entries").set(cache["entries"])
+        sessions = self.sessions.stats()
+        gauge("sessions_active", help="Open streaming sessions").set(
+            sessions["active"]
+        )
+        return render_prometheus(self.registry)
+
 
 # -- HTTP shim ---------------------------------------------------------------
 
@@ -241,8 +327,9 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
         # -- plumbing --------------------------------------------------
 
         def log_message(self, format: str, *args) -> None:  # noqa: A002
-            if not quiet:  # pragma: no cover - debug aid
-                super().log_message(format, *args)
+            # Default http.server stderr noise is replaced by one
+            # structured JSONL line per request (see _route).
+            pass
 
         def _read_raw(self) -> bytes | None:
             length = int(self.headers.get("Content-Length") or 0)
@@ -259,37 +346,69 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
             except json.JSONDecodeError as exc:
                 raise ProtocolError(f"invalid JSON body: {exc}") from exc
 
-        def _reply(self, status: int, body: dict) -> None:
-            data = json.dumps(body, default=str).encode()
+        def _reply(self, status: int, body: dict | PlainText) -> None:
+            if isinstance(body, PlainText):
+                data = body.text.encode()
+                content_type = body.content_type
+            else:
+                data = json.dumps(body, default=str).encode()
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            self.send_header("X-Trace-Id", self._trace_id)
             self.end_headers()
             self.wfile.write(data)
 
         def _route(self, method: str) -> None:
             started = time.perf_counter()
             endpoint = "?"
+            # Correlate everything this request triggers — spans in the
+            # handler thread and in job workers — under one trace id,
+            # honoring a caller-provided X-Trace-Id.
+            self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+            token = set_trace_id(self._trace_id)
             service.metrics.increment("requests_total")
             try:
-                endpoint, status, body = self._dispatch(method)
-            except ProtocolError as exc:
-                service.metrics.increment("errors_total")
-                status, body = exc.status, error_payload(str(exc), exc.status)
-            except Exception as exc:  # noqa: BLE001 - never kill the thread
-                service.metrics.increment("errors_total")
-                status, body = 500, error_payload(
-                    f"internal error: {type(exc).__name__}: {exc}", 500
-                )
-            try:
-                self._reply(status, body)
-            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-                service.metrics.increment("client_disconnects")
-                return
-            service.metrics.observe_latency(endpoint, time.perf_counter() - started)
+                try:
+                    endpoint, status, body = self._dispatch(method)
+                except ProtocolError as exc:
+                    service.metrics.increment("errors_total")
+                    status, body = exc.status, error_payload(str(exc), exc.status)
+                except Exception as exc:  # noqa: BLE001 - never kill the thread
+                    service.metrics.increment("errors_total")
+                    status, body = 500, error_payload(
+                        f"internal error: {type(exc).__name__}: {exc}", 500
+                    )
+                disconnected = False
+                try:
+                    self._reply(status, body)
+                except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                    service.metrics.increment("client_disconnects")
+                    disconnected = True
+                duration = time.perf_counter() - started
+                if not disconnected:
+                    service.metrics.observe_latency(endpoint, duration)
+                record = {
+                    "ts": time.time(),
+                    "trace_id": self._trace_id,
+                    "method": method,
+                    "path": self.path,
+                    "endpoint": endpoint,
+                    "status": status,
+                    "duration_seconds": round(duration, 6),
+                    "cache_hit": body.get("cached") if isinstance(body, dict) else None,
+                }
+                service.log_request(record)
+                if not quiet:
+                    print(json.dumps(record, separators=(",", ":")),
+                          file=sys.stderr, flush=True)
+            finally:
+                reset_trace_id(token)
 
         def _dispatch(self, method: str) -> tuple[str, int, dict]:
-            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            path, _, query = self.path.partition("?")
+            parts = [p for p in path.split("/") if p]
             if not parts or parts[0] != "v1":
                 return "?", 404, error_payload(f"no such path {self.path!r}", 404)
             parts = parts[1:]
@@ -297,6 +416,15 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
             if parts == ["healthz"] and method == "GET":
                 return "healthz", *service.healthz()
             if parts == ["metrics"] and method == "GET":
+                from urllib.parse import parse_qs
+
+                fmt = parse_qs(query).get("format", ["json"])[0]
+                if fmt == "prometheus":
+                    return "metrics", 200, PlainText(service.metrics_prometheus())
+                if fmt != "json":
+                    return "metrics", 400, error_payload(
+                        f"unknown metrics format {fmt!r}; use json or prometheus", 400
+                    )
                 return "metrics", *service.metrics_payload()
             if parts == ["discover"] and method == "POST":
                 return "discover", *service.discover_bytes(self._read_raw())

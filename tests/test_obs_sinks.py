@@ -1,0 +1,178 @@
+"""Tests for event sinks and the Prometheus exposition (repro.obs.sinks).
+
+The JSONL sink must stay line-atomic under concurrent writers; the
+exposition must escape label values and render counters monotonically
+and histograms cumulatively.
+"""
+
+import json
+import math
+import threading
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    escape_label_value,
+    render_prometheus,
+)
+
+
+class TestInMemorySink:
+    def test_ring_is_bounded_and_counts_everything(self):
+        sink = InMemorySink(capacity=3)
+        for i in range(5):
+            sink.emit({"i": i})
+        assert [e["i"] for e in sink.events()] == [2, 3, 4]
+        assert sink.n_emitted == 5
+
+    def test_clear(self):
+        sink = InMemorySink()
+        sink.emit({"x": 1})
+        sink.clear()
+        assert sink.events() == []
+
+    def test_null_sink_swallows(self):
+        NullSink().emit({"anything": True})  # must not raise
+
+
+class TestJsonlSink:
+    def test_one_parseable_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"a": 1})
+            sink.emit({"b": [1, 2], "nested": {"x": "y"}})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"a": 1}
+        assert json.loads(lines[1]) == {"b": [1, 2], "nested": {"x": "y"}}
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"run": 1})
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"run": 2})
+        runs = [json.loads(line)["run"] for line in path.read_text().splitlines()]
+        assert runs == [1, 2]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        sink.emit({"dropped": True})  # must not raise
+        assert path.read_text() == ""
+
+    def test_atomicity_under_concurrent_writers(self, tmp_path):
+        """Every line in the file parses as one complete JSON object even
+        when many threads emit simultaneously."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        n_threads, n_events = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def writer(thread_id):
+            barrier.wait()
+            for i in range(n_events):
+                sink.emit({"thread": thread_id, "i": i, "pad": "x" * 64})
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == n_threads * n_events
+        seen = set()
+        for line in lines:
+            event = json.loads(line)  # raises on interleaved/partial lines
+            seen.add((event["thread"], event["i"]))
+        assert len(seen) == n_threads * n_events  # no duplicates, none lost
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help="All requests").inc(3)
+        registry.gauge("queue_depth").set(2)
+        text = render_prometheus(registry)
+        assert "# HELP requests_total All requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 2" in text
+        assert text.endswith("\n")
+
+    def test_counter_monotonicity_across_renders(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+
+        def value_of(text):
+            for line in text.splitlines():
+                if line.startswith("events_total "):
+                    return float(line.split()[-1])
+            raise AssertionError("metric missing")
+
+        counter.inc(5)
+        first = value_of(render_prometheus(registry))
+        counter.inc(2)
+        second = value_of(render_prometheus(registry))
+        assert first == 5 and second == 7
+        assert second >= first
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird_total", labels={"path": 'c:\\dir\n"quoted"'}
+        ).inc()
+        text = render_prometheus(registry)
+        assert 'weird_total{path="c:\\\\dir\\n\\"quoted\\""} 1' in text
+        # The rendered line stays a single exposition line.
+        [line] = [l for l in text.splitlines() if l.startswith("weird_total{")]
+        assert line.endswith(" 1")
+
+    def test_metric_name_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.total").inc()
+        text = render_prometheus(registry)
+        assert "weird_name_total 1" in text
+        assert "weird-name" not in text
+
+    def test_histogram_rendering_is_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_prometheus(registry)
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+    def test_histogram_inf_bucket_equals_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("x_seconds", buckets=(1.0,))
+        for v in (0.5, 2.0, 3.0, math.pi):
+            h.observe(v)
+        text = render_prometheus(registry)
+        inf_line = [l for l in text.splitlines() if 'le="+Inf"' in l][0]
+        count_line = [l for l in text.splitlines() if l.startswith("x_seconds_count")][0]
+        assert inf_line.split()[-1] == count_line.split()[-1] == "4"
+
+    def test_labelled_histogram_keeps_le_last(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "req_seconds", labels={"endpoint": "discover"}, buckets=(1.0,)
+        ).observe(0.2)
+        text = render_prometheus(registry)
+        assert 'req_seconds_bucket{endpoint="discover",le="1"} 1' in text
+        assert 'req_seconds_sum{endpoint="discover"}' in text

@@ -1,0 +1,139 @@
+"""Tier-2 smoke tests for the observability stack, end to end.
+
+Drives the real CLI (``python -m repro discover --trace``) and the real
+server process (``python -m repro serve --obs-jsonl``) as subprocesses,
+checking the stage-timing tree, the JSONL event log, the Prometheus
+exposition and the ``X-Trace-Id`` header. Excluded from the default
+tier-1 run by the ``tier2`` marker; select with ``pytest -m tier2``.
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+STAGES = ("fdx.transform", "structure.covariance", "structure.glasso",
+          "structure.factorization", "fdx.generate_fds")
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return env
+
+
+def _write_csv(path):
+    lines = ["zip,city,state,noise"]
+    for i in range(400):
+        lines.append(f"z{i % 9},c{i % 9},s{i % 3},n{i % 7 if i % 11 else (i % 5)}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+@pytest.mark.tier2
+def test_cli_discover_trace_prints_stage_tree(tmp_path):
+    csv = tmp_path / "rel.csv"
+    _write_csv(csv)
+    trace_out = tmp_path / "spans.jsonl"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "discover", str(csv),
+         "--trace", "--trace-out", str(trace_out)],
+        capture_output=True, text=True, env=_env(), timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    out = completed.stdout
+
+    # The tree names the root and every pipeline stage, with timings.
+    assert re.search(r"trace [0-9a-f]{16}:", out)
+    assert "fdx.discover" in out
+    for stage in STAGES:
+        assert stage in out, f"{stage} missing from trace tree:\n{out}"
+
+    # The stage sum accounts for the reported total within 10%.
+    match = re.search(r"stage sum [\d.]+s of total [\d.]+s \(([\d.]+)%\)", out)
+    assert match, f"no stage-sum line in:\n{out}"
+    assert 90.0 <= float(match.group(1)) <= 110.0
+
+    # The JSONL trace file holds one parseable span event per span.
+    events = [json.loads(line) for line in trace_out.read_text().splitlines()]
+    assert events and all(e["type"] == "span" for e in events)
+    names = {e["name"] for e in events}
+    assert "fdx.discover" in names
+    trace_ids = {e["trace_id"] for e in events}
+    assert len(trace_ids) == 1  # one trace for the whole run
+
+
+@pytest.mark.tier2
+def test_serve_prometheus_and_trace_headers(tmp_path):
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+    obs_path = tmp_path / "events.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--workers", "2", "--obs-jsonl", str(obs_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    base = f"http://127.0.0.1:{port}"
+    try:
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                with urllib.request.urlopen(f"{base}/v1/healthz", timeout=2.0) as r:
+                    assert r.headers["X-Trace-Id"]
+                    break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise AssertionError(f"server never came up: {proc.stderr}")
+                time.sleep(0.1)
+
+        # A discovery populates the pipeline metrics.
+        rows = [[f"z{i % 9}", f"c{i % 9}", f"s{i % 3}"] for i in range(300)]
+        payload = json.dumps({
+            "relation": {"attributes": ["zip", "city", "state"], "rows": rows},
+            "wait": True,
+        }).encode()
+        request = urllib.request.Request(
+            f"{base}/v1/discover", data=payload, method="POST",
+            headers={"Content-Type": "application/json",
+                     "X-Trace-Id": "0123456789abcdef"},
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as r:
+            assert r.headers["X-Trace-Id"] == "0123456789abcdef"
+            body = json.loads(r.read())
+        assert body["result"]["fds"]
+
+        with urllib.request.urlopen(
+            f"{base}/v1/metrics?format=prometheus", timeout=10.0
+        ) as r:
+            assert r.headers["Content-Type"].startswith("text/plain")
+            text = r.read().decode()
+        assert "# TYPE http_request_seconds histogram" in text
+        assert 'http_request_seconds_bucket{endpoint="discover",le="+Inf"} 1' in text
+        assert "fdx_glasso_iterations_total" in text
+        assert "fdx_discoveries_total 1" in text
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    # The event log ties the worker's pipeline span to the request trace.
+    events = [json.loads(line) for line in obs_path.read_text().splitlines()]
+    discover_spans = [e for e in events if e.get("name") == "fdx.discover"]
+    assert discover_spans
+    assert discover_spans[0]["trace_id"] == "0123456789abcdef"
+    requests = [e for e in events if e["type"] == "request"
+                and e["endpoint"] == "discover"]
+    assert requests and requests[0]["trace_id"] == "0123456789abcdef"

@@ -1,0 +1,225 @@
+"""Tests for the span tracer (repro.obs.trace).
+
+Covers nesting, per-span attributes, contextvars-based trace-id
+inheritance (including across threads via ``contextvars.copy_context``),
+the disabled no-op path, the decorator API and the tree renderer.
+"""
+
+import contextvars
+import threading
+
+from repro.obs import (
+    NULL_SPAN,
+    InMemorySink,
+    Tracer,
+    current_span,
+    current_trace_id,
+    get_tracer,
+    render_tree,
+    reset_trace_id,
+    set_global_tracer,
+    set_trace_id,
+)
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child_a") as a:
+                with tracer.span("grandchild") as g:
+                    pass
+            with tracer.span("child_b") as b:
+                pass
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert a.children == [g]
+        assert b.children == []
+        assert g.parent_id == a.span_id
+        assert a.parent_id == root.span_id
+        assert root.parent_id is None
+
+    def test_all_spans_share_trace_id(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == root.trace_id
+        assert len(root.trace_id) == 16
+
+    def test_sibling_roots_get_distinct_trace_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_durations_are_nested_and_positive(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(1000))
+        assert inner.duration_seconds > 0
+        assert outer.duration_seconds >= inner.duration_seconds
+
+    def test_current_span_restored_after_exit(self):
+        tracer = Tracer(enabled=True)
+        assert current_span() is None
+        with tracer.span("root") as root:
+            assert current_span() is root
+            with tracer.span("child") as child:
+                assert current_span() is child
+            assert current_span() is root
+        assert current_span() is None
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        root = tracer.last_root
+        assert root.attributes["error"] == "ValueError: nope"
+        assert current_span() is None
+
+    def test_walk_visits_depth_first(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("r"):
+            with tracer.span("a"):
+                with tracer.span("aa"):
+                    pass
+            with tracer.span("b"):
+                pass
+        names = [s.name for s in tracer.last_root.walk()]
+        assert names == ["r", "a", "aa", "b"]
+
+
+class TestTraceIdContext:
+    def test_imposed_trace_id_is_adopted_by_root(self):
+        tracer = Tracer(enabled=True)
+        token = set_trace_id("feedface00000000")
+        try:
+            assert current_trace_id() == "feedface00000000"
+            with tracer.span("root") as root:
+                assert root.trace_id == "feedface00000000"
+                assert current_trace_id() == "feedface00000000"
+        finally:
+            reset_trace_id(token)
+        assert current_trace_id() is None
+
+    def test_thread_inherits_trace_id_via_copy_context(self):
+        """The job-manager pattern: copy_context().run in a worker thread."""
+        tracer = Tracer(enabled=True)
+        seen = {}
+
+        def worker():
+            with tracer.span("job") as span:
+                seen["trace_id"] = span.trace_id
+
+        token = set_trace_id("abad1dea00000000")
+        try:
+            ctx = contextvars.copy_context()
+        finally:
+            reset_trace_id(token)
+        thread = threading.Thread(target=ctx.run, args=(worker,))
+        thread.start()
+        thread.join()
+        assert seen["trace_id"] == "abad1dea00000000"
+
+    def test_plain_thread_does_not_inherit(self):
+        tracer = Tracer(enabled=True)
+        seen = {}
+
+        def worker():
+            with tracer.span("job") as span:
+                seen["trace_id"] = span.trace_id
+
+        token = set_trace_id("cafecafe00000000")
+        try:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            reset_trace_id(token)
+        assert seen["trace_id"] != "cafecafe00000000"
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_null_and_inert(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything", key="value") as span:
+            assert span is NULL_SPAN
+            span.set_attribute("more", 1)  # silently dropped
+        assert tracer.last_root is None
+        assert current_span() is None
+
+    def test_disabled_context_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_global_tracer_defaults_to_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_set_global_tracer_roundtrip(self):
+        replacement = Tracer(enabled=True)
+        previous = set_global_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_global_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestSinksAndDecorator:
+    def test_every_finished_span_is_emitted(self):
+        sink = InMemorySink()
+        tracer = Tracer(enabled=True, sinks=[sink])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        events = sink.events()
+        assert [e["name"] for e in events] == ["child", "root"]  # close order
+        assert all(e["type"] == "span" for e in events)
+        assert events[0]["trace_id"] == events[1]["trace_id"]
+
+    def test_wrap_decorator_times_calls(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.wrap("my.op", flavor="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        root = tracer.last_root
+        assert root.name == "my.op"
+        assert root.attributes["flavor"] == "test"
+
+    def test_roots_ring_is_bounded(self):
+        tracer = Tracer(enabled=True, keep_roots=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots] == ["s2", "s3", "s4"]
+
+
+class TestRenderTree:
+    def test_tree_shows_names_durations_and_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", n=3):
+            with tracer.span("stage_one"):
+                pass
+        lines = render_tree(tracer.last_root)
+        assert len(lines) == 2
+        assert lines[0].startswith("root")
+        assert "n=3" in lines[0]
+        assert "stage_one" in lines[1]
+        assert "ms" in lines[1] and "%" in lines[1]
+
+    def test_tree_skips_non_scalar_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", trace=[1.0, 2.0], label="yes"):
+            pass
+        line = render_tree(tracer.last_root)[0]
+        assert "label=yes" in line
+        assert "trace=" not in line

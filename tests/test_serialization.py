@@ -33,6 +33,10 @@ def fds(draw):
     return FD(lhs, rhs)
 
 
+#: Pipeline stages reported in ``diagnostics["stage_seconds"]``.
+STAGES = ("transform", "covariance", "glasso", "factorization", "fd_generation")
+
+
 @st.composite
 def fdx_results(draw):
     names = draw(attr_names)
@@ -49,6 +53,9 @@ def fdx_results(draw):
         lhs = draw(st.lists(st.sampled_from(candidates), unique=True))
         if lhs:
             result_fds.append(FD(lhs, rhs))
+    stage_seconds = {
+        stage: draw(st.floats(0, 5, allow_nan=False)) for stage in STAGES
+    }
     return FDXResult(
         fds=result_fds,
         attribute_order=list(draw(st.permutations(names))),
@@ -58,7 +65,13 @@ def fdx_results(draw):
         transform_seconds=draw(st.floats(0, 10, allow_nan=False)),
         model_seconds=draw(st.floats(0, 10, allow_nan=False)),
         n_pair_samples=draw(st.integers(0, 10**6)),
-        diagnostics={"n_batches": draw(st.integers(0, 5))},
+        diagnostics={
+            "n_batches": draw(st.integers(0, 5)),
+            "stage_seconds": stage_seconds,
+            "final_objective": draw(
+                st.one_of(st.none(), st.floats(-1e6, 1e6, allow_nan=False))
+            ),
+        },
     )
 
 
@@ -94,6 +107,32 @@ def test_fdxresult_dict_roundtrip(result):
     assert rebuilt.fds == result.fds
     assert rebuilt.attribute_order == result.attribute_order
     assert np.allclose(rebuilt.autoregression, result.autoregression)
+
+
+@settings(max_examples=25)
+@given(fdx_results())
+def test_fdxresult_roundtrips_observability_diagnostics(result):
+    """stage_seconds and final_objective survive the wire exactly."""
+    rebuilt = FDXResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.diagnostics["stage_seconds"] == result.diagnostics["stage_seconds"]
+    assert rebuilt.diagnostics["final_objective"] == result.diagnostics["final_objective"]
+
+
+def test_real_discovery_reports_stage_breakdown():
+    rows = [(f"z{i % 7}", f"c{i % 7}", f"s{i % 2}") for i in range(300)]
+    rel = Relation.from_rows(["zip", "city", "state"], rows)
+    result = FDX().discover(rel)
+    stage_seconds = result.diagnostics["stage_seconds"]
+    assert set(stage_seconds) == {
+        "transform", "covariance", "glasso", "factorization", "fd_generation"
+    }
+    assert all(seconds >= 0 for seconds in stage_seconds.values())
+    # The per-stage breakdown accounts for the reported total.
+    assert sum(stage_seconds.values()) <= result.total_seconds * 1.10
+    assert sum(stage_seconds.values()) >= result.total_seconds * 0.90
+    assert isinstance(result.diagnostics["final_objective"], float)
+    rebuilt = FDXResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.diagnostics == result.diagnostics
 
 
 def test_fdxresult_roundtrip_from_real_discovery():

@@ -177,6 +177,7 @@ class TestIntrospection:
         health_latency = metrics["latency"]["healthz"]
         assert health_latency["count"] >= 1
         assert health_latency["p50_seconds"] <= health_latency["p95_seconds"] + 1e-9
+        assert health_latency["p95_seconds"] <= health_latency["p99_seconds"] + 1e-9
 
     def test_unknown_route_404(self, client):
         with pytest.raises(ServiceError) as excinfo:
@@ -185,6 +186,87 @@ class TestIntrospection:
         with pytest.raises(ServiceError) as excinfo:
             client._request("GET", "/other")
         assert excinfo.value.status == 404
+
+
+class TestObservability:
+    def test_every_response_carries_a_trace_id(self, handle):
+        with urllib.request.urlopen(f"{handle.base_url}/v1/healthz", timeout=10.0) as r:
+            assert len(r.headers["X-Trace-Id"]) == 16
+
+    def test_client_supplied_trace_id_is_echoed(self, handle):
+        request = urllib.request.Request(
+            f"{handle.base_url}/v1/healthz",
+            headers={"X-Trace-Id": "deadbeefcafe0001"},
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as r:
+            assert r.headers["X-Trace-Id"] == "deadbeefcafe0001"
+
+    def test_error_responses_carry_a_trace_id_too(self, handle):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{handle.base_url}/v1/bogus", timeout=10.0)
+        assert excinfo.value.headers["X-Trace-Id"]
+
+    def test_prometheus_exposition(self, client):
+        client.discover(synthetic_relation(seed=301))
+        text = client.metrics_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert "# TYPE http_request_seconds histogram" in text
+        assert 'http_request_seconds_bucket{endpoint="discover",le="+Inf"}' in text
+        assert "fdx_glasso_iterations_total" in text
+        assert "fdx_discoveries_total" in text
+        assert "jobs_queue_depth" in text
+        # Counter monotonicity across scrapes.
+        def counter_value(body, name):
+            for line in body.splitlines():
+                if line.startswith(f"{name} "):
+                    return float(line.split()[-1])
+            raise AssertionError(f"{name} missing")
+
+        first = counter_value(text, "requests_total")
+        client.healthz()
+        second = counter_value(client.metrics_prometheus(), "requests_total")
+        assert second > first
+
+    def test_prometheus_content_type(self, handle):
+        url = f"{handle.base_url}/v1/metrics?format=prometheus"
+        with urllib.request.urlopen(url, timeout=10.0) as r:
+            assert r.headers["Content-Type"].startswith("text/plain")
+
+    def test_unknown_metrics_format_rejected(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/metrics?format=xml")
+        assert excinfo.value.status == 400
+
+    def test_glasso_iteration_counter_tracks_diagnostics(self, handle, client):
+        before = handle.service.registry.counter("fdx_glasso_iterations_total").value
+        result = client.discover(synthetic_relation(seed=302))
+        after = handle.service.registry.counter("fdx_glasso_iterations_total").value
+        assert after - before >= result.diagnostics["glasso_iterations"]
+
+    def test_request_log_and_worker_spans_share_trace_id(self, tmp_path):
+        """With --obs-jsonl, one request log line per request, and the
+        pipeline spans of a discovery carry the request's trace id."""
+        import json as jsonlib
+
+        obs_path = tmp_path / "events.jsonl"
+        with start_in_thread(workers=2, job_timeout=60.0,
+                             obs_jsonl=str(obs_path)) as h:
+            c = ServiceClient(h.base_url, timeout=60.0)
+            c.wait_until_healthy()
+            c.discover(synthetic_relation(n=300, seed=303))
+        events = [jsonlib.loads(line) for line in obs_path.read_text().splitlines()]
+        requests = [e for e in events if e["type"] == "request"]
+        spans = [e for e in events if e["type"] == "span"]
+        assert requests and spans
+        discover_requests = [e for e in requests if e["endpoint"] == "discover"]
+        assert discover_requests
+        record = discover_requests[0]
+        assert record["method"] == "POST" and record["status"] == 200
+        assert record["cache_hit"] is False
+        assert record["duration_seconds"] > 0
+        pipeline_spans = [e for e in spans if e["name"] == "fdx.discover"]
+        assert pipeline_spans
+        assert pipeline_spans[0]["trace_id"] == record["trace_id"]
 
 
 class TestDiscoveryServiceUnit:
