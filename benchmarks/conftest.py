@@ -6,9 +6,41 @@ or series, so the captured benchmark output doubles as the reproduction
 log. Heavy experiments run once per benchmark (``pedantic`` mode) — the
 interesting measurement is the experiment's own internal timing, not
 statistical timer stability.
+
+Machine-readable output hooks into the regression ledger shared with
+``python -m repro bench`` (:mod:`repro.obs.bench`):
+
+* ``--benchmark-json out.json`` — the standard pytest-benchmark dump is
+  enriched with the same environment fingerprint, git sha and peak RSS
+  the ledger records, so either artifact alone explains a timing shift.
+* ``--bench-ledger DIR`` — additionally appends one run record (median
+  seconds per benchmark) to ``DIR/BENCH_pytest.json``, putting pytest
+  benchmarks on the same robust median+MAD regression gate:
+
+      pytest benchmarks/ --bench-ledger .
+      python - <<'PY'
+      from repro.obs import bench
+      doc = bench.load_ledger("BENCH_pytest.json")
+      print(bench.detect_regressions(doc["runs"][:-1], doc["runs"][-1]))
+      PY
 """
 
+import json
+import os
+
 import pytest
+
+from repro.obs import bench
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-ledger",
+        default=None,
+        metavar="DIR",
+        help="append this run's medians to DIR/BENCH_pytest.json "
+        "(repro.obs.bench ledger format)",
+    )
 
 
 @pytest.fixture
@@ -21,7 +53,49 @@ def run_once(benchmark):
     return runner
 
 
-def emit(text: str) -> None:
-    """Print a reproduced table/figure into the captured benchmark log."""
+def emit(text: str, data: dict | None = None) -> None:
+    """Print a reproduced table/figure into the captured benchmark log.
+
+    ``data`` (optional) additionally prints one ``BENCHDATA {...}`` JSON
+    line so scripts can scrape structured results out of the log without
+    parsing the human-facing table.
+    """
     print()
     print(text)
+    if data is not None:
+        print("BENCHDATA " + json.dumps(data, sort_keys=True, default=str))
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp ``--benchmark-json`` output with the ledger's provenance."""
+    output_json["env"] = bench.env_fingerprint()
+    output_json["git_sha"] = bench.git_sha()
+    output_json["peak_rss_bytes"] = bench.peak_rss_bytes()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    ledger_dir = session.config.getoption("--bench-ledger")
+    if not ledger_dir:
+        return
+    bsession = getattr(session.config, "_benchmarksession", None)
+    if bsession is None or not bsession.benchmarks:
+        return
+    results = {
+        meta.name: {
+            "seconds": float(meta.stats.median),
+            "repeats": int(meta.stats.rounds),
+        }
+        for meta in bsession.benchmarks
+    }
+    record = {
+        "recorded_at": bench.time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": bench.git_sha(),
+        "env": bench.env_fingerprint(),
+        "smoke": False,
+        "peak_rss_bytes": bench.peak_rss_bytes(),
+        "results": results,
+    }
+    os.makedirs(ledger_dir, exist_ok=True)
+    path = bench.ledger_path("pytest", ledger_dir)
+    bench.append_run(path, "pytest", record)
+    print(f"\nbench ledger: recorded {len(results)} benchmarks -> {path}")

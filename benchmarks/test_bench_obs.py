@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.core.fdx import FDX
 from repro.dataset.relation import Relation
-from repro.obs import InMemorySink, Tracer
+from repro.obs import InMemorySink, MemoryTracker, SamplingProfiler, Tracer
 
 from conftest import emit
 
@@ -98,3 +98,82 @@ def test_enabled_vs_disabled_discovery(run_once):
     # Enabled tracing adds per-iteration glasso telemetry; it must stay
     # within an order of magnitude, not within the 5% disabled budget.
     assert timings["enabled"] < timings["disabled"] * 10
+
+
+def test_disabled_memory_tracker_overhead_under_5_percent(run_once):
+    """Per-discovery cost of disabled per-stage memory accounting <= 5%.
+
+    ``FDX(track_memory=False)`` (the default) still enters one tracker
+    context plus one null stage context per pipeline stage; that
+    bookkeeping must be invisible next to the discovery itself.
+    """
+    relation = _relation()
+    tracker = MemoryTracker(enabled=False)
+    n_stages = 5  # transform, covariance, glasso, factorization, fd_generation
+
+    def measure():
+        fdx = FDX(seed=0)  # track_memory defaults off
+        t0 = time.perf_counter()
+        fdx.discover(relation)
+        discover_seconds = time.perf_counter() - t0
+
+        iterations = 100_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            with tracker, tracker.stage("noop"):
+                pass
+        per_entry = (time.perf_counter() - t0) / iterations
+        return discover_seconds, per_entry
+
+    discover_seconds, per_entry = run_once(measure)
+    overhead = per_entry * (n_stages + 1)
+    ratio = overhead / discover_seconds
+    emit(
+        "disabled memory-tracker overhead:\n"
+        f"  per tracker+stage entry : {per_entry * 1e9:.0f} ns\n"
+        f"  amortized overhead      : {overhead * 1e6:.1f} us over "
+        f"{discover_seconds * 1e3:.1f} ms ({ratio:.5%})",
+        data={
+            "benchmark": "memory_tracker_disabled_overhead",
+            "ratio": ratio,
+            "per_entry_ns": per_entry * 1e9,
+        },
+    )
+    assert ratio <= 0.05, f"disabled memory tracker costs {ratio:.2%} of a discovery"
+
+
+def test_profiled_vs_plain_discovery(run_once):
+    """Record the cost of sampling the discovery at 200 Hz."""
+    relation = _relation()
+
+    def measure():
+        fdx = FDX(seed=0)
+        fdx.discover(relation)  # warm caches, then time
+        t0 = time.perf_counter()
+        fdx.discover(relation)
+        plain = time.perf_counter() - t0
+
+        profiler = SamplingProfiler(hz=200)
+        t0 = time.perf_counter()
+        with profiler:
+            fdx.discover(relation)
+        profiled = time.perf_counter() - t0
+        return plain, profiled, profiler.n_samples
+
+    plain, profiled, n_samples = run_once(measure)
+    emit(
+        "sampling profiler cost per discovery (1000x10, 200 Hz):\n"
+        f"  plain    : {plain * 1e3:.1f} ms\n"
+        f"  profiled : {profiled * 1e3:.1f} ms "
+        f"({n_samples} samples)\n"
+        f"  ratio    : {profiled / plain:.2f}x",
+        data={
+            "benchmark": "sampling_profiler_overhead",
+            "ratio": profiled / plain,
+            "n_samples": n_samples,
+        },
+    )
+    assert n_samples > 0
+    # Sampling reads frames from a side thread; the workload itself must
+    # not slow down materially (generous 2x bound absorbs CI noise).
+    assert profiled < plain * 2

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # One-command repo check: byte-compile everything, run the tier-1 suite,
-# then the tier-2 observability smoke tests (real CLI + server
-# subprocesses). Usable standalone and in CI:
+# the tier-2 observability smoke tests (real CLI + server subprocesses),
+# and a fast benchmark smoke pass reported against the recorded
+# trajectory (report-only: timings on shared CI hosts are too noisy to
+# hard-gate here; `python -m repro bench` without --report-only gates).
+# Usable standalone and in CI:
 #
 #   bash scripts/check.sh
 set -euo pipefail
@@ -19,5 +22,8 @@ echo "== tier-1 tests =="
 
 echo "== tier-2 observability smoke =="
 "$PYTHON" -m pytest -q -m tier2 tests/test_obs_smoke.py
+
+echo "== bench smoke (report-only) =="
+"$PYTHON" -m repro bench --suite micro --smoke --no-record --report-only
 
 echo "check: OK"

@@ -9,6 +9,7 @@ Commands
 ``report``      full markdown profiling report (FDs, keys, DCs, outlook).
 ``constraints`` discover keys / denial constraints / constant CFDs.
 ``dataset``     materialize a built-in benchmark dataset to CSV.
+``bench``       run curated benchmarks against the regression ledger.
 ``serve``       run the concurrent FD-discovery HTTP service.
 """
 
@@ -33,19 +34,29 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 
         trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
         tracer = Tracer(enabled=True, sinks=[trace_sink] if trace_sink else [])
+    profiler = None
+    if args.profile or args.profile_out:
+        from .obs import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=args.profile_hz)
     fdx = FDX(
         lam=args.lam,
         sparsity=args.sparsity,
         ordering=args.ordering,
         max_rows_per_attribute=args.max_rows,
         tracer=tracer,
+        track_memory=args.memory,
     )
-    result = fdx.discover(relation)
+    if profiler is not None:
+        with profiler:
+            result = fdx.discover(relation)
+    else:
+        result = fdx.discover(relation)
     if trace_sink is not None:
         trace_sink.close()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
-        if tracer is None:
+        if tracer is None and profiler is None:
             return 0
     else:
         print(f"{relation.n_rows} rows x {relation.n_attributes} attributes")
@@ -58,7 +69,27 @@ def _cmd_discover(args: argparse.Namespace) -> int:
                 print(f"  {line}")
     if tracer is not None:
         _print_trace_summary(tracer, result)
+    if args.memory:
+        _print_memory_summary(result)
+    if profiler is not None:
+        _write_profile(profiler, args.profile_out or f"{args.csv}.collapsed")
     return 0
+
+
+def _print_memory_summary(result) -> None:
+    """Per-stage peak-memory table for ``discover --memory``."""
+    stage_bytes = result.diagnostics.get("stage_bytes", {})
+    print("\nper-stage peak memory (tracemalloc):")
+    for name, n_bytes in stage_bytes.items():
+        print(f"  {name:<16} {n_bytes / 1024:12.1f} KiB")
+
+
+def _write_profile(profiler, path: str) -> None:
+    """Persist collapsed stacks and print the hottest frames."""
+    n_samples = profiler.write(path)
+    print(f"\nprofile: {n_samples} samples -> {path} (collapsed stacks)")
+    for frame, count in profiler.top(5):
+        print(f"  {count:6d}  {frame}")
 
 
 def _print_trace_summary(tracer, result) -> None:
@@ -203,6 +234,33 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    if args.suite == "all":
+        suites = sorted(bench.SUITES)
+    elif args.suite in bench.SUITES:
+        suites = [args.suite]
+    else:
+        print(f"unknown suite {args.suite!r}; options: "
+              f"{sorted(bench.SUITES) + ['all']}", file=sys.stderr)
+        return 2
+    detector = {}
+    if args.mad_k is not None:
+        detector["mad_k"] = args.mad_k
+    if args.rel_floor is not None:
+        detector["rel_floor"] = args.rel_floor
+    return bench.run_bench(
+        suites,
+        out_dir=args.out,
+        repeat=1 if args.smoke else args.repeat,
+        smoke=args.smoke,
+        record=not args.no_record,
+        report_only=args.report_only,
+        **detector,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
@@ -242,6 +300,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a per-stage span timing tree")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="also append span events as JSONL to FILE (implies --trace)")
+    p.add_argument("--profile", action="store_true",
+                   help="sample the run's wall-clock stacks and write a "
+                        "collapsed-stack profile (flamegraph input)")
+    p.add_argument("--profile-out", default=None, metavar="FILE",
+                   help="collapsed-stack output path (implies --profile; "
+                        "default <csv>.collapsed)")
+    p.add_argument("--profile-hz", type=float, default=200.0,
+                   help="profiler sampling rate in samples/second")
+    p.add_argument("--memory", action="store_true",
+                   help="record per-stage peak memory (tracemalloc) into "
+                        "diagnostics['stage_bytes']")
     p.set_defaults(func=_cmd_discover)
 
     p = sub.add_parser("profile", help="single-column statistics of a CSV file")
@@ -280,6 +349,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None)
     p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser(
+        "bench",
+        help="run curated benchmark suites and gate on the regression ledger",
+    )
+    p.add_argument("--suite", default="micro", metavar="NAME",
+                   help="suite to run: micro, scalability, service, or all")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timed iterations per benchmark (median is recorded)")
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced workloads, one repeat (fast CI gate; smoke "
+                        "runs only ever compare against other smoke runs)")
+    p.add_argument("--out", default=".", metavar="DIR",
+                   help="directory holding the BENCH_<suite>.json ledgers")
+    p.add_argument("--no-record", action="store_true",
+                   help="compare against the ledger without appending this run")
+    p.add_argument("--report-only", action="store_true",
+                   help="print regressions but always exit 0")
+    p.add_argument("--mad-k", type=float, default=None,
+                   help="MAD multiplier of the regression threshold")
+    p.add_argument("--rel-floor", type=float, default=None,
+                   help="minimum relative slowdown flagged as a regression")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("serve", help="run the FD-discovery HTTP service")
     p.add_argument("--host", default="127.0.0.1")

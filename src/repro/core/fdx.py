@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dataset.relation import Relation
+from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
 from .fd import FD
 from .structure import learn_structure
@@ -190,6 +191,12 @@ class FDX:
         process-global tracer, which is a near-free no-op unless enabled
         (e.g. by ``python -m repro discover --trace`` or the service's
         ``--obs-jsonl``).
+    track_memory:
+        Record per-stage peak traced memory (``tracemalloc``) into
+        ``diagnostics["stage_bytes"]`` with the same keys as
+        ``stage_seconds``. Off by default: tracemalloc slows allocation
+        by a multiple, so this is a diagnosis knob (CLI
+        ``discover --memory``), not an always-on metric.
     """
 
     def __init__(
@@ -206,6 +213,7 @@ class FDX:
         text_jaccard: float | None = None,
         seed: int = 0,
         tracer: Tracer | None = None,
+        track_memory: bool = False,
     ) -> None:
         if transform not in ("circular", "uniform"):
             raise ValueError(f"unknown transform {transform!r}")
@@ -223,6 +231,7 @@ class FDX:
         self.text_jaccard = text_jaccard
         self.seed = seed
         self.tracer = tracer
+        self.track_memory = track_memory
 
     def transform_relation(self, relation: Relation) -> np.ndarray:
         """Run the configured tuple-pair transform (exposed for ablation).
@@ -269,13 +278,15 @@ class FDX:
                 n_pair_samples=0,
             )
         tracer = self.tracer if self.tracer is not None else get_tracer()
+        memory = MemoryTracker(enabled=self.track_memory)
         t0 = time.perf_counter()
         with tracer.span(
             "fdx.discover",
             n_rows=relation.n_rows,
             n_attributes=relation.n_attributes,
-        ) as root:
-            with tracer.span("fdx.transform", kind=self.transform):
+        ) as root, memory:
+            with tracer.span("fdx.transform", kind=self.transform), \
+                    memory.stage("transform"):
                 samples = self.transform_relation(relation)
             t1 = time.perf_counter()
             estimate = learn_structure(
@@ -286,10 +297,12 @@ class FDX:
                 assume_centered=self.center_blocks and self.transform == "circular",
                 estimator=self.estimator,
                 tracer=tracer,
+                memory=memory,
             )
             names = relation.schema.names
             t_gen = time.perf_counter()
-            with tracer.span("fdx.generate_fds", sparsity=self.sparsity):
+            with tracer.span("fdx.generate_fds", sparsity=self.sparsity), \
+                    memory.stage("fd_generation"):
                 fds = generate_fds(
                     estimate.autoregression, estimate.order, names,
                     sparsity=self.sparsity,
@@ -311,6 +324,8 @@ class FDX:
             "final_objective": estimate.glasso_objective,
             "stage_seconds": stage_seconds,
         }
+        if memory.enabled:
+            diagnostics["stage_bytes"] = dict(memory.stage_bytes)
         if estimate.glasso_trace is not None:
             diagnostics["glasso_objective_trace"] = [
                 step["objective"] for step in estimate.glasso_trace

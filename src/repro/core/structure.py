@@ -24,6 +24,7 @@ from ..linalg.covariance import (
 from ..linalg.glasso import graphical_lasso
 from ..linalg.neighborhood import neighborhood_selection
 from ..linalg.ordering import compute_order
+from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
 
 
@@ -40,6 +41,9 @@ class StructureEstimate:
     glasso_objective: float | None = None
     #: Per-stage wall-clock seconds: covariance / glasso / factorization.
     stage_seconds: dict = field(default_factory=dict)
+    #: Per-stage peak traced bytes (same keys), only when a
+    #: :class:`repro.obs.MemoryTracker` was enabled for the run.
+    stage_bytes: dict = field(default_factory=dict)
     #: Per-iteration ``{iteration, objective, duality_gap, change}`` dicts,
     #: recorded only when tracing is enabled (the callback costs O(p^3)).
     glasso_trace: list | None = None
@@ -66,6 +70,7 @@ def learn_structure(
     covariance: str = "empirical",
     max_iter: int = 100,
     tracer: Tracer | None = None,
+    memory: MemoryTracker | None = None,
 ) -> StructureEstimate:
     """Estimate the ordered linear-SEM structure of ``samples``.
 
@@ -104,14 +109,21 @@ def learn_structure(
         ``structure.glasso`` and ``structure.factorization`` spans, and
         — when enabled — records a per-iteration objective/duality-gap
         trace from the graphical lasso.
+    memory:
+        Per-stage peak-memory tracker (:class:`repro.obs.MemoryTracker`);
+        when enabled, records ``covariance`` / ``glasso`` /
+        ``factorization`` entries in ``stage_bytes``. Defaults to a
+        disabled no-op tracker.
     """
     tracer = tracer if tracer is not None else get_tracer()
+    memory = memory if memory is not None else MemoryTracker(enabled=False)
     samples = np.asarray(samples, dtype=float)
     if samples.ndim != 2:
         raise ValueError("samples must be a 2-D matrix")
     t0 = time.perf_counter()
     with tracer.span("structure.covariance", estimator=covariance,
-                     shrinkage=shrinkage, standardize=standardize):
+                     shrinkage=shrinkage, standardize=standardize), \
+            memory.stage("covariance"):
         if covariance == "empirical":
             S = empirical_covariance(samples, assume_centered=assume_centered)
         elif covariance == "trimmed":
@@ -137,7 +149,8 @@ def learn_structure(
     t1 = time.perf_counter()
     glasso_objective: float | None = None
     glasso_trace: list | None = None
-    with tracer.span("structure.glasso", estimator=estimator, lam=float(lam)) as span:
+    with tracer.span("structure.glasso", estimator=estimator, lam=float(lam)) as span, \
+            memory.stage("glasso"):
         if estimator == "glasso":
             callback = None
             if tracer.enabled:
@@ -169,7 +182,8 @@ def learn_structure(
         else:
             raise ValueError(f"unknown estimator {estimator!r}")
     t2 = time.perf_counter()
-    with tracer.span("structure.factorization", ordering=ordering):
+    with tracer.span("structure.factorization", ordering=ordering), \
+            memory.stage("factorization"):
         order = compute_order(precision, method=ordering)
         factorization = factorize_with_order(precision, order)
     t3 = time.perf_counter()
@@ -185,5 +199,6 @@ def learn_structure(
             "glasso": t2 - t1,
             "factorization": t3 - t2,
         },
+        stage_bytes=dict(memory.stage_bytes) if memory.enabled else {},
         glasso_trace=glasso_trace,
     )

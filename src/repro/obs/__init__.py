@@ -11,13 +11,20 @@ Three stdlib-only pieces:
   ``repro.service.metrics`` counters;
 * :mod:`~repro.obs.sinks` — pluggable event sinks (in-memory ring,
   JSONL file) plus the Prometheus text exposition served at
-  ``GET /v1/metrics?format=prometheus``.
+  ``GET /v1/metrics?format=prometheus``;
+* :mod:`~repro.obs.profile` — sampling wall-clock profiler
+  (collapsed-stack output for flamegraph tooling) and
+  ``tracemalloc``-based per-stage peak-memory accounting;
+* :mod:`~repro.obs.bench` — the benchmark regression ledger behind
+  ``python -m repro bench`` (``BENCH_<suite>.json`` trajectory,
+  median+MAD regression detector).
 
 The disabled tracer is a near-free no-op, so the pipeline
 instrumentation in :meth:`repro.FDX.discover` stays within a measured
 <=5% overhead budget (``benchmarks/test_bench_obs.py``).
 """
 
+from .profile import MemoryTracker, SamplingProfiler
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -55,9 +62,11 @@ __all__ = [
     "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "MemoryTracker",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSink",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "current_span",

@@ -1,0 +1,403 @@
+"""Benchmark regression ledger: curated suites, trajectory, detector.
+
+``python -m repro bench`` protects the two performance claims the repo
+depends on — the paper's scalability behaviour (quadratic-ish in the
+number of attributes, Fig. 6) and the service's cache-hit latency win —
+by recording every run into an append-only ledger and gating on a
+robust statistical comparison against the recorded trajectory:
+
+* **Suites** (:data:`SUITES`) are curated, dependency-free callables:
+  ``micro`` times the pipeline hot paths (pair transform, graphical
+  lasso, UDU factorization), ``scalability`` times end-to-end
+  ``FDX.discover`` across attribute counts, and ``service`` boots an
+  in-process server to time the cold vs. cache-hit round trip.
+* **Ledger** — each run appends one record (per-benchmark median
+  seconds, peak RSS, git sha, environment fingerprint, wall-clock
+  stamp) to ``BENCH_<suite>.json``, a ``{"suite", "runs": [...]}``
+  document that *is* the performance trajectory of the repo.
+* **Detector** (:func:`detect_regressions`) — compares the newest run
+  against the per-benchmark history using median + MAD (no normality
+  assumption; a single historical outlier cannot move the gate). A
+  benchmark regresses when it exceeds
+  ``median + max(mad_k * 1.4826 * MAD, rel_floor * median)`` — the MAD
+  term absorbs timer noise, the relative floor stops a near-zero MAD
+  (identical historical timings) from flagging microsecond jitter.
+  ``run_bench`` exits non-zero on regressions, so ``scripts/check.sh``
+  and CI can gate on it.
+
+The ledger format is shared with the pytest-benchmark harness:
+``benchmarks/conftest.py`` can append the same records from a
+``pytest benchmarks/ --benchmark-json`` run (``--bench-ledger``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Robust-detector defaults (shared with the CLI flags).
+DEFAULT_MAD_K = 5.0
+DEFAULT_REL_FLOOR = 0.30
+#: Consistency constant making MAD comparable to a standard deviation.
+MAD_SCALE = 1.4826
+
+
+# -- ledger records ----------------------------------------------------------
+
+def ledger_path(suite: str, directory: str = ".") -> str:
+    return os.path.join(directory, f"BENCH_{suite}.json")
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def env_fingerprint() -> dict:
+    """Enough environment to explain a timing shift after the fact."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def load_ledger(path: str) -> dict:
+    """Read a ledger document; a missing file is an empty trajectory."""
+    if not os.path.exists(path):
+        return {"suite": None, "runs": []}
+    with open(path, encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or not isinstance(document.get("runs"), list):
+        raise ValueError(f"{path} is not a benchmark ledger (expected a 'runs' list)")
+    return document
+
+
+def append_run(path: str, suite: str, record: dict) -> dict:
+    """Append ``record`` to the suite's ledger file; returns the document."""
+    document = load_ledger(path)
+    document["suite"] = suite
+    document["runs"].append(record)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return document
+
+
+# -- robust regression detection ---------------------------------------------
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass
+class Regression:
+    """One benchmark exceeding its trajectory threshold."""
+
+    name: str
+    seconds: float
+    median: float
+    threshold: float
+    n_history: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.seconds * 1e3:.2f} ms vs median "
+            f"{self.median * 1e3:.2f} ms over {self.n_history} runs "
+            f"(threshold {self.threshold * 1e3:.2f} ms, "
+            f"{self.seconds / self.median:.2f}x)"
+        )
+
+
+def detect_regressions(
+    history: list[dict],
+    run: dict,
+    *,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_history: int = 2,
+) -> list[Regression]:
+    """Flag benchmarks in ``run`` that regress against ``history``.
+
+    ``history`` and ``run`` are ledger run records; each carries
+    ``results: {name: {"seconds": ...}}``. Benchmarks with fewer than
+    ``min_history`` historical timings are skipped (no baseline yet),
+    as are benchmarks absent from the new run.
+    """
+    regressions: list[Regression] = []
+    for name, result in sorted(run.get("results", {}).items()):
+        seconds = result.get("seconds")
+        if seconds is None:
+            continue
+        trajectory = [
+            past["results"][name]["seconds"]
+            for past in history
+            if name in past.get("results", {})
+            and past["results"][name].get("seconds") is not None
+        ]
+        if len(trajectory) < min_history:
+            continue
+        median = _median(trajectory)
+        mad = _median([abs(value - median) for value in trajectory])
+        threshold = median + max(mad_k * MAD_SCALE * mad, rel_floor * median)
+        if seconds > threshold:
+            regressions.append(
+                Regression(
+                    name=name,
+                    seconds=seconds,
+                    median=median,
+                    threshold=threshold,
+                    n_history=len(trajectory),
+                )
+            )
+    return regressions
+
+
+# -- curated benchmark suites ------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: ``make(smoke)`` returns the callable to time."""
+
+    name: str
+    make: Callable[[bool], Callable[[], object]]
+
+
+def _case_pair_transform(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from ..core.transform import pair_difference_transform
+    from ..datagen.synthetic import SyntheticSpec, generate
+
+    n, p = (500, 10) if smoke else (2000, 20)
+    ds = generate(SyntheticSpec(n_tuples=n, n_attributes=p, seed=0))
+
+    def run():
+        return pair_difference_transform(ds.relation, np.random.default_rng(0))
+
+    return run
+
+
+def _case_glasso(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from ..linalg.covariance import empirical_covariance
+    from ..linalg.glasso import graphical_lasso
+
+    n, p = (500, 15) if smoke else (2000, 30)
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(n, p))
+    X[:, 1] = 0.9 * X[:, 0] + 0.2 * X[:, 1]
+    S = empirical_covariance(X)
+
+    def run():
+        return graphical_lasso(S, 0.05)
+
+    return run
+
+
+def _case_udu(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from ..linalg.cholesky import udu_decompose
+
+    p = 40 if smoke else 80
+    rng = np.random.default_rng(1)
+    A = rng.normal(size=(p, p))
+    spd = A @ A.T + p * np.eye(p)
+
+    def run():
+        return udu_decompose(spd)
+
+    return run
+
+
+def _discover_case(n: int, p: int) -> Callable[[bool], Callable[[], object]]:
+    def make(smoke: bool) -> Callable[[], object]:
+        import numpy as np
+
+        from ..core.fdx import FDX
+        from ..dataset.relation import Relation
+
+        rows_n = max(200, n // 4) if smoke else n
+        rng = np.random.default_rng(0)
+        rows = []
+        for _ in range(rows_n):
+            base = int(rng.integers(20))
+            rows.append(
+                tuple([base, base % 5] + [int(rng.integers(6)) for _ in range(p - 2)])
+            )
+        relation = Relation.from_rows([f"a{i}" for i in range(p)], rows)
+
+        def run():
+            return FDX(seed=0).discover(relation)
+
+        return run
+
+    return make
+
+
+def _case_service_cache_hit(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from ..dataset.relation import Relation
+
+    n, p = (300, 6) if smoke else (1000, 10)
+    rng = np.random.default_rng(0)
+    rows = []
+    for _ in range(n):
+        base = int(rng.integers(20))
+        rows.append(tuple([base, base % 5] + [int(rng.integers(6)) for _ in range(p - 2)]))
+    relation = Relation.from_rows([f"a{i}" for i in range(p)], rows)
+
+    def run():
+        from ..service import ServiceClient, start_in_thread
+
+        with start_in_thread(workers=2) as handle:
+            client = ServiceClient(handle.base_url, timeout=120.0)
+            client.wait_until_healthy()
+            prepared = client.prepare_discover_body(relation)
+            cold = client.discover_prepared(prepared)
+            assert cold["cached"] is False
+            t0 = time.perf_counter()
+            hit = client.discover_prepared(prepared)
+            elapsed = time.perf_counter() - t0
+            assert hit["cached"] is True
+            return elapsed
+
+    return run
+
+
+SUITES: dict[str, tuple[BenchCase, ...]] = {
+    "micro": (
+        BenchCase("pair_transform", _case_pair_transform),
+        BenchCase("graphical_lasso", _case_glasso),
+        BenchCase("udu_factorization", _case_udu),
+    ),
+    "scalability": (
+        BenchCase("discover_p05", _discover_case(1000, 5)),
+        BenchCase("discover_p10", _discover_case(1000, 10)),
+        BenchCase("discover_p20", _discover_case(1000, 20)),
+    ),
+    "service": (
+        BenchCase("service_cache_hit", _case_service_cache_hit),
+    ),
+}
+
+
+def run_suite(suite: str, repeat: int = 3, smoke: bool = False) -> dict:
+    """Execute one suite and build its ledger run record.
+
+    Each case runs once to warm caches/imports, then ``repeat`` timed
+    iterations; the recorded timing is the median. A case whose
+    callable returns a float is trusted to have measured its own
+    critical section (the service case times only the cache-hit round
+    trip, not server boot).
+    """
+    cases = SUITES.get(suite)
+    if cases is None:
+        raise ValueError(f"unknown suite {suite!r}; options: {sorted(SUITES)}")
+    results: dict[str, dict] = {}
+    for case in cases:
+        fn = case.make(smoke)
+        fn()  # warmup (imports, numpy caches)
+        timings = []
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - t0
+            timings.append(value if isinstance(value, float) else elapsed)
+        results[case.name] = {
+            "seconds": _median(timings),
+            "repeats": len(timings),
+        }
+    return {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(),
+        "env": env_fingerprint(),
+        "smoke": smoke,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "results": results,
+    }
+
+
+# -- CLI entry point ---------------------------------------------------------
+
+def run_bench(
+    suites: list[str],
+    *,
+    out_dir: str = ".",
+    repeat: int = 3,
+    smoke: bool = False,
+    record: bool = True,
+    report_only: bool = False,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    stream=None,
+) -> int:
+    """Back end of ``python -m repro bench``; returns the exit code.
+
+    For every suite: run it, compare against the recorded trajectory,
+    then (unless ``record`` is off) append the new run to the ledger.
+    Exit 1 when any suite regressed and ``report_only`` is off.
+    """
+    stream = stream if stream is not None else sys.stdout
+    any_regressed = False
+    for suite in suites:
+        path = ledger_path(suite, out_dir)
+        history = load_ledger(path)["runs"]
+        mode = "smoke" if smoke else "full"
+        print(f"== bench {suite} ({mode}, {repeat} repeats) ==", file=stream)
+        run = run_suite(suite, repeat=repeat, smoke=smoke)
+        for name, result in sorted(run["results"].items()):
+            print(f"  {name:<24} {result['seconds'] * 1e3:10.2f} ms", file=stream)
+        # Smoke runs use reduced workloads: never gate full-size
+        # trajectories on them, and never record them into one.
+        comparable = [past for past in history if bool(past.get("smoke")) == smoke]
+        regressions = detect_regressions(
+            comparable, run, mad_k=mad_k, rel_floor=rel_floor
+        )
+        if regressions:
+            any_regressed = True
+            for regression in regressions:
+                print(f"  REGRESSION {regression.describe()}", file=stream)
+        elif comparable:
+            print(f"  no regressions vs {len(comparable)} recorded runs", file=stream)
+        else:
+            print("  no comparable trajectory yet (first recorded run?)", file=stream)
+        if record:
+            append_run(path, suite, run)
+            print(f"  recorded -> {path}", file=stream)
+    if any_regressed and not report_only:
+        return 1
+    return 0

@@ -13,6 +13,8 @@ reproduction into a long-lived service that amortizes that work:
 * :mod:`~repro.service.metrics` — compatibility facade over the unified
   :class:`repro.obs.MetricsRegistry` (counters, gauges, histograms;
   Prometheus exposition at ``GET /v1/metrics?format=prometheus``),
+* :mod:`~repro.service.slo` — per-endpoint latency objectives with
+  burn-rate counters, feeding ``GET /v1/statusz`` deep readiness,
 * :mod:`~repro.service.server` — the stdlib ``http.server`` front end
   (``python -m repro serve``), with per-request ``X-Trace-Id``
   correlation and structured JSONL request logging,
@@ -23,7 +25,7 @@ Tracing/metrics plumbing lives in :mod:`repro.obs`.
 """
 
 from .cache import ResultCache, dataset_fingerprint
-from .client import ServiceClient, ServiceError
+from .client import ServiceClient, ServiceError, ServiceUnavailableError
 from .jobs import Job, JobManager
 from .metrics import Metrics
 from .protocol import (
@@ -35,6 +37,7 @@ from .protocol import (
 )
 from .server import DiscoveryService, ServiceHandle, serve, start_in_thread
 from .sessions import Session, SessionManager
+from .slo import SloObjective, SloTracker
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -48,8 +51,11 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceHandle",
+    "ServiceUnavailableError",
     "Session",
     "SessionManager",
+    "SloObjective",
+    "SloTracker",
     "dataset_fingerprint",
     "relation_from_wire",
     "relation_to_wire",

@@ -29,6 +29,20 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service never became healthy within the wait deadline.
+
+    ``last_error`` carries the final underlying :class:`ServiceError`
+    (connection refused, 5xx, ...) so callers can distinguish
+    "nothing listening" from "listening but broken" without parsing
+    the message.
+    """
+
+    def __init__(self, message: str, last_error: ServiceError | None = None) -> None:
+        super().__init__(message, status=503)
+        self.last_error = last_error
+
+
 class ServiceClient:
     """Thin blocking client; one instance per base URL, thread-safe."""
 
@@ -181,6 +195,26 @@ class ServiceClient:
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")
 
+    def statusz(self) -> dict:
+        """Deep readiness from ``GET /v1/statusz``.
+
+        A degraded service answers 503 but still ships the full status
+        body; this method returns that body instead of raising, so
+        callers can inspect ``checks`` / ``status`` either way.
+        """
+        url = f"{self.base_url}/v1/statusz"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                return json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                raise ServiceError(str(exc), status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
 
@@ -197,12 +231,20 @@ class ServiceClient:
             raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
 
     def wait_until_healthy(self, timeout: float = 10.0) -> dict:
-        """Poll ``/v1/healthz`` until the server answers (startup helper)."""
+        """Poll ``/v1/healthz`` until the server answers (startup helper).
+
+        Raises :class:`ServiceUnavailableError` when the deadline passes,
+        carrying the last underlying failure as ``last_error``.
+        """
         deadline = time.monotonic() + timeout
         while True:
             try:
                 return self.healthz()
-            except ServiceError:
+            except ServiceError as exc:
                 if time.monotonic() > deadline:
-                    raise
+                    raise ServiceUnavailableError(
+                        f"service at {self.base_url} not healthy "
+                        f"after {timeout}s: {exc}",
+                        last_error=exc,
+                    ) from exc
                 time.sleep(0.05)

@@ -45,7 +45,11 @@ class Job:
         self.id = job_id
         self.kind = kind
         self.timeout = timeout
+        # Wall-clock timestamp for status payloads; every duration below
+        # (queue latency, runtime, deadlines) uses the monotonic clock.
         self.submitted_at = time.time()
+        self._submitted_monotonic = time.monotonic()
+        self.queue_seconds: float | None = None
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self.result: Any = None
@@ -66,6 +70,7 @@ class Job:
                 return False
             self._state = RUNNING
             self.started_at = time.monotonic()
+            self.queue_seconds = self.started_at - self._submitted_monotonic
             return True
 
     def _finish_locked(self, state: str, *, result: Any = None, error: str | None = None) -> None:
@@ -156,6 +161,7 @@ class Job:
                 "kind": self.kind,
                 "state": state,
                 "submitted_at": self.submitted_at,
+                "queue_seconds": self.queue_seconds,
                 "runtime_seconds": runtime,
                 "timeout_seconds": self.timeout,
             }
@@ -174,12 +180,16 @@ class JobManager:
         workers: int = 4,
         default_timeout: float | None = 300.0,
         max_retained: int = 1024,
+        registry=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.default_timeout = default_timeout
         self.max_retained = max_retained
+        # Optional repro.obs.MetricsRegistry: when present, queue latency
+        # is observed as the jobs_queue_seconds histogram at job start.
+        self.registry = registry
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -220,6 +230,11 @@ class JobManager:
     def _run(self, job: Job, fn: Callable[[], Any]) -> None:
         if not job._begin():
             return
+        if self.registry is not None and job.queue_seconds is not None:
+            self.registry.histogram(
+                "jobs_queue_seconds",
+                help="Time jobs spent queued before a worker picked them up",
+            ).observe(job.queue_seconds)
         try:
             result = fn()
         except BaseException as exc:  # worker thread: report, never raise
@@ -244,6 +259,11 @@ class JobManager:
     def cancel(self, job_id: str) -> bool:
         job = self.get(job_id)
         return job.cancel() if job is not None else False
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def queue_depth(self) -> int:
         """Jobs submitted but not yet running."""

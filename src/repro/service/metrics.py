@@ -45,11 +45,17 @@ class Metrics:
 
     def __init__(self, window: int = 1024, registry: MetricsRegistry | None = None) -> None:
         self.window = window
+        # Wall clock for human-facing timestamps only; durations must come
+        # from the monotonic clock (immune to NTP steps / clock slew).
         self.started_at = time.time()
+        self.started_monotonic = time.monotonic()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._counters: dict[str, int] = {}
         self._latencies: dict[str, deque[float]] = {}
         self._lock = threading.Lock()
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_monotonic
 
     def increment(self, name: str, by: int = 1) -> None:
         with self._lock:
@@ -85,7 +91,7 @@ class Metrics:
                     "max_seconds": values[-1] if values else 0.0,
                 }
             return {
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": self.uptime_seconds(),
                 "counters": dict(self._counters),
                 "latency": latencies,
             }

@@ -26,9 +26,16 @@ Endpoints (all JSON, all prefixed ``/v1``):
 ``POST /v1/sessions/<id>/reset``    forget the session's statistics
 ``GET  /v1/sessions/<id>``          session info
 ``DELETE /v1/sessions/<id>``        close the session
-``GET  /v1/healthz``     liveness + version
+``GET  /v1/healthz``     shallow liveness + version (cheap, always 200)
+``GET  /v1/statusz``     deep readiness: worker-pool saturation, cache and
+                         session stats, last error, per-endpoint SLO burn
+                         rates; answers 503 when degraded
 ``GET  /v1/metrics``     counters, cache hit rate, queue depth, latency
 =======================  ====================================================
+
+Every request is also measured against a per-endpoint latency SLO
+(:mod:`~repro.service.slo`); the resulting burn-rate counters ride the
+Prometheus exposition.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from .protocol import (
     relation_from_wire,
 )
 from .sessions import SessionManager
+from .slo import SloTracker
 
 
 class PlainText:
@@ -93,7 +101,12 @@ class DiscoveryService:
             # Span tracing is on whenever an event log is configured;
             # otherwise the tracer stays a near-free no-op.
             self.tracer = Tracer(enabled=bool(sinks), sinks=sinks)
-        self.jobs = JobManager(workers=workers, default_timeout=job_timeout)
+        self.slo = SloTracker(self.registry)
+        self._last_error: dict | None = None
+        self._error_lock = threading.Lock()
+        self.jobs = JobManager(
+            workers=workers, default_timeout=job_timeout, registry=self.registry
+        )
         self.cache = ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl,
             registry=self.registry, name="results",
@@ -119,6 +132,19 @@ class DiscoveryService:
         """Forward one per-request log record to the JSONL event sink."""
         if self._obs_sink is not None:
             self._obs_sink.emit({"type": "request", **record})
+
+    def record_error(self, endpoint: str, message: str) -> None:
+        """Remember the most recent 5xx for ``/v1/statusz``."""
+        with self._error_lock:
+            self._last_error = {
+                "ts": time.time(),
+                "endpoint": endpoint,
+                "message": message,
+            }
+
+    def last_error(self) -> dict | None:
+        with self._error_lock:
+            return dict(self._last_error) if self._last_error else None
 
     def _record_discovery(self, result: dict, seconds: float) -> None:
         """Pipeline telemetry shared by one-shot jobs and sessions."""
@@ -277,13 +303,51 @@ class DiscoveryService:
     # -- introspection -----------------------------------------------------
 
     def healthz(self) -> tuple[int, dict]:
+        """Shallow liveness: the process answers. See ``statusz`` for depth."""
         return 200, envelope(
             {
                 "status": "ok",
                 "version": __version__,
-                "uptime_seconds": time.time() - self.metrics.started_at,
+                "uptime_seconds": self.metrics.uptime_seconds(),
             }
         )
+
+    def statusz(self) -> tuple[int, dict]:
+        """Deep readiness for ``GET /v1/statusz``.
+
+        Unlike ``healthz`` (which only proves the process is serving),
+        this inspects the moving parts a load balancer or operator cares
+        about: worker-pool saturation, queue backlog, cache efficacy,
+        the last 5xx seen and per-endpoint SLO burn rates. Degraded
+        state answers 503 while still carrying the full body, so probes
+        can both gate traffic and show why.
+        """
+        jobs = self.jobs.stats()
+        workers = jobs["workers"]
+        saturation = jobs["running"] / workers if workers else 0.0
+        # Backlog deeper than a few rounds of the pool means new work
+        # would wait several full discovery latencies: not ready.
+        backlogged = jobs["queue_depth"] >= workers * 4
+        checks = {
+            "job_manager": "shutdown" if self.jobs.closed else "ok",
+            "worker_pool": "backlogged" if backlogged else "ok",
+        }
+        ready = all(state == "ok" for state in checks.values())
+        body = envelope(
+            {
+                "status": "ok" if ready else "degraded",
+                "version": __version__,
+                "started_at": self.metrics.started_at,
+                "uptime_seconds": self.metrics.uptime_seconds(),
+                "checks": checks,
+                "jobs": {**jobs, "saturation": saturation},
+                "cache": self.cache.stats(),
+                "sessions": self.sessions.stats(),
+                "slo": self.slo.summary(),
+                "last_error": self.last_error(),
+            }
+        )
+        return (200 if ready else 503), body
 
     def metrics_payload(self) -> tuple[int, dict]:
         snap = self.metrics.snapshot()
@@ -299,7 +363,7 @@ class DiscoveryService:
         """Text exposition for ``GET /v1/metrics?format=prometheus``."""
         gauge = self.registry.gauge
         gauge("service_uptime_seconds", help="Seconds since service start").set(
-            time.time() - self.metrics.started_at
+            self.metrics.uptime_seconds()
         )
         jobs = self.jobs.stats()
         gauge("jobs_queue_depth", help="Jobs submitted but not yet running").set(
@@ -314,6 +378,7 @@ class DiscoveryService:
         gauge("sessions_active", help="Open streaming sessions").set(
             sessions["active"]
         )
+        self.slo.publish_burn_rates()
         return render_prometheus(self.registry)
 
 
@@ -389,6 +454,14 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                 duration = time.perf_counter() - started
                 if not disconnected:
                     service.metrics.observe_latency(endpoint, duration)
+                    service.slo.observe(endpoint, duration)
+                # A degraded /v1/statusz also answers 503 but carries a
+                # status body, not an error payload — don't record it.
+                if status >= 500 and isinstance(body, dict) and "error" in body:
+                    service.record_error(
+                        endpoint,
+                        body.get("error", {}).get("message", "unknown error"),
+                    )
                 record = {
                     "ts": time.time(),
                     "trace_id": self._trace_id,
@@ -415,6 +488,8 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
 
             if parts == ["healthz"] and method == "GET":
                 return "healthz", *service.healthz()
+            if parts == ["statusz"] and method == "GET":
+                return "statusz", *service.statusz()
             if parts == ["metrics"] and method == "GET":
                 from urllib.parse import parse_qs
 

@@ -1,0 +1,153 @@
+"""Tests for the sampling profiler and per-stage memory accounting."""
+
+import threading
+import time
+import tracemalloc
+
+import pytest
+
+from repro.core.fdx import FDX
+from repro.dataset.relation import Relation
+from repro.obs import MemoryTracker, SamplingProfiler
+from repro.obs.profile import _NULL_STAGE
+
+
+def _busy_wait(seconds):
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(i * i for i in range(500))
+    return total
+
+
+# -- SamplingProfiler --------------------------------------------------------
+
+def test_profiler_captures_busy_function():
+    with SamplingProfiler(hz=500) as profiler:
+        _busy_wait(0.3)
+    assert profiler.n_samples > 0
+    lines = profiler.collapsed_lines()
+    assert lines, "no stacks collected"
+    assert any("_busy_wait" in line for line in lines)
+    # Collapsed format: "frame;frame;...;leaf count", most-sampled first.
+    stack, count = lines[0].rsplit(" ", 1)
+    assert ";" in stack and int(count) >= 1
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_profiler_prefixes_thread_roots():
+    worker = threading.Thread(
+        target=_busy_wait, args=(0.3,), name="bench-worker"
+    )
+    with SamplingProfiler(hz=500) as profiler:
+        worker.start()
+        worker.join()
+    stacks = profiler.collapsed()
+    assert any(stack.startswith("thread:bench-worker;") for stack in stacks)
+    # The profiler never samples its own daemon thread.
+    assert not any("repro-profiler" in stack for stack in stacks)
+
+
+def test_profiler_single_thread_mode():
+    worker = threading.Thread(target=_busy_wait, args=(0.25,), name="other")
+    worker.start()
+    with SamplingProfiler(hz=500, all_threads=False) as profiler:
+        _busy_wait(0.25)
+    worker.join()
+    stacks = profiler.collapsed()
+    assert stacks
+    assert all(not stack.startswith("thread:") for stack in stacks)
+
+
+def test_profiler_write_and_top(tmp_path):
+    with SamplingProfiler(hz=500) as profiler:
+        _busy_wait(0.25)
+    out = tmp_path / "profile.collapsed"
+    n_samples = profiler.write(str(out))
+    assert n_samples == profiler.n_samples
+    content = out.read_text().splitlines()
+    assert content and all(line.rsplit(" ", 1)[1].isdigit() for line in content)
+    top = profiler.top(3)
+    assert top and all(isinstance(count, int) for _, count in top)
+
+
+def test_profiler_lifecycle_guards():
+    profiler = SamplingProfiler(hz=200)
+    profiler.start()
+    with pytest.raises(RuntimeError):
+        profiler.start()
+    profiler.stop()
+    profiler.stop()  # idempotent
+    profiler.clear()
+    assert profiler.n_samples == 0 and not profiler.collapsed()
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=0)
+
+
+# -- MemoryTracker -----------------------------------------------------------
+
+def test_memory_tracker_records_stage_peaks():
+    tracker = MemoryTracker(enabled=True)
+    with tracker:
+        with tracker.stage("alloc"):
+            block = bytearray(4 * 1024 * 1024)
+            del block  # freed before stage exit: the *peak* must still see it
+        with tracker.stage("idle"):
+            pass
+    assert tracker.stage_bytes["alloc"] >= 4 * 1000 * 1000
+    assert tracker.stage_bytes["idle"] >= 0
+    assert not tracemalloc.is_tracing()
+
+
+def test_memory_tracker_accumulates_repeated_stage():
+    tracker = MemoryTracker(enabled=True)
+    with tracker:
+        for _ in range(2):
+            with tracker.stage("loop"):
+                block = bytearray(1024 * 1024)
+                del block
+    assert tracker.stage_bytes["loop"] >= 2 * 1000 * 1000
+
+
+def test_memory_tracker_disabled_is_shared_noop():
+    tracker = MemoryTracker(enabled=False)
+    with tracker:
+        assert tracker.stage("anything") is _NULL_STAGE
+        with tracker.stage("anything"):
+            bytearray(1024)
+    assert tracker.stage_bytes == {}
+    assert not tracemalloc.is_tracing()
+
+
+def test_memory_tracker_leaves_outer_tracing_running():
+    tracemalloc.start()
+    try:
+        tracker = MemoryTracker(enabled=True)
+        with tracker:
+            with tracker.stage("inner"):
+                pass
+        assert tracemalloc.is_tracing()  # ownership stays with the outer user
+    finally:
+        tracemalloc.stop()
+
+
+# -- pipeline integration ----------------------------------------------------
+
+def _relation(n=300):
+    rows = [(f"z{i % 7}", f"c{i % 7}", f"s{i % 2}") for i in range(n)]
+    return Relation.from_rows(["zip", "city", "state"], rows)
+
+
+def test_fdx_track_memory_populates_stage_bytes():
+    result = FDX(track_memory=True).discover(_relation())
+    stage_bytes = result.diagnostics["stage_bytes"]
+    assert set(stage_bytes) == set(result.diagnostics["stage_seconds"])
+    assert all(isinstance(v, int) and v >= 0 for v in stage_bytes.values())
+    # The transform materializes the O(n*p) pair sample: it dominates.
+    assert stage_bytes["transform"] == max(stage_bytes.values())
+
+
+def test_fdx_default_has_no_stage_bytes():
+    result = FDX().discover(_relation())
+    assert "stage_bytes" not in result.diagnostics

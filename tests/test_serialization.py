@@ -146,6 +146,44 @@ def test_fdxresult_roundtrip_from_real_discovery():
     assert rebuilt.precision.shape == (3, 3)
 
 
+#: Every diagnostics key a fully-instrumented FDX.discover produces
+#: (tracing enabled adds glasso_objective_trace; track_memory adds
+#: stage_bytes). A new diagnostics key must be added here, which makes
+#: the completeness test below fail until it provably round-trips.
+FULL_DIAGNOSTICS_KEYS = (
+    "glasso_iterations",
+    "glasso_converged",
+    "final_objective",
+    "stage_seconds",
+    "stage_bytes",
+    "glasso_objective_trace",
+)
+
+
+@pytest.fixture(scope="module")
+def instrumented_result():
+    from repro.obs import Tracer
+
+    rows = [(f"z{i % 7}", f"c{i % 7}", f"s{i % 2}") for i in range(300)]
+    rel = Relation.from_rows(["zip", "city", "state"], rows)
+    return FDX(tracer=Tracer(enabled=True), track_memory=True).discover(rel)
+
+
+def test_instrumented_diagnostics_keys_are_exactly_the_known_set(
+    instrumented_result,
+):
+    assert set(instrumented_result.diagnostics) == set(FULL_DIAGNOSTICS_KEYS)
+
+
+@pytest.mark.parametrize("key", FULL_DIAGNOSTICS_KEYS)
+def test_every_diagnostics_key_survives_roundtrip(instrumented_result, key):
+    """No diagnostics key may silently drop on the wire (per-key check)."""
+    wire = json.loads(json.dumps(instrumented_result.to_dict()))
+    rebuilt = FDXResult.from_dict(wire)
+    assert key in rebuilt.diagnostics
+    assert rebuilt.diagnostics[key] == instrumented_result.diagnostics[key]
+
+
 def test_fdxresult_from_dict_optional_matrices():
     result = FDX().discover(
         Relation.from_rows(["a", "b"], [(i % 4, i % 2) for i in range(200)])
