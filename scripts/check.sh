@@ -23,6 +23,9 @@ echo "== tier-1 tests =="
 echo "== tier-2 observability smoke =="
 "$PYTHON" -m pytest -q -m tier2 tests/test_obs_smoke.py
 
+echo "== tier-2 chaos smoke =="
+"$PYTHON" -m pytest -q -m tier2 tests/test_chaos.py
+
 echo "== bench smoke (report-only) =="
 "$PYTHON" -m repro bench --suite micro --smoke --no-record --report-only
 

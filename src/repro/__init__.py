@@ -11,9 +11,18 @@ Public entry points:
 """
 
 from .core.fd import FD
-from .core.fdx import FDX, FDXResult
+from .core.fdx import FDX, FDXResult, validate_relation
 from .dataset.relation import MISSING, Relation
 from .dataset.schema import Attribute, AttributeType, Schema
+from .errors import (
+    CsvFormatError,
+    DatasetIOError,
+    DegenerateColumnError,
+    EmptyRelationError,
+    InputValidationError,
+    InsufficientRowsError,
+    ReproError,
+)
 
 __version__ = "1.0.0"
 
@@ -26,5 +35,13 @@ __all__ = [
     "Attribute",
     "AttributeType",
     "Schema",
+    "CsvFormatError",
+    "DatasetIOError",
+    "DegenerateColumnError",
+    "EmptyRelationError",
+    "InputValidationError",
+    "InsufficientRowsError",
+    "ReproError",
+    "validate_relation",
     "__version__",
 ]

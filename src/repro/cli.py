@@ -23,6 +23,7 @@ from typing import Sequence
 from . import __version__
 from .core.fdx import FDX
 from .dataset.io import read_csv, write_csv
+from .errors import ReproError
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
@@ -273,6 +274,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         max_sessions=args.max_sessions,
         session_ttl=args.session_ttl,
+        max_queue_depth=args.max_queue_depth if args.max_queue_depth > 0 else None,
         obs_jsonl=args.obs_jsonl,
     )
 
@@ -355,7 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run curated benchmark suites and gate on the regression ledger",
     )
     p.add_argument("--suite", default="micro", metavar="NAME",
-                   help="suite to run: micro, scalability, service, or all")
+                   help="suite to run: micro, scalability, service, "
+                        "resilience, or all")
     p.add_argument("--repeat", type=int, default=3,
                    help="timed iterations per benchmark (median is recorded)")
     p.add_argument("--smoke", action="store_true",
@@ -384,6 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-cache capacity (0 disables caching)")
     p.add_argument("--cache-ttl", type=float, default=3600.0,
                    help="result-cache entry lifetime in seconds")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   help="queued jobs before submits are shed with 429 "
+                        "(0 disables admission control)")
     p.add_argument("--max-sessions", type=int, default=256)
     p.add_argument("--session-ttl", type=float, default=1800.0,
                    help="idle streaming-session lifetime in seconds")
@@ -397,7 +403,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # Deliberate, typed failures (unreadable file, malformed CSV,
+        # unusable relation) exit with one actionable line, not a
+        # traceback. Genuine bugs still traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

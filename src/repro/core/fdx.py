@@ -24,10 +24,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dataset.relation import Relation
+from ..errors import (
+    DegenerateColumnError,
+    EmptyRelationError,
+    InsufficientRowsError,
+)
 from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
+from ..resilience.cancel import current_cancel_token
 from .fd import FD
-from .structure import learn_structure
+from .structure import learn_structure, learn_structure_resilient
 from .transform import (
     center_within_blocks,
     pair_difference_transform,
@@ -37,6 +43,65 @@ from .transform import (
 #: Magnitudes below this are treated as structural zeros of ``B`` even when
 #: the user-facing sparsity threshold is 0 (paper Table 8's "0" column).
 NUMERICAL_ZERO = 1e-8
+
+
+def validate_relation(relation: Relation, strict: bool = False) -> list[str]:
+    """Pre-math input guard for :meth:`FDX.discover`.
+
+    Raises a typed, actionable error for inputs the pipeline cannot
+    process at all:
+
+    * :class:`repro.errors.EmptyRelationError` — zero rows;
+    * :class:`repro.errors.InsufficientRowsError` — one row (the
+      pair-difference transform needs at least one tuple *pair*).
+
+    Degenerate-but-processable columns — constant, entirely missing, or
+    exact duplicates of an earlier column — are returned as warning
+    strings (surfaced in ``diagnostics["input_warnings"]``). They skew
+    the estimated structure rather than crash it, so they only become
+    errors under ``strict=True`` (:class:`repro.errors.DegenerateColumnError`,
+    which carries the same strings as ``.findings``).
+    """
+    if relation.n_rows == 0:
+        raise EmptyRelationError(
+            "relation has no rows; FD discovery needs data to learn from "
+            "(check the input file or upstream filter)"
+        )
+    if relation.n_rows == 1:
+        raise InsufficientRowsError(
+            "relation has a single row; the pair-difference transform "
+            "(paper Algorithm 2) needs at least two rows to form a tuple pair"
+        )
+    warnings: list[str] = []
+    seen: dict[bytes, str] = {}
+    for name in relation.schema.names:
+        codes = relation.value_codes(name)
+        if (codes == -1).all():
+            warnings.append(
+                f"column {name!r} is entirely missing; it carries no FD signal"
+            )
+            continue
+        non_missing = codes[codes != -1]
+        if non_missing.size and (non_missing == non_missing[0]).all():
+            warnings.append(
+                f"column {name!r} is constant; constant columns are trivially "
+                "determined by everything and dilute the sparsity budget"
+            )
+        digest = codes.tobytes()
+        if digest in seen:
+            warnings.append(
+                f"column {name!r} duplicates column {seen[digest]!r}; "
+                "duplicates are mutually determined and can mask other FDs"
+            )
+        else:
+            seen[digest] = name
+    if strict and warnings:
+        raise DegenerateColumnError(
+            "strict validation rejected degenerate columns: "
+            + "; ".join(warnings),
+            findings=warnings,
+        )
+    return warnings
 
 
 @dataclass
@@ -197,6 +262,24 @@ class FDX:
         ``stage_seconds``. Off by default: tracemalloc slows allocation
         by a multiple, so this is a diagnosis knob (CLI
         ``discover --memory``), not an always-on metric.
+    resilient:
+        Route structure learning through the fallback ladder
+        (:func:`repro.core.structure.learn_structure_resilient`): solver
+        non-convergence or ill-conditioning degrades gracefully —
+        recondition + boosted penalty, then neighborhood selection, then
+        an empty model — instead of raising or silently returning a bad
+        fit. The ladder's provenance lands in ``diagnostics["degraded"]``
+        / ``diagnostics["fallback_chain"]``. On by default; turn off for
+        research runs that must see raw solver behavior.
+    strict:
+        Make :func:`validate_relation` reject degenerate columns
+        (constant / all-missing / duplicate) with
+        :class:`repro.errors.DegenerateColumnError` instead of recording
+        them as ``diagnostics["input_warnings"]``.
+    glasso_max_iter:
+        Outer-iteration cap for the graphical lasso. Lowering it bounds
+        worst-case solve time (the service's latency lever); with
+        ``resilient`` the ladder absorbs the resulting non-convergence.
     """
 
     def __init__(
@@ -214,11 +297,16 @@ class FDX:
         seed: int = 0,
         tracer: Tracer | None = None,
         track_memory: bool = False,
+        resilient: bool = True,
+        strict: bool = False,
+        glasso_max_iter: int = 100,
     ) -> None:
         if transform not in ("circular", "uniform"):
             raise ValueError(f"unknown transform {transform!r}")
         if sparsity < 0:
             raise ValueError("sparsity threshold must be non-negative")
+        if glasso_max_iter < 1:
+            raise ValueError("glasso_max_iter must be >= 1")
         self.lam = lam
         self.sparsity = sparsity
         self.ordering = ordering
@@ -232,6 +320,9 @@ class FDX:
         self.seed = seed
         self.tracer = tracer
         self.track_memory = track_memory
+        self.resilient = resilient
+        self.strict = strict
+        self.glasso_max_iter = glasso_max_iter
 
     def transform_relation(self, relation: Relation) -> np.ndarray:
         """Run the configured tuple-pair transform (exposed for ablation).
@@ -265,7 +356,17 @@ class FDX:
         return samples
 
     def discover(self, relation: Relation) -> FDXResult:
-        """Discover FDs in ``relation`` (paper Algorithm 1)."""
+        """Discover FDs in ``relation`` (paper Algorithm 1).
+
+        Raises :class:`repro.errors.InputValidationError` subclasses for
+        inputs the pipeline cannot process (see :func:`validate_relation`);
+        every other solver-side failure is absorbed by the fallback
+        ladder when ``resilient`` is on, so a valid input always yields
+        an :class:`FDXResult` (possibly a degraded one — check
+        ``diagnostics["degraded"]``).
+        """
+        input_warnings = validate_relation(relation, strict=self.strict)
+        cancel_token = current_cancel_token()
         if relation.n_attributes < 2:
             return FDXResult(
                 fds=[],
@@ -276,9 +377,14 @@ class FDX:
                 transform_seconds=0.0,
                 model_seconds=0.0,
                 n_pair_samples=0,
+                diagnostics=(
+                    {"degraded": False, "input_warnings": input_warnings}
+                    if input_warnings else {"degraded": False}
+                ),
             )
         tracer = self.tracer if self.tracer is not None else get_tracer()
         memory = MemoryTracker(enabled=self.track_memory)
+        learner = learn_structure_resilient if self.resilient else learn_structure
         t0 = time.perf_counter()
         with tracer.span(
             "fdx.discover",
@@ -288,17 +394,22 @@ class FDX:
             with tracer.span("fdx.transform", kind=self.transform), \
                     memory.stage("transform"):
                 samples = self.transform_relation(relation)
+            if cancel_token is not None:
+                cancel_token.raise_if_cancelled()
             t1 = time.perf_counter()
-            estimate = learn_structure(
+            estimate = learner(
                 samples,
                 lam=self.lam,
                 ordering=self.ordering,
                 shrinkage=self.shrinkage,
                 assume_centered=self.center_blocks and self.transform == "circular",
                 estimator=self.estimator,
+                max_iter=self.glasso_max_iter,
                 tracer=tracer,
                 memory=memory,
             )
+            if cancel_token is not None:
+                cancel_token.raise_if_cancelled()
             names = relation.schema.names
             t_gen = time.perf_counter()
             with tracer.span("fdx.generate_fds", sparsity=self.sparsity), \
@@ -323,7 +434,12 @@ class FDX:
             "glasso_converged": estimate.glasso_converged,
             "final_objective": estimate.glasso_objective,
             "stage_seconds": stage_seconds,
+            "degraded": estimate.degraded,
         }
+        if estimate.fallback_chain:
+            diagnostics["fallback_chain"] = estimate.fallback_chain
+        if input_warnings:
+            diagnostics["input_warnings"] = input_warnings
         if memory.enabled:
             diagnostics["stage_bytes"] = dict(memory.stage_bytes)
         if estimate.glasso_trace is not None:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import InputValidationError
 from ..linalg.cholesky import OrderedFactorization, factorize_with_order
 from ..linalg.covariance import (
     correlation_from_covariance,
@@ -24,8 +25,11 @@ from ..linalg.covariance import (
 from ..linalg.glasso import graphical_lasso
 from ..linalg.neighborhood import neighborhood_selection
 from ..linalg.ordering import compute_order
+from ..linalg.robust import psd_projection
 from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
+from ..resilience import faults
+from ..resilience.cancel import CancelledError, current_cancel_token
 
 
 @dataclass
@@ -47,6 +51,10 @@ class StructureEstimate:
     #: Per-iteration ``{iteration, objective, duality_gap, change}`` dicts,
     #: recorded only when tracing is enabled (the callback costs O(p^3)).
     glasso_trace: list | None = None
+    #: True when the fallback ladder had to leave the configured solver.
+    degraded: bool = False
+    #: One record per ladder rung attempted: ``{"stage", "ok", ...}``.
+    fallback_chain: list = field(default_factory=list)
 
     @property
     def order(self) -> np.ndarray:
@@ -69,6 +77,7 @@ def learn_structure(
     estimator: str = "glasso",
     covariance: str = "empirical",
     max_iter: int = 100,
+    precondition: bool = False,
     tracer: Tracer | None = None,
     memory: MemoryTracker | None = None,
 ) -> StructureEstimate:
@@ -109,6 +118,10 @@ def learn_structure(
         ``structure.glasso`` and ``structure.factorization`` spans, and
         — when enabled — records a per-iteration objective/duality-gap
         trace from the graphical lasso.
+    precondition:
+        Project the covariance estimate onto the PD cone (eigenvalue
+        floor ``1e-6``) before the solver — the reconditioning step of
+        the fallback ladder for ill-conditioned inputs.
     memory:
         Per-stage peak-memory tracker (:class:`repro.obs.MemoryTracker`);
         when enabled, records ``covariance`` / ``glasso`` /
@@ -120,6 +133,13 @@ def learn_structure(
     samples = np.asarray(samples, dtype=float)
     if samples.ndim != 2:
         raise ValueError("samples must be a 2-D matrix")
+    if samples.size and not np.isfinite(samples).all():
+        raise InputValidationError(
+            "transformed samples contain non-finite values (NaN/Inf); "
+            "clean or impute the input before discovery"
+        )
+    cancel_token = current_cancel_token()
+    should_abort = cancel_token.raise_if_cancelled if cancel_token else None
     t0 = time.perf_counter()
     with tracer.span("structure.covariance", estimator=covariance,
                      shrinkage=shrinkage, standardize=standardize), \
@@ -140,6 +160,8 @@ def learn_structure(
             S = correlation_from_covariance(S)
         if shrinkage > 0:
             S = shrunk_covariance(S, shrinkage)
+        if precondition:
+            S = psd_projection(S, min_eigenvalue=1e-6)
         if isinstance(lam, str):
             if lam != "ebic":
                 raise ValueError(f"unknown penalty rule {lam!r}; use a float or 'ebic'")
@@ -156,9 +178,14 @@ def learn_structure(
             if tracer.enabled:
                 glasso_trace = []
                 callback = glasso_trace.append
-            result = graphical_lasso(S, lam, max_iter=max_iter, callback=callback)
+            result = graphical_lasso(
+                S, lam, max_iter=max_iter, callback=callback,
+                should_abort=should_abort,
+            )
             precision = result.precision
             iterations, converged = result.n_iter, result.converged
+            if faults.fires("glasso.nonconverge"):
+                converged = False  # chaos harness: simulated non-convergence
             glasso_objective = result.objective
             span.set_attributes(
                 iterations=iterations,
@@ -202,3 +229,132 @@ def learn_structure(
         stage_bytes=dict(memory.stage_bytes) if memory.enabled else {},
         glasso_trace=glasso_trace,
     )
+
+
+#: Penalty multiplier for the reconditioned retry rung of the ladder; a
+#: larger λ convexifies harder and converges on inputs the first pass
+#: could not handle (at the price of a sparser, more conservative graph).
+LAM_BOOST = 5.0
+
+#: Identity shrinkage used by the reconditioned retry (well above the
+#: 0.01 default, pulling near-singular covariances toward the identity).
+RECONDITION_SHRINKAGE = 0.1
+
+
+def _estimate_is_sound(estimate: StructureEstimate) -> bool:
+    """Did a ladder rung produce a usable model? (converged + finite)"""
+    return bool(
+        estimate.glasso_converged
+        and np.isfinite(estimate.precision).all()
+        and np.isfinite(estimate.factorization.autoregression).all()
+    )
+
+
+def learn_structure_resilient(
+    samples: np.ndarray,
+    lam: float | str = 0.05,
+    ordering: str = "mindegree",
+    shrinkage: float = 0.01,
+    assume_centered: bool = False,
+    standardize: bool = True,
+    estimator: str = "glasso",
+    covariance: str = "empirical",
+    max_iter: int = 100,
+    tracer: Tracer | None = None,
+    memory: MemoryTracker | None = None,
+) -> StructureEstimate:
+    """:func:`learn_structure` behind a graceful-degradation ladder.
+
+    Production entry point of the solver stack: instead of raising (or
+    silently returning a non-converged model), failures walk a fixed
+    ladder and the survivor is returned with its provenance recorded in
+    ``fallback_chain`` / ``degraded``:
+
+    1. **configured** — the caller's estimator and penalty, verbatim;
+    2. **reconditioned** — PSD-project the covariance (eigenvalue floor),
+       heavier shrinkage, and a ``LAM_BOOST``-times larger penalty;
+    3. **neighborhood** — Meinshausen-Bühlmann nodewise regression on
+       the reconditioned covariance, the paper's "efficient regression
+       methods" alternative (§2.2), which cannot fail to converge;
+    4. **identity** — an empty model (no FDs) as the last resort, so a
+       valid input *always* yields a result.
+
+    Cancellation (:class:`repro.resilience.CancelledError`) and input
+    validation errors are never swallowed — they are contracts with the
+    caller, not solver failures.
+    """
+    boosted = lam * LAM_BOOST if isinstance(lam, (int, float)) else 0.1
+    rungs: list[tuple[str, dict]] = [
+        ("configured", dict(lam=lam, estimator=estimator, shrinkage=shrinkage,
+                            precondition=False)),
+        ("reconditioned", dict(lam=boosted, estimator=estimator,
+                               shrinkage=max(shrinkage, RECONDITION_SHRINKAGE),
+                               precondition=True)),
+    ]
+    if estimator != "neighborhood":
+        rungs.append(
+            ("neighborhood", dict(lam=lam if isinstance(lam, (int, float)) else 0.1,
+                                  estimator="neighborhood", shrinkage=shrinkage,
+                                  precondition=True))
+        )
+    chain: list[dict] = []
+    estimate: StructureEstimate | None = None
+    for stage, overrides in rungs:
+        entry = {
+            "stage": stage,
+            "estimator": overrides["estimator"],
+            "lam": overrides["lam"] if isinstance(overrides["lam"], (int, float)) else str(overrides["lam"]),
+        }
+        try:
+            candidate = learn_structure(
+                samples,
+                ordering=ordering,
+                assume_centered=assume_centered,
+                standardize=standardize,
+                covariance=covariance,
+                max_iter=max_iter,
+                tracer=tracer,
+                memory=memory,
+                **overrides,
+            )
+        except (CancelledError, InputValidationError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - ladder absorbs solver faults
+            entry.update(ok=False, reason=f"{type(exc).__name__}: {exc}")
+            chain.append(entry)
+            continue
+        if _estimate_is_sound(candidate):
+            entry["ok"] = True
+            chain.append(entry)
+            estimate = candidate
+            break
+        entry.update(
+            ok=False,
+            reason=(
+                "converged=False"
+                if not candidate.glasso_converged
+                else "non-finite model"
+            ),
+        )
+        chain.append(entry)
+        estimate = candidate  # best effort so far, may still be returned
+    degraded = len(chain) > 1 or not chain[-1]["ok"]
+    if estimate is None:
+        # Every rung raised: synthesize the identity model so callers
+        # still receive a (maximally conservative) result.
+        p = samples.shape[1]
+        eye = np.eye(p)
+        estimate = StructureEstimate(
+            covariance=eye,
+            precision=eye,
+            factorization=factorize_with_order(eye, np.arange(p)),
+            glasso_iterations=0,
+            glasso_converged=False,
+        )
+        chain.append({"stage": "identity", "estimator": "identity",
+                      "lam": None, "ok": True,
+                      "reason": "all solver rungs failed"})
+        degraded = True
+    estimate.degraded = degraded
+    estimate.fallback_chain = chain
+    return estimate

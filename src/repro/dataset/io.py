@@ -12,6 +12,7 @@ import io
 from pathlib import Path
 from typing import Any, Sequence
 
+from ..errors import CsvFormatError, DatasetIOError
 from .relation import MISSING, Relation, is_missing
 from .schema import Attribute, AttributeType, Schema
 
@@ -56,9 +57,20 @@ def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
     """Read ``path`` into a :class:`Relation`.
 
     If ``schema`` is omitted, attribute types are inferred from the data.
+    Raises :class:`repro.errors.DatasetIOError` (an ``OSError``) when the
+    file cannot be read and :class:`repro.errors.CsvFormatError` (a
+    ``ValueError``) when it parses but is structurally malformed — both
+    carry the path so CLI diagnostics are one actionable line.
     """
-    with open(path, newline="") as f:
-        return read_csv_text(f.read(), schema=schema)
+    try:
+        with open(path, newline="") as f:
+            text = f.read()
+    except OSError as exc:
+        raise DatasetIOError(f"cannot read {path}: {exc.strerror or exc}") from exc
+    try:
+        return read_csv_text(text, schema=schema)
+    except CsvFormatError as exc:
+        raise CsvFormatError(f"{path}: {exc}") from exc
 
 
 def read_csv_text(text: str, schema: Schema | None = None) -> Relation:
@@ -67,17 +79,17 @@ def read_csv_text(text: str, schema: Schema | None = None) -> Relation:
     try:
         header = next(reader)
     except StopIteration:
-        raise ValueError("empty CSV: missing header row") from None
+        raise CsvFormatError("empty CSV: missing header row") from None
     rows = [row for row in reader if row]
     for row in rows:
         if len(row) != len(header):
-            raise ValueError(
+            raise CsvFormatError(
                 f"row arity {len(row)} does not match header arity {len(header)}"
             )
     if schema is None:
         schema = _sniff_types(header, rows)
     elif schema.names != header:
-        raise ValueError(
+        raise CsvFormatError(
             f"schema names {schema.names} do not match CSV header {header}"
         )
     columns: dict[str, list[Any]] = {name: [] for name in schema.names}

@@ -1,0 +1,68 @@
+"""Typed exception hierarchy shared across the repro package.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers (the CLI, the service, user code) can
+catch one base type and still branch on precise subclasses. The
+validation and I/O errors additionally inherit the stdlib types they
+historically surfaced as (``ValueError`` / ``OSError``), so existing
+``except ValueError`` call sites keep working.
+
+Layers
+------
+* :class:`InputValidationError` family — the relation handed to
+  :meth:`repro.FDX.discover` cannot be processed; raised *before* any
+  math runs (paper Algorithm 1 needs at least two rows to form tuple
+  pairs). Each message says what is wrong and what to do about it.
+* :class:`DatasetIOError` family — reading or parsing a dataset file
+  failed (missing file, malformed CSV); used by ``python -m repro``
+  commands to exit with a one-line diagnostic instead of a traceback.
+* Resilience errors (:class:`repro.resilience.CancelledError`,
+  :class:`repro.resilience.InjectedFault`,
+  :class:`repro.service.jobs.QueueFullError`) also derive from
+  :class:`ReproError`; they live next to their subsystems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CsvFormatError",
+    "DatasetIOError",
+    "DegenerateColumnError",
+    "EmptyRelationError",
+    "InputValidationError",
+    "InsufficientRowsError",
+    "ReproError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this package."""
+
+
+class InputValidationError(ReproError, ValueError):
+    """The input relation is unusable for discovery (pre-math guard)."""
+
+
+class EmptyRelationError(InputValidationError):
+    """The relation has zero rows — there is nothing to discover from."""
+
+
+class InsufficientRowsError(InputValidationError):
+    """Too few rows for the pair-difference transform (needs >= 2)."""
+
+
+class DegenerateColumnError(InputValidationError):
+    """Strict validation rejected degenerate columns (constant,
+    duplicated, or entirely missing); carries the offending findings."""
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])
+
+
+class DatasetIOError(ReproError, OSError):
+    """A dataset file could not be read or written."""
+
+
+class CsvFormatError(DatasetIOError, ValueError):
+    """A CSV file parsed but is structurally malformed (empty, ragged)."""

@@ -96,6 +96,7 @@ def graphical_lasso(
     tol: float = 1e-4,
     inner_max_iter: int = 200,
     callback: Callable[[dict], None] | None = None,
+    should_abort: Callable[[], None] | None = None,
 ) -> GraphicalLassoResult:
     """Estimate a sparse precision matrix from covariance ``S``.
 
@@ -116,6 +117,12 @@ def graphical_lasso(
         call pays an extra ``O(p^3)`` precision recovery + ``slogdet``,
         so leave it ``None`` on the hot path (the tracer enables it only
         when tracing is on).
+    should_abort:
+        Optional cooperative-cancellation hook called at the start of
+        every outer iteration; raise from it (e.g.
+        :meth:`repro.resilience.CancelToken.raise_if_cancelled`) to
+        abandon the solve promptly when the surrounding job is
+        cancelled or timed out.
     """
     S = np.asarray(S, dtype=float)
     p = S.shape[0]
@@ -152,6 +159,8 @@ def graphical_lasso(
     n_iter = 0
     converged = False
     for n_iter in range(1, max_iter + 1):
+        if should_abort is not None:
+            should_abort()
         W_old = W.copy()
         for j in range(p):
             rest = indices[indices != j]

@@ -27,6 +27,21 @@ from __future__ import annotations
 import numpy as np
 
 
+def psd_projection(S: np.ndarray, min_eigenvalue: float = 0.0) -> np.ndarray:
+    """Nearest (Frobenius) PSD matrix: symmetrize, clip eigenvalues.
+
+    With ``min_eigenvalue > 0`` the result is positive *definite* with
+    spectrum bounded below — the reconditioning step of the FDX fallback
+    ladder uses this to repair ill-conditioned or indefinite covariance
+    estimates before retrying the solver.
+    """
+    S = np.asarray(S, dtype=float)
+    if S.ndim != 2 or S.shape[0] != S.shape[1]:
+        raise ValueError("S must be square")
+    w, V = np.linalg.eigh(0.5 * (S + S.T))
+    return V @ np.diag(np.clip(w, min_eigenvalue, None)) @ V.T
+
+
 def trimmed_covariance(
     X: np.ndarray,
     trim: float = 0.05,
@@ -58,11 +73,8 @@ def trimmed_covariance(
         if k_cut:
             prods = np.sort(prods, axis=0)[k_cut : n - k_cut]
         S[j, :] = prods.mean(axis=0)
-    S = 0.5 * (S + S.T)
     # Eigenvalue clipping to restore PSD after trimming.
-    w, V = np.linalg.eigh(S)
-    w = np.clip(w, 0.0, None)
-    return V @ np.diag(w) @ V.T
+    return psd_projection(S)
 
 
 def spearman_covariance(X: np.ndarray) -> np.ndarray:
@@ -94,9 +106,7 @@ def spearman_covariance(X: np.ndarray) -> np.ndarray:
     mad = np.median(np.abs(X - med), axis=0) * 1.4826
     mad[mad == 0] = 1.0
     S = R * np.outer(mad, mad)
-    # PSD projection.
-    w, V = np.linalg.eigh(0.5 * (S + S.T))
-    return V @ np.diag(np.clip(w, 0.0, None)) @ V.T
+    return psd_projection(S)
 
 
 def _average_ranks(values: np.ndarray) -> np.ndarray:

@@ -9,8 +9,10 @@ robust statistical comparison against the recorded trajectory:
 * **Suites** (:data:`SUITES`) are curated, dependency-free callables:
   ``micro`` times the pipeline hot paths (pair transform, graphical
   lasso, UDU factorization), ``scalability`` times end-to-end
-  ``FDX.discover`` across attribute counts, and ``service`` boots an
-  in-process server to time the cold vs. cache-hit round trip.
+  ``FDX.discover`` across attribute counts, ``service`` boots an
+  in-process server to time the cold vs. cache-hit round trip, and
+  ``resilience`` prices the robustness layer (disabled fault-injection
+  hooks, retry wrapper overhead, a fallback-ladder-engaged discovery).
 * **Ledger** — each run appends one record (per-benchmark median
   seconds, peak RSS, git sha, environment fingerprint, wall-clock
   stamp) to ``BENCH_<suite>.json``, a ``{"suite", "runs": [...]}``
@@ -298,6 +300,64 @@ def _case_service_cache_hit(smoke: bool) -> Callable[[], object]:
     return run
 
 
+def _case_fault_hook_disabled(smoke: bool) -> Callable[[], object]:
+    """Cost of the production no-injector path of the fault hooks."""
+    from ..resilience import faults
+
+    n = 10_000 if smoke else 100_000
+
+    def run():
+        fired = 0
+        for _ in range(n):
+            if faults.fires("glasso.nonconverge"):
+                fired += 1
+        return fired
+
+    return run
+
+
+def _case_retry_noop(smoke: bool) -> Callable[[], object]:
+    """Overhead of retry_call around an immediately-successful call."""
+    from ..resilience.retry import RetryPolicy, retry_call
+
+    n = 2_000 if smoke else 20_000
+    policy = RetryPolicy()
+
+    def run():
+        total = 0
+        for _ in range(n):
+            total += retry_call(
+                lambda: 1, policy, is_retryable=lambda exc: False
+            )
+        return total
+
+    return run
+
+
+def _case_fallback_ladder(smoke: bool) -> Callable[[], object]:
+    """End-to-end discovery with the ladder forced to engage
+    (glasso_max_iter=1 never converges on this input)."""
+    import numpy as np
+
+    from ..core.fdx import FDX
+    from ..dataset.relation import Relation
+
+    n, p = (200, 5) if smoke else (800, 10)
+    rng = np.random.default_rng(0)
+    rows = []
+    for _ in range(n):
+        base = int(rng.integers(20))
+        rows.append(tuple([base, base % 5] + [int(rng.integers(6)) for _ in range(p - 2)]))
+    relation = Relation.from_rows([f"a{i}" for i in range(p)], rows)
+
+    def run():
+        result = FDX(seed=0, glasso_max_iter=1).discover(relation)
+        assert result.diagnostics["degraded"]
+        return result
+
+    return run
+
+
 SUITES: dict[str, tuple[BenchCase, ...]] = {
     "micro": (
         BenchCase("pair_transform", _case_pair_transform),
@@ -311,6 +371,11 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
     ),
     "service": (
         BenchCase("service_cache_hit", _case_service_cache_hit),
+    ),
+    "resilience": (
+        BenchCase("fault_hook_disabled", _case_fault_hook_disabled),
+        BenchCase("retry_call_noop", _case_retry_noop),
+        BenchCase("fallback_ladder_discover", _case_fallback_ladder),
     ),
 }
 

@@ -1,0 +1,45 @@
+"""`repro.resilience`: surviving failure (extension).
+
+The paper's claim is robustness to *data* noise; a production service
+additionally has to be robust to *system* noise — solvers that fail to
+converge, saturated worker pools, dropped connections, crashed workers.
+This package holds the pieces that are shared across layers:
+
+* :mod:`~repro.resilience.cancel` — cooperative cancellation tokens,
+  propagated via contextvars from the job manager into the pipeline so
+  timed-out/cancelled jobs stop burning a worker at the next stage
+  boundary (or glasso iteration).
+* :mod:`~repro.resilience.retry` — exponential backoff with full
+  jitter and a sleep budget; used by
+  :class:`repro.service.ServiceClient` for idempotent requests.
+* :mod:`~repro.resilience.faults` — a deterministic, seeded fault
+  injector with named injection points in the server, the job manager
+  and the solver stack; drives the chaos test suite.
+
+The pipeline-level fallback ladder lives with the code it guards
+(:func:`repro.core.structure.learn_structure_resilient`), and the
+service-side admission control in :mod:`repro.service.jobs` /
+:mod:`repro.service.server`. ``docs/RESILIENCE.md`` describes how the
+layers compose.
+"""
+
+from .cancel import (
+    CancelledError,
+    CancelToken,
+    current_cancel_token,
+    set_current_cancel_token,
+)
+from .faults import FaultInjector, InjectedFault, active_injector
+from .retry import RetryPolicy, retry_call
+
+__all__ = [
+    "CancelToken",
+    "CancelledError",
+    "FaultInjector",
+    "InjectedFault",
+    "RetryPolicy",
+    "active_injector",
+    "current_cancel_token",
+    "retry_call",
+    "set_current_cancel_token",
+]

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultInjector` is a seeded plan of failures keyed by *injection
+point* — a short string naming a place in the product code that asks
+"should I fail here?" via :func:`fires` / :func:`maybe_raise`. When no
+injector is installed (the production default) those hooks are a single
+``None`` check, so the instrumented code pays nothing.
+
+Built-in injection points
+-------------------------
+======================  =====================================================
+``http.reset``          the HTTP handler closes the TCP connection without
+                        writing a response (client sees a connection reset)
+``http.5xx``            the handler replaces a computed response with a 500
+``job.worker``          the job worker raises :class:`InjectedFault` before
+                        running the job body (a simulated worker crash)
+``glasso.nonconverge``  structure learning treats the graphical lasso as
+                        having hit ``max_iter`` (``converged=False``),
+                        exercising the FDX fallback ladder
+======================  =====================================================
+
+Plans are deterministic: ``inject(point, times=3)`` fires on exactly the
+first three arrivals at that point (after ``after`` skipped arrivals),
+and probabilistic plans draw from the injector's seeded RNG under a
+lock, so a given seed yields one reproducible fault sequence per point.
+
+Usage (the chaos suite's shape)::
+
+    with FaultInjector(seed=7).inject("http.5xx", times=2).install():
+        client.discover(relation)   # client retries through the burst
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+__all__ = ["FaultInjector", "InjectedFault", "active_injector", "fires", "maybe_raise"]
+
+
+class InjectedFault(ReproError):
+    """A failure raised on purpose by an installed :class:`FaultInjector`."""
+
+    def __init__(self, point: str, message: str | None = None) -> None:
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass
+class _Plan:
+    times: int | None = None     # total firings allowed (None = unlimited)
+    probability: float = 1.0
+    after: int = 0               # arrivals to let through before arming
+    seen: int = 0
+    fired: int = 0
+
+
+class FaultInjector:
+    """Seeded, thread-safe fault plan; one instance per chaos scenario."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._plans: dict[str, _Plan] = {}
+        self._lock = threading.Lock()
+
+    def inject(
+        self,
+        point: str,
+        *,
+        times: int | None = 1,
+        probability: float = 1.0,
+        after: int = 0,
+    ) -> "FaultInjector":
+        """Arm ``point``; returns ``self`` so plans chain fluently."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if times is not None and times < 0:
+            raise ValueError(f"times must be >= 0, got {times}")
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        with self._lock:
+            self._plans[point] = _Plan(times=times, probability=probability, after=after)
+        return self
+
+    def fires(self, point: str) -> bool:
+        """One arrival at ``point``: does the plan say to fail it?"""
+        with self._lock:
+            plan = self._plans.get(point)
+            if plan is None:
+                return False
+            plan.seen += 1
+            if plan.seen <= plan.after:
+                return False
+            if plan.times is not None and plan.fired >= plan.times:
+                return False
+            if plan.probability < 1.0 and self._rng.random() >= plan.probability:
+                return False
+            plan.fired += 1
+            return True
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Arrivals and firings per point (chaos-suite assertions)."""
+        with self._lock:
+            return {
+                point: {"seen": plan.seen, "fired": plan.fired}
+                for point, plan in self._plans.items()
+            }
+
+    # -- global installation ----------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        """Make this the process-wide injector; use as a context manager."""
+        global _INSTALLED
+        with _INSTALL_LOCK:
+            if _INSTALLED is not None:
+                raise RuntimeError("another FaultInjector is already installed")
+            _INSTALLED = self
+        return self
+
+    def uninstall(self) -> None:
+        global _INSTALLED
+        with _INSTALL_LOCK:
+            if _INSTALLED is self:
+                _INSTALLED = None
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+
+_INSTALLED: FaultInjector | None = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def active_injector() -> FaultInjector | None:
+    """The installed injector, or None (the production default)."""
+    return _INSTALLED
+
+
+def fires(point: str) -> bool:
+    """Hot-path hook: False unless an installed injector says otherwise."""
+    injector = _INSTALLED
+    if injector is None:
+        return False
+    return injector.fires(point)
+
+
+def maybe_raise(point: str, message: str | None = None) -> None:
+    """Raise :class:`InjectedFault` when the installed plan fires."""
+    if fires(point):
+        raise InjectedFault(point, message)

@@ -1,0 +1,97 @@
+"""Exponential backoff with full jitter and a bounded retry budget.
+
+The policy follows the "full jitter" recipe (attempt ``k`` sleeps a
+uniform draw from ``[0, min(max_delay, base_delay * 2**k)]``), which
+de-correlates retry storms from many clients hammering a recovering
+service. Two budgets bound the total cost of a retried call:
+
+* ``max_attempts`` — how many times the call may run at all,
+* ``budget_seconds`` — total *sleep* a single logical call may spend
+  across its retries; once the next delay would blow the budget the
+  last error is raised instead.
+
+A server-provided ``Retry-After`` (surfaced as ``retry_after`` on the
+raised error) overrides the jittered delay — the server knows its
+backlog better than the client's exponential schedule does — but still
+draws down the same budget.
+
+Seeding the policy's RNG makes retry schedules reproducible in tests;
+production callers can leave the default entropy.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["RetryBudgetExceeded", "RetryPolicy", "retry_call"]
+
+
+class RetryBudgetExceeded(Exception):
+    """Internal marker: never raised to callers (the last real error is)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape + budget for :func:`retry_call`."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    budget_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.budget_seconds < 0:
+            raise ValueError("delays and budget must be non-negative")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter delay before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return rng.uniform(0.0, cap)
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    is_retryable: Callable[[BaseException], bool],
+    retry_after: Callable[[BaseException], float | None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> Any:
+    """Run ``fn`` with retries under ``policy``.
+
+    ``is_retryable`` decides whether an exception is transient;
+    ``retry_after`` may extract a server-mandated delay from it (e.g.
+    an HTTP 429's ``Retry-After``), which then replaces the jittered
+    delay. ``on_retry(attempt, error, delay)`` observes each retry —
+    the client uses it to count retries into metrics.
+    """
+    rng = rng if rng is not None else random.Random()
+    slept = 0.0
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - filtered by is_retryable
+            attempt += 1
+            if attempt >= policy.max_attempts or not is_retryable(exc):
+                raise
+            mandated = retry_after(exc) if retry_after is not None else None
+            delay = (
+                float(mandated)
+                if mandated is not None
+                else policy.delay(attempt - 1, rng)
+            )
+            if slept + delay > policy.budget_seconds:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+            slept += delay

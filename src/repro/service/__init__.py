@@ -6,7 +6,8 @@ reproduction into a long-lived service that amortizes that work:
 
 * :mod:`~repro.service.protocol` — versioned JSON wire schemas,
 * :mod:`~repro.service.jobs` — bounded worker pool with job lifecycle,
-  per-job timeouts and cancellation,
+  per-job timeouts, cooperative cancellation and queue admission
+  control (load shedding -> HTTP 429 + ``Retry-After``),
 * :mod:`~repro.service.cache` — fingerprinted LRU/TTL result cache,
 * :mod:`~repro.service.sessions` — streaming sessions over
   :class:`repro.core.IncrementalFDX`,
@@ -24,9 +25,10 @@ Everything is standard library + the repro core: no web framework.
 Tracing/metrics plumbing lives in :mod:`repro.obs`.
 """
 
+from ..resilience.retry import RetryPolicy
 from .cache import ResultCache, dataset_fingerprint
 from .client import ServiceClient, ServiceError, ServiceUnavailableError
-from .jobs import Job, JobManager
+from .jobs import Job, JobManager, QueueFullError
 from .metrics import Metrics
 from .protocol import (
     PROTOCOL_VERSION,
@@ -47,7 +49,9 @@ __all__ = [
     "JobManager",
     "Metrics",
     "ProtocolError",
+    "QueueFullError",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceHandle",

@@ -5,28 +5,68 @@ arguments are :class:`repro.Relation` objects — the client serializes
 them; result payloads come back as :class:`repro.FDXResult` via
 ``FDXResult.from_dict``, so service callers get the same object the
 in-process API returns.
+
+Transient failures — connection resets, 5xx bursts, 429 load shedding —
+are retried with exponential backoff and full jitter
+(:mod:`repro.resilience.retry`), but **only** for requests that are safe
+to repeat: GET/DELETE, and POSTs that carry a client-generated
+``Idempotency-Key`` the server deduplicates on (:meth:`ServiceClient.submit`
+generates one per call). A server-sent ``Retry-After`` overrides the
+jittered delay. Everything else fails fast with a typed
+:class:`ServiceError` whose ``retryable`` attribute tells callers
+whether trying again could ever help.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Any, Mapping
 
 from ..core.fdx import FDXResult
 from ..dataset.relation import Relation
+from ..resilience.retry import RetryPolicy, retry_call
 from .jobs import TERMINAL_STATES
 from .protocol import PROTOCOL_VERSION, relation_to_wire
 
+#: Exceptions urllib/http surface for network-level failures; all are
+#: transient from the client's point of view. HTTPError (a URLError
+#: subclass) is handled separately — it means the server *answered*.
+_TRANSPORT_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    TimeoutError,
+)
+
 
 class ServiceError(RuntimeError):
-    """The service answered with an error payload (or unreachable)."""
+    """The service answered with an error payload (or unreachable).
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    ``retryable`` classifies the failure: True for transport faults,
+    429 load shedding and 5xx responses (the request may succeed on a
+    healthy worker or after the backlog drains); False for 4xx protocol
+    or validation errors, which will fail identically every time.
+    ``retry_after`` carries the server-mandated pacing (seconds) when a
+    429/503 supplied one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        retryable: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retryable = retryable
+        self.retry_after = retry_after
 
 
 class ServiceUnavailableError(ServiceError):
@@ -39,50 +79,120 @@ class ServiceUnavailableError(ServiceError):
     """
 
     def __init__(self, message: str, last_error: ServiceError | None = None) -> None:
-        super().__init__(message, status=503)
+        super().__init__(message, status=503, retryable=True)
         self.last_error = last_error
 
 
-class ServiceClient:
-    """Thin blocking client; one instance per base URL, thread-safe."""
+def _retryable_status(status: int) -> bool:
+    return status == 429 or status >= 500
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+
+class ServiceClient:
+    """Thin blocking client; one instance per base URL, thread-safe.
+
+    ``retry`` shapes the backoff for idempotent requests (None disables
+    retries entirely); ``retry_seed`` makes the jitter deterministic for
+    tests. ``retries_total`` counts retries actually performed.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = RetryPolicy(),
+        retry_seed: int | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._retry_rng = random.Random(retry_seed)
+        self.retries_total = 0
 
     # -- plumbing ----------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Any | None = None, raw: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: Any | None = None,
+        raw: bytes | None = None,
+        idempotency_key: str | None = None,
     ) -> dict:
-        url = f"{self.base_url}{path}"
         data = raw if raw is not None else (
             None if body is None else json.dumps(body, default=str).encode()
         )
+        headers = {"Content-Type": "application/json"}
+        if idempotency_key:
+            headers["Idempotency-Key"] = idempotency_key
+        # Non-idempotent POSTs must not be replayed blindly: a reset
+        # mid-response leaves the server-side effect in doubt. With an
+        # Idempotency-Key the server deduplicates, so retrying is safe.
+        idempotent = method in ("GET", "DELETE") or idempotency_key is not None
+        if self.retry is None or not idempotent:
+            return self._request_once(method, path, data, headers)
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            self.retries_total += 1
+
+        return retry_call(
+            lambda: self._request_once(method, path, data, headers),
+            self.retry,
+            is_retryable=lambda exc: isinstance(exc, ServiceError) and exc.retryable,
+            retry_after=lambda exc: getattr(exc, "retry_after", None),
+            rng=self._retry_rng,
+            on_retry=on_retry,
+        )
+
+    def _request_once(
+        self, method: str, path: str, data: bytes | None, headers: Mapping[str, str]
+    ) -> dict:
+        url = f"{self.base_url}{path}"
         request = urllib.request.Request(
-            url,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
+            url, data=data, method=method, headers=dict(headers)
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = json.loads(response.read() or b"{}")
         except urllib.error.HTTPError as exc:
-            try:
-                detail = json.loads(exc.read() or b"{}")
-                message = detail.get("error", {}).get("message", str(exc))
-            except (json.JSONDecodeError, AttributeError):
-                message = str(exc)
-            raise ServiceError(message, status=exc.code) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+            raise self._error_from_http(exc) from exc
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceError(
+                f"service unreachable at {url}: "
+                f"{getattr(exc, 'reason', None) or exc}",
+                retryable=True,
+            ) from exc
         version = payload.get("protocol_version")
         if version is not None and version > PROTOCOL_VERSION:
+            # A protocol gap does not heal on retry.
             raise ServiceError(
                 f"server speaks protocol v{version}, client understands v{PROTOCOL_VERSION}"
             )
         return payload
+
+    @staticmethod
+    def _error_from_http(exc: urllib.error.HTTPError) -> ServiceError:
+        """Typed error from an HTTP error response (status + payload)."""
+        retry_after: float | None = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        try:
+            detail = json.loads(exc.read() or b"{}")
+            error = detail.get("error", {})
+            message = error.get("message", str(exc))
+            if retry_after is None:
+                retry_after = error.get("retry_after_seconds")
+        except (json.JSONDecodeError, AttributeError, OSError):
+            message = str(exc)
+        return ServiceError(
+            message,
+            status=exc.code,
+            retryable=_retryable_status(exc.code),
+            retry_after=retry_after,
+        )
 
     # -- discovery ---------------------------------------------------------
 
@@ -90,9 +200,19 @@ class ServiceClient:
         self,
         relation: Relation,
         hyperparameters: Mapping[str, Any] | None = None,
+        idempotent: bool = True,
     ) -> FDXResult:
-        """Synchronous discovery (waits for the result server-side)."""
-        payload = self.discover_raw(relation, hyperparameters, wait=True)
+        """Synchronous discovery (waits for the result server-side).
+
+        ``idempotent`` (default) attaches a generated Idempotency-Key, so
+        transient failures are retried and a retry that races a lost
+        response reattaches to the original server-side job instead of
+        running the discovery twice.
+        """
+        payload = self.discover_raw(
+            relation, hyperparameters, wait=True,
+            idempotency_key=uuid.uuid4().hex if idempotent else None,
+        )
         return FDXResult.from_dict(payload["result"])
 
     def discover_raw(
@@ -100,12 +220,15 @@ class ServiceClient:
         relation: Relation,
         hyperparameters: Mapping[str, Any] | None = None,
         wait: bool = True,
+        idempotency_key: str | None = None,
     ) -> dict:
         """Full response envelope (exposes ``cached``/``fingerprint``)."""
         body = {"relation": relation_to_wire(relation), "wait": wait}
         if hyperparameters:
             body["hyperparameters"] = dict(hyperparameters)
-        return self._request("POST", "/v1/discover", body)
+        return self._request(
+            "POST", "/v1/discover", body, idempotency_key=idempotency_key
+        )
 
     def prepare_discover_body(
         self,
@@ -133,8 +256,17 @@ class ServiceClient:
         relation: Relation,
         hyperparameters: Mapping[str, Any] | None = None,
     ) -> str:
-        """Asynchronous discovery: returns a job id to poll."""
-        payload = self.discover_raw(relation, hyperparameters, wait=False)
+        """Asynchronous discovery: returns a job id to poll.
+
+        Each call generates a fresh Idempotency-Key, making the submit
+        explicitly idempotent: the client may retry it through resets
+        and 5xx bursts, and the server answers every attempt with the
+        *same* job.
+        """
+        payload = self.discover_raw(
+            relation, hyperparameters, wait=False,
+            idempotency_key=uuid.uuid4().hex,
+        )
         # A cache hit completes instantly and carries no job to poll.
         if payload.get("cached"):
             return ""
@@ -211,9 +343,15 @@ class ServiceClient:
             try:
                 return json.loads(exc.read() or b"{}")
             except json.JSONDecodeError:
-                raise ServiceError(str(exc), status=exc.code) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+                raise ServiceError(
+                    str(exc), status=exc.code,
+                    retryable=_retryable_status(exc.code),
+                ) from exc
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceError(
+                f"service unreachable at {url}: {getattr(exc, 'reason', None) or exc}",
+                retryable=True,
+            ) from exc
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
@@ -226,9 +364,15 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return response.read().decode()
         except urllib.error.HTTPError as exc:
-            raise ServiceError(str(exc), status=exc.code) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from exc
+            raise ServiceError(
+                str(exc), status=exc.code,
+                retryable=_retryable_status(exc.code),
+            ) from exc
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceError(
+                f"service unreachable at {url}: {getattr(exc, 'reason', None) or exc}",
+                retryable=True,
+            ) from exc
 
     def wait_until_healthy(self, timeout: float = 10.0) -> dict:
         """Poll ``/v1/healthz`` until the server answers (startup helper).

@@ -11,8 +11,17 @@ host. Each job walks ``QUEUED -> RUNNING -> DONE | FAILED | CANCELLED``:
   as soon as its deadline passes, and whatever the worker eventually
   produces is discarded.
 * **cancellation** — a queued job is cancelled outright (the executor
-  never runs it); a running job is flagged and its result discarded when
-  the worker finishes.
+  never runs it); a running job is flagged *and* its
+  :class:`~repro.resilience.CancelToken` is set, so cooperative
+  pipeline code (stage boundaries, glasso outer iterations) aborts
+  promptly instead of burning the worker to completion. The token is
+  installed as the worker thread's contextvar, reaching the pipeline
+  with no signature changes.
+* **admission control** — with ``max_queue_depth`` set, a submit that
+  would grow the backlog past the limit is *shed*:
+  :class:`QueueFullError` carries a retry-after estimate derived from
+  an EWMA of recent job runtimes, which the HTTP layer turns into a
+  429 + ``Retry-After``.
 
 Finished jobs are retained (bounded, FIFO-pruned) so clients can poll
 ``/v1/jobs/<id>`` after completion.
@@ -28,6 +37,10 @@ import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
+from ..errors import ReproError
+from ..resilience import faults
+from ..resilience.cancel import CancelToken, set_current_cancel_token
+
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
@@ -36,6 +49,23 @@ CANCELLED = "cancelled"
 
 #: States a job can never leave.
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class QueueFullError(ReproError):
+    """Admission control shed a submit: the backlog is at capacity.
+
+    ``retry_after_seconds`` is the manager's estimate of when a slot
+    frees up (EWMA job runtime, clamped); the HTTP layer forwards it as
+    a ``Retry-After`` header on the 429 response.
+    """
+
+    def __init__(self, queue_depth: int, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"job queue is full ({queue_depth} queued); "
+            f"retry in ~{retry_after_seconds:.0f}s"
+        )
+        self.queue_depth = queue_depth
+        self.retry_after_seconds = retry_after_seconds
 
 
 class Job:
@@ -59,6 +89,9 @@ class Job:
         self._lock = threading.Lock()
         self._done_event = threading.Event()
         self.future: Future | None = None
+        #: Cooperative-cancellation flag, installed as the worker's
+        #: contextvar so pipeline stage boundaries see it.
+        self.cancel_token = CancelToken()
 
     # -- lifecycle (called by the manager/worker) --------------------------
 
@@ -80,6 +113,10 @@ class Job:
         self.result = result
         self.error = error
         self.finished_at = time.monotonic()
+        if state != DONE:
+            # Timeout/cancel may be observed while the worker still
+            # runs; the token tells it to unwind at the next check.
+            self.cancel_token.set(error or state)
         self._done_event.set()
 
     def _complete(self, result: Any) -> None:
@@ -129,6 +166,7 @@ class Job:
             if self._state in TERMINAL_STATES:
                 return self._state == CANCELLED
             self._cancel_requested = True
+            self.cancel_token.set("cancelled")
             return True
 
     def wait(self, timeout: float | None = None) -> str:
@@ -180,13 +218,17 @@ class JobManager:
         workers: int = 4,
         default_timeout: float | None = 300.0,
         max_retained: int = 1024,
+        max_queue_depth: int | None = None,
         registry=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
         self.workers = workers
         self.default_timeout = default_timeout
         self.max_retained = max_retained
+        self.max_queue_depth = max_queue_depth
         # Optional repro.obs.MetricsRegistry: when present, queue latency
         # is observed as the jobs_queue_seconds histogram at job start.
         self.registry = registry
@@ -198,6 +240,10 @@ class JobManager:
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
         self._n_submitted = 0
+        self._n_shed = 0
+        #: EWMA of completed-job runtimes, feeding the 429 Retry-After
+        #: estimate (seconds; seeded with a plausible discovery latency).
+        self._runtime_ewma = 1.0
         self._closed = False
 
     def submit(
@@ -207,7 +253,12 @@ class JobManager:
         timeout: float | None = None,
         kind: str = "discover",
     ) -> Job:
-        """Queue ``fn`` and return its :class:`Job` handle immediately."""
+        """Queue ``fn`` and return its :class:`Job` handle immediately.
+
+        Raises :class:`QueueFullError` when ``max_queue_depth`` is set
+        and that many jobs are already waiting for a worker (admission
+        control: shedding at the door beats timing out in the queue).
+        """
         if timeout is None:
             timeout = self.default_timeout
         job_id = f"job-{next(self._counter):06d}-{uuid.uuid4().hex[:8]}"
@@ -215,6 +266,16 @@ class JobManager:
         with self._lock:
             if self._closed:
                 raise RuntimeError("job manager is shut down")
+            if self.max_queue_depth is not None:
+                depth = sum(1 for j in self._jobs.values() if j.state == QUEUED)
+                if depth >= self.max_queue_depth:
+                    self._n_shed += 1
+                    if self.registry is not None:
+                        self.registry.counter(
+                            "jobs_shed_total",
+                            help="Submits rejected by queue admission control",
+                        ).inc()
+                    raise QueueFullError(depth, self.retry_after_estimate())
             self._jobs[job_id] = job
             self._order.append(job_id)
             self._n_submitted += 1
@@ -235,12 +296,25 @@ class JobManager:
                 "jobs_queue_seconds",
                 help="Time jobs spent queued before a worker picked them up",
             ).observe(job.queue_seconds)
+        # The job's cancel token becomes the worker context's current
+        # token; pipeline stage boundaries (FDX.discover, glasso outer
+        # iterations) poll it and unwind with CancelledError. The context
+        # is a per-submit copy, so the token cannot leak across jobs.
+        set_current_cancel_token(job.cancel_token)
+        started = time.monotonic()
         try:
+            faults.maybe_raise("job.worker", f"worker crashed running {job.id}")
             result = fn()
         except BaseException as exc:  # worker thread: report, never raise
             job._fail(exc)
         else:
             job._complete(result)
+            elapsed = time.monotonic() - started
+            self._runtime_ewma += 0.2 * (elapsed - self._runtime_ewma)
+
+    def retry_after_estimate(self) -> float:
+        """Seconds until a queue slot plausibly frees (for Retry-After)."""
+        return float(min(max(self._runtime_ewma, 1.0), 60.0))
 
     def _prune_locked(self) -> None:
         while len(self._order) > self.max_retained:
@@ -282,13 +356,30 @@ class JobManager:
             return {
                 "workers": self.workers,
                 "submitted": self._n_submitted,
+                "shed": self._n_shed,
+                "max_queue_depth": self.max_queue_depth,
                 "retained": len(self._jobs),
                 "queue_depth": states.get(QUEUED, 0),
                 "running": states.get(RUNNING, 0),
                 "states": states,
             }
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, drain: bool = False) -> None:
+        """Stop accepting work and wind down the pool.
+
+        ``drain=True`` lets queued and running jobs finish before the
+        workers are joined (graceful shutdown). Otherwise queued jobs
+        are cancelled — transitioning them to a *terminal* CANCELLED
+        state, so pollers are not left watching a forever-QUEUED job —
+        and running jobs get their cancel token set so cooperative
+        pipelines unwind early. ``wait`` controls whether worker
+        threads are joined before returning.
+        """
         with self._lock:
             self._closed = True
-        self._executor.shutdown(wait=wait, cancel_futures=True)
+            jobs = list(self._jobs.values())
+        if not drain:
+            for job in jobs:
+                if job.state not in TERMINAL_STATES:
+                    job.cancel()
+        self._executor.shutdown(wait=wait, cancel_futures=not drain)

@@ -169,5 +169,10 @@ def envelope(payload: dict) -> dict:
     return {"protocol_version": PROTOCOL_VERSION, **payload}
 
 
-def error_payload(message: str, status: int) -> dict:
-    return envelope({"error": {"message": message, "status": status}})
+def error_payload(message: str, status: int, retry_after: float | None = None) -> dict:
+    """Error body; ``retry_after`` (seconds) rides along on 429/503 so
+    clients can pace their backoff even when they cannot read headers."""
+    error: dict = {"message": message, "status": status}
+    if retry_after is not None:
+        error["retry_after_seconds"] = retry_after
+    return envelope({"error": error})

@@ -49,12 +49,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from .. import __version__
-from ..core.fdx import FDX
+from ..core.fdx import FDX, validate_relation
+from ..errors import InputValidationError
 from ..obs.registry import MetricsRegistry
 from ..obs.sinks import PROMETHEUS_CONTENT_TYPE, JsonlSink, render_prometheus
 from ..obs.trace import Tracer, new_trace_id, reset_trace_id, set_trace_id
+from ..resilience import faults
 from .cache import ResultCache, dataset_fingerprint
-from .jobs import DONE, JobManager
+from .jobs import DONE, Job, JobManager, QueueFullError
 from .metrics import Metrics
 from .protocol import (
     Hyperparameters,
@@ -88,6 +90,7 @@ class DiscoveryService:
         cache_ttl: float = 3600.0,
         max_sessions: int = 256,
         session_ttl: float = 1800.0,
+        max_queue_depth: int | None = 64,
         obs_jsonl: str | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -105,7 +108,8 @@ class DiscoveryService:
         self._last_error: dict | None = None
         self._error_lock = threading.Lock()
         self.jobs = JobManager(
-            workers=workers, default_timeout=job_timeout, registry=self.registry
+            workers=workers, default_timeout=job_timeout,
+            max_queue_depth=max_queue_depth, registry=self.registry,
         )
         self.cache = ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl,
@@ -120,9 +124,19 @@ class DiscoveryService:
             registry=self.registry, name="bodies",
         )
         self.sessions = SessionManager(max_sessions=max_sessions, ttl_seconds=session_ttl)
+        # Client-supplied Idempotency-Key -> job id: a retried submit
+        # (e.g. after a connection reset mid-response) reattaches to the
+        # original job instead of running the discovery twice.
+        self._idempotency = ResultCache(
+            max_entries=cache_entries * 8, ttl_seconds=cache_ttl,
+            registry=self.registry, name="idempotency",
+        )
 
     def close(self) -> None:
-        self.jobs.shutdown(wait=False)
+        # Cancel queued jobs (terminal CANCELLED, not forever-QUEUED) and
+        # join the worker threads; cancel tokens make running pipelines
+        # unwind at the next stage boundary, so the join is bounded.
+        self.jobs.shutdown(wait=True, drain=False)
         if self._obs_sink is not None:
             self._obs_sink.close()
 
@@ -168,7 +182,9 @@ class DiscoveryService:
 
     # -- discovery ---------------------------------------------------------
 
-    def discover_bytes(self, raw: bytes | None) -> tuple[int, dict]:
+    def discover_bytes(
+        self, raw: bytes | None, idempotency_key: str | None = None
+    ) -> tuple[int, dict]:
         """HTTP fast path: resolve a raw ``/v1/discover`` body.
 
         A byte-identical repeat of a cached request is answered from one
@@ -190,19 +206,33 @@ class DiscoveryService:
             payload = json.loads(raw)
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"invalid JSON body: {exc}") from exc
-        status, body = self.discover(payload)
+        status, body = self.discover(payload, idempotency_key=idempotency_key)
         if "fingerprint" in body:
             self._body_index.put(digest, body["fingerprint"])
         return status, body
 
-    def discover(self, payload: Any) -> tuple[int, dict]:
+    def discover(
+        self, payload: Any, idempotency_key: str | None = None
+    ) -> tuple[int, dict]:
         if not isinstance(payload, dict):
             raise ProtocolError("request body must be a JSON object")
         relation = relation_from_wire(payload.get("relation"))
+        try:
+            # Reject unusable inputs at admission (400) instead of
+            # burning a worker on a job that can only fail.
+            validate_relation(relation)
+        except InputValidationError as exc:
+            raise ProtocolError(str(exc)) from exc
         hyperparameters = Hyperparameters.from_payload(payload.get("hyperparameters"))
         wait = payload.get("wait", True)
         if not isinstance(wait, bool):
             raise ProtocolError("'wait' must be a boolean")
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or isinstance(deadline, bool) \
+                    or deadline <= 0:
+                raise ProtocolError("'deadline_seconds' must be a positive number")
+            deadline = float(deadline)
 
         fingerprint = dataset_fingerprint(relation, hyperparameters)
         cached = self.cache.get(fingerprint)
@@ -212,6 +242,15 @@ class DiscoveryService:
                 {"cached": True, "fingerprint": fingerprint, "result": cached}
             )
         self.metrics.increment("discover_cache_misses")
+
+        # An idempotent retry of a submit whose response was lost (reset
+        # mid-reply) reattaches to the job already doing the work.
+        if idempotency_key:
+            existing_id = self._idempotency.get(idempotency_key)
+            existing = self.jobs.get(existing_id) if existing_id else None
+            if existing is not None:
+                self.metrics.increment("idempotent_replays")
+                return self._job_reply(existing, fingerprint, wait, replayed=True)
 
         def run() -> dict:
             started = time.perf_counter()
@@ -232,21 +271,37 @@ class DiscoveryService:
             self._record_discovery(result, time.perf_counter() - started)
             return result
 
-        job = self.jobs.submit(run)
+        try:
+            job = self.jobs.submit(run, timeout=deadline)
+        except QueueFullError as exc:
+            self.metrics.increment("requests_shed")
+            return 429, error_payload(
+                str(exc), 429, retry_after=exc.retry_after_seconds
+            )
+        # Record the mapping *before* replying: if the reply is lost on
+        # the wire, the client's retry must find the job, not re-run it.
+        if idempotency_key:
+            self._idempotency.put(idempotency_key, job.id)
+        return self._job_reply(job, fingerprint, wait)
+
+    def _job_reply(
+        self, job: Job, fingerprint: str, wait: bool, replayed: bool = False
+    ) -> tuple[int, dict]:
         if not wait:
             return 202, envelope(
                 {"job_id": job.id, "state": job.state, "fingerprint": fingerprint}
             )
         state = job.wait()
         if state == DONE:
-            return 200, envelope(
-                {
-                    "cached": False,
-                    "fingerprint": fingerprint,
-                    "job_id": job.id,
-                    "result": job.result,
-                }
-            )
+            body = {
+                "cached": False,
+                "fingerprint": fingerprint,
+                "job_id": job.id,
+                "result": job.result,
+            }
+            if replayed:
+                body["idempotent_replay"] = True
+            return 200, envelope(body)
         return 500, error_payload(job.error or f"job ended in state {state}", 500)
 
     def job_status(self, job_id: str) -> tuple[int, dict]:
@@ -422,6 +477,12 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.send_header("X-Trace-Id", self._trace_id)
+            if status == 429 and isinstance(body, dict):
+                retry_after = body.get("error", {}).get("retry_after_seconds")
+                if retry_after is not None:
+                    # Retry-After is integral seconds; round up so clients
+                    # never come back before the estimate.
+                    self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
             self.end_headers()
             self.wfile.write(data)
 
@@ -444,6 +505,19 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     service.metrics.increment("errors_total")
                     status, body = 500, error_payload(
                         f"internal error: {type(exc).__name__}: {exc}", 500
+                    )
+                # Chaos injection points (no-ops unless a FaultInjector
+                # is installed — i.e. only under the chaos test suite).
+                if faults.fires("http.reset"):
+                    # Drop the connection without a response: clients see
+                    # a reset, as if a proxy or the network ate the reply.
+                    service.metrics.increment("faults_injected")
+                    self.close_connection = True
+                    return
+                if faults.fires("http.5xx"):
+                    service.metrics.increment("faults_injected")
+                    status, body = 500, error_payload(
+                        "injected server error (chaos)", 500
                     )
                 disconnected = False
                 try:
@@ -502,7 +576,10 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     )
                 return "metrics", *service.metrics_payload()
             if parts == ["discover"] and method == "POST":
-                return "discover", *service.discover_bytes(self._read_raw())
+                return "discover", *service.discover_bytes(
+                    self._read_raw(),
+                    idempotency_key=self.headers.get("Idempotency-Key"),
+                )
             if len(parts) == 2 and parts[0] == "jobs":
                 if method == "GET":
                     return "jobs", *service.job_status(parts[1])

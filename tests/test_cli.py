@@ -93,3 +93,37 @@ def test_compare_command(csv_path, capsys):
     assert main(["compare", csv_path, "--time-limit", "30"]) == 0
     out = capsys.readouterr().out
     assert "FDX" in out and "TANE" in out
+
+
+# -- CLI hardening: bad inputs exit non-zero with one-line diagnostics -------
+
+def test_discover_missing_file_is_one_line_error(tmp_path, capsys):
+    assert main(["discover", str(tmp_path / "nope.csv")]) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error: ")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "nope.csv" in captured.err
+
+
+def test_discover_empty_csv_is_one_line_error(tmp_path, capsys):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    assert main(["discover", str(empty)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ") and "missing header row" in err
+
+
+def test_discover_malformed_csv_is_one_line_error(tmp_path, capsys):
+    ragged = tmp_path / "ragged.csv"
+    ragged.write_text("a,b,c\n1,2,3\n4,5\n")
+    assert main(["discover", str(ragged)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ") and "arity" in err
+
+
+def test_discover_header_only_csv_is_one_line_error(tmp_path, capsys):
+    header_only = tmp_path / "header.csv"
+    header_only.write_text("a,b,c\n")
+    assert main(["discover", str(header_only)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ") and "no rows" in err

@@ -1,0 +1,214 @@
+"""Unit tests for the resilience primitives (faults, retry, cancel, errors)."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    CsvFormatError,
+    DatasetIOError,
+    InputValidationError,
+    ReproError,
+)
+from repro.dataset.io import read_csv
+from repro.resilience import (
+    CancelledError,
+    CancelToken,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+    active_injector,
+    current_cancel_token,
+    retry_call,
+    set_current_cancel_token,
+)
+from repro.resilience import faults
+
+
+# -- typed errors ------------------------------------------------------------
+
+def test_error_hierarchy_keeps_stdlib_compat():
+    assert issubclass(InputValidationError, ValueError)
+    assert issubclass(InputValidationError, ReproError)
+    assert issubclass(DatasetIOError, OSError)
+    assert issubclass(CsvFormatError, ValueError)
+    assert issubclass(CsvFormatError, DatasetIOError)
+
+
+def test_read_csv_missing_file_raises_dataset_io_error(tmp_path):
+    with pytest.raises(DatasetIOError, match="cannot read"):
+        read_csv(tmp_path / "absent.csv")
+
+
+def test_read_csv_empty_file_raises_csv_format_error(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    # Still catchable as ValueError (the historical type).
+    with pytest.raises(ValueError, match="empty CSV"):
+        read_csv(path)
+    with pytest.raises(CsvFormatError):
+        read_csv(path)
+
+
+# -- fault injection ---------------------------------------------------------
+
+def test_injector_fires_exact_times():
+    injector = FaultInjector(seed=0).inject("p", times=2)
+    assert [injector.fires("p") for _ in range(4)] == [True, True, False, False]
+    assert injector.counts()["p"] == {"seen": 4, "fired": 2}
+
+
+def test_injector_after_skips_arrivals():
+    injector = FaultInjector(seed=0).inject("p", times=1, after=2)
+    assert [injector.fires("p") for _ in range(4)] == [False, False, True, False]
+
+
+def test_injector_probability_is_seeded_deterministic():
+    a = FaultInjector(seed=7).inject("p", times=None, probability=0.5)
+    b = FaultInjector(seed=7).inject("p", times=None, probability=0.5)
+    seq_a = [a.fires("p") for _ in range(20)]
+    seq_b = [b.fires("p") for _ in range(20)]
+    assert seq_a == seq_b
+    assert any(seq_a) and not all(seq_a)
+
+
+def test_install_uninstall_and_module_hooks():
+    assert active_injector() is None
+    assert faults.fires("p") is False  # production default: no-op
+    with FaultInjector(seed=0).inject("p", times=1).install() as injector:
+        assert active_injector() is injector
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.maybe_raise("p")
+        assert excinfo.value.point == "p"
+        assert faults.fires("p") is False  # plan exhausted
+    assert active_injector() is None
+
+
+def test_second_install_rejected():
+    with FaultInjector().inject("p").install():
+        with pytest.raises(RuntimeError, match="already installed"):
+            FaultInjector().install()
+
+
+# -- retry/backoff -----------------------------------------------------------
+
+class _Flaky:
+    def __init__(self, fail_times, exc_factory):
+        self.fail_times = fail_times
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise self.exc_factory()
+        return "ok"
+
+
+def test_retry_succeeds_after_transient_failures():
+    fn = _Flaky(2, lambda: ConnectionResetError("boom"))
+    sleeps = []
+    result = retry_call(
+        fn,
+        RetryPolicy(max_attempts=5, base_delay=0.01),
+        is_retryable=lambda exc: True,
+        sleep=sleeps.append,
+    )
+    assert result == "ok" and fn.calls == 3
+    assert len(sleeps) <= 2  # zero-delay jitter draws skip the sleep call
+
+
+def test_retry_gives_up_after_max_attempts():
+    fn = _Flaky(10, lambda: ConnectionResetError("boom"))
+    with pytest.raises(ConnectionResetError):
+        retry_call(
+            fn,
+            RetryPolicy(max_attempts=3, base_delay=0.0),
+            is_retryable=lambda exc: True,
+            sleep=lambda s: None,
+        )
+    assert fn.calls == 3
+
+
+def test_retry_does_not_retry_permanent_errors():
+    fn = _Flaky(10, lambda: ValueError("permanent"))
+    with pytest.raises(ValueError):
+        retry_call(
+            fn,
+            RetryPolicy(max_attempts=5),
+            is_retryable=lambda exc: isinstance(exc, ConnectionError),
+            sleep=lambda s: None,
+        )
+    assert fn.calls == 1
+
+
+def test_retry_after_overrides_jitter():
+    fn = _Flaky(1, lambda: ConnectionResetError("429ish"))
+    sleeps = []
+    retry_call(
+        fn,
+        RetryPolicy(max_attempts=3, base_delay=100.0, budget_seconds=10.0),
+        is_retryable=lambda exc: True,
+        retry_after=lambda exc: 0.25,
+        sleep=sleeps.append,
+    )
+    assert sleeps == [0.25]
+
+
+def test_retry_budget_bounds_total_sleep():
+    fn = _Flaky(10, lambda: ConnectionResetError("boom"))
+    with pytest.raises(ConnectionResetError):
+        retry_call(
+            fn,
+            RetryPolicy(max_attempts=10, budget_seconds=1.0),
+            is_retryable=lambda exc: True,
+            retry_after=lambda exc: 0.6,  # second retry would blow the budget
+            sleep=lambda s: None,
+        )
+    assert fn.calls == 2
+
+
+def test_retry_schedule_is_seeded_reproducible():
+    import random
+
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=1.0)
+    delays_a = [policy.delay(k, random.Random(3)) for k in range(4)]
+    delays_b = [policy.delay(k, random.Random(3)) for k in range(4)]
+    assert delays_a == delays_b
+    assert all(0 <= d <= 1.0 for d in delays_a)
+
+
+# -- cancellation ------------------------------------------------------------
+
+def test_cancel_token_raises_once_set():
+    token = CancelToken()
+    token.raise_if_cancelled()  # not set: no-op
+    token.set("timeout")
+    with pytest.raises(CancelledError, match="timeout"):
+        token.raise_if_cancelled()
+    # First reason wins.
+    token.set("other")
+    assert token.reason == "timeout"
+
+
+def test_cancel_token_contextvar_propagation():
+    assert current_cancel_token() is None
+    token = CancelToken()
+    set_current_cancel_token(token)
+    try:
+        assert current_cancel_token() is token
+
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(current_cancel_token()))
+        thread.start()
+        thread.join()
+        # Plain threads do NOT inherit the contextvar — the job manager
+        # must copy the context explicitly (and does).
+        assert seen == [None]
+    finally:
+        set_current_cancel_token(None)
+
+
+def test_cancelled_error_is_repro_error():
+    assert issubclass(CancelledError, ReproError)
+    assert issubclass(InjectedFault, ReproError)

@@ -157,6 +157,12 @@ FULL_DIAGNOSTICS_KEYS = (
     "stage_seconds",
     "stage_bytes",
     "glasso_objective_trace",
+    "degraded",
+    "fallback_chain",
+    # The fixture's zip/city columns are value-for-value duplicates, so
+    # the input guards flag them (a real warning, useful here: it makes
+    # the round-trip of input_warnings part of this completeness check).
+    "input_warnings",
 )
 
 
