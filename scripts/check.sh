@@ -29,4 +29,19 @@ echo "== tier-2 chaos smoke =="
 echo "== bench smoke (report-only) =="
 "$PYTHON" -m repro bench --suite micro --smoke --no-record --report-only
 
+echo "== parallel process-backend smoke =="
+# Real CLI subprocess on a bundled dataset with 2 process workers; the
+# diagnostics must confirm the process backend actually served the run.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$PYTHON" -m repro dataset tic-tac-toe --output "$SMOKE_DIR/ttt.csv" >/dev/null
+"$PYTHON" -m repro discover "$SMOKE_DIR/ttt.csv" --workers 2 --json \
+    | "$PYTHON" -c '
+import json, sys
+parallel = json.load(sys.stdin)["diagnostics"]["parallel"]
+assert parallel["backend"] == "process", parallel
+assert parallel["workers"] == 2, parallel
+print(f"process backend OK: {parallel}")
+'
+
 echo "check: OK"

@@ -40,6 +40,17 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         from .obs import SamplingProfiler
 
         profiler = SamplingProfiler(hz=args.profile_hz)
+    from .parallel import default_workers
+
+    if args.workers is None:
+        # Default: cpu_count capped at 8, but keep FDX's row-count gate so
+        # tiny inputs do not pay process start-up for nothing.
+        parallel_kwargs = {"n_jobs": default_workers()}
+    else:
+        # An explicit --workers request should actually exercise the
+        # parallel path, even on small demo datasets, so drop the
+        # row-count gate that FDX applies by default.
+        parallel_kwargs = {"n_jobs": args.workers, "parallel_min_rows": 0}
     fdx = FDX(
         lam=args.lam,
         sparsity=args.sparsity,
@@ -47,6 +58,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         max_rows_per_attribute=args.max_rows,
         tracer=tracer,
         track_memory=args.memory,
+        **parallel_kwargs,
     )
     if profiler is not None:
         with profiler:
@@ -269,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        executor=args.executor,
         job_timeout=args.job_timeout,
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
@@ -313,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", action="store_true",
                    help="record per-stage peak memory (tracemalloc) into "
                         "diagnostics['stage_bytes']")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="parallel process workers for the transform, "
+                        "covariance and lambda-grid stages; 0 or 1 = serial "
+                        "(default: os.cpu_count() capped at 8, applied only "
+                        "to relations large enough to amortize process "
+                        "start-up; an explicit N always engages the "
+                        "parallel path)")
     p.set_defaults(func=_cmd_discover)
 
     p = sub.add_parser("profile", help="single-column statistics of a CSV file")
@@ -358,7 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--suite", default="micro", metavar="NAME",
                    help="suite to run: micro, scalability, service, "
-                        "resilience, or all")
+                        "resilience, parallel, or all")
     p.add_argument("--repeat", type=int, default=3,
                    help="timed iterations per benchmark (median is recorded)")
     p.add_argument("--smoke", action="store_true",
@@ -380,7 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     p.add_argument("--workers", type=int, default=4,
-                   help="concurrent discovery worker threads")
+                   help="concurrent discovery job slots (default: 4)")
+    p.add_argument("--executor", choices=("thread", "process"), default="thread",
+                   help="where each job's pipeline runs: 'thread' executes "
+                        "in-process (default); 'process' forks one worker "
+                        "process per job so cancellation kills the worker "
+                        "and heavy jobs cannot block the HTTP threads")
     p.add_argument("--job-timeout", type=float, default=300.0,
                    help="per-job wall-clock budget in seconds")
     p.add_argument("--cache-entries", type=int, default=128,

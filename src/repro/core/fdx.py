@@ -31,6 +31,7 @@ from ..errors import (
 )
 from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
+from ..parallel.executor import BACKENDS, Executor, make_executor, resolve_workers
 from ..resilience.cancel import current_cancel_token
 from .fd import FD
 from .structure import learn_structure, learn_structure_resilient
@@ -280,6 +281,20 @@ class FDX:
         Outer-iteration cap for the graphical lasso. Lowering it bounds
         worst-case solve time (the service's latency lever); with
         ``resilient`` the ladder absorbs the resulting non-convergence.
+    n_jobs:
+        Worker count for the parallel execution engine
+        (:mod:`repro.parallel`): ``None``/``0``/``1`` = serial, ``-1`` =
+        ``os.cpu_count()`` capped at 8, ``N`` = exactly N workers. The
+        per-attribute transform blocks, the covariance shards and the
+        eBIC λ-grid all fan out; results are **byte-identical** to
+        serial for any value (see ``docs/PARALLEL.md``).
+    parallel_backend:
+        ``"process"`` (default; true multi-core, inputs travel via
+        shared memory), ``"thread"``, or ``"serial"``.
+    parallel_min_rows:
+        Skip spinning up workers for relations with fewer rows than
+        this — pool startup would cost more than it saves. Set ``0``
+        to force the configured backend regardless of input size.
     """
 
     def __init__(
@@ -300,6 +315,9 @@ class FDX:
         resilient: bool = True,
         strict: bool = False,
         glasso_max_iter: int = 100,
+        n_jobs: int | None = None,
+        parallel_backend: str = "process",
+        parallel_min_rows: int = 4096,
     ) -> None:
         if transform not in ("circular", "uniform"):
             raise ValueError(f"unknown transform {transform!r}")
@@ -307,6 +325,11 @@ class FDX:
             raise ValueError("sparsity threshold must be non-negative")
         if glasso_max_iter < 1:
             raise ValueError("glasso_max_iter must be >= 1")
+        if parallel_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {parallel_backend!r}; "
+                f"options: {BACKENDS}"
+            )
         self.lam = lam
         self.sparsity = sparsity
         self.ordering = ordering
@@ -323,8 +346,33 @@ class FDX:
         self.resilient = resilient
         self.strict = strict
         self.glasso_max_iter = glasso_max_iter
+        self.n_jobs = n_jobs
+        self.parallel_backend = parallel_backend
+        self.parallel_min_rows = parallel_min_rows
 
-    def transform_relation(self, relation: Relation) -> np.ndarray:
+    def _make_executor(self, relation: Relation) -> Executor | None:
+        """Build the run's executor, or ``None`` for the serial path.
+
+        Serial when the knob says so (``n_jobs`` resolves to 1), when the
+        backend is ``"serial"``, or when the relation is too small for
+        pool startup to pay off (``parallel_min_rows``).
+        """
+        workers = resolve_workers(self.n_jobs)
+        if (
+            workers <= 1
+            or self.parallel_backend == "serial"
+            or relation.n_rows < self.parallel_min_rows
+        ):
+            return None
+        return make_executor(
+            self.parallel_backend,
+            workers,
+            tracer=self.tracer if self.tracer is not None else None,
+        )
+
+    def transform_relation(
+        self, relation: Relation, executor: Executor | None = None
+    ) -> np.ndarray:
         """Run the configured tuple-pair transform (exposed for ablation).
 
         With ``center_blocks`` the circular transform's per-attribute
@@ -349,6 +397,7 @@ class FDX:
         samples = pair_difference_transform(
             relation, rng,
             max_rows_per_attribute=self.max_rows_per_attribute,
+            executor=executor,
             **kwargs,
         )
         if self.center_blocks:
@@ -368,6 +417,15 @@ class FDX:
         input_warnings = validate_relation(relation, strict=self.strict)
         cancel_token = current_cancel_token()
         if relation.n_attributes < 2:
+            diagnostics = {
+                "degraded": False,
+                "parallel": {
+                    "backend": "serial", "workers": 1,
+                    "requested": self.n_jobs,
+                },
+            }
+            if input_warnings:
+                diagnostics["input_warnings"] = input_warnings
             return FDXResult(
                 fds=[],
                 attribute_order=relation.schema.names,
@@ -377,53 +435,56 @@ class FDX:
                 transform_seconds=0.0,
                 model_seconds=0.0,
                 n_pair_samples=0,
-                diagnostics=(
-                    {"degraded": False, "input_warnings": input_warnings}
-                    if input_warnings else {"degraded": False}
-                ),
+                diagnostics=diagnostics,
             )
         tracer = self.tracer if self.tracer is not None else get_tracer()
         memory = MemoryTracker(enabled=self.track_memory)
         learner = learn_structure_resilient if self.resilient else learn_structure
+        executor = self._make_executor(relation)
         t0 = time.perf_counter()
-        with tracer.span(
-            "fdx.discover",
-            n_rows=relation.n_rows,
-            n_attributes=relation.n_attributes,
-        ) as root, memory:
-            with tracer.span("fdx.transform", kind=self.transform), \
-                    memory.stage("transform"):
-                samples = self.transform_relation(relation)
-            if cancel_token is not None:
-                cancel_token.raise_if_cancelled()
-            t1 = time.perf_counter()
-            estimate = learner(
-                samples,
-                lam=self.lam,
-                ordering=self.ordering,
-                shrinkage=self.shrinkage,
-                assume_centered=self.center_blocks and self.transform == "circular",
-                estimator=self.estimator,
-                max_iter=self.glasso_max_iter,
-                tracer=tracer,
-                memory=memory,
-            )
-            if cancel_token is not None:
-                cancel_token.raise_if_cancelled()
-            names = relation.schema.names
-            t_gen = time.perf_counter()
-            with tracer.span("fdx.generate_fds", sparsity=self.sparsity), \
-                    memory.stage("fd_generation"):
-                fds = generate_fds(
-                    estimate.autoregression, estimate.order, names,
-                    sparsity=self.sparsity,
+        try:
+            with tracer.span(
+                "fdx.discover",
+                n_rows=relation.n_rows,
+                n_attributes=relation.n_attributes,
+            ) as root, memory:
+                with tracer.span("fdx.transform", kind=self.transform), \
+                        memory.stage("transform"):
+                    samples = self.transform_relation(relation, executor=executor)
+                if cancel_token is not None:
+                    cancel_token.raise_if_cancelled()
+                t1 = time.perf_counter()
+                estimate = learner(
+                    samples,
+                    lam=self.lam,
+                    ordering=self.ordering,
+                    shrinkage=self.shrinkage,
+                    assume_centered=self.center_blocks and self.transform == "circular",
+                    estimator=self.estimator,
+                    max_iter=self.glasso_max_iter,
+                    tracer=tracer,
+                    memory=memory,
+                    executor=executor,
                 )
-            t2 = time.perf_counter()
-            root.set_attributes(
-                n_fds=len(fds),
-                n_pair_samples=int(samples.shape[0]),
-                glasso_iterations=estimate.glasso_iterations,
-            )
+                if cancel_token is not None:
+                    cancel_token.raise_if_cancelled()
+                names = relation.schema.names
+                t_gen = time.perf_counter()
+                with tracer.span("fdx.generate_fds", sparsity=self.sparsity), \
+                        memory.stage("fd_generation"):
+                    fds = generate_fds(
+                        estimate.autoregression, estimate.order, names,
+                        sparsity=self.sparsity,
+                    )
+                t2 = time.perf_counter()
+                root.set_attributes(
+                    n_fds=len(fds),
+                    n_pair_samples=int(samples.shape[0]),
+                    glasso_iterations=estimate.glasso_iterations,
+                )
+        finally:
+            if executor is not None:
+                executor.close()
         stage_seconds = {
             "transform": t1 - t0,
             **estimate.stage_seconds,
@@ -435,6 +496,13 @@ class FDX:
             "final_objective": estimate.glasso_objective,
             "stage_seconds": stage_seconds,
             "degraded": estimate.degraded,
+            # Always present (same diagnostics keys for every n_jobs) so
+            # results are comparable across serial and parallel runs.
+            "parallel": {
+                "backend": executor.backend if executor is not None else "serial",
+                "workers": executor.workers if executor is not None else 1,
+                "requested": self.n_jobs,
+            },
         }
         if estimate.fallback_chain:
             diagnostics["fallback_chain"] = estimate.fallback_chain

@@ -19,7 +19,7 @@ from ..errors import InputValidationError
 from ..linalg.cholesky import OrderedFactorization, factorize_with_order
 from ..linalg.covariance import (
     correlation_from_covariance,
-    empirical_covariance,
+    empirical_covariance_chunked,
     shrunk_covariance,
 )
 from ..linalg.glasso import graphical_lasso
@@ -80,6 +80,7 @@ def learn_structure(
     precondition: bool = False,
     tracer: Tracer | None = None,
     memory: MemoryTracker | None = None,
+    executor=None,
 ) -> StructureEstimate:
     """Estimate the ordered linear-SEM structure of ``samples``.
 
@@ -127,6 +128,11 @@ def learn_structure(
         when enabled, records ``covariance`` / ``glasso`` /
         ``factorization`` entries in ``stage_bytes``. Defaults to a
         disabled no-op tracker.
+    executor:
+        Optional :class:`repro.parallel.Executor` sharding the empirical
+        covariance and the eBIC λ-grid across workers. Results are
+        byte-identical to the serial path for any backend/worker count
+        (fixed chunk boundaries, fixed merge order).
     """
     tracer = tracer if tracer is not None else get_tracer()
     memory = memory if memory is not None else MemoryTracker(enabled=False)
@@ -145,7 +151,9 @@ def learn_structure(
                      shrinkage=shrinkage, standardize=standardize), \
             memory.stage("covariance"):
         if covariance == "empirical":
-            S = empirical_covariance(samples, assume_centered=assume_centered)
+            S = empirical_covariance_chunked(
+                samples, assume_centered=assume_centered, executor=executor
+            )
         elif covariance == "trimmed":
             from ..linalg.robust import trimmed_covariance
 
@@ -167,7 +175,9 @@ def learn_structure(
                 raise ValueError(f"unknown penalty rule {lam!r}; use a float or 'ebic'")
             from ..linalg.model_selection import select_lambda_ebic
 
-            lam = select_lambda_ebic(S, n_samples=samples.shape[0]).best_lambda
+            lam = select_lambda_ebic(
+                S, n_samples=samples.shape[0], executor=executor
+            ).best_lambda
     t1 = time.perf_counter()
     glasso_objective: float | None = None
     glasso_trace: list | None = None
@@ -262,6 +272,7 @@ def learn_structure_resilient(
     max_iter: int = 100,
     tracer: Tracer | None = None,
     memory: MemoryTracker | None = None,
+    executor=None,
 ) -> StructureEstimate:
     """:func:`learn_structure` behind a graceful-degradation ladder.
 
@@ -315,6 +326,7 @@ def learn_structure_resilient(
                 max_iter=max_iter,
                 tracer=tracer,
                 memory=memory,
+                executor=executor,
                 **overrides,
             )
         except (CancelledError, InputValidationError):

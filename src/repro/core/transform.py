@@ -16,17 +16,34 @@ equality for categorical data, tolerance equality for numeric data, and
 token-set Jaccard overlap for text. Missing cells never agree with
 anything (including other missing cells), reflecting the paper's treatment
 of missing values as errors.
+
+Performance notes:
+
+* Agreement vectors are ``uint8`` end to end; the single ``float64``
+  cast happens at covariance time (``center_within_blocks`` or the
+  structure learner's input normalization), which halves the transform's
+  memory traffic versus materializing ``float64`` agreements per block.
+* The per-attribute blocks are independent, so the transform shards
+  across an :class:`repro.parallel.Executor`: columns are encoded once
+  into a picklable form, shipped to process workers zero-copy through a
+  :class:`repro.parallel.SharedRelation`, and each worker rebuilds its
+  codecs with the *same* :func:`_codec_from_encoded` the serial path
+  uses — which is why parallel output is byte-identical to serial
+  (asserted in ``tests/test_parallel_parity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from functools import partial
+from typing import Any, Callable
 
 import numpy as np
 
 from ..dataset.relation import Relation, is_missing
 from ..dataset.schema import AttributeType
+from ..parallel.executor import Executor
+from ..parallel.shared import SharedRelation, attach_columns
 
 #: Fraction of a numeric column's standard deviation within which two
 #: numeric values are considered equal.
@@ -41,9 +58,9 @@ class ColumnCodec:
     """Pre-encoded column plus its pairwise agreement function.
 
     ``values`` holds the encoded column (int codes, floats, or token sets);
-    ``agree(a, b)`` returns a binary array of element-wise agreements. The
-    encoding is computed once so the per-attribute sort/compare loop of
-    Algorithm 2 stays vectorized.
+    ``agree(a, b)`` returns a binary ``uint8`` array of element-wise
+    agreements. The encoding is computed once so the per-attribute
+    sort/compare loop of Algorithm 2 stays vectorized.
     """
 
     values: np.ndarray
@@ -51,64 +68,112 @@ class ColumnCodec:
     sort_key: np.ndarray
 
 
-def _categorical_codec(column: np.ndarray) -> ColumnCodec:
-    domain = sorted({v for v in column if not is_missing(v)}, key=repr)
-    code_of = {v: c for c, v in enumerate(domain)}
-    codes = np.array(
-        [code_of[v] if not is_missing(v) else -1 for v in column], dtype=np.int64
-    )
-
-    def agree(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return ((a == b) & (a >= 0)).astype(np.float64)
-
-    return ColumnCodec(values=codes, agree=agree, sort_key=codes)
-
-
-def _numeric_codec(column: np.ndarray, rel_tol: float) -> ColumnCodec:
-    vals = np.array(
-        [float(v) if not is_missing(v) else np.nan for v in column], dtype=float
-    )
-    finite = vals[~np.isnan(vals)]
-    scale = float(np.std(finite)) if finite.size else 0.0
-    tol = rel_tol * scale if scale > 0 else 0.0
-
-    def agree(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        both = ~np.isnan(a) & ~np.isnan(b)
-        out = np.zeros(a.shape[0], dtype=np.float64)
-        out[both] = (np.abs(a[both] - b[both]) <= tol).astype(np.float64)
-        return out
-
-    # Sort key: NaNs last (argsort on float puts NaN last already).
-    return ColumnCodec(values=vals, agree=agree, sort_key=vals)
+# ---------------------------------------------------------------------------
+# Column encoding: a picklable/shareable intermediate form.
+#
+# ``encode_relation`` produces one dict per column; numpy payloads in these
+# dicts are what ``SharedRelation`` places in shared memory. Codecs — for
+# the serial path and for workers alike — are built from this form by
+# ``_codec_from_encoded``, the single source of agreement semantics.
+# ---------------------------------------------------------------------------
 
 
 def _tokenize(value: object) -> frozenset[str]:
     return frozenset(str(value).lower().split())
 
 
-def _text_codec(column: np.ndarray, jaccard: float) -> ColumnCodec:
-    tokens = np.empty(len(column), dtype=object)
-    for i, v in enumerate(column):
-        tokens[i] = None if is_missing(v) else _tokenize(v)
+def _encode_column(
+    column: np.ndarray,
+    dtype: AttributeType,
+    numeric_tolerance: float,
+    text_jaccard: float,
+) -> dict[str, Any]:
+    if dtype is AttributeType.NUMERIC:
+        vals = np.array(
+            [float(v) if not is_missing(v) else np.nan for v in column],
+            dtype=np.float64,
+        )
+        finite = vals[~np.isnan(vals)]
+        scale = float(np.std(finite)) if finite.size else 0.0
+        tol = numeric_tolerance * scale if scale > 0 else 0.0
+        return {"kind": "numeric", "values": vals, "tol": tol}
+    if dtype is AttributeType.TEXT:
+        tokens = [None if is_missing(v) else _tokenize(v) for v in column]
+        return {"kind": "text", "tokens": tokens, "jaccard": text_jaccard}
+    domain = sorted({v for v in column if not is_missing(v)}, key=repr)
+    code_of = {v: c for c, v in enumerate(domain)}
+    codes = np.array(
+        [code_of[v] if not is_missing(v) else -1 for v in column], dtype=np.int64
+    )
+    return {"kind": "categorical", "codes": codes}
 
-    def agree(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        out = np.zeros(a.shape[0], dtype=np.float64)
+
+def encode_relation(
+    relation: Relation,
+    numeric_tolerance: float = DEFAULT_NUMERIC_TOLERANCE,
+    text_jaccard: float = DEFAULT_TEXT_JACCARD,
+) -> list[dict[str, Any]]:
+    """Encode every column into the shareable intermediate form."""
+    return [
+        _encode_column(
+            relation.column(attr.name), attr.dtype, numeric_tolerance, text_jaccard
+        )
+        for attr in relation.schema
+    ]
+
+
+def _codec_from_encoded(encoded: dict[str, Any]) -> ColumnCodec:
+    """Build a :class:`ColumnCodec` from one encoded column.
+
+    Serial path and process workers both come through here, on data that
+    round-trips shared memory bit-exactly — the foundation of the
+    serial/parallel parity guarantee.
+    """
+    kind = encoded["kind"]
+    if kind == "categorical":
+        codes = np.asarray(encoded["codes"])
+
+        def agree_cat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            return ((a == b) & (a >= 0)).astype(np.uint8)
+
+        return ColumnCodec(values=codes, agree=agree_cat, sort_key=codes)
+
+    if kind == "numeric":
+        vals = np.asarray(encoded["values"])
+        tol = encoded["tol"]
+
+        def agree_num(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            both = ~np.isnan(a) & ~np.isnan(b)
+            out = np.zeros(a.shape[0], dtype=np.uint8)
+            out[both] = np.abs(a[both] - b[both]) <= tol
+            return out
+
+        # Sort key: NaNs last (argsort on float puts NaN last already).
+        return ColumnCodec(values=vals, agree=agree_num, sort_key=vals)
+
+    jaccard = encoded["jaccard"]
+    tokens = np.empty(len(encoded["tokens"]), dtype=object)
+    for i, t in enumerate(encoded["tokens"]):
+        tokens[i] = t
+
+    def agree_text(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = np.zeros(a.shape[0], dtype=np.uint8)
         for i in range(a.shape[0]):
             sa, sb = a[i], b[i]
             if sa is None or sb is None:
                 continue
             if not sa and not sb:
-                out[i] = 1.0
+                out[i] = 1
                 continue
             union = len(sa | sb)
             if union and len(sa & sb) / union >= jaccard:
-                out[i] = 1.0
+                out[i] = 1
         return out
 
     sort_key = np.array(
         [" ".join(sorted(t)) if t is not None else "￿" for t in tokens]
     )
-    return ColumnCodec(values=tokens, agree=agree, sort_key=sort_key)
+    return ColumnCodec(values=tokens, agree=agree_text, sort_key=sort_key)
 
 
 def build_codecs(
@@ -117,16 +182,12 @@ def build_codecs(
     text_jaccard: float = DEFAULT_TEXT_JACCARD,
 ) -> list[ColumnCodec]:
     """Encode every column of ``relation`` with its type's comparator."""
-    codecs: list[ColumnCodec] = []
-    for attr in relation.schema:
-        column = relation.column(attr.name)
-        if attr.dtype is AttributeType.NUMERIC:
-            codecs.append(_numeric_codec(column, numeric_tolerance))
-        elif attr.dtype is AttributeType.TEXT:
-            codecs.append(_text_codec(column, text_jaccard))
-        else:
-            codecs.append(_categorical_codec(column))
-    return codecs
+    return [
+        _codec_from_encoded(enc)
+        for enc in encode_relation(
+            relation, numeric_tolerance=numeric_tolerance, text_jaccard=text_jaccard
+        )
+    ]
 
 
 def _sort_order(codec: ColumnCodec) -> np.ndarray:
@@ -136,19 +197,53 @@ def _sort_order(codec: ColumnCodec) -> np.ndarray:
     return np.argsort(key, kind="stable")
 
 
+def _agreement_block(codecs: list[ColumnCodec], i: int) -> np.ndarray:
+    """One Algorithm 2 block: sort by attribute ``i``, shift, compare all."""
+    n = len(codecs[i].sort_key)
+    order = _sort_order(codecs[i])
+    shifted = np.roll(order, -1)
+    block = np.empty((n, len(codecs)), dtype=np.uint8)
+    for l, codec in enumerate(codecs):
+        block[:, l] = codec.agree(codec.values[order], codec.values[shifted])
+    return block
+
+
+#: Worker-side codec cache: shared-segment name -> rebuilt codecs, so a
+#: pool worker decodes the relation once per map, not once per block.
+_WORKER_CODECS: dict[str, list[ColumnCodec]] = {}
+
+
+def _block_task(spec: dict[str, Any], i: int) -> np.ndarray:
+    """Process-worker task: rebuild codecs from shared memory, emit block ``i``."""
+    key = spec["shm"]
+    codecs = _WORKER_CODECS.get(key)
+    if codecs is None:
+        if len(_WORKER_CODECS) >= 8:  # ephemeral segments; bound the cache
+            _WORKER_CODECS.clear()
+        codecs = [_codec_from_encoded(col) for col in attach_columns(spec)]
+        _WORKER_CODECS[key] = codecs
+    return _agreement_block(codecs, i)
+
+
 def pair_difference_transform(
     relation: Relation,
     rng: np.random.Generator | None = None,
     numeric_tolerance: float = DEFAULT_NUMERIC_TOLERANCE,
     text_jaccard: float = DEFAULT_TEXT_JACCARD,
     max_rows_per_attribute: int | None = None,
+    executor: Executor | None = None,
 ) -> np.ndarray:
     """Algorithm 2: sorted circular-shift tuple-pair agreement sample.
 
-    Returns a float ``{0,1}`` matrix of shape ``(n_pairs, k)`` where
+    Returns a binary ``uint8`` matrix of shape ``(n_pairs, k)`` where
     ``n_pairs = n * k`` (or ``min(n, max_rows_per_attribute) * k`` when the
     per-attribute row cap is set — the sampling speed-up the paper mentions
     for large relations such as NYPD).
+
+    With an ``executor``, the ``k`` per-attribute blocks are computed in
+    parallel (process workers read the encoded relation zero-copy from
+    shared memory); output is byte-identical to the serial path for any
+    backend and worker count.
     """
     if rng is None:
         rng = np.random.default_rng(0)
@@ -159,17 +254,21 @@ def pair_difference_transform(
     if max_rows_per_attribute is not None and max_rows_per_attribute < n:
         shuffled = shuffled.head(max_rows_per_attribute)
         n = shuffled.n_rows
-    codecs = build_codecs(
+    encoded = encode_relation(
         shuffled, numeric_tolerance=numeric_tolerance, text_jaccard=text_jaccard
     )
-    blocks: list[np.ndarray] = []
-    for i in range(k):
-        order = _sort_order(codecs[i])
-        shifted = np.roll(order, -1)
-        block = np.empty((n, k), dtype=np.float64)
-        for l, codec in enumerate(codecs):
-            block[:, l] = codec.agree(codec.values[order], codec.values[shifted])
-        blocks.append(block)
+    codecs = [_codec_from_encoded(col) for col in encoded]
+    if executor is None or executor.backend == "serial":
+        blocks = [_agreement_block(codecs, i) for i in range(k)]
+    elif executor.backend == "process":
+        with SharedRelation(encoded) as shared:
+            blocks = executor.map(
+                partial(_block_task, shared.spec), range(k), label="transform"
+            )
+    else:  # thread backend: no pickling, hand codecs over directly
+        blocks = executor.map(
+            partial(_agreement_block, codecs), range(k), label="transform"
+        )
     return np.concatenate(blocks, axis=0)
 
 
@@ -184,6 +283,9 @@ def center_within_blocks(samples: np.ndarray, n_blocks: int) -> np.ndarray:
     each block before pooling removes the block-level mean shifts while
     preserving the within-block dependence structure — the concrete form
     of the paper's "fix the mean to zero" robustness argument (§4.3).
+
+    This is also where the transform's ``uint8`` agreements take their
+    single cast to ``float64``.
     """
     samples = np.asarray(samples, dtype=float)
     n = samples.shape[0]
@@ -223,7 +325,7 @@ def uniform_pair_transform(
     left = rng.integers(n, size=n_pairs)
     offset = 1 + rng.integers(n - 1, size=n_pairs)
     right = (left + offset) % n  # guaranteed distinct tuples
-    out = np.empty((n_pairs, k), dtype=np.float64)
+    out = np.empty((n_pairs, k), dtype=np.uint8)
     for l, codec in enumerate(codecs):
         out[:, l] = codec.agree(codec.values[left], codec.values[right])
     return out

@@ -31,7 +31,11 @@ __all__ = [
     "EmptyRelationError",
     "InputValidationError",
     "InsufficientRowsError",
+    "ParallelExecutionError",
+    "RemoteTaskError",
     "ReproError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
 ]
 
 
@@ -66,3 +70,22 @@ class DatasetIOError(ReproError, OSError):
 
 class CsvFormatError(DatasetIOError, ValueError):
     """A CSV file parsed but is structurally malformed (empty, ragged)."""
+
+
+class ParallelExecutionError(ReproError):
+    """A failure inside the parallel execution engine (:mod:`repro.parallel`)."""
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A worker process died (killed, segfaulted, OOM-ed) before
+    returning a result; the task may be retried on a fresh worker."""
+
+
+class TaskTimeoutError(ParallelExecutionError, TimeoutError):
+    """A parallel task exceeded its wall-clock budget and was abandoned
+    (process workers are terminated; thread workers are orphaned)."""
+
+
+class RemoteTaskError(ParallelExecutionError):
+    """A worker raised an exception that could not be rebuilt in the
+    parent process; carries the remote type name and message."""

@@ -10,7 +10,17 @@ insensitive to mean corruption by outliers.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
+
+from ..parallel.shared import SharedArray, attach_array
+
+#: Fixed row-chunk size for the sharded second-moment estimator. The
+#: boundaries depend only on this constant and ``n`` — never on the
+#: worker count — which is one half of the bitwise-determinism contract
+#: (the other half is the fixed left-fold merge order).
+DEFAULT_CHUNK_ROWS = 8192
 
 
 def empirical_covariance(X: np.ndarray, assume_centered: bool = False) -> np.ndarray:
@@ -30,6 +40,131 @@ def empirical_covariance(X: np.ndarray, assume_centered: bool = False) -> np.nda
     mean = X.mean(axis=0)
     Xc = X - mean
     return (Xc.T @ Xc) / n
+
+
+class CovarianceAccumulator:
+    """Exactly-mergeable second-moment partials over row shards.
+
+    Workers each reduce a row chunk to ``(n, Σx, XᵀX)``; partials merge
+    by plain addition. Merging is deliberately *order-sensitive*
+    (floating-point addition is not associative), so callers must fold
+    partials in a fixed order — chunk index order — to obtain the
+    bitwise-deterministic guarantee of
+    :func:`empirical_covariance_chunked`. The accumulator is a plain
+    triple of numpy payloads and pickles cheaply across processes.
+    """
+
+    __slots__ = ("n_rows", "col_sum", "second_moment")
+
+    def __init__(self, n_variables: int) -> None:
+        self.n_rows = 0
+        self.col_sum = np.zeros(n_variables, dtype=np.float64)
+        self.second_moment = np.zeros((n_variables, n_variables), dtype=np.float64)
+
+    @classmethod
+    def from_rows(cls, X: np.ndarray) -> "CovarianceAccumulator":
+        """One shard's partial (the float64 cast of uint8 agreements is
+        exact, so casting per-chunk equals casting the whole matrix)."""
+        X = np.asarray(X, dtype=np.float64)
+        acc = cls(X.shape[1])
+        acc.n_rows = X.shape[0]
+        acc.col_sum = X.sum(axis=0)
+        acc.second_moment = X.T @ X
+        return acc
+
+    def merge(self, other: "CovarianceAccumulator") -> "CovarianceAccumulator":
+        """In-place left fold: ``self`` absorbs ``other`` (in chunk order)."""
+        self.n_rows += other.n_rows
+        self.col_sum += other.col_sum
+        self.second_moment += other.second_moment
+        return self
+
+    def covariance(self, assume_centered: bool = False) -> np.ndarray:
+        if self.n_rows == 0:
+            raise ValueError("need at least one sample")
+        moment = self.second_moment / self.n_rows
+        if assume_centered:
+            return moment
+        mean = self.col_sum / self.n_rows
+        return moment - np.outer(mean, mean)
+
+
+def chunk_bounds(
+    n_rows: int, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> list[tuple[int, int]]:
+    """Fixed ``[start, stop)`` row shards — a function of ``n_rows`` and
+    ``chunk_rows`` only, never of the worker count."""
+    chunk_rows = max(1, int(chunk_rows))
+    return [
+        (start, min(start + chunk_rows, n_rows))
+        for start in range(0, max(n_rows, 0), chunk_rows)
+    ]
+
+
+def _shard_moment(X: np.ndarray, bounds: tuple[int, int]) -> CovarianceAccumulator:
+    """Serial/thread shard task over an in-process array."""
+    start, stop = bounds
+    return CovarianceAccumulator.from_rows(X[start:stop])
+
+
+def _shared_shard_moment(spec: dict, bounds: tuple[int, int]) -> CovarianceAccumulator:
+    """Process-worker shard task: read the matrix zero-copy from shared
+    memory (attachment is cached per segment) and reduce one chunk."""
+    start, stop = bounds
+    return CovarianceAccumulator.from_rows(attach_array(spec)[start:stop])
+
+
+def empirical_covariance_chunked(
+    X: np.ndarray,
+    assume_centered: bool = False,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    executor=None,
+) -> np.ndarray:
+    """Sharded second-moment estimator with a bitwise-determinism contract.
+
+    The rows of ``X`` are split at fixed boundaries
+    (:func:`chunk_bounds`), each shard reduces to a
+    :class:`CovarianceAccumulator`, and partials merge left-to-right in
+    chunk order — so the result is byte-identical for any worker count
+    and any backend (the per-shard GEMMs see the same contiguous float64
+    blocks whether sliced locally or viewed through shared memory).
+
+    A single shard (``n <= chunk_rows``) falls back to the one-GEMM
+    :func:`empirical_covariance`, making this a drop-in replacement on
+    small inputs. Note the multi-shard result is *not* bit-identical to
+    the single-GEMM path (blocked summation rounds differently); what is
+    guaranteed is invariance across worker counts at fixed
+    ``chunk_rows``.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D (samples x variables)")
+    n = X.shape[0]
+    if n == 0:
+        raise ValueError("need at least one sample")
+    bounds = chunk_bounds(n, chunk_rows)
+    if len(bounds) <= 1:
+        return empirical_covariance(X, assume_centered=assume_centered)
+    if executor is None or executor.backend == "serial":
+        accumulated = _shard_moment(X, bounds[0])
+        for shard in bounds[1:]:
+            accumulated = accumulated.merge(_shard_moment(X, shard))
+    elif executor.backend == "process":
+        with SharedArray(np.ascontiguousarray(X)) as shared:
+            accumulated = executor.map_reduce(
+                partial(_shared_shard_moment, shared.spec),
+                bounds,
+                CovarianceAccumulator.merge,
+                label="covariance",
+            )
+    else:  # thread backend: workers read the parent's array directly
+        accumulated = executor.map_reduce(
+            partial(_shard_moment, X),
+            bounds,
+            CovarianceAccumulator.merge,
+            label="covariance",
+        )
+    return accumulated.covariance(assume_centered=assume_centered)
 
 
 def shrunk_covariance(S: np.ndarray, shrinkage: float = 0.1) -> np.ndarray:

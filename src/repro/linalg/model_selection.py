@@ -15,6 +15,7 @@ standard high-dimensional default). ``FDX(lam="ebic")`` uses this.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -96,33 +97,73 @@ def constrained_mle(
         return np.linalg.pinv(W)
 
 
+def _support_task(S: np.ndarray, lam: float) -> tuple[np.ndarray, int]:
+    """One grid point's glasso fit, reduced to (support, edge count)."""
+    result = graphical_lasso(S, lam)
+    support = result.support | np.eye(S.shape[0], dtype=bool)
+    return support, int(result.support.sum()) // 2
+
+
+def _refit_ebic_task(
+    S: np.ndarray, n_samples: int, gamma: float, support: np.ndarray
+) -> float:
+    """Refit one unique support and score it."""
+    refit = constrained_mle(S, support)
+    return ebic_score(S, refit, n_samples, gamma=gamma)
+
+
 def select_lambda_ebic(
     S: np.ndarray,
     n_samples: int,
     grid: tuple[float, ...] = DEFAULT_LAMBDA_GRID,
     gamma: float = 0.5,
+    executor=None,
 ) -> LambdaSelection:
     """Pick the graphical-lasso penalty minimizing the *refit* eBIC.
 
     For each penalty: estimate the support with the graphical lasso,
     refit the support-constrained MLE, and score that refit — so the
     criterion compares supports rather than shrinkage levels.
+
+    With an ``executor``, the independent glasso fits run in parallel,
+    supports are deduplicated in grid order (same first-seen order as the
+    serial loop), and the unique refits run in parallel — every scored
+    quantity is computed by the same function on the same inputs as the
+    serial path, so the selection is identical for any backend.
     """
     if not grid:
         raise ValueError("penalty grid must be non-empty")
     scores: dict[float, float] = {}
     edges: dict[float, int] = {}
-    seen_supports: dict[bytes, float] = {}
-    for lam in grid:
-        result = graphical_lasso(S, lam)
-        support = result.support | np.eye(S.shape[0], dtype=bool)
-        key = np.packbits(support).tobytes()
-        if key in seen_supports:
-            scores[lam] = seen_supports[key]
-        else:
-            refit = constrained_mle(S, support)
-            scores[lam] = ebic_score(S, refit, n_samples, gamma=gamma)
-            seen_supports[key] = scores[lam]
-        edges[lam] = int(result.support.sum()) // 2
+    if executor is None or executor.backend == "serial":
+        seen_supports: dict[bytes, float] = {}
+        for lam in grid:
+            support, n_edges = _support_task(S, lam)
+            key = np.packbits(support).tobytes()
+            if key in seen_supports:
+                scores[lam] = seen_supports[key]
+            else:
+                scores[lam] = _refit_ebic_task(S, n_samples, gamma, support)
+                seen_supports[key] = scores[lam]
+            edges[lam] = n_edges
+    else:
+        fits = executor.map(
+            partial(_support_task, S), list(grid), label="ebic_fit"
+        )
+        unique: dict[bytes, np.ndarray] = {}
+        lam_keys: list[bytes] = []
+        for lam, (support, n_edges) in zip(grid, fits):
+            key = np.packbits(support).tobytes()
+            unique.setdefault(key, support)
+            lam_keys.append(key)
+            edges[lam] = n_edges
+        unique_scores = executor.map(
+            partial(_refit_ebic_task, S, n_samples, gamma),
+            list(unique.values()),
+            label="ebic_refit",
+        )
+        score_of = dict(zip(unique.keys(), unique_scores))
+        for lam, key in zip(grid, lam_keys):
+            scores[lam] = score_of[key]
     best = min(scores, key=lambda lam: (scores[lam], lam))
     return LambdaSelection(best_lambda=best, scores=scores, n_edges=edges)

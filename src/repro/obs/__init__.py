@@ -31,7 +31,9 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    get_registry,
     percentile,
+    set_global_registry,
 )
 from .sinks import (
     PROMETHEUS_CONTENT_TYPE,
@@ -71,9 +73,11 @@ __all__ = [
     "Tracer",
     "current_span",
     "current_trace_id",
+    "get_registry",
     "get_tracer",
     "new_trace_id",
     "percentile",
+    "set_global_registry",
     "render_prometheus",
     "render_tree",
     "reset_trace_id",

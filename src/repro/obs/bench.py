@@ -12,7 +12,10 @@ robust statistical comparison against the recorded trajectory:
   ``FDX.discover`` across attribute counts, ``service`` boots an
   in-process server to time the cold vs. cache-hit round trip, and
   ``resilience`` prices the robustness layer (disabled fault-injection
-  hooks, retry wrapper overhead, a fallback-ladder-engaged discovery).
+  hooks, retry wrapper overhead, a fallback-ladder-engaged discovery),
+  and ``parallel`` times the sharded transform+covariance stages serial
+  vs. process-parallel (speedup case) and with the executor machinery
+  engaged at one worker (overhead case).
 * **Ledger** — each run appends one record (per-benchmark median
   seconds, peak RSS, git sha, environment fingerprint, wall-clock
   stamp) to ``BENCH_<suite>.json``, a ``{"suite", "runs": [...]}``
@@ -358,6 +361,51 @@ def _case_fallback_ladder(smoke: bool) -> Callable[[], object]:
     return run
 
 
+def _parallel_stage_case(
+    backend: str, workers: int
+) -> Callable[[bool], Callable[[], object]]:
+    """Sharded transform + chunked covariance on a large synthetic relation.
+
+    The three instances share one workload so the ledger exposes the
+    speedup (serial vs. ``process``/4) and the overhead (serial vs. the
+    executor machinery at one worker — ``make_executor`` collapses a
+    single-worker request to the serial executor, so this prices the
+    map/metrics plumbing alone). Speedup is read off the ledger, not
+    asserted here: on a single-core host the 4-worker case can only tie.
+    """
+
+    def make(smoke: bool) -> Callable[[], object]:
+        import numpy as np
+
+        from ..core.transform import center_within_blocks, pair_difference_transform
+        from ..datagen.synthetic import SyntheticSpec, generate
+        from ..linalg.covariance import empirical_covariance_chunked
+        from ..parallel import make_executor
+
+        n, p = (4000, 8) if smoke else (50_000, 10)
+        ds = generate(SyntheticSpec(n_tuples=n, n_attributes=p, seed=0))
+
+        def run():
+            executor = (
+                make_executor(backend, workers) if backend != "serial" else None
+            )
+            try:
+                samples = pair_difference_transform(
+                    ds.relation, np.random.default_rng(0), executor=executor
+                )
+                X = center_within_blocks(samples, p)
+                return empirical_covariance_chunked(
+                    X, assume_centered=True, executor=executor
+                )
+            finally:
+                if executor is not None:
+                    executor.close()
+
+        return run
+
+    return make
+
+
 SUITES: dict[str, tuple[BenchCase, ...]] = {
     "micro": (
         BenchCase("pair_transform", _case_pair_transform),
@@ -376,6 +424,13 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
         BenchCase("fault_hook_disabled", _case_fault_hook_disabled),
         BenchCase("retry_call_noop", _case_retry_noop),
         BenchCase("fallback_ladder_discover", _case_fallback_ladder),
+    ),
+    "parallel": (
+        BenchCase("transform_cov_serial", _parallel_stage_case("serial", 1)),
+        BenchCase("transform_cov_overhead_1worker",
+                  _parallel_stage_case("process", 1)),
+        BenchCase("transform_cov_process_4workers",
+                  _parallel_stage_case("process", 4)),
     ),
 }
 

@@ -299,3 +299,23 @@ class MetricsRegistry:
                 else:
                     out["histograms"][label] = metric.snapshot()
         return out
+
+
+#: Process-global default registry. Subsystems without an explicitly
+#: wired registry (notably :mod:`repro.parallel`) record here, so their
+#: metrics are observable even outside the service; the service keeps
+#: its own per-instance registry and passes it down explicitly.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default :class:`MetricsRegistry`."""
+    return _GLOBAL_REGISTRY
+
+
+def set_global_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = registry
+    return previous

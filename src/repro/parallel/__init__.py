@@ -1,0 +1,63 @@
+"""`repro.parallel`: stdlib-only parallel execution engine.
+
+The ROADMAP's "fast as the hardware allows" layer: FDX's pipeline is
+embarrassingly parallel exactly where the paper says cost concentrates
+(per-attribute Alg. 2 transform blocks, per-shard ``XᵀX`` covariance
+partials, independent EBIC λ-grid glasso fits), and this package turns
+that structure into wall-clock speedup without adding a dependency:
+
+* :mod:`~repro.parallel.executor` — the :class:`Executor` abstraction
+  (``serial`` / ``thread`` / ``process`` backends) with an
+  order-preserving ``map`` and a left-fold ``map_reduce`` whose fixed
+  reduction order makes floating-point results bitwise-deterministic
+  for any worker count;
+* :mod:`~repro.parallel.shared` — :class:`SharedArray` /
+  :class:`SharedRelation`, zero-copy transport of numpy payloads to
+  process workers via ``multiprocessing.shared_memory`` with
+  parent-owned lifecycle (context managers + atexit sweep, worker-side
+  resource-tracker unregistration);
+* :mod:`~repro.parallel.worker` — :func:`run_in_process`, a supervised
+  one-job-one-process runner with sentinel-relayed cancellation and an
+  escalating SIGTERM/SIGKILL teardown; the backbone of the service's
+  ``executor="process"`` mode.
+
+Everything reports through :mod:`repro.obs` (``parallel.map`` spans,
+``parallel_tasks_total`` / ``parallel_worker_seconds`` metrics) and the
+typed failure modes live in :mod:`repro.errors`
+(:class:`~repro.errors.WorkerCrashError`,
+:class:`~repro.errors.TaskTimeoutError`,
+:class:`~repro.errors.RemoteTaskError`). See ``docs/PARALLEL.md``.
+"""
+
+from .executor import (
+    BACKENDS,
+    DEFAULT_WORKERS_CAP,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_workers,
+    make_executor,
+    preferred_start_method,
+    resolve_workers,
+)
+from .shared import SharedArray, SharedRelation, attach_array, attach_columns
+from .worker import run_in_process
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_WORKERS_CAP",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SharedArray",
+    "SharedRelation",
+    "ThreadExecutor",
+    "attach_array",
+    "attach_columns",
+    "default_workers",
+    "make_executor",
+    "preferred_start_method",
+    "resolve_workers",
+    "run_in_process",
+]

@@ -1,0 +1,382 @@
+"""The execution engine: one map-reduce API over three backends.
+
+An :class:`Executor` runs independent tasks and returns their results in
+submission order. Three interchangeable backends:
+
+* ``serial`` — runs tasks inline. The zero-overhead reference backend;
+  every parallel code path must produce byte-identical results to it.
+* ``thread`` — a ``ThreadPoolExecutor``. Useful for tasks that release
+  the GIL (large numpy kernels) and as a low-overhead testing backend;
+  no pickling, tasks may be closures.
+* ``process`` — a ``ProcessPoolExecutor`` on the platform's preferred
+  start method (``fork`` where available, else ``spawn``). Task
+  callables must be picklable (module-level functions or
+  ``functools.partial`` of them); large inputs should travel through
+  :mod:`repro.parallel.shared` rather than pickles.
+
+Shared semantics across backends:
+
+* **ordering** — ``map`` preserves item order; ``map_reduce`` folds the
+  results left-to-right in item order, so floating-point reductions are
+  bitwise-deterministic regardless of worker count or scheduling.
+* **cancellation** — the :class:`~repro.resilience.CancelToken` in the
+  calling context (or one passed explicitly) is polled while waiting;
+  a set token abandons pending tasks and raises
+  :class:`~repro.resilience.CancelledError`.
+* **timeouts** — ``timeout`` bounds the whole map call;
+  :class:`repro.errors.TaskTimeoutError` is raised on expiry. Process
+  workers are torn down with the pool; threads cannot be interrupted
+  (documented stdlib limitation) and are abandoned.
+* **crash isolation** — a worker process dying (killed, OOM, the
+  ``parallel.worker_crash`` fault injection point) surfaces as a typed
+  :class:`repro.errors.WorkerCrashError`, never a hang, and the pool is
+  rebuilt for the next call.
+* **observability** — every map emits a ``parallel.map`` span and
+  records ``parallel_tasks_total`` / ``parallel_worker_seconds``
+  (per-task, worker-measured) into the wired
+  :class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import TaskTimeoutError, WorkerCrashError
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.trace import Tracer, get_tracer
+from ..resilience import faults
+from ..resilience.cancel import CancelledError, CancelToken, current_cancel_token
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_WORKERS_CAP",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_workers",
+    "make_executor",
+    "preferred_start_method",
+    "resolve_workers",
+]
+
+#: Recognized backend names (the order is the documentation order).
+BACKENDS = ("serial", "thread", "process")
+
+#: Upper bound on the worker count chosen automatically (``n_jobs=-1``,
+#: the CLI default): beyond ~8 workers the per-attribute/per-chunk task
+#: grain of the pipeline stops scaling and memory bandwidth dominates.
+DEFAULT_WORKERS_CAP = 8
+
+#: Seconds between cancellation/deadline polls while waiting on tasks.
+POLL_INTERVAL = 0.05
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (cheap, inherits numpy pages copy-on-write),
+    else ``spawn`` (macOS/Windows default; see docs/PARALLEL.md caveats)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def default_workers() -> int:
+    """The automatic worker count: ``os.cpu_count()`` capped at
+    :data:`DEFAULT_WORKERS_CAP`."""
+    return max(1, min(os.cpu_count() or 1, DEFAULT_WORKERS_CAP))
+
+
+def resolve_workers(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; any negative value means
+    "use the hardware" (:func:`default_workers`); positive values are
+    taken literally.
+    """
+    if n_jobs is None or n_jobs in (0, 1):
+        return 1
+    if n_jobs < 0:
+        return default_workers()
+    return int(n_jobs)
+
+
+def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, float]:
+    """Run one task and measure it (worker-side, any backend)."""
+    t0 = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - t0
+
+
+def _process_task(fn: Callable[[Any], Any], item: Any) -> tuple[Any, float]:
+    """Worker-process task shim: crash injection point + timing.
+
+    ``parallel.worker_crash`` hard-kills the worker (``os._exit``), so
+    the parent genuinely observes a dead process — the chaos suite's
+    stand-in for OOM kills and segfaults.
+    """
+    if faults.fires("parallel.worker_crash"):
+        os._exit(3)
+    return _timed_call(fn, item)
+
+
+class Executor:
+    """Base class: order-preserving ``map`` plus a deterministic fold."""
+
+    backend = "serial"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+
+    # -- public API --------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        timeout: float | None = None,
+        cancel_token: CancelToken | None = None,
+        label: str = "map",
+    ) -> list[Any]:
+        """Apply ``fn`` to every item; results in item order.
+
+        The first task exception propagates (typed where the engine
+        raises it: cancel, timeout, worker crash); remaining tasks are
+        abandoned.
+        """
+        items = list(items)
+        token = cancel_token if cancel_token is not None else current_cancel_token()
+        if token is not None:
+            token.raise_if_cancelled()
+        with self.tracer.span(
+            "parallel.map", backend=self.backend, workers=self.workers,
+            tasks=len(items), label=label,
+        ):
+            timed = self._map_timed(fn, items, timeout=timeout, token=token)
+        self._record(len(items), [seconds for _, seconds in timed])
+        return [result for result, _ in timed]
+
+    def map_reduce(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        reduce_fn: Callable[[Any, Any], Any],
+        *,
+        timeout: float | None = None,
+        cancel_token: CancelToken | None = None,
+        label: str = "map_reduce",
+    ) -> Any:
+        """Map then fold the results **left-to-right in item order**.
+
+        The fixed fold order is the determinism contract: floating-point
+        reductions (e.g. summing per-shard ``XᵀX`` partials) yield the
+        same bits for any worker count or completion order.
+        """
+        results = self.map(
+            fn, items, timeout=timeout, cancel_token=cancel_token, label=label
+        )
+        if not results:
+            raise ValueError("map_reduce needs at least one item")
+        accumulated = results[0]
+        for result in results[1:]:
+            accumulated = reduce_fn(accumulated, result)
+        return accumulated
+
+    def close(self) -> None:
+        """Release worker resources; the executor is reusable until closed."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, n_tasks: int, task_seconds: Sequence[float]) -> None:
+        labels = {"backend": self.backend}
+        self.registry.counter(
+            "parallel_tasks_total", labels=labels,
+            help="Tasks executed by the parallel engine",
+        ).inc(n_tasks)
+        histogram = self.registry.histogram(
+            "parallel_worker_seconds", labels=labels,
+            help="Per-task worker execution time",
+        )
+        for seconds in task_seconds:
+            histogram.observe(seconds)
+
+    def _map_timed(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        timeout: float | None,
+        token: CancelToken | None,
+    ) -> list[tuple[Any, float]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        out: list[tuple[Any, float]] = []
+        for item in items:
+            if token is not None:
+                token.raise_if_cancelled()
+            if deadline is not None and time.monotonic() > deadline:
+                raise TaskTimeoutError(
+                    f"serial map exceeded its {timeout:.3f}s budget "
+                    f"after {len(out)}/{len(items)} tasks"
+                )
+            out.append(_timed_call(fn, item))
+        return out
+
+
+class SerialExecutor(Executor):
+    """Inline execution; the parity reference for the other backends."""
+
+    backend = "serial"
+
+    def __init__(self, registry=None, tracer=None) -> None:
+        super().__init__(workers=1, registry=registry, tracer=tracer)
+
+
+class _PoolExecutor(Executor):
+    """Shared future-wait loop for the thread and process backends."""
+
+    def _submit(self, fn, item) -> Future:
+        raise NotImplementedError
+
+    def _abort(self) -> None:
+        """Tear down the pool after a crash/timeout/cancel."""
+
+    def _map_timed(self, fn, items, timeout, token):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        futures = [self._submit(fn, item) for item in items]
+        out: list[tuple[Any, float]] = []
+        try:
+            for future in futures:
+                while True:
+                    if token is not None and token.is_set():
+                        raise CancelledError(
+                            f"parallel map abandoned: {token.reason}"
+                        )
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TaskTimeoutError(
+                            f"parallel map exceeded its {timeout:.3f}s budget "
+                            f"after {len(out)}/{len(items)} tasks"
+                        )
+                    try:
+                        out.append(future.result(timeout=POLL_INTERVAL))
+                        break
+                    except FutureTimeoutError:
+                        continue
+        except BrokenProcessPool as exc:
+            self._abort()
+            raise WorkerCrashError(
+                "a worker process died before returning a result "
+                "(killed/OOM/segfault); the pool has been rebuilt"
+            ) from exc
+        except (CancelledError, TaskTimeoutError):
+            for future in futures:
+                future.cancel()
+            self._abort()
+            raise
+        return out
+
+
+class ThreadExecutor(_PoolExecutor):
+    """``ThreadPoolExecutor`` backend; tasks may be closures."""
+
+    backend = "thread"
+
+    def __init__(self, workers: int, registry=None, tracer=None) -> None:
+        super().__init__(workers=workers, registry=registry, tracer=tracer)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _submit(self, fn, item) -> Future:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-par"
+            )
+        return self._pool.submit(_timed_call, fn, item)
+
+    def _abort(self) -> None:
+        # Threads cannot be killed; drop queued work, keep the pool.
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+class ProcessExecutor(_PoolExecutor):
+    """``ProcessPoolExecutor`` backend on the preferred start method.
+
+    The pool is created lazily on first use (so fork-inherited state —
+    notably an installed :class:`~repro.resilience.FaultInjector` — is
+    current) and rebuilt transparently after a worker crash.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self, workers: int, registry=None, tracer=None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(workers=workers, registry=registry, tracer=tracer)
+        self.start_method = start_method or preferred_start_method()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _submit(self, fn, item) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+            )
+        return self._pool.submit(_process_task, fn, item)
+
+    def _abort(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def make_executor(
+    backend: str = "process",
+    workers: int | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Executor:
+    """Build an executor; ``workers`` <= 1 always yields the serial one.
+
+    ``workers=None`` means :func:`default_workers` for the pooled
+    backends (serial stays serial).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+    if backend == "serial":
+        return SerialExecutor(registry=registry, tracer=tracer)
+    count = default_workers() if workers is None else int(workers)
+    if count <= 1:
+        return SerialExecutor(registry=registry, tracer=tracer)
+    if backend == "thread":
+        return ThreadExecutor(count, registry=registry, tracer=tracer)
+    return ProcessExecutor(count, registry=registry, tracer=tracer)

@@ -1,0 +1,277 @@
+"""Zero-copy input sharing for process workers via ``shared_memory``.
+
+Process workers receive large inputs (the encoded relation, the
+pair-difference sample matrix) through POSIX shared memory instead of
+pickles: the parent packs the numpy payloads into one segment, workers
+attach and build array *views* over the same pages — no copy, no
+serialization of the bulk data. Only a tiny picklable *spec* (segment
+name + offsets + dtypes + non-array metadata) travels through the task
+pickle.
+
+Lifecycle rules (the part that bites if you get it wrong):
+
+* The **parent owns the segment**. :class:`SharedArray` /
+  :class:`SharedRelation` are context managers whose exit closes *and
+  unlinks*; an :mod:`atexit` sweep unlinks anything still live in the
+  creating process, so segments cannot outlive the run even when a
+  worker raises mid-map.
+* **Workers only attach.** Python >= 3.9's resource tracker registers a
+  segment on *attach* as well as on create, which would make each
+  worker's tracker unlink the parent-owned segment when the worker
+  exits. Registration is therefore *suppressed* while our
+  ``SharedMemory`` objects are constructed (a process-local patch of
+  the tracker's ``register`` hook) — the tracker never hears about our
+  segments at all. Unregister-after-the-fact is not an option: fork
+  workers share the parent's tracker process, whose cache is a *set*,
+  so two workers registering the same name concurrently collapse into
+  one entry and the second unregister crashes the tracker loop.
+  Worker-side attachments are cached per segment name so repeated
+  tasks reuse one mapping (and the cache keeps the ``SharedMemory``
+  object alive while views reference its buffer).
+* The atexit sweep records the owning PID: forked workers inherit the
+  parent's live-segment table, and without the PID guard a worker
+  exiting would unlink segments the parent is still using.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Mapping
+
+import numpy as np
+
+try:  # POSIX; Windows named memory needs no explicit unlink
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _posixshmem = None
+
+__all__ = ["SharedArray", "SharedRelation", "attach_array", "attach_columns"]
+
+#: Byte alignment for each packed array (>= any numpy itemsize we use).
+_ALIGN = 64
+
+#: Segments created by THIS process that are not yet unlinked:
+#: name -> owner pid. Swept at interpreter exit.
+_LIVE_SEGMENTS: dict[str, int] = {}
+
+#: Worker-side (and parent-side) attachment cache: segment name ->
+#: SharedMemory handle. Keeps the mapping alive while views exist.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+_ARRAY_MARKER = "__shm_array__"
+
+
+_REGISTER_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def _registration_suppressed():
+    """Keep the resource tracker out of our segments' lifecycle.
+
+    This package manages segment lifetimes itself (context managers +
+    atexit sweep), so the registration the stdlib performs — on create
+    *and*, since Python 3.9, on attach — must not happen at all.
+    Unregistering afterwards is racy: fork workers share the parent's
+    single tracker process, whose cache is a *set*, so concurrent
+    registers of one name collapse and a later unregister KeyErrors
+    inside the tracker loop. Suppression is process-local (we patch
+    this process's ``register`` hook, which only affects the messages
+    *we* would send), so other libraries' segments are untouched.
+    """
+    with _REGISTER_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            yield
+        finally:
+            resource_tracker.register = original
+
+
+def _unlink_name(name: str) -> None:
+    """Remove the backing object without touching the resource tracker
+    (``SharedMemory.unlink`` would unregister a name we never left
+    registered)."""
+    if _posixshmem is None:  # pragma: no cover - non-POSIX
+        return
+    try:
+        _posixshmem.shm_unlink("/" + name.lstrip("/"))
+    except FileNotFoundError:
+        pass
+
+
+def _sweep() -> None:  # pragma: no cover - exercised via leak tests
+    for name, owner in list(_LIVE_SEGMENTS.items()):
+        if owner != os.getpid():
+            continue  # inherited table in a forked child; not ours to unlink
+        _unlink_name(name)
+        _LIVE_SEGMENTS.pop(name, None)
+
+
+atexit.register(_sweep)
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    with _registration_suppressed():
+        segment = shared_memory.SharedMemory(create=True, size=max(size, 1))
+    _LIVE_SEGMENTS[segment.name] = os.getpid()
+    return segment
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        with _registration_suppressed():
+            segment = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = segment
+    return segment
+
+
+def _release(segment: shared_memory.SharedMemory, unlink: bool) -> None:
+    try:
+        segment.close()
+    except Exception:
+        pass
+    if unlink:
+        _unlink_name(segment.name)
+        _LIVE_SEGMENTS.pop(segment.name, None)
+
+
+def _view(segment: shared_memory.SharedMemory, offset: int,
+          shape: tuple, dtype: str) -> np.ndarray:
+    arr = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                     buffer=segment.buf, offset=offset)
+    arr.flags.writeable = False
+    return arr
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArray:
+    """A single ndarray copied once into its own shared segment.
+
+    The picklable :attr:`spec` is what travels to workers;
+    :func:`attach_array` rebuilds a read-only view over the same pages.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array)
+        self.shape = array.shape
+        self.dtype = array.dtype.str
+        self._segment = _create_segment(array.nbytes)
+        _view_rw = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=self._segment.buf)
+        _view_rw[...] = array
+        self.spec: dict[str, Any] = {
+            "shm": self._segment.name,
+            "shape": tuple(array.shape),
+            "dtype": self.dtype,
+        }
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    def view(self) -> np.ndarray:
+        """Parent-side read-only view (no copy)."""
+        return _view(self._segment, 0, self.spec["shape"], self.dtype)
+
+    def close(self, unlink: bool = True) -> None:
+        _release(self._segment, unlink=unlink)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_array(spec: Mapping[str, Any]) -> np.ndarray:
+    """Worker-side: view the array described by a :class:`SharedArray` spec."""
+    segment = _attach_segment(spec["shm"])
+    return _view(segment, 0, spec["shape"], spec["dtype"])
+
+
+class SharedRelation:
+    """Encoded relation columns packed into one shared segment.
+
+    Accepts a list of per-column dicts (the encoded form produced by
+    :func:`repro.core.transform.build_codecs`' encoding step): every
+    ``numpy`` array value is packed into the segment and replaced in the
+    spec by an offset record; every other value (kind tags, tolerances,
+    token lists for text columns) is carried inline in the spec, which
+    stays small and picklable.
+    """
+
+    def __init__(self, columns: list[dict[str, Any]]) -> None:
+        placements: list[tuple[int, str, np.ndarray, int]] = []
+        offset = 0
+        for idx, column in enumerate(columns):
+            for key, value in column.items():
+                if isinstance(value, np.ndarray):
+                    arr = np.ascontiguousarray(value)
+                    offset = _aligned(offset)
+                    placements.append((idx, key, arr, offset))
+                    offset += arr.nbytes
+        self._segment = _create_segment(offset)
+        spec_columns: list[dict[str, Any]] = [dict(col) for col in columns]
+        for idx, key, arr, off in placements:
+            dest = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=self._segment.buf, offset=off)
+            dest[...] = arr
+            spec_columns[idx][key] = {
+                _ARRAY_MARKER: {
+                    "offset": off,
+                    "shape": tuple(arr.shape),
+                    "dtype": arr.dtype.str,
+                }
+            }
+        self.spec: dict[str, Any] = {
+            "shm": self._segment.name,
+            "columns": spec_columns,
+        }
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    def columns(self) -> list[dict[str, Any]]:
+        """Parent-side view of the packed columns (arrays are views)."""
+        return _materialize(self._segment, self.spec["columns"])
+
+    def close(self, unlink: bool = True) -> None:
+        _release(self._segment, unlink=unlink)
+
+    def __enter__(self) -> "SharedRelation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _materialize(segment: shared_memory.SharedMemory,
+                 spec_columns: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    columns: list[dict[str, Any]] = []
+    for spec_col in spec_columns:
+        column: dict[str, Any] = {}
+        for key, value in spec_col.items():
+            if isinstance(value, dict) and _ARRAY_MARKER in value:
+                rec = value[_ARRAY_MARKER]
+                column[key] = _view(segment, rec["offset"],
+                                    rec["shape"], rec["dtype"])
+            else:
+                column[key] = value
+        columns.append(column)
+    return columns
+
+
+def attach_columns(spec: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Worker-side: rebuild the encoded columns from a
+    :class:`SharedRelation` spec (arrays are zero-copy views)."""
+    segment = _attach_segment(spec["shm"])
+    return _materialize(segment, spec["columns"])

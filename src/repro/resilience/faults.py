@@ -8,16 +8,23 @@ injector is installed (the production default) those hooks are a single
 
 Built-in injection points
 -------------------------
-======================  =====================================================
-``http.reset``          the HTTP handler closes the TCP connection without
-                        writing a response (client sees a connection reset)
-``http.5xx``            the handler replaces a computed response with a 500
-``job.worker``          the job worker raises :class:`InjectedFault` before
-                        running the job body (a simulated worker crash)
-``glasso.nonconverge``  structure learning treats the graphical lasso as
-                        having hit ``max_iter`` (``converged=False``),
-                        exercising the FDX fallback ladder
-======================  =====================================================
+=========================  ==================================================
+``http.reset``             the HTTP handler closes the TCP connection without
+                           writing a response (client sees a connection reset)
+``http.5xx``               the handler replaces a computed response with a 500
+``job.worker``             the job worker raises :class:`InjectedFault` before
+                           running the job body (a simulated worker crash)
+``glasso.nonconverge``     structure learning treats the graphical lasso as
+                           having hit ``max_iter`` (``converged=False``),
+                           exercising the FDX fallback ladder
+``parallel.worker_crash``  a parallel worker process dies hard
+                           (``os._exit(3)``) before running its task —
+                           exercises ``WorkerCrashError`` surfacing in the
+                           process executor and the process job runner.
+                           Fork-started workers inherit the installed
+                           injector; spawn-started workers do not, so chaos
+                           tests force the fork start method.
+=========================  ==================================================
 
 Plans are deterministic: ``inject(point, times=3)`` fires on exactly the
 first three arrivals at that point (after ``after`` skipped arrivals),

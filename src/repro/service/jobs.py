@@ -38,8 +38,9 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
 from ..errors import ReproError
+from ..parallel.worker import run_in_process
 from ..resilience import faults
-from ..resilience.cancel import CancelToken, set_current_cancel_token
+from ..resilience.cancel import CancelToken, current_cancel_token, set_current_cancel_token
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -220,12 +221,26 @@ class JobManager:
         max_retained: int = 1024,
         max_queue_depth: int | None = None,
         registry=None,
+        executor: str = "thread",
+        process_grace: float = 2.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown job executor {executor!r}; options: thread, process"
+            )
         self.workers = workers
+        #: ``"thread"`` runs job bodies on the pool threads (GIL-bound);
+        #: ``"process"`` supervises each body in a child process via
+        #: :func:`repro.parallel.run_in_process`, keeping HTTP threads
+        #: responsive while discoveries pin a core.
+        self.executor_mode = executor
+        #: Seconds between cancellation escalation steps in process mode
+        #: (sentinel -> SIGTERM -> SIGKILL).
+        self.process_grace = process_grace
         self.default_timeout = default_timeout
         self.max_retained = max_retained
         self.max_queue_depth = max_queue_depth
@@ -312,6 +327,37 @@ class JobManager:
             elapsed = time.monotonic() - started
             self._runtime_ewma += 0.2 * (elapsed - self._runtime_ewma)
 
+    def run_in_worker(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> Any:
+        """Execute a job body under the configured executor mode.
+
+        Called from inside a job's closure (i.e. on a pool thread whose
+        context carries the job's cancel token). Thread mode runs ``fn``
+        inline; process mode supervises it in a child process — the
+        current cancel token is relayed as the cancellation sentinel,
+        ``timeout`` becomes a *hard* deadline (the child is terminated,
+        not merely observed as late), and the worker is always reaped.
+        In process mode ``fn``/``args``/``kwargs``/result must be
+        picklable (use module-level functions).
+        """
+        if self.executor_mode == "process":
+            return run_in_process(
+                fn,
+                args,
+                kwargs,
+                cancel_token=current_cancel_token(),
+                timeout=timeout,
+                grace=self.process_grace,
+                registry=self.registry,
+            )
+        return fn(*args, **(kwargs or {}))
+
     def retry_after_estimate(self) -> float:
         """Seconds until a queue slot plausibly frees (for Retry-After)."""
         return float(min(max(self._runtime_ewma, 1.0), 60.0))
@@ -355,6 +401,7 @@ class JobManager:
                 states[job.state] = states.get(job.state, 0) + 1
             return {
                 "workers": self.workers,
+                "executor": self.executor_mode,
                 "submitted": self._n_submitted,
                 "shed": self._n_shed,
                 "max_queue_depth": self.max_queue_depth,

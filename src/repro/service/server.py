@@ -69,6 +69,26 @@ from .sessions import SessionManager
 from .slo import SloTracker
 
 
+def _discover_job_task(relation, hyperparameters: Hyperparameters) -> dict:
+    """Job body executed in a worker *process* (``executor="process"``).
+
+    Module-level so it pickles; receives the parsed relation and
+    hyperparameters, runs the full pipeline, returns the wire dict.
+    The child inherits no tracer (spans stay in the parent around the
+    supervision call); pipeline cancellation arrives via the sentinel
+    installed by :func:`repro.parallel.run_in_process`.
+    """
+    fdx = FDX(
+        lam=hyperparameters.lam,
+        sparsity=hyperparameters.sparsity,
+        ordering=hyperparameters.ordering,
+        shrinkage=hyperparameters.shrinkage,
+        max_rows_per_attribute=hyperparameters.max_rows_per_attribute,
+        seed=hyperparameters.seed,
+    )
+    return fdx.discover(relation).to_dict()
+
+
 class PlainText:
     """Marker wrapper: reply with raw text instead of a JSON envelope."""
 
@@ -93,6 +113,7 @@ class DiscoveryService:
         max_queue_depth: int | None = 64,
         obs_jsonl: str | None = None,
         tracer: Tracer | None = None,
+        executor: str = "thread",
     ) -> None:
         self.registry = MetricsRegistry()
         self.metrics = Metrics(registry=self.registry)
@@ -107,9 +128,14 @@ class DiscoveryService:
         self.slo = SloTracker(self.registry)
         self._last_error: dict | None = None
         self._error_lock = threading.Lock()
+        # executor="process" runs each FD job in a supervised child
+        # process (true multi-core, hard timeouts, cancellation via
+        # sentinel + SIGTERM/SIGKILL escalation) instead of on the
+        # GIL-bound pool thread; see docs/PARALLEL.md.
         self.jobs = JobManager(
             workers=workers, default_timeout=job_timeout,
             max_queue_depth=max_queue_depth, registry=self.registry,
+            executor=executor,
         )
         self.cache = ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl,
@@ -255,18 +281,31 @@ class DiscoveryService:
         def run() -> dict:
             started = time.perf_counter()
             with self.tracer.span(
-                "service.job", kind="discover", fingerprint=fingerprint
+                "service.job", kind="discover", fingerprint=fingerprint,
+                executor=self.jobs.executor_mode,
             ):
-                fdx = FDX(
-                    lam=hyperparameters.lam,
-                    sparsity=hyperparameters.sparsity,
-                    ordering=hyperparameters.ordering,
-                    shrinkage=hyperparameters.shrinkage,
-                    max_rows_per_attribute=hyperparameters.max_rows_per_attribute,
-                    seed=hyperparameters.seed,
-                    tracer=self.tracer,
-                )
-                result = fdx.discover(relation).to_dict()
+                if self.jobs.executor_mode == "process":
+                    # Hard deadline: the worker process is terminated at
+                    # the budget, not merely observed as late.
+                    result = self.jobs.run_in_worker(
+                        _discover_job_task,
+                        (relation, hyperparameters),
+                        timeout=(
+                            deadline if deadline is not None
+                            else self.jobs.default_timeout
+                        ),
+                    )
+                else:
+                    fdx = FDX(
+                        lam=hyperparameters.lam,
+                        sparsity=hyperparameters.sparsity,
+                        ordering=hyperparameters.ordering,
+                        shrinkage=hyperparameters.shrinkage,
+                        max_rows_per_attribute=hyperparameters.max_rows_per_attribute,
+                        seed=hyperparameters.seed,
+                        tracer=self.tracer,
+                    )
+                    result = fdx.discover(relation).to_dict()
             self.cache.put(fingerprint, result)
             self._record_discovery(result, time.perf_counter() - started)
             return result
@@ -698,7 +737,7 @@ def serve(
         return 1
     actual = server.server_address
     print(f"repro-fdx service v{__version__} listening on http://{actual[0]}:{actual[1]} "
-          f"({workers} workers)")
+          f"({workers} {service_kwargs.get('executor', 'thread')} workers)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -206,3 +206,53 @@ class TestCombinedChaos:
             .inject("http.reset", times=None, probability=0.2)
         )
         assert first == [replay2.fires("http.reset") for _ in range(10)]
+
+
+class TestParallelWorkerCrash:
+    """``parallel.worker_crash``: a worker process dies hard (os._exit).
+
+    Fork-started workers inherit the installed injector, so arming the
+    point in the test process makes the next worker child die on entry —
+    the chaos stand-in for an OOM kill. The claims under test: the death
+    surfaces as a *typed* ReproError (WorkerCrashError), the job reaches
+    a terminal state (no hang), and the dead worker is reaped.
+    """
+
+    def test_injected_crash_in_map_is_typed_and_pool_recovers(self):
+        from repro.errors import ReproError, WorkerCrashError
+        from repro.parallel import ProcessExecutor
+
+        with ProcessExecutor(2) as ex:
+            with FaultInjector(seed=9).inject(
+                "parallel.worker_crash", times=1
+            ).install():
+                with pytest.raises(WorkerCrashError) as excinfo:
+                    ex.map(str, range(4))
+            assert isinstance(excinfo.value, ReproError)
+            # The pool is rebuilt (post-uninstall fork): still usable.
+            assert ex.map(str, [7]) == ["7"]
+
+    def test_killed_process_job_worker_fails_the_job_cleanly(self):
+        import multiprocessing
+
+        relation = chaos_relation(seed=18)
+        with start_in_thread(workers=2, executor="process",
+                             job_timeout=60.0) as handle:
+            client = ServiceClient(handle.base_url, retry=None, timeout=30.0)
+            client.wait_until_healthy()
+            with FaultInjector(seed=10).inject(
+                "parallel.worker_crash", times=1
+            ).install():
+                envelope = client.discover_raw(relation, wait=False)
+                job = handle.service.jobs.get(envelope["job_id"])
+                assert job.wait(timeout=30) == "failed"
+            assert "WorkerCrashError" in job.error
+            assert "exit code 3" in job.error
+            # Typed outcome for pollers, and no hung jobs behind it.
+            assert client.job(envelope["job_id"])["state"] == "failed"
+            assert_no_hung_jobs(handle)
+        # The dead worker was reaped: nothing of ours is left running.
+        assert not [
+            p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-job-worker")
+        ]

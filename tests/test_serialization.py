@@ -159,6 +159,9 @@ FULL_DIAGNOSTICS_KEYS = (
     "glasso_objective_trace",
     "degraded",
     "fallback_chain",
+    # Always present: which parallel backend/worker count served the run
+    # (serial runs record backend="serial"), so results stay comparable.
+    "parallel",
     # The fixture's zip/city columns are value-for-value duplicates, so
     # the input guards flag them (a real warning, useful here: it makes
     # the round-trip of input_warnings part of this completeness check).

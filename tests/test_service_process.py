@@ -1,0 +1,121 @@
+"""Process-executor job mode (JobManager + DiscoveryService).
+
+``JobManager(executor="process")`` runs each job body in a supervised
+child process: results come back by pipe, the job's cancel token is
+relayed as a sentinel (then SIGTERM, then SIGKILL), and timeouts are
+hard deadlines. The invariants these tests pin: jobs reach terminal
+states, errors are typed, and **no worker process outlives its job**.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.service import ServiceClient, start_in_thread
+from repro.service.jobs import CANCELLED, DONE, FAILED, JobManager
+
+
+def _no_orphans(timeout=5.0):
+    """True once no repro worker children remain (reaped, not zombies)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = [
+            p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-job-worker")
+        ]
+        if not alive:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+# Process-mode job bodies must be picklable -> module level.
+def _sleep_forever():
+    time.sleep(60)
+    return "never"
+
+
+def _add(a, b):
+    return a + b
+
+
+def small_relation(n=200, p=5, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        base = int(rng.integers(10))
+        rows.append(tuple([base, base % 3] + [int(rng.integers(4)) for _ in range(p - 2)]))
+    return Relation.from_rows([f"a{i}" for i in range(p)], rows)
+
+
+@pytest.fixture
+def manager():
+    m = JobManager(workers=2, default_timeout=30.0,
+                   executor="process", process_grace=0.3)
+    yield m
+    m.shutdown(wait=False)
+    assert _no_orphans()
+
+
+def test_executor_mode_is_validated_and_reported():
+    with pytest.raises(ValueError):
+        JobManager(workers=1, executor="gpu")
+    m = JobManager(workers=1, executor="process")
+    try:
+        assert m.stats()["executor"] == "process"
+    finally:
+        m.shutdown(wait=False)
+
+
+def test_process_job_returns_result(manager):
+    job = manager.submit(lambda: manager.run_in_worker(_add, (20, 22)))
+    assert job.wait(timeout=15.0) == DONE
+    assert job.result == 42
+
+
+def test_process_job_cancel_kills_and_reaps_the_worker(manager):
+    job = manager.submit(lambda: manager.run_in_worker(_sleep_forever))
+    # Let the job actually start its worker process before cancelling.
+    deadline = time.monotonic() + 10.0
+    while job.state == "queued" and time.monotonic() < deadline:
+        time.sleep(0.02)
+    time.sleep(0.2)
+    assert job.cancel()
+    assert job.wait(timeout=10.0) == CANCELLED
+    assert _no_orphans()
+
+
+def test_process_job_timeout_is_a_hard_deadline(manager):
+    job = manager.submit(
+        lambda: manager.run_in_worker(_sleep_forever, timeout=0.5)
+    )
+    assert job.wait(timeout=15.0) == FAILED
+    assert "TaskTimeoutError" in job.error
+    assert _no_orphans()
+
+
+def test_thread_mode_runs_inline():
+    m = JobManager(workers=1, executor="thread")
+    try:
+        # No child processes involved; closures are fine.
+        job = m.submit(lambda: m.run_in_worker(lambda x: x + 1, (1,)))
+        assert job.wait(timeout=10.0) == DONE
+        assert job.result == 2
+    finally:
+        m.shutdown(wait=False)
+
+
+def test_discovery_over_http_on_the_process_executor():
+    """End-to-end: a real discover round trip served by a worker process,
+    then a clean shutdown with nothing left running."""
+    relation = small_relation()
+    with start_in_thread(workers=2, executor="process", job_timeout=60.0) as handle:
+        client = ServiceClient(handle.base_url, timeout=60.0)
+        client.wait_until_healthy()
+        outcome = client.discover(relation)
+        assert outcome.fds, "expected at least one FD"
+        assert handle.service.jobs.stats()["executor"] == "process"
+    assert _no_orphans()

@@ -1,0 +1,149 @@
+"""Shared-memory lifecycle tests (repro.parallel.shared).
+
+The contract under test: segments round-trip numpy payloads bit-exactly,
+workers see zero-copy views, and — the part that bites — every segment
+the parent creates is unlinked again, even when a worker raises mid-map
+or the context body fails. A leaked segment outlives the process and
+eats /dev/shm, so these tests assert on the backing files directly.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import ProcessExecutor, SharedArray, SharedRelation
+from repro.parallel.shared import (
+    _LIVE_SEGMENTS,
+    attach_array,
+    attach_columns,
+)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def _shm_supported() -> bool:
+    return os.path.isdir("/dev/shm")
+
+
+pytestmark = pytest.mark.skipif(
+    not _shm_supported(), reason="needs POSIX /dev/shm to observe segment files"
+)
+
+
+# Worker tasks must be picklable -> module level.
+def _sum_shared(spec, _item):
+    return float(attach_array(spec).sum())
+
+
+def _raise_in_worker(spec, item):
+    if item == 1:
+        raise RuntimeError("worker failure on purpose")
+    return float(attach_array(spec).sum())
+
+
+# -- round-trips -------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", [np.uint8, np.int64, np.float64])
+def test_shared_array_round_trip_is_bit_exact(dtype):
+    rng = np.random.default_rng(0)
+    array = (rng.normal(size=(37, 5)) * 100).astype(dtype)
+    with SharedArray(array) as shared:
+        view = shared.view()
+        assert view.dtype == array.dtype
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view, array)
+        # A second attach through the spec sees the same bytes.
+        np.testing.assert_array_equal(attach_array(shared.spec), array)
+
+
+def test_shared_relation_packs_arrays_and_carries_metadata_inline():
+    columns = [
+        {"kind": "categorical", "codes": np.arange(11, dtype=np.int64)},
+        {"kind": "numeric", "values": np.linspace(0, 1, 11), "tol": 0.25},
+        {"kind": "text", "tokens": [frozenset({"a"}), None], "jaccard": 0.5},
+    ]
+    with SharedRelation(columns) as shared:
+        rebuilt = attach_columns(shared.spec)
+        assert rebuilt[0]["kind"] == "categorical"
+        np.testing.assert_array_equal(rebuilt[0]["codes"], columns[0]["codes"])
+        np.testing.assert_array_equal(rebuilt[1]["values"], columns[1]["values"])
+        assert rebuilt[1]["tol"] == 0.25
+        # Non-array values travel through the picklable spec untouched.
+        assert rebuilt[2]["tokens"] == columns[2]["tokens"]
+        assert not rebuilt[0]["codes"].flags.writeable
+
+
+# -- lifecycle / leaks -------------------------------------------------------
+
+def test_context_exit_unlinks_the_segment():
+    with SharedArray(np.zeros(8)) as shared:
+        name = shared.name
+        assert _segment_exists(name)
+        assert name in _LIVE_SEGMENTS
+    assert not _segment_exists(name)
+    assert name not in _LIVE_SEGMENTS
+
+
+def test_segment_unlinked_when_context_body_raises():
+    name = None
+    with pytest.raises(RuntimeError):
+        with SharedRelation([{"codes": np.arange(4)}]) as shared:
+            name = shared.name
+            assert _segment_exists(name)
+            raise RuntimeError("body failure")
+    assert not _segment_exists(name)
+
+
+def test_segment_unlinked_when_a_worker_raises():
+    """The leak test the issue asks for: a mid-map worker exception must
+    not strand the parent's segment."""
+    array = np.ones(64)
+    name = None
+    with ProcessExecutor(2) as ex:
+        with pytest.raises(RuntimeError, match="worker failure"):
+            with SharedArray(array) as shared:
+                name = shared.name
+                from functools import partial
+
+                ex.map(partial(_raise_in_worker, shared.spec), [0, 1, 2])
+    assert name is not None
+    assert not _segment_exists(name)
+    assert name not in _LIVE_SEGMENTS
+
+
+def test_workers_read_zero_copy_views():
+    array = np.arange(1000, dtype=np.float64)
+    with ProcessExecutor(2) as ex:
+        with SharedArray(array) as shared:
+            from functools import partial
+
+            sums = ex.map(partial(_sum_shared, shared.spec), range(4))
+    assert sums == [float(array.sum())] * 4
+
+
+def test_no_repro_segments_left_behind():
+    """After the executor/shm tests above, nothing of ours lingers in
+    /dev/shm and the live-segment table is empty for this process."""
+    mine = {n for n, pid in _LIVE_SEGMENTS.items() if pid == os.getpid()}
+    assert mine == set()
+
+
+def test_resource_tracker_is_kept_out_of_our_segments():
+    """Our segments must never be registered with the stdlib resource
+    tracker (its set-based cache is racy across fork workers); creating
+    and destroying one must not touch the tracker's cache."""
+    from multiprocessing import resource_tracker
+
+    registered = []
+    original = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: registered.append((name, rtype))
+    try:
+        with SharedArray(np.zeros(4)):
+            pass
+    finally:
+        resource_tracker.register = original
+    assert registered == []
