@@ -44,4 +44,46 @@ assert parallel["workers"] == 2, parallel
 print(f"process backend OK: {parallel}")
 '
 
+echo "== streaming session smoke =="
+# In-process service round trip over the streaming surface: create a
+# session, append, read FDs + deltas, checkpoint, then boot a second
+# service over the same directory and verify the session was restored
+# with its changelog intact.
+"$PYTHON" - <<'PY'
+import tempfile
+import numpy as np
+from repro.dataset.relation import Relation
+from repro.service import ServiceClient, start_in_thread
+
+rng = np.random.default_rng(0)
+rows = [(a := int(rng.integers(15)), a % 5, int(rng.integers(6))) for _ in range(400)]
+relation = Relation.from_rows(["a", "b", "c"], rows)
+
+with tempfile.TemporaryDirectory() as ckpt_dir:
+    with start_in_thread(workers=2, checkpoint_dir=ckpt_dir) as handle:
+        client = ServiceClient(handle.base_url, timeout=60.0)
+        client.wait_until_healthy()
+        sid = client.create_session()
+        client.append_batch(sid, relation)
+        fds = client.session_fds(sid).fds
+        assert fds, "no FDs discovered over the session"
+        deltas = client.session_deltas(sid)
+        assert deltas["version"] == 1 and deltas["deltas"][0]["added"]
+        drift = client.session_drift(sid)
+        assert "score" in drift
+        client.checkpoint_session(sid)
+    # Restart: a fresh service over the same checkpoint directory.
+    with start_in_thread(workers=2, checkpoint_dir=ckpt_dir) as handle:
+        client = ServiceClient(handle.base_url, timeout=60.0)
+        client.wait_until_healthy()
+        info = client.session_info(sid)
+        assert info["n_rows_seen"] == 400, info
+        restored = client.session_deltas(sid)
+        assert restored["version"] == deltas["version"], restored
+        refreshed = client.session_fds_raw(sid, force=True)
+        assert refreshed["refresh"]["warm"] is True, refreshed["refresh"]
+        print(f"streaming smoke OK: {len(fds)} FDs, "
+              f"changelog v{restored['version']} survived restart, warm refresh")
+PY
+
 echo "check: OK"

@@ -289,6 +289,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session_ttl=args.session_ttl,
         max_queue_depth=args.max_queue_depth if args.max_queue_depth > 0 else None,
         obs_jsonl=args.obs_jsonl,
+        checkpoint_dir=args.checkpoint_dir,
     )
 
 
@@ -378,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--suite", default="micro", metavar="NAME",
                    help="suite to run: micro, scalability, service, "
-                        "resilience, parallel, or all")
+                        "resilience, parallel, streaming, or all")
     p.add_argument("--repeat", type=int, default=3,
                    help="timed iterations per benchmark (median is recorded)")
     p.add_argument("--smoke", action="store_true",
@@ -421,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--obs-jsonl", default=None, metavar="FILE",
                    help="append span + request events as JSONL to FILE "
                         "(also enables span tracing of the pipeline)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="persist streaming sessions as per-session JSON "
+                        "checkpoints in DIR and restore them on startup, so "
+                        "a restarted server keeps its sessions (statistics, "
+                        "FD changelog, drift window, warm-start precision)")
     p.set_defaults(func=_cmd_serve)
     return parser
 

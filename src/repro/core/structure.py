@@ -81,6 +81,7 @@ def learn_structure(
     tracer: Tracer | None = None,
     memory: MemoryTracker | None = None,
     executor=None,
+    warm_start: np.ndarray | None = None,
 ) -> StructureEstimate:
     """Estimate the ordered linear-SEM structure of ``samples``.
 
@@ -133,6 +134,13 @@ def learn_structure(
         covariance and the eBIC λ-grid across workers. Results are
         byte-identical to the serial path for any backend/worker count
         (fixed chunk boundaries, fixed merge order).
+    warm_start:
+        Optional previous precision matrix handed to the graphical lasso
+        as its ``Theta0`` initialization (streaming refreshes re-solve
+        nearly identical covariances; starting at the previous solution
+        cuts the outer sweeps to one or two). Only the ``"glasso"``
+        estimator uses it; the estimate is unchanged within solver
+        tolerance.
     """
     tracer = tracer if tracer is not None else get_tracer()
     memory = memory if memory is not None else MemoryTracker(enabled=False)
@@ -181,7 +189,8 @@ def learn_structure(
     t1 = time.perf_counter()
     glasso_objective: float | None = None
     glasso_trace: list | None = None
-    with tracer.span("structure.glasso", estimator=estimator, lam=float(lam)) as span, \
+    with tracer.span("structure.glasso", estimator=estimator, lam=float(lam),
+                     warm_start=warm_start is not None) as span, \
             memory.stage("glasso"):
         if estimator == "glasso":
             callback = None
@@ -190,7 +199,7 @@ def learn_structure(
                 callback = glasso_trace.append
             result = graphical_lasso(
                 S, lam, max_iter=max_iter, callback=callback,
-                should_abort=should_abort,
+                should_abort=should_abort, Theta0=warm_start,
             )
             precision = result.precision
             iterations, converged = result.n_iter, result.converged
@@ -273,6 +282,7 @@ def learn_structure_resilient(
     tracer: Tracer | None = None,
     memory: MemoryTracker | None = None,
     executor=None,
+    warm_start: np.ndarray | None = None,
 ) -> StructureEstimate:
     """:func:`learn_structure` behind a graceful-degradation ladder.
 
@@ -327,6 +337,7 @@ def learn_structure_resilient(
                 tracer=tracer,
                 memory=memory,
                 executor=executor,
+                warm_start=warm_start if stage == "configured" else None,
                 **overrides,
             )
         except (CancelledError, InputValidationError):

@@ -72,6 +72,27 @@ def glasso_dual_gap(S: np.ndarray, precision: np.ndarray, lam: float) -> float:
     return float(np.sum(S * precision) + lam * np.abs(precision).sum() - p)
 
 
+def _betas_from_precision(Theta0: np.ndarray) -> np.ndarray:
+    """Per-column lasso coefficients implied by a precision matrix.
+
+    Inverts the recovery identity of :func:`_precision_from_working`:
+    ``theta_12 = -beta * theta_22`` gives ``beta_j = -Theta[rest, j] /
+    Theta[j, j]``. Feeding a previous solve's ``Theta`` back through this
+    map warm-starts every inner lasso at (near) its fixed point.
+    """
+    Theta0 = np.asarray(Theta0, dtype=float)
+    p = Theta0.shape[0]
+    indices = np.arange(p)
+    betas = np.zeros((p, p - 1))
+    for j in range(p):
+        theta_jj = Theta0[j, j]
+        if theta_jj <= 1e-12 or not np.isfinite(theta_jj):
+            continue  # degenerate column: fall back to a cold start
+        beta = -Theta0[indices != j, j] / theta_jj
+        betas[j] = np.where(np.isfinite(beta), beta, 0.0)
+    return betas
+
+
 def _precision_from_working(W: np.ndarray, betas: np.ndarray) -> np.ndarray:
     """Recover ``Theta`` from the working covariance and lasso coefficients."""
     p = W.shape[0]
@@ -97,6 +118,7 @@ def graphical_lasso(
     inner_max_iter: int = 200,
     callback: Callable[[dict], None] | None = None,
     should_abort: Callable[[], None] | None = None,
+    Theta0: np.ndarray | None = None,
 ) -> GraphicalLassoResult:
     """Estimate a sparse precision matrix from covariance ``S``.
 
@@ -123,6 +145,17 @@ def graphical_lasso(
         :meth:`repro.resilience.CancelToken.raise_if_cancelled`) to
         abandon the solve promptly when the surrounding job is
         cancelled or timed out.
+    Theta0:
+        Optional warm start: a previous solve's precision matrix (for a
+        nearby ``S``, e.g. the last refresh of a streaming session). The
+        working covariance starts at ``Theta0^{-1}`` (diagonal reset to
+        ``diag(S) + lam``) and every column's lasso coefficients start at
+        the values ``Theta0`` implies, so the outer loop converges in one
+        or two sweeps instead of re-deriving the structure from scratch.
+        The fixed point is unchanged — for ``lam > 0`` the program is
+        strictly convex, so warm and cold starts agree within ``tol``.
+        A ``Theta0`` of the wrong shape or with non-finite entries is
+        ignored (cold start) rather than rejected.
     """
     S = np.asarray(S, dtype=float)
     p = S.shape[0]
@@ -148,9 +181,20 @@ def graphical_lasso(
             glasso_objective(S, precision, 0.0), glasso_dual_gap(S, precision, 0.0),
         )
 
-    W = S.copy()
-    W[np.diag_indices_from(W)] += lam
-    betas = np.zeros((p, p - 1))  # warm starts, one per column
+    warm = (
+        Theta0 is not None
+        and np.shape(Theta0) == (p, p)
+        and bool(np.isfinite(Theta0).all())
+    )
+    if warm:
+        W = _regularized_inverse(np.asarray(Theta0, dtype=float))
+        W = 0.5 * (W + W.T)
+        W[np.diag_indices_from(W)] = np.diag(S) + lam
+        betas = _betas_from_precision(Theta0)
+    else:
+        W = S.copy()
+        W[np.diag_indices_from(W)] += lam
+        betas = np.zeros((p, p - 1))  # warm starts, one per column
     indices = np.arange(p)
     off_mask = ~np.eye(p, dtype=bool)
     s_offdiag_scale = np.mean(np.abs(S[off_mask])) if p > 1 else 0.0

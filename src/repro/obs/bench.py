@@ -15,7 +15,9 @@ robust statistical comparison against the recorded trajectory:
   hooks, retry wrapper overhead, a fallback-ladder-engaged discovery),
   and ``parallel`` times the sharded transform+covariance stages serial
   vs. process-parallel (speedup case) and with the executor machinery
-  engaged at one worker (overhead case).
+  engaged at one worker (overhead case), and ``streaming`` times the
+  session append path, the cold vs. warm-started refresh solve (the
+  ledger exposes the warm-start win) and a checkpoint round trip.
 * **Ledger** — each run appends one record (per-benchmark median
   seconds, peak RSS, git sha, environment fingerprint, wall-clock
   stamp) to ``BENCH_<suite>.json``, a ``{"suite", "runs": [...]}``
@@ -406,6 +408,102 @@ def _parallel_stage_case(
     return make
 
 
+def _streaming_relation(n: int, p: int, seed: int = 0):
+    import numpy as np
+
+    from ..dataset.relation import Relation
+
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        base = int(rng.integers(20))
+        rows.append(
+            tuple([base, base % 5] + [int(rng.integers(6)) for _ in range(p - 2)])
+        )
+    return Relation.from_rows([f"a{i}" for i in range(p)], rows)
+
+
+def _streaming_engine(smoke: bool):
+    from ..core.incremental import IncrementalFDX
+
+    n, p = (600, 8) if smoke else (3000, 15)
+    engine = IncrementalFDX()
+    batch = max(150, n // 5)
+    for start in range(0, n, batch):
+        engine.add_batch(_streaming_relation(batch, p, seed=start))
+    return engine
+
+
+def _case_session_append(smoke: bool) -> Callable[[], object]:
+    """Append path of a streaming session: accumulate + drift window,
+    no solve. This is the latency appends keep *during* a refresh too,
+    since the solve runs outside the session lock."""
+    from ..service.protocol import Hyperparameters
+    from ..service.sessions import Session
+
+    n, p = (600, 8) if smoke else (3000, 15)
+    batch = max(150, n // 5)
+    batches = [
+        _streaming_relation(batch, p, seed=start) for start in range(0, n, batch)
+    ]
+
+    def run():
+        session = Session("sess-bench", Hyperparameters())
+        for chunk in batches:
+            session.append(chunk)
+        return session
+
+    return run
+
+
+def _case_refresh_cold(smoke: bool) -> Callable[[], object]:
+    """Stateless solve on a snapshot with no warm start."""
+    from ..core.incremental import discover_from_stats
+
+    stats = _streaming_engine(smoke).snapshot()
+
+    def run():
+        return discover_from_stats(stats)
+
+    return run
+
+
+def _case_refresh_warm(smoke: bool) -> Callable[[], object]:
+    """Same snapshot, warm-started from the previous solve's precision —
+    the refresh path a long-lived session actually takes. The ledger
+    exposes the warm-vs-cold gap (warm should be measurably faster)."""
+    from ..core.incremental import discover_from_stats
+
+    stats = _streaming_engine(smoke).snapshot()
+    theta0 = discover_from_stats(stats).precision
+
+    def run():
+        return discover_from_stats(stats, warm_start=theta0)
+
+    return run
+
+
+def _case_checkpoint_round_trip(smoke: bool) -> Callable[[], object]:
+    """Serialize + restore one session's full checkpoint payload."""
+    import json
+
+    from ..service.protocol import Hyperparameters
+    from ..service.sessions import Session
+
+    n, p = (600, 8) if smoke else (3000, 15)
+    session = Session("sess-bench", Hyperparameters())
+    batch = max(150, n // 5)
+    for start in range(0, n, batch):
+        session.append(_streaming_relation(batch, p, seed=start))
+    session.refresh()
+
+    def run():
+        payload = json.loads(json.dumps(session.checkpoint_payload()))
+        return Session.from_checkpoint("sess-restored", payload)
+
+    return run
+
+
 SUITES: dict[str, tuple[BenchCase, ...]] = {
     "micro": (
         BenchCase("pair_transform", _case_pair_transform),
@@ -431,6 +529,12 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
                   _parallel_stage_case("process", 1)),
         BenchCase("transform_cov_process_4workers",
                   _parallel_stage_case("process", 4)),
+    ),
+    "streaming": (
+        BenchCase("session_append", _case_session_append),
+        BenchCase("refresh_cold", _case_refresh_cold),
+        BenchCase("refresh_warm", _case_refresh_warm),
+        BenchCase("checkpoint_round_trip", _case_checkpoint_round_trip),
     ),
 }
 

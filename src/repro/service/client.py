@@ -309,9 +309,28 @@ class ServiceClient:
             {"relation": relation_to_wire(batch)},
         )
 
-    def session_fds(self, session_id: str) -> FDXResult:
-        payload = self._request("GET", f"/v1/sessions/{session_id}/fds")
+    def session_fds(self, session_id: str, force: bool = False) -> FDXResult:
+        payload = self.session_fds_raw(session_id, force=force)
         return FDXResult.from_dict(payload["result"])
+
+    def session_fds_raw(self, session_id: str, force: bool = False) -> dict:
+        """Full FD-read envelope (exposes ``refresh`` solve/debounce info)."""
+        suffix = "?force=1" if force else ""
+        return self._request("GET", f"/v1/sessions/{session_id}/fds{suffix}")
+
+    def session_deltas(self, session_id: str, since: int = 0) -> dict:
+        """Versioned FD changelog records newer than ``since``."""
+        return self._request(
+            "GET", f"/v1/sessions/{session_id}/deltas?since={int(since)}"
+        )
+
+    def session_drift(self, session_id: str) -> dict:
+        """Current covariance-shift drift score/alert for the session."""
+        return self._request("GET", f"/v1/sessions/{session_id}/drift")
+
+    def checkpoint_session(self, session_id: str) -> dict:
+        """Force-persist the session server-side (needs --checkpoint-dir)."""
+        return self._request("POST", f"/v1/sessions/{session_id}/checkpoint")
 
     def session_info(self, session_id: str) -> dict:
         return self._request("GET", f"/v1/sessions/{session_id}")

@@ -56,6 +56,10 @@ class Hyperparameters:
     min_batch_rows: int = 50
     decay: float = 1.0
     seed: int = 0
+    #: Sessions only: re-solve on FD reads only after this many new rows
+    #: (0 = every read re-solves); drift alert fires above the threshold.
+    refresh_every_rows: int = 0
+    drift_threshold: float = 0.15
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any] | None) -> "Hyperparameters":
@@ -81,6 +85,8 @@ class Hyperparameters:
             "min_batch_rows": self.min_batch_rows,
             "decay": self.decay,
             "seed": self.seed,
+            "refresh_every_rows": self.refresh_every_rows,
+            "drift_threshold": self.drift_threshold,
         }
 
     def canonical(self) -> tuple:

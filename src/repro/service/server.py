@@ -22,7 +22,14 @@ Endpoints (all JSON, all prefixed ``/v1``):
 ``DELETE /v1/jobs/<id>`` cancel a queued/running job
 ``POST /v1/sessions``    open a streaming session (body: hyperparameters)
 ``POST /v1/sessions/<id>/batches``  append rows to a session
-``GET  /v1/sessions/<id>/fds``      FDs over everything appended so far
+``GET  /v1/sessions/<id>/fds``      FDs over everything appended so far;
+                         ``?force=1`` bypasses the ``refresh_every_rows``
+                         debounce (the solve runs outside the session
+                         lock, so appends never block on it)
+``GET  /v1/sessions/<id>/deltas``   versioned FD changelog;
+                         ``?since=<version>`` returns only newer records
+``GET  /v1/sessions/<id>/drift``    covariance-shift drift score + alert
+``POST /v1/sessions/<id>/checkpoint``  force-persist the session now
 ``POST /v1/sessions/<id>/reset``    forget the session's statistics
 ``GET  /v1/sessions/<id>``          session info
 ``DELETE /v1/sessions/<id>``        close the session
@@ -114,6 +121,7 @@ class DiscoveryService:
         obs_jsonl: str | None = None,
         tracer: Tracer | None = None,
         executor: str = "thread",
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.registry = MetricsRegistry()
         self.metrics = Metrics(registry=self.registry)
@@ -149,7 +157,14 @@ class DiscoveryService:
             max_entries=cache_entries * 8, ttl_seconds=cache_ttl,
             registry=self.registry, name="bodies",
         )
-        self.sessions = SessionManager(max_sessions=max_sessions, ttl_seconds=session_ttl)
+        self.sessions = SessionManager(
+            max_sessions=max_sessions,
+            ttl_seconds=session_ttl,
+            checkpoint_dir=checkpoint_dir,
+            metrics=self.metrics,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
         # Client-supplied Idempotency-Key -> job id: a retried submit
         # (e.g. after a connection reset mid-response) reattaches to the
         # original job instead of running the discovery twice.
@@ -377,14 +392,35 @@ class DiscoveryService:
         self.metrics.increment("session_rows", by=batch.n_rows)
         return 200, envelope(info)
 
-    def session_fds(self, session_id: str) -> tuple[int, dict]:
+    def session_fds(self, session_id: str, force: bool = False) -> tuple[int, dict]:
         started = time.perf_counter()
-        with self.tracer.span("service.session_discover", session_id=session_id):
-            result = self.sessions.discover(session_id)
+        with self.tracer.span(
+            "service.session_discover", session_id=session_id, force=force
+        ):
+            outcome = self.sessions.discover(session_id, force=force)
         self.metrics.increment("session_discoveries")
-        payload = result.to_dict()
-        self._record_discovery(payload, time.perf_counter() - started)
-        return 200, envelope({"session_id": session_id, "result": payload})
+        payload = outcome.result.to_dict()
+        if outcome.solved:
+            self._record_discovery(payload, time.perf_counter() - started)
+        else:
+            self.metrics.increment("session_refreshes_debounced")
+        return 200, envelope(
+            {
+                "session_id": session_id,
+                "result": payload,
+                "refresh": outcome.to_dict(),
+            }
+        )
+
+    def session_deltas(self, session_id: str, since: int = 0) -> tuple[int, dict]:
+        return 200, envelope(self.sessions.deltas(session_id, since=since))
+
+    def session_drift(self, session_id: str) -> tuple[int, dict]:
+        return 200, envelope(self.sessions.drift(session_id))
+
+    def checkpoint_session(self, session_id: str) -> tuple[int, dict]:
+        self.metrics.increment("session_checkpoints")
+        return 200, envelope(self.sessions.checkpoint(session_id))
 
     def reset_session(self, session_id: str) -> tuple[int, dict]:
         return 200, envelope(self.sessions.reset(session_id))
@@ -472,6 +508,14 @@ class DiscoveryService:
         gauge("sessions_active", help="Open streaming sessions").set(
             sessions["active"]
         )
+        gauge(
+            "streaming_drift_score",
+            help="Max drift score across sessions (last computed per session)",
+        ).set(sessions["drift"]["max_score"])
+        gauge(
+            "streaming_drift_alerting",
+            help="Sessions whose last drift assessment crossed the threshold",
+        ).set(sessions["drift"]["alerting"])
         self.slo.publish_burn_rates()
         return render_prometheus(self.registry)
 
@@ -625,12 +669,17 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                 if method == "DELETE":
                     return "jobs", *service.cancel_job(parts[1])
             if parts and parts[0] == "sessions":
-                return self._dispatch_sessions(method, parts[1:])
+                return self._dispatch_sessions(method, parts[1:], query)
             return "?", 404, error_payload(
                 f"no route for {method} {self.path!r}", 404
             )
 
-        def _dispatch_sessions(self, method: str, rest: list[str]) -> tuple[str, int, dict]:
+        def _dispatch_sessions(
+            self, method: str, rest: list[str], query: str = ""
+        ) -> tuple[str, int, dict]:
+            from urllib.parse import parse_qs
+
+            params = parse_qs(query)
             if not rest:
                 if method == "POST":
                     return "sessions", *service.create_session(self._read_json())
@@ -644,7 +693,21 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                 if action == "batches" and method == "POST":
                     return "session_batches", *service.append_batch(sid, self._read_json())
                 if action == "fds" and method == "GET":
-                    return "session_fds", *service.session_fds(sid)
+                    force = params.get("force", ["0"])[0] not in ("0", "false", "")
+                    return "session_fds", *service.session_fds(sid, force=force)
+                if action == "deltas" and method == "GET":
+                    raw_since = params.get("since", ["0"])[0]
+                    try:
+                        since = int(raw_since)
+                    except ValueError:
+                        raise ProtocolError(
+                            f"'since' must be an integer, got {raw_since!r}"
+                        ) from None
+                    return "session_deltas", *service.session_deltas(sid, since=since)
+                if action == "drift" and method == "GET":
+                    return "session_drift", *service.session_drift(sid)
+                if action == "checkpoint" and method == "POST":
+                    return "session_checkpoint", *service.checkpoint_session(sid)
                 if action == "reset" and method == "POST":
                     return "sessions", *service.reset_session(sid)
             return "?", 404, error_payload(

@@ -54,6 +54,9 @@ DEFAULT_OBJECTIVES: dict[str, SloObjective] = {
     "discover": SloObjective(5.0, 0.05),
     "session_fds": SloObjective(5.0, 0.05),
     "session_batches": SloObjective(1.0, 0.05),
+    "session_deltas": SloObjective(0.25, 0.02),
+    "session_drift": SloObjective(0.25, 0.02),
+    "session_checkpoint": SloObjective(1.0, 0.05),
     "sessions": SloObjective(0.25, 0.02),
     "jobs": SloObjective(0.25, 0.02),
     "healthz": SloObjective(0.1, 0.01),

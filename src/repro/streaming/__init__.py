@@ -1,0 +1,50 @@
+"""Streaming engine: FD deltas, drift detection, warm refresh, checkpoints.
+
+The service's streaming sessions are built from four orthogonal pieces,
+each usable on its own:
+
+* :mod:`~repro.streaming.deltas` — a monotone, versioned FD changelog:
+  each refresh diffs the new FD set against the previous one and emits
+  ``added`` / ``removed`` / ``retained`` events with per-FD stability
+  streaks, so clients ask "what changed since version N?" instead of
+  re-reading the full set.
+* :mod:`~repro.streaming.drift` — a covariance-shift statistic between
+  the long-run (decayed) accumulator and a sliding window of recent
+  batches; surfaces a drift score and an alert flag.
+* :mod:`~repro.streaming.refresh` — the refresh policy (rows-since-last-
+  solve debounce) and the stateless warm-started solve wrapper that runs
+  on a :class:`~repro.core.incremental.StreamStats` snapshot *outside*
+  any session lock.
+* :mod:`~repro.streaming.checkpoint` — atomic JSON persistence of
+  session state (accumulated statistics, changelog, drift window, last
+  precision) so ``serve --checkpoint-dir`` survives restarts.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_path,
+    delete_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .deltas import ChangeLog, DeltaRecord, fd_key
+from .drift import DriftDetector, DriftStatus
+from .refresh import RefreshOutcome, RefreshPolicy, refresh_solve
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "ChangeLog",
+    "DeltaRecord",
+    "DriftDetector",
+    "DriftStatus",
+    "RefreshOutcome",
+    "RefreshPolicy",
+    "checkpoint_path",
+    "delete_checkpoint",
+    "fd_key",
+    "list_checkpoints",
+    "read_checkpoint",
+    "refresh_solve",
+    "write_checkpoint",
+]

@@ -1,0 +1,103 @@
+"""Atomic per-session checkpoints for the streaming service.
+
+One JSON file per session under a checkpoint directory. Writes go
+through a temp file + ``os.replace`` so a crash mid-write leaves either
+the old checkpoint or the new one — never a torn file. Restores are
+lenient: unreadable or version-mismatched files are skipped (and
+reported), so one corrupt checkpoint cannot keep the server down.
+
+The payload schema is owned by the session layer
+(:meth:`repro.service.sessions.Session.checkpoint_payload`); this module
+only knows how to get dicts to disk and back safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+
+#: Bump when the checkpoint payload schema changes incompatibly; readers
+#: skip files whose version they do not understand.
+CHECKPOINT_VERSION = 1
+
+_SUFFIX = ".ckpt.json"
+_SAFE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def _require_safe_id(session_id: str) -> str:
+    if not _SAFE_ID.match(session_id):
+        raise ValueError(f"unsafe session id for checkpoint path: {session_id!r}")
+    return session_id
+
+
+def checkpoint_path(directory: str, session_id: str) -> str:
+    """The checkpoint file for one session id."""
+    return os.path.join(directory, _require_safe_id(session_id) + _SUFFIX)
+
+
+def write_checkpoint(directory: str, session_id: str, payload: dict) -> str:
+    """Atomically persist one session's checkpoint; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory, session_id)
+    document = {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "session_id": session_id,
+        "payload": payload,
+    }
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{session_id}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_checkpoint(directory: str, session_id: str) -> dict | None:
+    """One session's checkpoint payload, or ``None`` if absent/unusable."""
+    path = checkpoint_path(directory, session_id)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("checkpoint_version") != CHECKPOINT_VERSION:
+        return None
+    payload = document.get("payload")
+    return payload if isinstance(payload, dict) else None
+
+
+def list_checkpoints(directory: str) -> list[str]:
+    """Session ids with a checkpoint file in ``directory`` (sorted)."""
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return []
+    ids = [
+        name[: -len(_SUFFIX)]
+        for name in entries
+        if name.endswith(_SUFFIX) and _SAFE_ID.match(name[: -len(_SUFFIX)])
+    ]
+    return sorted(ids)
+
+
+def delete_checkpoint(directory: str, session_id: str) -> bool:
+    """Remove one session's checkpoint; True if a file was deleted."""
+    try:
+        os.unlink(checkpoint_path(directory, session_id))
+        return True
+    except OSError:
+        return False

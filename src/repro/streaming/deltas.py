@@ -1,0 +1,171 @@
+"""Monotone FD changelog: versioned deltas with stability streaks.
+
+Long-lived streaming clients do not want the full FD set on every poll —
+they want to know *what changed*. :class:`ChangeLog` keeps a per-session
+monotone version counter; every refresh is diffed against the previous
+FD set and recorded as ``added`` / ``removed`` / ``retained`` events.
+
+Each FD also carries a **stability streak** — the number of consecutive
+refreshes it has survived. Mandros et al. (arXiv:1705.09391) motivate
+reliability-scored change reporting: a dependency present for 40
+consecutive refreshes is a very different signal from one that flickered
+into the latest solve, even though a raw set dump renders them
+identically. The streak is the cheapest useful reliability score a
+changelog can maintain without re-touching data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.fd import FD
+
+#: Default bound on retained delta records; versions stay monotone when
+#: old records are dropped (``since`` answers carry ``earliest_version``
+#: so clients can detect a gap and fall back to a full read).
+DEFAULT_MAX_RECORDS = 512
+
+
+def fd_key(fd: FD) -> str:
+    """Canonical string key for an FD (stable across processes)."""
+    return f"{','.join(fd.lhs)}->{fd.rhs}"
+
+
+@dataclass
+class DeltaRecord:
+    """One refresh's worth of change, at one changelog version."""
+
+    version: int
+    added: list[FD] = field(default_factory=list)
+    removed: list[FD] = field(default_factory=list)
+    retained: list[FD] = field(default_factory=list)
+    #: ``fd_key -> consecutive refreshes present`` for every current FD
+    #: (1 for just-added FDs); removed FDs map to the streak they lost.
+    streaks: dict = field(default_factory=dict)
+    #: Rows the session had consumed when this version was recorded.
+    n_rows_seen: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "added": [fd.to_dict() for fd in self.added],
+            "removed": [fd.to_dict() for fd in self.removed],
+            "retained": [fd.to_dict() for fd in self.retained],
+            "streaks": dict(self.streaks),
+            "n_rows_seen": self.n_rows_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeltaRecord":
+        return cls(
+            version=int(payload["version"]),
+            added=[FD.from_dict(d) for d in payload.get("added", [])],
+            removed=[FD.from_dict(d) for d in payload.get("removed", [])],
+            retained=[FD.from_dict(d) for d in payload.get("retained", [])],
+            streaks=dict(payload.get("streaks", {})),
+            n_rows_seen=int(payload.get("n_rows_seen", 0)),
+        )
+
+
+class ChangeLog:
+    """Append-only FD changelog for one streaming session.
+
+    Not thread-safe on its own — the owning session serializes access
+    (records are appended under the session lock, which is never held
+    across a solve).
+    """
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self._records: list[DeltaRecord] = []
+        self._current: dict[str, FD] = {}
+        self._streaks: dict[str, int] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Latest recorded version (0 before the first refresh)."""
+        return self._version
+
+    @property
+    def earliest_version(self) -> int:
+        """Oldest version still retained (0 when nothing was dropped yet)."""
+        return self._records[0].version if self._records else self._version
+
+    @property
+    def current_fds(self) -> list[FD]:
+        """The FD set as of the latest version."""
+        return list(self._current.values())
+
+    def streak(self, fd: FD) -> int:
+        """Consecutive refreshes ``fd`` has been present (0 if absent)."""
+        return self._streaks.get(fd_key(fd), 0)
+
+    def record(self, fds: list[FD], n_rows_seen: int = 0) -> DeltaRecord:
+        """Diff ``fds`` against the current set; append + return the record.
+
+        Every call bumps the version — an all-``retained`` record is
+        still recorded, because the *streaks* advanced (stability is
+        information too, and clients polling ``since=`` see their cursor
+        move even when nothing churned).
+        """
+        new: dict[str, FD] = {fd_key(fd): fd for fd in fds}
+        added = [fd for key, fd in sorted(new.items()) if key not in self._current]
+        removed = [
+            fd for key, fd in sorted(self._current.items()) if key not in new
+        ]
+        retained = [fd for key, fd in sorted(new.items()) if key in self._current]
+        self._version += 1
+        streaks: dict[str, int] = {}
+        for key in new:
+            streaks[key] = self._streaks.get(key, 0) + 1
+        record = DeltaRecord(
+            version=self._version,
+            added=added,
+            removed=removed,
+            retained=retained,
+            streaks={
+                **streaks,
+                # Removed FDs report the streak they had when they died.
+                **{fd_key(fd): self._streaks.get(fd_key(fd), 0) for fd in removed},
+            },
+            n_rows_seen=n_rows_seen,
+        )
+        self._current = new
+        self._streaks = streaks
+        self._records.append(record)
+        if len(self._records) > self.max_records:
+            del self._records[: len(self._records) - self.max_records]
+        return record
+
+    def since(self, version: int) -> list[DeltaRecord]:
+        """All retained records with a version strictly greater than
+        ``version`` (``since(0)`` replays the full retained history)."""
+        return [r for r in self._records if r.version > version]
+
+    # -- checkpointing -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "max_records": self.max_records,
+            "version": self._version,
+            "current": [fd.to_dict() for fd in self._current.values()],
+            "streaks": dict(self._streaks),
+            "records": [r.to_dict() for r in self._records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChangeLog":
+        log = cls(max_records=int(payload.get("max_records", DEFAULT_MAX_RECORDS)))
+        log._version = int(payload.get("version", 0))
+        log._current = {
+            fd_key(fd): fd
+            for fd in (FD.from_dict(d) for d in payload.get("current", []))
+        }
+        log._streaks = {
+            str(k): int(v) for k, v in payload.get("streaks", {}).items()
+        }
+        log._records = [DeltaRecord.from_dict(d) for d in payload.get("records", [])]
+        return log

@@ -87,3 +87,41 @@ def test_glasso_2x2_closed_form_support():
         S = np.array([[1.0, r], [r, 1.0]])
         res = graphical_lasso(S, lam)
         assert bool(res.support[0, 1]) is expect_edge, (r, lam)
+
+
+def _random_spd(p=6, seed=3):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(p, p))
+    S = A @ A.T / p + np.eye(p)
+    d = np.sqrt(np.diag(S))
+    return S / np.outer(d, d)
+
+
+def test_warm_start_converges_to_same_solution():
+    S = _random_spd()
+    cold = graphical_lasso(S, 0.1)
+    warm = graphical_lasso(S, 0.1, Theta0=cold.precision)
+    assert np.allclose(warm.precision, cold.precision, atol=1e-4)
+    assert np.array_equal(warm.support, cold.support)
+    # Restarting at the solution must not take longer than solving cold.
+    assert warm.n_iter <= cold.n_iter
+
+
+def test_warm_start_from_perturbed_statistics():
+    """Warm-starting from a *nearby* problem's solution still converges."""
+    S = _random_spd(seed=4)
+    previous = graphical_lasso(S * 0.98 + 0.02 * np.eye(S.shape[0]), 0.1)
+    warm = graphical_lasso(S, 0.1, Theta0=previous.precision)
+    cold = graphical_lasso(S, 0.1)
+    assert np.allclose(warm.precision, cold.precision, atol=1e-3)
+    assert is_positive_definite(warm.precision)
+
+
+def test_degenerate_warm_start_falls_back_to_cold():
+    """Non-finite or wrong-shape Theta0 must not poison the solve."""
+    S = _random_spd(seed=5)
+    cold = graphical_lasso(S, 0.1)
+    bad = np.full_like(S, np.nan)
+    for theta0 in (bad, np.eye(3)):
+        result = graphical_lasso(S, 0.1, Theta0=theta0)
+        assert np.allclose(result.precision, cold.precision, atol=1e-6)

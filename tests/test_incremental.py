@@ -182,3 +182,67 @@ def test_pair_sample_count_accumulates():
     first = inc.n_pair_samples
     inc.add_batch(fd_relation(100, seed=2))
     assert inc.n_pair_samples == 2 * first
+
+
+def test_decay_one_single_batch_matches_batch_fdx():
+    """decay=1.0 with one batch is *exactly* the batch estimator: the
+    first batch's pairing RNG matches FDX's, so the FD sets coincide."""
+    rel = fd_relation(600)
+    batch_fds = set(FDX().discover(rel).fds)
+    inc = IncrementalFDX(decay=1.0)
+    inc.add_batch(rel)
+    assert set(inc.discover().fds) == batch_fds
+
+
+def test_decay_one_accumulates_additively():
+    """With decay=1.0 the accumulated second moment is the plain sum of
+    the per-batch contributions (nothing is forgotten)."""
+    inc = IncrementalFDX(decay=1.0)
+    u1 = inc.add_batch(fd_relation(200, seed=1))
+    u2 = inc.add_batch(fd_relation(200, seed=2))
+    total = u1.n_samples + u2.n_samples
+    assert inc.n_pair_samples == total
+    expected = (u1.outer + u2.outer) / total
+    assert np.allclose(inc.covariance(), expected)
+
+
+def test_snapshot_is_immutable_copy():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(200))
+    stats = inc.snapshot()
+    before = stats.covariance().copy()
+    inc.add_batch(fd_relation(200, seed=1))
+    assert np.allclose(stats.covariance(), before)  # unaffected by appends
+    assert stats.n_rows_seen == 200
+
+
+def test_snapshot_flushes_pending_buffer():
+    inc = IncrementalFDX(min_batch_rows=1000)
+    inc.add_batch(fd_relation(80))
+    stats = inc.snapshot(flush=True)
+    assert stats.n_rows_seen == 80
+    assert stats.n_samples > 0
+
+
+def test_state_dict_round_trip():
+    inc = IncrementalFDX(min_batch_rows=100)
+    inc.add_batch(fd_relation(250))
+    inc.add_batch(fd_relation(30, seed=1))  # stays pending
+    state = inc.state_dict()
+
+    revived = IncrementalFDX(min_batch_rows=100)
+    revived.load_state(state)
+    assert revived.n_rows_seen == inc.n_rows_seen
+    assert revived.n_batches == inc.n_batches
+    assert np.allclose(revived.covariance(), inc.covariance())
+    assert set(revived.discover().fds) == set(inc.discover().fds)
+
+
+def test_warm_start_discover_matches_cold():
+    inc = IncrementalFDX()
+    inc.add_batch(fd_relation(400))
+    cold = inc.discover()
+    warm = inc.discover(warm_start=cold.precision)
+    assert warm.diagnostics["warm_start"] is True
+    assert cold.diagnostics["warm_start"] is False
+    assert set(warm.fds) == set(cold.fds)

@@ -47,7 +47,9 @@ def test_append_and_discover_matches_incremental(manager):
         batch = rel.select_rows(np.arange(start, start + 150))
         manager.append_batch(session.id, batch)
         reference.add_batch(batch)
-    via_service = manager.discover(session.id)
+    outcome = manager.discover(session.id)
+    assert outcome.solved is True
+    via_service = outcome.result
     assert set(via_service.fds) == set(reference.discover().fds)
     assert FD(["a"], "b") in set(via_service.fds)
     assert session.to_dict()["n_batches"] == reference.n_batches
@@ -111,3 +113,58 @@ def test_idle_sessions_expire(monkeypatch):
     with pytest.raises(SessionError):
         manager.get(session.id)
     assert manager.stats()["expired"] == 1
+
+
+def test_stats_sweeps_without_request_traffic(monkeypatch):
+    """Idle expiry must not depend on get() traffic: stats()/len() sweep."""
+    import repro.service.sessions as sessions_mod
+
+    now = [0.0]
+    monkeypatch.setattr(sessions_mod.time, "monotonic", lambda: now[0])
+    manager = SessionManager(max_sessions=4, ttl_seconds=10.0)
+    manager.create()
+    manager.create()
+    now[0] = 30.0
+    stats = manager.stats()  # nothing but a monitoring probe
+    assert stats["active"] == 0
+    assert stats["expired"] == 2
+
+
+def test_len_sweeps_idle_sessions(monkeypatch):
+    import repro.service.sessions as sessions_mod
+
+    now = [0.0]
+    monkeypatch.setattr(sessions_mod.time, "monotonic", lambda: now[0])
+    manager = SessionManager(max_sessions=4, ttl_seconds=10.0)
+    manager.create()
+    assert len(manager) == 1
+    now[0] = 30.0
+    assert len(manager) == 0
+
+
+def test_expiry_emits_sessions_expired_metric(monkeypatch):
+    import repro.service.sessions as sessions_mod
+    from repro.service.metrics import Metrics
+
+    now = [0.0]
+    monkeypatch.setattr(sessions_mod.time, "monotonic", lambda: now[0])
+    metrics = Metrics()
+    manager = SessionManager(max_sessions=4, ttl_seconds=10.0, metrics=metrics)
+    manager.create()
+    now[0] = 30.0
+    manager.stats()
+    assert metrics.counter("sessions_expired") == 1
+
+
+def test_capacity_frees_expired_slots(monkeypatch):
+    """An expired session's slot is reusable without any get() in between."""
+    import repro.service.sessions as sessions_mod
+
+    now = [0.0]
+    monkeypatch.setattr(sessions_mod.time, "monotonic", lambda: now[0])
+    manager = SessionManager(max_sessions=2, ttl_seconds=10.0)
+    manager.create()
+    manager.create()
+    now[0] = 30.0
+    manager.create()  # would raise 429 if the sweep had not run
+    assert manager.stats()["active"] == 1

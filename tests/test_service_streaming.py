@@ -1,0 +1,173 @@
+"""End-to-end tests for the streaming session endpoints.
+
+Covers the PR-6 surface over real HTTP: delta polling, drift scoring,
+checkpoint/restore across a server restart, the force/debounce knobs on
+FD reads, and the core concurrency guarantee — appends never block on an
+in-flight refresh solve.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import start_in_thread
+from repro.service.sessions import SessionManager
+
+
+def fd_relation(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(15))
+        rows.append((a, a % 5, int(rng.integers(6))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+@pytest.fixture
+def handle():
+    with start_in_thread(workers=2) as h:
+        yield h
+
+
+@pytest.fixture
+def client(handle):
+    return ServiceClient(handle.base_url, timeout=30.0)
+
+
+def test_deltas_round_trip_over_http(client):
+    sid = client.create_session()
+    client.append_batch(sid, fd_relation(400))
+    client.session_fds(sid)
+    deltas = client.session_deltas(sid)
+    assert deltas["session_id"] == sid
+    assert deltas["version"] == 1
+    assert len(deltas["deltas"]) == 1
+    first = deltas["deltas"][0]
+    assert any(fd["rhs"] == "b" for fd in first["added"])
+    assert first["removed"] == []
+    # Cursoring: a caught-up client gets nothing new until a refresh.
+    assert client.session_deltas(sid, since=deltas["version"])["deltas"] == []
+    client.session_fds(sid, force=True)
+    newer = client.session_deltas(sid, since=deltas["version"])
+    assert [r["version"] for r in newer["deltas"]] == [2]
+
+
+def test_deltas_rejects_bad_since(client):
+    sid = client.create_session()
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", f"/v1/sessions/{sid}/deltas?since=nope")
+    assert excinfo.value.status == 400
+
+
+def test_drift_endpoint_and_session_info(client):
+    sid = client.create_session()
+    client.append_batch(sid, fd_relation(400))
+    drift = client.session_drift(sid)
+    assert drift["session_id"] == sid
+    assert "score" in drift and "alert" in drift
+    info = client.session_info(sid)
+    assert info["drift"]["score"] == drift["score"]
+    assert info["changelog_version"] == 0  # no refresh yet
+
+
+def test_refresh_debounce_and_force_over_http(client):
+    sid = client.create_session({"refresh_every_rows": 10_000})
+    client.append_batch(sid, fd_relation(400))
+    first = client.session_fds_raw(sid)
+    assert first["refresh"]["solved"] is True
+    second = client.session_fds_raw(sid)
+    assert second["refresh"]["solved"] is False  # debounced
+    forced = client.session_fds_raw(sid, force=True)
+    assert forced["refresh"]["solved"] is True
+    assert forced["refresh"]["warm"] is True
+
+
+def test_checkpoint_without_dir_is_409(client):
+    sid = client.create_session()
+    with pytest.raises(ServiceError) as excinfo:
+        client.checkpoint_session(sid)
+    assert excinfo.value.status == 409
+
+
+def test_checkpoint_restart_restores_sessions(tmp_path):
+    directory = str(tmp_path)
+    with start_in_thread(workers=2, checkpoint_dir=directory) as handle:
+        client = ServiceClient(handle.base_url, timeout=30.0)
+        sid = client.create_session({"decay": 0.95})
+        client.append_batch(sid, fd_relation(400))
+        result = client.session_fds(sid)
+        checkpoint = client.checkpoint_session(sid)
+        assert checkpoint["session_id"] == sid
+        version = client.session_deltas(sid)["version"]
+    # "Kill" the server and boot a fresh one over the same directory.
+    with start_in_thread(workers=2, checkpoint_dir=directory) as handle:
+        client = ServiceClient(handle.base_url, timeout=30.0)
+        info = client.session_info(sid)
+        assert info["hyperparameters"]["decay"] == 0.95
+        assert info["n_rows_seen"] == 400
+        deltas = client.session_deltas(sid)
+        assert deltas["version"] == version  # changelog intact
+        assert handle.service.sessions.stats()["restored"] == 1
+        # The restored session keeps streaming, warm-started.
+        client.append_batch(sid, fd_relation(200, seed=1))
+        revived = client.session_fds_raw(sid, force=True)
+        assert revived["refresh"]["warm"] is True
+        assert {tuple(fd["lhs"]) + (fd["rhs"],) for fd in revived["result"]["fds"]} \
+            == {tuple(fd.lhs) + (fd.rhs,) for fd in result.fds}
+
+
+def test_statusz_and_prometheus_carry_drift(client):
+    sid = client.create_session()
+    client.append_batch(sid, fd_relation(400))
+    client.session_drift(sid)
+    status = client.statusz()
+    assert "drift" in status["sessions"]
+    assert status["sessions"]["drift"]["max_score"] >= 0.0
+    text = client.metrics_prometheus()
+    assert "streaming_drift_score" in text
+    assert "session_refresh_seconds" in text or "streaming_drift_alerting" in text
+
+
+def test_append_does_not_block_during_refresh(monkeypatch):
+    import repro.service.sessions as sessions_mod
+
+    manager = SessionManager(max_sessions=4, ttl_seconds=60.0)
+    session = manager.create()
+    manager.append_batch(session.id, fd_relation(300))
+
+    entered = threading.Event()
+    release = threading.Event()
+    real_solve = sessions_mod.refresh_solve
+
+    def blocking_solve(*args, **kwargs):
+        entered.set()
+        assert release.wait(10.0), "solve was never released"
+        return real_solve(*args, **kwargs)
+
+    monkeypatch.setattr(sessions_mod, "refresh_solve", blocking_solve)
+    solver = threading.Thread(target=manager.discover, args=(session.id,))
+    solver.start()
+    try:
+        assert entered.wait(10.0), "refresh never reached the solve"
+        # The refresh is now parked inside the solve. Appends must land
+        # immediately — the session lock is NOT held across the solve.
+        started = time.monotonic()
+        info = manager.append_batch(session.id, fd_relation(200, seed=1))
+        append_seconds = time.monotonic() - started
+        assert info["n_rows_seen"] == 500
+        assert append_seconds < 1.0, (
+            f"append waited {append_seconds:.2f}s on an in-flight refresh"
+        )
+    finally:
+        release.set()
+        solver.join(30.0)
+    assert not solver.is_alive()
+    # The refresh that was in flight solved the snapshot it took (300
+    # rows); the concurrent append is picked up by the next refresh.
+    assert session.solved_rows == 300
+    outcome = manager.discover(session.id)
+    assert outcome.n_rows_seen == 500

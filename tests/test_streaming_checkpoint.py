@@ -1,0 +1,154 @@
+"""Tests for repro.streaming.checkpoint and session restore."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.fd import FD
+from repro.dataset.relation import Relation
+from repro.service.protocol import Hyperparameters
+from repro.service.sessions import Session, SessionManager
+from repro.streaming import (
+    CHECKPOINT_VERSION,
+    checkpoint_path,
+    delete_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+def fd_relation(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = int(rng.integers(15))
+        rows.append((a, a % 5, int(rng.integers(6))))
+    return Relation.from_rows(["a", "b", "c"], rows)
+
+
+# -- file primitives ----------------------------------------------------------
+
+def test_write_read_round_trip(tmp_path):
+    directory = str(tmp_path)
+    payload = {"hello": [1, 2, 3], "nested": {"x": 1.5}}
+    path = write_checkpoint(directory, "sess-abc", payload)
+    assert path == checkpoint_path(directory, "sess-abc")
+    assert read_checkpoint(directory, "sess-abc") == payload
+
+
+def test_read_missing_returns_none(tmp_path):
+    assert read_checkpoint(str(tmp_path), "sess-nope") is None
+
+
+def test_corrupt_file_returns_none(tmp_path):
+    directory = str(tmp_path)
+    with open(checkpoint_path(directory, "sess-bad"), "w") as fh:
+        fh.write("{not json")
+    assert read_checkpoint(directory, "sess-bad") is None
+
+
+def test_version_mismatch_is_skipped(tmp_path):
+    directory = str(tmp_path)
+    with open(checkpoint_path(directory, "sess-old"), "w") as fh:
+        json.dump(
+            {"checkpoint_version": CHECKPOINT_VERSION + 1, "payload": {"x": 1}}, fh
+        )
+    assert read_checkpoint(directory, "sess-old") is None
+
+
+def test_list_and_delete(tmp_path):
+    directory = str(tmp_path)
+    write_checkpoint(directory, "sess-b", {})
+    write_checkpoint(directory, "sess-a", {})
+    assert list_checkpoints(directory) == ["sess-a", "sess-b"]
+    assert delete_checkpoint(directory, "sess-a") is True
+    assert delete_checkpoint(directory, "sess-a") is False
+    assert list_checkpoints(directory) == ["sess-b"]
+    assert list_checkpoints(str(tmp_path / "missing")) == []
+
+
+def test_unsafe_session_id_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_checkpoint(str(tmp_path), "../escape", {})
+
+
+def test_write_leaves_no_temp_files(tmp_path):
+    directory = str(tmp_path)
+    write_checkpoint(directory, "sess-x", {"k": "v"})
+    assert [n for n in os.listdir(directory) if n.endswith(".tmp")] == []
+
+
+# -- session round trip -------------------------------------------------------
+
+def test_session_checkpoint_round_trip():
+    session = Session("sess-orig", Hyperparameters(refresh_every_rows=100))
+    session.append(fd_relation(400))
+    first = session.refresh()
+    restored = Session.from_checkpoint("sess-orig", session.checkpoint_payload())
+    assert restored.hyperparameters == session.hyperparameters
+    assert restored.n_appends == session.n_appends
+    assert restored.engine.n_rows_seen == session.engine.n_rows_seen
+    assert restored.changelog.version == session.changelog.version
+    assert set(restored.changelog.current_fds) == set(first.result.fds)
+    # The restored precision warm-starts the first post-restart refresh.
+    assert restored.last_precision is not None
+    outcome = restored.refresh(force=True)
+    assert outcome.warm is True
+    assert set(outcome.result.fds) == set(first.result.fds)
+    # Static data across the restart: no churn is reported, streaks grow.
+    record = restored.changelog.since(1)[0]
+    assert record.added == [] and record.removed == []
+    assert restored.changelog.streak(FD(["a"], "b")) == 2
+
+
+def test_manager_restores_sessions_from_checkpoint_dir(tmp_path):
+    directory = str(tmp_path)
+    manager = SessionManager(checkpoint_dir=directory)
+    session = manager.create(Hyperparameters(decay=0.9))
+    manager.append_batch(session.id, fd_relation(400))
+    manager.discover(session.id)
+    version = session.changelog.version
+
+    # Simulate a restart: a brand-new manager over the same directory.
+    revived = SessionManager(checkpoint_dir=directory)
+    assert revived.restored == 1
+    restored = revived.get(session.id)
+    assert restored.hyperparameters.decay == 0.9
+    assert restored.changelog.version == version
+    assert revived.deltas(session.id, since=0)["version"] == version
+    # And it keeps streaming: appends + refreshes work post-restore.
+    revived.append_batch(session.id, fd_relation(200, seed=1))
+    outcome = revived.discover(session.id)
+    assert outcome.warm is True
+
+
+def test_close_and_expiry_delete_checkpoints(tmp_path, monkeypatch):
+    import repro.service.sessions as sessions_mod
+
+    directory = str(tmp_path)
+    now = [0.0]
+    monkeypatch.setattr(sessions_mod.time, "monotonic", lambda: now[0])
+    manager = SessionManager(ttl_seconds=10.0, checkpoint_dir=directory)
+    closed = manager.create()
+    expired = manager.create()
+    assert len(list_checkpoints(directory)) == 2
+    manager.close(closed.id)
+    assert list_checkpoints(directory) == [expired.id]
+    now[0] = 30.0
+    assert len(manager) == 0  # sweep runs, expiring the idle session
+    assert list_checkpoints(directory) == []
+
+
+def test_corrupt_checkpoint_does_not_block_restore(tmp_path):
+    directory = str(tmp_path)
+    manager = SessionManager(checkpoint_dir=directory)
+    session = manager.create()
+    manager.append_batch(session.id, fd_relation(300))
+    with open(checkpoint_path(directory, "sess-corrupt"), "w") as fh:
+        fh.write("garbage")
+    revived = SessionManager(checkpoint_dir=directory)
+    assert revived.restored == 1
+    assert revived.get(session.id).engine.n_rows_seen == 300

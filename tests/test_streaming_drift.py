@@ -1,0 +1,96 @@
+"""Tests for repro.streaming.drift (covariance-shift detection)."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import DriftDetector
+
+
+def outer_from_corr(rho, n=200, p=3, seed=0):
+    """Second moment of n samples with equicorrelation rho off-diagonal."""
+    rng = np.random.default_rng(seed)
+    cov = np.full((p, p), rho, dtype=float)
+    np.fill_diagonal(cov, 1.0)
+    X = rng.multivariate_normal(np.zeros(p), cov, size=n)
+    X -= X.mean(axis=0)
+    return X.T @ X, float(n)
+
+
+def feed(detector, rho, batches=8, seed=0):
+    for i in range(batches):
+        outer, n = outer_from_corr(rho, seed=seed + i)
+        detector.update(outer, n)
+
+
+def baseline(rho, n=5000, seed=99):
+    return outer_from_corr(rho, n=n, seed=seed)
+
+
+def test_not_ready_before_min_samples():
+    detector = DriftDetector(min_samples=64)
+    status = detector.status(None, 0.0)
+    assert status.ready is False and status.alert is False and status.score == 0.0
+    outer, n = outer_from_corr(0.5, n=10)
+    detector.update(outer, n)
+    status = detector.status(*baseline(0.5))
+    assert status.ready is False  # window has only 10 samples
+
+
+def test_stationary_stream_scores_low():
+    detector = DriftDetector(threshold=0.15)
+    feed(detector, rho=0.6)
+    status = detector.status(*baseline(0.6))
+    assert status.ready is True
+    assert status.score < 0.15
+    assert status.alert is False
+
+
+def test_correlation_shift_raises_score_and_alerts():
+    detector = DriftDetector(threshold=0.15)
+    feed(detector, rho=-0.4)
+    status = detector.status(*baseline(0.7))
+    assert status.ready is True
+    assert status.score > 0.5
+    assert status.alert is True
+    assert detector.alerts_total == 1
+    # Re-polling the same alerting state does not double-count the onset.
+    detector.status(*baseline(0.7))
+    assert detector.alerts_total == 1
+
+
+def test_window_slides_past_old_regime():
+    detector = DriftDetector(window_batches=4, threshold=0.15)
+    feed(detector, rho=-0.4, batches=4)
+    # Regime change: enough new batches displace the old window entirely.
+    feed(detector, rho=0.7, batches=4, seed=50)
+    status = detector.status(*baseline(0.7))
+    assert status.alert is False
+
+
+def test_schema_change_restarts_window():
+    detector = DriftDetector()
+    detector.update(np.eye(3) * 100, 100.0)
+    detector.update(np.eye(5) * 100, 100.0)  # new shape: window restarts
+    status = detector.status(np.eye(5) * 5000, 5000.0)
+    assert status.window_batches == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DriftDetector(window_batches=0)
+    with pytest.raises(ValueError):
+        DriftDetector(threshold=0.0)
+
+
+def test_round_trip_preserves_window_and_counters():
+    detector = DriftDetector(window_batches=4, threshold=0.2, min_samples=32)
+    feed(detector, rho=-0.4, batches=4)
+    detector.status(*baseline(0.7))  # trips the alert counter
+    restored = DriftDetector.from_dict(detector.to_dict())
+    assert restored.window_batches == 4
+    assert restored.threshold == 0.2
+    assert restored.alerts_total == detector.alerts_total
+    original = detector.status(*baseline(0.7))
+    revived = restored.status(*baseline(0.7))
+    assert revived.score == pytest.approx(original.score)
+    assert revived.alert == original.alert
