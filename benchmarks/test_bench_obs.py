@@ -142,6 +142,50 @@ def test_disabled_memory_tracker_overhead_under_5_percent(run_once):
     assert ratio <= 0.05, f"disabled memory tracker costs {ratio:.2%} of a discovery"
 
 
+def test_flight_recorder_overhead_under_5_percent(run_once):
+    """Per-discovery cost of the always-on flight recorder <= 5%.
+
+    The service routes every request log line, metric delta and span
+    through ``FlightRecorder.record`` (one lock + one deque append).
+    Budget: a generous 50 recorded events per request must stay under
+    5% of the discovery that request performs.
+    """
+    from repro.obs import FlightRecorder
+
+    relation = _relation()
+    recorder = FlightRecorder(capacity=4096)
+    events_per_request = 50
+
+    def measure():
+        fdx = FDX(seed=0)
+        t0 = time.perf_counter()
+        fdx.discover(relation)
+        discover_seconds = time.perf_counter() - t0
+
+        iterations = 100_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            recorder.record("metric", name="requests_total", delta=1)
+        per_event = (time.perf_counter() - t0) / iterations
+        return discover_seconds, per_event
+
+    discover_seconds, per_event = run_once(measure)
+    overhead = per_event * events_per_request
+    ratio = overhead / discover_seconds
+    emit(
+        "flight-recorder overhead:\n"
+        f"  per-event cost     : {per_event * 1e9:.0f} ns\n"
+        f"  amortized overhead : {overhead * 1e6:.1f} us over "
+        f"{discover_seconds * 1e3:.1f} ms ({ratio:.5%})",
+        data={
+            "benchmark": "flight_recorder_overhead",
+            "ratio": ratio,
+            "per_event_ns": per_event * 1e9,
+        },
+    )
+    assert ratio <= 0.05, f"flight recorder costs {ratio:.2%} of a discovery"
+
+
 def test_profiled_vs_plain_discovery(run_once):
     """Record the cost of sampling the discovery at 200 Hz."""
     relation = _relation()

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # One-command repo check: byte-compile everything, run the tier-1 suite,
 # the tier-2 observability smoke tests (real CLI + server subprocesses),
-# and a fast benchmark smoke pass reported against the recorded
-# trajectory (report-only: timings on shared CI hosts are too noisy to
-# hard-gate here; `python -m repro bench` without --report-only gates).
+# a fast benchmark smoke pass reported against the recorded trajectory
+# (report-only: timings on shared CI hosts are too noisy to hard-gate
+# here; `python -m repro bench` without --report-only gates), and the
+# parallel / streaming / flight-recorder end-to-end smokes.
 # Usable standalone and in CI:
 #
 #   bash scripts/check.sh
@@ -84,6 +85,49 @@ with tempfile.TemporaryDirectory() as ckpt_dir:
         assert refreshed["refresh"]["warm"] is True, refreshed["refresh"]
         print(f"streaming smoke OK: {len(fds)} FDs, "
               f"changelog v{restored['version']} survived restart, warm refresh")
+PY
+
+echo "== flight recorder smoke =="
+# Boot the service with a flight-dump directory, inject one http.5xx
+# fault, and verify the failure produced exactly one parseable dump
+# carrying the offending request's evidence (span + log line + trigger).
+"$PYTHON" - <<'PY'
+import glob
+import json
+import os
+import tempfile
+import time
+
+from repro.resilience.faults import FaultInjector
+from repro.service import ServiceClient, start_in_thread
+from repro.service.client import ServiceError
+
+with tempfile.TemporaryDirectory() as flight_dir:
+    with start_in_thread(workers=1, flight_dir=flight_dir) as handle:
+        client = ServiceClient(handle.base_url, retry=None)
+        client.wait_until_healthy()
+        with FaultInjector(seed=0).inject("http.5xx", times=1).install():
+            try:
+                client.healthz()
+                raise SystemExit("fault did not fire")
+            except ServiceError as exc:
+                assert exc.status == 500, exc.status
+                assert exc.trace_id, "no trace id on the client error"
+                trace_id = exc.trace_id
+        deadline = time.monotonic() + 5.0
+        dumps = []
+        while time.monotonic() < deadline and not dumps:
+            dumps = glob.glob(os.path.join(flight_dir, "flight-*.jsonl"))
+            time.sleep(0.05)
+        assert len(dumps) == 1, dumps
+        lines = [json.loads(line) for line in open(dumps[0])]
+        assert lines[0]["kind"] == "dump" and lines[0]["reason"] == "http.5xx"
+        kinds = {line["kind"] for line in lines[1:]}
+        assert {"request", "trigger", "span"} <= kinds, kinds
+        assert any(l["kind"] == "trigger" and l.get("trace_id") == trace_id
+                   for l in lines[1:])
+        print(f"flight smoke OK: dump {os.path.basename(dumps[0])} "
+              f"({lines[0]['events']} events, trace {trace_id})")
 PY
 
 echo "check: OK"

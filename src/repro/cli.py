@@ -11,6 +11,7 @@ Commands
 ``dataset``     materialize a built-in benchmark dataset to CSV.
 ``bench``       run curated benchmarks against the regression ledger.
 ``serve``       run the concurrent FD-discovery HTTP service.
+``trace-export``  convert span JSONL / flight dumps to Perfetto JSON.
 """
 
 from __future__ import annotations
@@ -30,10 +31,17 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
     tracer = None
     trace_sink = None
+    perfetto_out = None
     if args.trace or args.trace_out:
-        from .obs import JsonlSink, Tracer
+        from .obs import JsonlSink, ListSink, Tracer
 
-        trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
+        if args.trace_out and args.trace_out.endswith(".perfetto.json"):
+            # Collect spans in memory and convert to the Chrome
+            # trace-event format on exit (load at ui.perfetto.dev).
+            perfetto_out = args.trace_out
+            trace_sink = ListSink()
+        elif args.trace_out:
+            trace_sink = JsonlSink(args.trace_out)
         tracer = Tracer(enabled=True, sinks=[trace_sink] if trace_sink else [])
     profiler = None
     if args.profile or args.profile_out:
@@ -65,7 +73,13 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             result = fdx.discover(relation)
     else:
         result = fdx.discover(relation)
-    if trace_sink is not None:
+    if perfetto_out is not None:
+        from .obs import write_chrome_trace
+
+        summary = write_chrome_trace(trace_sink.events, perfetto_out)
+        print(f"wrote {summary['spans']} spans to {perfetto_out} "
+              f"(open at https://ui.perfetto.dev)")
+    elif trace_sink is not None:
         trace_sink.close()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
@@ -290,7 +304,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth if args.max_queue_depth > 0 else None,
         obs_jsonl=args.obs_jsonl,
         checkpoint_dir=args.checkpoint_dir,
+        flight_dir=args.flight_dir,
+        flight_capacity=args.flight_capacity,
+        flight_debounce=args.flight_debounce,
     )
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs import load_events, write_chrome_trace
+
+    events = load_events(args.input)
+    if not events:
+        print(f"no events in {args.input}", file=sys.stderr)
+        return 2
+    out = args.out or f"{args.input}.perfetto.json"
+    summary = write_chrome_trace(events, out, trace_id=args.trace_id)
+    if summary["spans"] == 0:
+        print(
+            f"no spans matched"
+            + (f" trace {args.trace_id}" if args.trace_id else "")
+            + f" in {args.input}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"wrote {summary['trace_events']} trace events "
+          f"({summary['spans']} spans, {summary['traces']} traces) to {out}")
+    print("open at https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,7 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="print a per-stage span timing tree")
     p.add_argument("--trace-out", default=None, metavar="FILE",
-                   help="also append span events as JSONL to FILE (implies --trace)")
+                   help="also append span events as JSONL to FILE (implies "
+                        "--trace); a FILE ending in .perfetto.json is written "
+                        "as a Chrome trace-event file instead, loadable at "
+                        "ui.perfetto.dev")
     p.add_argument("--profile", action="store_true",
                    help="sample the run's wall-clock stacks and write a "
                         "collapsed-stack profile (flamegraph input)")
@@ -427,7 +470,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "checkpoints in DIR and restore them on startup, so "
                         "a restarted server keeps its sessions (statistics, "
                         "FD changelog, drift window, warm-start precision)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="write flight-recorder dumps (the in-memory ring of "
+                        "recent spans, request lines, metric deltas and "
+                        "state changes) to DIR when a trigger fires: any "
+                        "5xx, SLO budget burn, fallback-ladder engagement, "
+                        "worker crash, or drift alert; also enables span "
+                        "tracing")
+    p.add_argument("--flight-capacity", type=int, default=4096,
+                   help="flight-recorder ring size in events")
+    p.add_argument("--flight-debounce", type=float, default=30.0,
+                   help="minimum seconds between dumps for the same trigger "
+                        "reason")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace-export",
+        help="convert span JSONL (serve --obs-jsonl, discover --trace-out, "
+             "or a flight-recorder dump) to a Chrome trace-event file for "
+             "ui.perfetto.dev",
+    )
+    p.add_argument("input", help="span JSONL or flight-recorder dump")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="output path (default: <input>.perfetto.json)")
+    p.add_argument("--trace-id", default=None, metavar="ID",
+                   help="export only this trace (default: all traces, one "
+                        "Perfetto 'process' per trace)")
+    p.set_defaults(func=_cmd_trace_export)
     return parser
 
 

@@ -17,13 +17,22 @@ Three stdlib-only pieces:
   ``tracemalloc``-based per-stage peak-memory accounting;
 * :mod:`~repro.obs.bench` — the benchmark regression ledger behind
   ``python -m repro bench`` (``BENCH_<suite>.json`` trajectory,
-  median+MAD regression detector).
+  median+MAD regression detector);
+* :mod:`~repro.obs.flight` — always-on flight recorder: a bounded ring
+  of recent events (spans, requests, metric deltas, state transitions)
+  dumped atomically to disk when a trigger fires (5xx, SLO burn,
+  fallback, worker crash, drift alert);
+* :mod:`~repro.obs.export` — Chrome trace-event (Perfetto-loadable)
+  exporter for traces and flight dumps (``python -m repro
+  trace-export``).
 
 The disabled tracer is a near-free no-op, so the pipeline
 instrumentation in :meth:`repro.FDX.discover` stays within a measured
 <=5% overhead budget (``benchmarks/test_bench_obs.py``).
 """
 
+from .export import chrome_trace_events, load_events, write_chrome_trace
+from .flight import FlightEvent, FlightRecorder, read_dump
 from .profile import MemoryTracker, SamplingProfiler
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -39,6 +48,7 @@ from .sinks import (
     PROMETHEUS_CONTENT_TYPE,
     InMemorySink,
     JsonlSink,
+    ListSink,
     NullSink,
     render_prometheus,
 )
@@ -47,23 +57,29 @@ from .trace import (
     Span,
     Tracer,
     current_span,
+    current_trace_context,
     current_trace_id,
     get_tracer,
     new_trace_id,
     render_tree,
     reset_trace_id,
     set_global_tracer,
+    set_trace_context,
     set_trace_id,
+    spans_from_dicts,
 )
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "PROMETHEUS_CONTENT_TYPE",
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "ListSink",
     "MemoryTracker",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -71,16 +87,23 @@ __all__ = [
     "SamplingProfiler",
     "Span",
     "Tracer",
+    "chrome_trace_events",
     "current_span",
+    "current_trace_context",
     "current_trace_id",
     "get_registry",
     "get_tracer",
+    "load_events",
     "new_trace_id",
     "percentile",
+    "read_dump",
     "set_global_registry",
     "render_prometheus",
     "render_tree",
     "reset_trace_id",
     "set_global_tracer",
+    "set_trace_context",
     "set_trace_id",
+    "spans_from_dicts",
+    "write_chrome_trace",
 ]

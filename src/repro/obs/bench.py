@@ -305,6 +305,26 @@ def _case_service_cache_hit(smoke: bool) -> Callable[[], object]:
     return run
 
 
+def _case_flight_record(smoke: bool) -> Callable[[], object]:
+    """Cost of one flight-recorder ``record`` (lock + deque append).
+
+    The recorder is always on in the service — every request log line
+    and metric delta passes through it — so the per-event cost is a
+    micro hot path with its own ledger trajectory.
+    """
+    from .flight import FlightRecorder
+
+    n = 10_000 if smoke else 100_000
+    recorder = FlightRecorder(capacity=4096)
+
+    def run():
+        for i in range(n):
+            recorder.record("metric", name="requests_total", delta=1)
+        return recorder.stats()["events_total"]
+
+    return run
+
+
 def _case_fault_hook_disabled(smoke: bool) -> Callable[[], object]:
     """Cost of the production no-injector path of the fault hooks."""
     from ..resilience import faults
@@ -509,6 +529,7 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
         BenchCase("pair_transform", _case_pair_transform),
         BenchCase("graphical_lasso", _case_glasso),
         BenchCase("udu_factorization", _case_udu),
+        BenchCase("flight_record", _case_flight_record),
     ),
     "scalability": (
         BenchCase("discover_p05", _discover_case(1000, 5)),

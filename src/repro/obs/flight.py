@@ -1,0 +1,267 @@
+"""Flight recorder: an always-on ring buffer with trigger-driven dumps.
+
+Counters tell you *that* something went wrong; the flight recorder keeps
+the events that led up to it. A :class:`FlightRecorder` holds the most
+recent :class:`FlightEvent`\\ s — finished spans, request log lines,
+metric deltas, and state transitions (fallback engaged, load shed, drift
+alert, worker crash) — in a bounded deque. Recording is lock-cheap: one
+``deque.append`` under a lock, no I/O, no serialization.
+
+When a *trigger* fires (any 5xx, an SLO burn past threshold, the
+fallback ladder engaging, a ``WorkerCrashError``, a drift alert onset)
+the recorder dumps the whole buffer atomically (tmp file +
+``os.replace``) as JSONL into its directory, so the evidence survives
+the process. Dumps are debounced per reason and pruned to a bounded
+count; with no directory configured, triggers still land in the buffer
+(visible via ``GET /v1/debug/flight``) but nothing touches disk.
+
+The recorder is sink-compatible (``emit(event)``), so it can ride the
+same fan-out as JSONL sinks: every finished span and request log line
+lands in the ring for free. It never increments registry counters
+itself — its own tallies are plain ints published as gauges at scrape
+time — so wiring it as the registry's metric-delta observer cannot
+recurse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable
+
+__all__ = ["FlightEvent", "FlightRecorder", "read_dump"]
+
+
+class FlightEvent:
+    """One typed entry in the flight ring.
+
+    ``kind`` is the event family (``span``, ``request``, ``metric``,
+    ``state``, ``trigger``); ``data`` carries the family-specific
+    payload. ``seq`` is a monotonically increasing sequence number so
+    dumps can be ordered and gaps (dropped events) detected.
+    """
+
+    __slots__ = ("kind", "ts", "seq", "trace_id", "data")
+
+    def __init__(
+        self,
+        kind: str,
+        ts: float,
+        seq: int,
+        trace_id: str | None = None,
+        data: dict | None = None,
+    ) -> None:
+        self.kind = kind
+        self.ts = ts
+        self.seq = seq
+        self.trace_id = trace_id
+        self.data = data or {}
+
+    def to_dict(self) -> dict:
+        event: dict[str, Any] = {"kind": self.kind, "ts": self.ts, "seq": self.seq}
+        if self.trace_id is not None:
+            event["trace_id"] = self.trace_id
+        if self.data:
+            event["data"] = self.data
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FlightEvent({self.kind!r}, seq={self.seq}, trace={self.trace_id})"
+
+
+#: Sink event ``type`` values adapted by :meth:`FlightRecorder.emit`.
+_SINK_KINDS = {"span", "request", "job", "metric", "state", "trigger"}
+
+
+class FlightRecorder:
+    """Bounded in-memory event ring with atomic trigger-driven dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest events are dropped (and counted) once the
+        buffer is full.
+    directory:
+        Where dumps are written. ``None`` disables dumping (the ring and
+        snapshots still work).
+    max_dumps:
+        Keep at most this many dump files; older ones are pruned.
+    debounce_seconds:
+        Minimum spacing between two dumps for the *same* reason, so an
+        error storm produces one dump with the storm in it, not a dump
+        per error.
+    clock:
+        Injectable wall clock (tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        directory: str | None = None,
+        max_dumps: int = 32,
+        debounce_seconds: float = 30.0,
+        clock=time.time,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.directory = directory
+        self.max_dumps = int(max_dumps)
+        self.debounce_seconds = float(debounce_seconds)
+        self._clock = clock
+        self._ring: deque[FlightEvent] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.events_total = 0
+        self.dropped_total = 0
+        self.dumps_total = 0
+        self.dumps_by_reason: dict[str, int] = {}
+        self._last_dump_at: dict[str, float] = {}
+        self.last_dump: dict | None = None  # {path, reason, ts, events}
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self, kind: str, /, trace_id: str | None = None, **data: Any
+    ) -> FlightEvent:
+        """Append one event to the ring. Cheap: no I/O, no serialization.
+
+        ``kind`` is positional-only so a payload field named ``kind``
+        (e.g. a job's kind) lands in ``data`` instead of colliding.
+        """
+        ts = self._clock()
+        with self._lock:
+            self._seq += 1
+            event = FlightEvent(kind, ts, self._seq, trace_id=trace_id, data=data)
+            if len(self._ring) == self.capacity:
+                self.dropped_total += 1
+            self._ring.append(event)
+            self.events_total += 1
+        return event
+
+    def emit(self, event: dict) -> None:
+        """Sink protocol: adapt a span/request/job event into the ring."""
+        kind = event.get("type")
+        if kind not in _SINK_KINDS:
+            kind = "state"
+        data = {k: v for k, v in event.items() if k not in ("type", "trace_id")}
+        self.record(kind, trace_id=event.get("trace_id"), **data)
+
+    def metric_delta(self, name: str, labels: tuple, delta: float) -> None:
+        """Registry delta-observer hook: one event per counter increment."""
+        self.record("metric", name=name, labels=dict(labels), delta=delta)
+
+    def close(self) -> None:
+        """Sink protocol; the recorder holds no OS resources between dumps."""
+
+    # -- triggers and dumps -------------------------------------------------
+
+    def trigger(
+        self, reason: str, trace_id: str | None = None, **data: Any
+    ) -> str | None:
+        """Record a trigger event, then dump the buffer (debounced).
+
+        Returns the dump path, or ``None`` when no directory is
+        configured or the reason is inside its debounce window.
+        """
+        self.record("trigger", trace_id=trace_id, reason=reason, **data)
+        return self.dump(reason)
+
+    def dump(self, reason: str) -> str | None:
+        """Atomically write the current buffer as JSONL; prune old dumps."""
+        if self.directory is None:
+            return None
+        now = self._clock()
+        with self._lock:
+            last = self._last_dump_at.get(reason)
+            if last is not None and now - last < self.debounce_seconds:
+                return None
+            self._last_dump_at[reason] = now
+            events = [event.to_dict() for event in self._ring]
+            self.dumps_total += 1
+            self.dumps_by_reason[reason] = self.dumps_by_reason.get(reason, 0) + 1
+            seq = self.dumps_total
+        os.makedirs(self.directory, exist_ok=True)
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
+        safe_reason = "".join(c if c.isalnum() or c in "-_" else "_" for c in reason)
+        name = f"flight-{stamp}-{seq:04d}-{safe_reason}.jsonl"
+        path = os.path.join(self.directory, name)
+        tmp = path + ".tmp"
+        header = {
+            "kind": "dump",
+            "ts": now,
+            "reason": reason,
+            "events": len(events),
+            "pid": os.getpid(),
+        }
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+            for event in events:
+                fh.write(json.dumps(event, default=str, separators=(",", ":")) + "\n")
+        os.replace(tmp, path)
+        with self._lock:
+            self.last_dump = {
+                "path": path,
+                "reason": reason,
+                "ts": now,
+                "events": len(events),
+            }
+        self._prune_dumps()
+        return path
+
+    def _prune_dumps(self) -> None:
+        try:
+            dumps = sorted(
+                name
+                for name in os.listdir(self.directory)
+                if name.startswith("flight-") and name.endswith(".jsonl")
+            )
+            excess = len(dumps) - self.max_dumps
+            for name in dumps[:max(0, excess)]:
+                os.remove(os.path.join(self.directory, name))
+        except OSError:  # pragma: no cover - pruning must not break dumping
+            pass
+
+    # -- introspection ------------------------------------------------------
+
+    def events(self, limit: int | None = None) -> list[dict]:
+        """The most recent ``limit`` events (all, when ``None``), oldest first."""
+        with self._lock:
+            events = list(self._ring)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return [event.to_dict() for event in events]
+
+    def stats(self) -> dict:
+        """Buffer fill, drop/dump tallies, and last-dump provenance."""
+        now = self._clock()
+        with self._lock:
+            last = dict(self.last_dump) if self.last_dump else None
+            if last is not None:
+                last["age_seconds"] = max(0.0, now - last["ts"])
+            return {
+                "capacity": self.capacity,
+                "buffer_fill": len(self._ring),
+                "events_total": self.events_total,
+                "dropped_total": self.dropped_total,
+                "dumps_total": self.dumps_total,
+                "dumps_by_reason": dict(self.dumps_by_reason),
+                "directory": self.directory,
+                "last_dump": last,
+            }
+
+    def snapshot(self, limit: int | None = None) -> dict:
+        """Stats plus the buffered events — the ``/v1/debug/flight`` body."""
+        return {"stats": self.stats(), "events": self.events(limit)}
+
+
+def read_dump(path: str) -> list[dict]:
+    """Parse one flight dump (or any obs JSONL file) into event dicts."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

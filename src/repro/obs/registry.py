@@ -56,22 +56,36 @@ def _labels_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]
 
 
 class Counter:
-    """Monotonically non-decreasing count."""
+    """Monotonically non-decreasing count.
+
+    ``_observer`` (set via :meth:`MetricsRegistry.set_delta_observer`)
+    is called as ``observer(name, labels, by)`` after each increment,
+    outside the counter's lock — this is how the flight recorder sees
+    metric deltas as events. The observer must not raise and must not
+    increment counters on the same registry (it would recurse).
+    """
 
     kind = "counter"
-    __slots__ = ("name", "labels", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock", "_observer")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
         self._lock = threading.Lock()
+        self._observer = None
 
     def inc(self, by: float = 1.0) -> None:
         if by < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (by={by})")
         with self._lock:
             self._value += by
+        observer = self._observer
+        if observer is not None:
+            try:
+                observer(self.name, self.labels, by)
+            except Exception:  # observers must never break the counted work
+                pass
 
     @property
     def value(self) -> float:
@@ -222,6 +236,21 @@ class MetricsRegistry:
         self._kinds: dict[str, str] = {}
         self._help: dict[str, str] = {}
         self._lock = threading.Lock()
+        self._delta_observer = None
+
+    def set_delta_observer(self, observer) -> None:
+        """Observe counter increments: ``observer(name, labels, by)``.
+
+        Applied to existing and future counters. Pass ``None`` to
+        detach. The observer runs on the incrementing thread and must
+        be cheap; the flight recorder's ``metric_delta`` is the
+        intended consumer.
+        """
+        with self._lock:
+            self._delta_observer = observer
+            for metric in self._metrics.values():
+                if isinstance(metric, Counter):
+                    metric._observer = observer
 
     def _get_or_create(self, cls, name: str, labels, help: str | None, **kwargs):
         key = (name, _labels_key(labels))
@@ -234,6 +263,8 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as a {declared}"
                     )
                 metric = cls(name, key[1], **kwargs)
+                if cls is Counter:
+                    metric._observer = self._delta_observer
                 self._metrics[key] = metric
                 self._kinds[name] = cls.kind
                 if help:

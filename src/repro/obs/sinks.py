@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 import threading
 from collections import deque
@@ -40,6 +41,26 @@ class NullSink:
 
     def emit(self, event: dict) -> None:
         pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink:
+    """Unsynchronized list-backed sink.
+
+    The cheapest possible capture: used inside worker processes to
+    buffer span events for shipment back to the parent (single-threaded
+    there, so no lock is needed; ``list.append`` is atomic anyway).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list | None = None) -> None:
+        self.events: list[dict] = events if events is not None else []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
 
     def close(self) -> None:
         pass
@@ -71,18 +92,43 @@ class InMemorySink:
 
 
 class JsonlSink:
-    """Append-only JSONL event log.
+    """Append-only JSONL event log with optional size-based rotation.
 
     Each ``emit`` serializes the event *outside* the lock, then performs
     a single locked ``write`` + ``flush`` of the complete line, so
     concurrent writers (request handler threads, job workers) can never
     interleave partial lines — every line in the file parses as one JSON
     object.
+
+    With ``max_bytes`` set, the file is rotated (``path`` →
+    ``path.1`` → … → ``path.N``, oldest dropped) before a write would
+    push it past the limit, so a long-lived ``serve --obs-jsonl``
+    process cannot fill the disk. Each rotation bumps
+    ``rotations_total`` and, when a ``registry`` is wired, the
+    ``obs_jsonl_rotations_total`` counter.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int | None = None,
+        backups: int = 3,
+        registry=None,
+    ) -> None:
         self.path = path
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        self.backups = max(1, int(backups))
+        self.rotations_total = 0
+        self._counter = (
+            registry.counter(
+                "obs_jsonl_rotations_total",
+                help="Size-based rotations of the obs JSONL event log",
+            )
+            if registry is not None
+            else None
+        )
         self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
         self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
@@ -90,8 +136,29 @@ class JsonlSink:
         with self._lock:
             if self._fh is None:
                 return
+            if (
+                self.max_bytes is not None
+                and self._size > 0
+                and self._size + len(line) > self.max_bytes
+            ):
+                self._rotate_locked()
             self._fh.write(line)
+            self._size += len(line)
             self._fh.flush()
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path.(N-1)`` → ``path.N`` … ``path`` → ``path.1``."""
+        self._fh.close()
+        for index in range(self.backups - 1, 0, -1):
+            src = f"{self.path}.{index}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations_total += 1
+        if self._counter is not None:
+            self._counter.inc()
 
     def close(self) -> None:
         with self._lock:

@@ -41,6 +41,13 @@ _CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
 _CURRENT_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
     "repro_obs_trace_id", default=None
 )
+#: Contextvar holding an externally imposed parent span id. Set alongside
+#: the trace id inside worker processes so the first span opened there
+#: links back to the submitting span in the parent process, stitching one
+#: trace across the process boundary.
+_CURRENT_PARENT_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_parent_id", default=None
+)
 
 
 def new_trace_id() -> str:
@@ -68,6 +75,32 @@ def set_trace_id(trace_id: str | None) -> contextvars.Token:
 
 def reset_trace_id(token: contextvars.Token) -> None:
     _CURRENT_TRACE_ID.reset(token)
+
+
+def set_trace_context(trace_id: str | None, parent_span_id: str | None = None) -> None:
+    """Impose a remote trace context on this context.
+
+    Used inside worker processes: the parent ships ``(trace_id,
+    parent_span_id)`` with the task, the child installs it here, and the
+    next root span opened in the child joins the parent's trace with a
+    correct parent link. Also clears any forked-over current span so the
+    child cannot silently mutate a copied parent-process ``Span``.
+    """
+    _CURRENT_SPAN.set(None)
+    _CURRENT_TRACE_ID.set(trace_id)
+    _CURRENT_PARENT_ID.set(parent_span_id)
+
+
+def current_trace_context() -> tuple[str | None, str | None]:
+    """``(trace_id, span_id)`` to ship across a process boundary.
+
+    The span id is the innermost open span's (so the remote child links
+    to it), falling back to any imposed parent id.
+    """
+    span = _CURRENT_SPAN.get()
+    if span is not None:
+        return span.trace_id, span.span_id
+    return _CURRENT_TRACE_ID.get(), _CURRENT_PARENT_ID.get()
 
 
 class Span:
@@ -126,6 +159,24 @@ class Span:
             "duration_seconds": self.duration_seconds,
             "attributes": dict(self.attributes),
         }
+
+    @classmethod
+    def from_dict(cls, event: dict) -> "Span":
+        """Rebuild a finished span from its ``to_dict`` event.
+
+        Used to re-attach span buffers shipped back from worker
+        processes; ids and timings are preserved verbatim.
+        """
+        span = cls(
+            event["name"],
+            event["trace_id"],
+            parent_id=event.get("parent_id"),
+            attributes=event.get("attributes"),
+        )
+        span.span_id = event["span_id"]
+        span.started_at = float(event.get("started_at", 0.0))
+        span.duration_seconds = float(event.get("duration_seconds", 0.0))
+        return span
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -190,7 +241,7 @@ class _SpanContext:
             parent_id = parent.span_id
         else:
             trace_id = _CURRENT_TRACE_ID.get() or new_trace_id()
-            parent_id = None
+            parent_id = _CURRENT_PARENT_ID.get()
         span = Span(self._name, trace_id, parent_id=parent_id, attributes=self._attributes)
         if parent is not None:
             parent.children.append(span)
@@ -264,11 +315,61 @@ class Tracer:
         if span.parent_id is None:
             with self._lock:
                 self.roots.append(span)
+        self._emit(span.to_dict())
+
+    def _emit(self, event: dict) -> None:
         for sink in self.sinks:
             try:
-                sink.emit(span.to_dict())
+                sink.emit(event)
             except Exception:  # pragma: no cover - sinks must not break work
                 pass
+
+    def adopt(self, events: list[dict] | None) -> list[Span]:
+        """Re-attach span events shipped back from a worker process.
+
+        ``events`` are ``Span.to_dict`` payloads captured in the child.
+        They are rebuilt into a forest (linking children whose parent is
+        also in the shipment), grafted onto the innermost open span when
+        their parent id matches it, and re-emitted to this tracer's
+        sinks so one trace covers both sides of the process boundary.
+        Returns the shipment's root spans.
+        """
+        if not self.enabled or not events:
+            return []
+        roots = spans_from_dicts(events)
+        parent = _CURRENT_SPAN.get()
+        if parent is not None:
+            for root in roots:
+                if root.parent_id == parent.span_id:
+                    parent.children.append(root)
+        for event in events:
+            self._emit(event)
+        return roots
+
+
+def spans_from_dicts(events: list[dict]) -> list[Span]:
+    """Rebuild a span forest from flat ``to_dict`` events.
+
+    Children whose ``parent_id`` names another span in ``events`` are
+    attached to it; everything else is returned as a root (its
+    ``parent_id`` may still point at a span in another process).
+    """
+    spans: list[Span] = []
+    by_id: dict[str, Span] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        span = Span.from_dict(event)
+        spans.append(span)
+        by_id[span.span_id] = span
+    roots: list[Span] = []
+    for span in spans:
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None and parent is not span:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots
 
 
 #: Module-global tracer; disabled by default so library use is free.

@@ -31,14 +31,22 @@ Shared semantics across backends:
   ``parallel.worker_crash`` fault injection point) surfaces as a typed
   :class:`repro.errors.WorkerCrashError`, never a hang, and the pool is
   rebuilt for the next call.
-* **observability** — every map emits a ``parallel.map`` span and
-  records ``parallel_tasks_total`` / ``parallel_worker_seconds``
-  (per-task, worker-measured) into the wired
-  :class:`~repro.obs.MetricsRegistry`.
+* **observability** — every map emits a ``parallel.map`` span with one
+  ``parallel.task`` child per item on every backend, and records
+  ``parallel_tasks_total`` / ``parallel_worker_seconds`` (per-task,
+  worker-measured) into the wired
+  :class:`~repro.obs.MetricsRegistry`. Traces are stitched across the
+  process boundary: process tasks carry a ``(trace_id, parent span
+  id)`` envelope, the child re-installs it (and an enabled local
+  tracer) via :func:`~repro.obs.trace.set_trace_context`, and the
+  worker-side span buffer ships back with the result to be re-attached
+  under the parent's ``parallel.map`` span — one trace covers both
+  sides.
 """
 
 from __future__ import annotations
 
+import contextvars
 import multiprocessing
 import os
 import time
@@ -49,7 +57,14 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import TaskTimeoutError, WorkerCrashError
 from ..obs.registry import MetricsRegistry, get_registry
-from ..obs.trace import Tracer, get_tracer
+from ..obs.sinks import ListSink
+from ..obs.trace import (
+    Tracer,
+    current_trace_context,
+    get_tracer,
+    set_global_tracer,
+    set_trace_context,
+)
 from ..resilience import faults
 from ..resilience.cancel import CancelledError, CancelToken, current_cancel_token
 
@@ -112,16 +127,54 @@ def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, float]:
     return result, time.perf_counter() - t0
 
 
-def _process_task(fn: Callable[[Any], Any], item: Any) -> tuple[Any, float]:
-    """Worker-process task shim: crash injection point + timing.
+def _lane_task(
+    tracer: Tracer, fn: Callable[[Any], Any], item: Any, index: int
+) -> tuple[Any, float]:
+    """In-process task shim: one ``parallel.task`` span per item.
+
+    For the thread backend this runs under a per-task
+    ``contextvars.copy_context()``, so the span attaches to the
+    submitting ``parallel.map`` span even though it closes on a pool
+    thread.
+    """
+    with tracer.span("parallel.task", index=index):
+        return _timed_call(fn, item)
+
+
+def _process_task(
+    fn: Callable[[Any], Any],
+    item: Any,
+    trace_ctx: tuple[str | None, str | None, int] | None = None,
+) -> tuple[Any, float, list[dict] | None]:
+    """Worker-process task shim: crash injection, timing, trace stitching.
 
     ``parallel.worker_crash`` hard-kills the worker (``os._exit``), so
     the parent genuinely observes a dead process — the chaos suite's
     stand-in for OOM kills and segfaults.
+
+    ``trace_ctx`` is the parent's ``(trace_id, parent_span_id, index)``
+    envelope. When present, the child installs the remote trace context
+    and an enabled local tracer, opens a ``parallel.task`` span linked
+    to the parent's map span, and ships the buffered span events back
+    as the third element of the result tuple.
     """
     if faults.fires("parallel.worker_crash"):
         os._exit(3)
-    return _timed_call(fn, item)
+    if trace_ctx is None:
+        result, seconds = _timed_call(fn, item)
+        return result, seconds, None
+    trace_id, parent_id, index = trace_ctx
+    buffer = ListSink()
+    tracer = Tracer(enabled=True, sinks=[buffer])
+    previous = set_global_tracer(tracer)
+    set_trace_context(trace_id, parent_id)
+    try:
+        with tracer.span("parallel.task", index=index, worker_pid=os.getpid()):
+            result, seconds = _timed_call(fn, item)
+    finally:
+        set_global_tracer(previous)
+        set_trace_context(None, None)
+    return result, seconds, buffer.events
 
 
 class Executor:
@@ -229,7 +282,7 @@ class Executor:
     ) -> list[tuple[Any, float]]:
         deadline = None if timeout is None else time.monotonic() + timeout
         out: list[tuple[Any, float]] = []
-        for item in items:
+        for index, item in enumerate(items):
             if token is not None:
                 token.raise_if_cancelled()
             if deadline is not None and time.monotonic() > deadline:
@@ -237,7 +290,7 @@ class Executor:
                     f"serial map exceeded its {timeout:.3f}s budget "
                     f"after {len(out)}/{len(items)} tasks"
                 )
-            out.append(_timed_call(fn, item))
+            out.append(_lane_task(self.tracer, fn, item, index))
         return out
 
 
@@ -253,15 +306,19 @@ class SerialExecutor(Executor):
 class _PoolExecutor(Executor):
     """Shared future-wait loop for the thread and process backends."""
 
-    def _submit(self, fn, item) -> Future:
+    def _submit(self, fn, item, index) -> Future:
         raise NotImplementedError
 
     def _abort(self) -> None:
         """Tear down the pool after a crash/timeout/cancel."""
 
+    def _finalize(self, timed):
+        """Post-process completed task tuples into ``(result, seconds)``."""
+        return timed
+
     def _map_timed(self, fn, items, timeout, token):
         deadline = None if timeout is None else time.monotonic() + timeout
-        futures = [self._submit(fn, item) for item in items]
+        futures = [self._submit(fn, item, index) for index, item in enumerate(items)]
         out: list[tuple[Any, float]] = []
         try:
             for future in futures:
@@ -291,7 +348,7 @@ class _PoolExecutor(Executor):
                 future.cancel()
             self._abort()
             raise
-        return out
+        return self._finalize(out)
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -303,12 +360,16 @@ class ThreadExecutor(_PoolExecutor):
         super().__init__(workers=workers, registry=registry, tracer=tracer)
         self._pool: ThreadPoolExecutor | None = None
 
-    def _submit(self, fn, item) -> Future:
+    def _submit(self, fn, item, index) -> Future:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-par"
             )
-        return self._pool.submit(_timed_call, fn, item)
+        # A fresh context copy per task: the worker thread sees the
+        # submitting context (current span, trace id, cancel token), so
+        # its parallel.task span nests under the parallel.map span.
+        ctx = contextvars.copy_context()
+        return self._pool.submit(ctx.run, _lane_task, self.tracer, fn, item, index)
 
     def _abort(self) -> None:
         # Threads cannot be killed; drop queued work, keep the pool.
@@ -340,13 +401,25 @@ class ProcessExecutor(_PoolExecutor):
         self.start_method = start_method or preferred_start_method()
         self._pool: ProcessPoolExecutor | None = None
 
-    def _submit(self, fn, item) -> Future:
+    def _submit(self, fn, item, index) -> Future:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context(self.start_method),
             )
-        return self._pool.submit(_process_task, fn, item)
+        trace_ctx = None
+        if self.tracer.enabled:
+            trace_id, parent_id = current_trace_context()
+            trace_ctx = (trace_id, parent_id, index)
+        return self._pool.submit(_process_task, fn, item, trace_ctx)
+
+    def _finalize(self, timed):
+        pairs: list[tuple[Any, float]] = []
+        for result, seconds, spans in timed:
+            if spans:
+                self.tracer.adopt(spans)
+            pairs.append((result, seconds))
+        return pairs
 
     def _abort(self) -> None:
         if self._pool is not None:

@@ -41,6 +41,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import RemoteTaskError, TaskTimeoutError, WorkerCrashError
 from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.sinks import ListSink
+from ..obs.trace import (
+    Tracer,
+    current_trace_context,
+    set_global_tracer,
+    set_trace_context,
+)
 from ..resilience import faults
 from ..resilience.cancel import CancelledError, CancelToken, set_current_cancel_token
 from .executor import POLL_INTERVAL, preferred_start_method
@@ -64,8 +71,17 @@ def _watch_for_cancel(conn: multiprocessing.connection.Connection,
 
 def _child_main(fn: Callable[..., Any], args: tuple, kwargs: dict,
                 cmd_recv: multiprocessing.connection.Connection,
-                result_send: multiprocessing.connection.Connection) -> None:
-    """Entry point of the worker process."""
+                result_send: multiprocessing.connection.Connection,
+                trace_ctx: tuple[str | None, str | None] | None = None) -> None:
+    """Entry point of the worker process.
+
+    With a ``trace_ctx`` (the parent's ``(trace_id, parent_span_id)``),
+    the child installs the remote trace context and an enabled global
+    tracer — so ``fn``'s own instrumentation (e.g. the FDX pipeline
+    picking up :func:`~repro.obs.trace.get_tracer`) is captured — opens
+    a ``worker.job`` span linked to the submitting span, and ships the
+    buffered span events back alongside the result (or exception).
+    """
     if faults.fires("parallel.worker_crash"):
         os._exit(3)  # simulate an abrupt death (OOM kill / segfault)
     token = CancelToken()
@@ -75,11 +91,22 @@ def _child_main(fn: Callable[..., Any], args: tuple, kwargs: dict,
         name="repro-cancel-watch", daemon=True,
     )
     watcher.start()
+    buffer = ListSink()
+    span_cm = None
+    if trace_ctx is not None:
+        tracer = Tracer(enabled=True, sinks=[buffer])
+        set_global_tracer(tracer)
+        set_trace_context(trace_ctx[0], trace_ctx[1])
+        span_cm = tracer.span("worker.job", worker_pid=os.getpid())
     try:
-        result = fn(*args, **kwargs)
-        payload = ("ok", result)
+        if span_cm is not None:
+            with span_cm:
+                result = fn(*args, **kwargs)
+        else:
+            result = fn(*args, **kwargs)
+        payload = ("ok", result, buffer.events)
     except BaseException as exc:  # noqa: BLE001 - everything must be reported
-        payload = ("exc", exc)
+        payload = ("exc", exc, buffer.events)
     try:
         result_send.send(payload)
     except Exception as exc:
@@ -120,6 +147,7 @@ def run_in_process(
     timeout: float | None = None,
     grace: float = DEFAULT_GRACE,
     registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> Any:
     """Execute ``fn(*args, **kwargs)`` in a child process and return its result.
 
@@ -128,14 +156,23 @@ def run_in_process(
     ~50 ms. ``fn``/``args``/``kwargs`` and the return value must be
     picklable (module-level functions; ship bulk data through
     :mod:`repro.parallel.shared`).
+
+    With an enabled ``tracer``, the current trace context travels to the
+    child and its span buffer is re-adopted here, so the job's trace is
+    stitched across the process boundary.
     """
     registry = registry if registry is not None else get_registry()
+    trace_ctx = None
+    if tracer is not None and tracer.enabled:
+        trace_id, parent_id = current_trace_context()
+        trace_ctx = (trace_id, parent_id)
     ctx = multiprocessing.get_context(preferred_start_method())
     cmd_recv, cmd_send = ctx.Pipe(duplex=False)      # parent -> child
     result_recv, result_send = ctx.Pipe(duplex=False)  # child -> parent
     proc = ctx.Process(
         target=_child_main,
-        args=(fn, tuple(args), dict(kwargs or {}), cmd_recv, result_send),
+        args=(fn, tuple(args), dict(kwargs or {}), cmd_recv, result_send,
+              trace_ctx),
         name="repro-job-worker",
         daemon=True,
     )
@@ -200,6 +237,8 @@ def run_in_process(
         ).observe(time.perf_counter() - started)
 
     kind = message[0]
+    if kind in ("ok", "exc") and tracer is not None and len(message) >= 3:
+        tracer.adopt(message[2])
     if kind == "ok":
         return message[1]
     if kind == "exc":

@@ -45,7 +45,14 @@ from dataclasses import dataclass, field
 
 from ..errors import ReproError
 
-__all__ = ["FaultInjector", "InjectedFault", "active_injector", "fires", "maybe_raise"]
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "active_injector",
+    "fires",
+    "maybe_raise",
+    "set_fault_observer",
+]
 
 
 class InjectedFault(ReproError):
@@ -142,6 +149,18 @@ class FaultInjector:
 
 _INSTALLED: FaultInjector | None = None
 _INSTALL_LOCK = threading.Lock()
+#: Optional observer called as ``observer(point)`` each time a fault
+#: actually fires — the service points the flight recorder here so chaos
+#: events show up in dumps. Must not raise (errors are swallowed).
+_OBSERVER = None
+
+
+def set_fault_observer(observer):
+    """Install a fired-fault observer; returns the previous one."""
+    global _OBSERVER
+    previous = _OBSERVER
+    _OBSERVER = observer
+    return previous
 
 
 def active_injector() -> FaultInjector | None:
@@ -154,7 +173,13 @@ def fires(point: str) -> bool:
     injector = _INSTALLED
     if injector is None:
         return False
-    return injector.fires(point)
+    fired = injector.fires(point)
+    if fired and _OBSERVER is not None:
+        try:
+            _OBSERVER(point)
+        except Exception:
+            pass
+    return fired
 
 
 def maybe_raise(point: str, message: str | None = None) -> None:

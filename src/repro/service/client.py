@@ -53,7 +53,9 @@ class ServiceError(RuntimeError):
     healthy worker or after the backlog drains); False for 4xx protocol
     or validation errors, which will fail identically every time.
     ``retry_after`` carries the server-mandated pacing (seconds) when a
-    429/503 supplied one.
+    429/503 supplied one. ``trace_id`` carries the server's
+    ``X-Trace-Id`` for the failing request, when one answered — quote it
+    when filing a report; it names the matching flight-recorder dump.
     """
 
     def __init__(
@@ -62,11 +64,13 @@ class ServiceError(RuntimeError):
         status: int | None = None,
         retryable: bool = False,
         retry_after: float | None = None,
+        trace_id: str | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.retryable = retryable
         self.retry_after = retry_after
+        self.trace_id = trace_id
 
 
 class ServiceUnavailableError(ServiceError):
@@ -153,6 +157,11 @@ class ServiceClient:
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = json.loads(response.read() or b"{}")
+                trace_id = response.headers.get("X-Trace-Id")
+                if trace_id and isinstance(payload, dict):
+                    # Surface the correlation id alongside the result so
+                    # callers can line client logs up with server traces.
+                    payload.setdefault("trace_id", trace_id)
         except urllib.error.HTTPError as exc:
             raise self._error_from_http(exc) from exc
         except _TRANSPORT_ERRORS as exc:
@@ -173,18 +182,23 @@ class ServiceClient:
     def _error_from_http(exc: urllib.error.HTTPError) -> ServiceError:
         """Typed error from an HTTP error response (status + payload)."""
         retry_after: float | None = None
-        header = exc.headers.get("Retry-After") if exc.headers else None
-        if header is not None:
-            try:
-                retry_after = float(header)
-            except ValueError:
-                pass
+        trace_id: str | None = None
+        if exc.headers:
+            trace_id = exc.headers.get("X-Trace-Id")
+            header = exc.headers.get("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
         try:
             detail = json.loads(exc.read() or b"{}")
             error = detail.get("error", {})
             message = error.get("message", str(exc))
             if retry_after is None:
                 retry_after = error.get("retry_after_seconds")
+            if trace_id is None:
+                trace_id = error.get("trace_id")
         except (json.JSONDecodeError, AttributeError, OSError):
             message = str(exc)
         return ServiceError(
@@ -192,6 +206,7 @@ class ServiceClient:
             status=exc.code,
             retryable=_retryable_status(exc.code),
             retry_after=retry_after,
+            trace_id=trace_id,
         )
 
     # -- discovery ---------------------------------------------------------

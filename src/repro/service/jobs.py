@@ -38,6 +38,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
 from ..errors import ReproError
+from ..obs.trace import current_trace_id
 from ..parallel.worker import run_in_process
 from ..resilience import faults
 from ..resilience.cancel import CancelToken, current_cancel_token, set_current_cancel_token
@@ -223,6 +224,7 @@ class JobManager:
         registry=None,
         executor: str = "thread",
         process_grace: float = 2.0,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -247,6 +249,13 @@ class JobManager:
         # Optional repro.obs.MetricsRegistry: when present, queue latency
         # is observed as the jobs_queue_seconds histogram at job start.
         self.registry = registry
+        # Optional repro.obs.Tracer: in process mode the current trace
+        # context travels into the worker child and its span buffer is
+        # re-adopted, stitching one trace across the process boundary.
+        self.tracer = tracer
+        #: Optional callable receiving job lifecycle event dicts (e.g.
+        #: ``job.failed``); the service points the flight recorder here.
+        self.event_hook = None
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -322,6 +331,21 @@ class JobManager:
             result = fn()
         except BaseException as exc:  # worker thread: report, never raise
             job._fail(exc)
+            hook = self.event_hook
+            if hook is not None:
+                try:
+                    hook(
+                        {
+                            "event": "job.failed",
+                            "job_id": job.id,
+                            "kind": job.kind,
+                            "error_type": type(exc).__name__,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "trace_id": current_trace_id(),
+                        }
+                    )
+                except Exception:
+                    pass
         else:
             job._complete(result)
             elapsed = time.monotonic() - started
@@ -355,6 +379,7 @@ class JobManager:
                 timeout=timeout,
                 grace=self.process_grace,
                 registry=self.registry,
+                tracer=self.tracer,
             )
         return fn(*args, **(kwargs or {}))
 

@@ -175,10 +175,22 @@ def envelope(payload: dict) -> dict:
     return {"protocol_version": PROTOCOL_VERSION, **payload}
 
 
-def error_payload(message: str, status: int, retry_after: float | None = None) -> dict:
+def error_payload(
+    message: str,
+    status: int,
+    retry_after: float | None = None,
+    trace_id: str | None = None,
+) -> dict:
     """Error body; ``retry_after`` (seconds) rides along on 429/503 so
-    clients can pace their backoff even when they cannot read headers."""
+    clients can pace their backoff even when they cannot read headers.
+
+    ``trace_id`` correlates the failure with server-side spans and
+    flight-recorder dumps; when omitted here, the HTTP handler injects
+    the request's trace id before serializing the reply.
+    """
     error: dict = {"message": message, "status": status}
     if retry_after is not None:
         error["retry_after_seconds"] = retry_after
+    if trace_id is not None:
+        error["trace_id"] = trace_id
     return envelope({"error": error})

@@ -38,6 +38,9 @@ Endpoints (all JSON, all prefixed ``/v1``):
                          session stats, last error, per-endpoint SLO burn
                          rates; answers 503 when degraded
 ``GET  /v1/metrics``     counters, cache hit rate, queue depth, latency
+``GET  /v1/debug/flight`` flight-recorder ring snapshot (recent spans,
+                         request lines, metric deltas, state changes);
+                         ``?limit=N`` caps the event count
 =======================  ====================================================
 
 Every request is also measured against a per-endpoint latency SLO
@@ -58,9 +61,16 @@ from typing import Any
 from .. import __version__
 from ..core.fdx import FDX, validate_relation
 from ..errors import InputValidationError
+from ..obs.flight import FlightRecorder
 from ..obs.registry import MetricsRegistry
 from ..obs.sinks import PROMETHEUS_CONTENT_TYPE, JsonlSink, render_prometheus
-from ..obs.trace import Tracer, new_trace_id, reset_trace_id, set_trace_id
+from ..obs.trace import (
+    Tracer,
+    current_trace_id,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+)
 from ..resilience import faults
 from .cache import ResultCache, dataset_fingerprint
 from .jobs import DONE, Job, JobManager, QueueFullError
@@ -119,20 +129,46 @@ class DiscoveryService:
         session_ttl: float = 1800.0,
         max_queue_depth: int | None = 64,
         obs_jsonl: str | None = None,
+        obs_jsonl_max_bytes: int | None = 64 * 1024 * 1024,
         tracer: Tracer | None = None,
         executor: str = "thread",
         checkpoint_dir: str | None = None,
+        flight_dir: str | None = None,
+        flight_capacity: int = 4096,
+        flight_debounce: float = 30.0,
     ) -> None:
         self.registry = MetricsRegistry()
         self.metrics = Metrics(registry=self.registry)
-        self._obs_sink = JsonlSink(obs_jsonl) if obs_jsonl else None
+        self._obs_sink = (
+            JsonlSink(obs_jsonl, max_bytes=obs_jsonl_max_bytes, registry=self.registry)
+            if obs_jsonl else None
+        )
+        # The flight recorder is always on: an in-memory ring of recent
+        # spans/requests/metric deltas/state changes, dumped to
+        # ``flight_dir`` when a trigger (5xx, SLO burn, fallback, worker
+        # crash, drift alert) fires. Without a directory it still powers
+        # GET /v1/debug/flight.
+        self.flight = FlightRecorder(
+            capacity=flight_capacity,
+            directory=flight_dir,
+            debounce_seconds=flight_debounce,
+        )
+        self.registry.set_delta_observer(self.flight.metric_delta)
         if tracer is not None:
             self.tracer = tracer
         else:
-            sinks = [self._obs_sink] if self._obs_sink is not None else []
-            # Span tracing is on whenever an event log is configured;
-            # otherwise the tracer stays a near-free no-op.
-            self.tracer = Tracer(enabled=bool(sinks), sinks=sinks)
+            sinks: list = [self._obs_sink] if self._obs_sink is not None else []
+            sinks.append(self.flight)
+            # Span tracing is on whenever an event log or flight dump
+            # directory is configured; otherwise the tracer stays a
+            # near-free no-op (the ring still gets request/metric/state
+            # events, which cost nothing per span).
+            self.tracer = Tracer(
+                enabled=bool(obs_jsonl or flight_dir), sinks=sinks
+            )
+        self._previous_fault_observer = faults.set_fault_observer(
+            self._on_fault_fired
+        )
         self.slo = SloTracker(self.registry)
         self._last_error: dict | None = None
         self._error_lock = threading.Lock()
@@ -143,8 +179,9 @@ class DiscoveryService:
         self.jobs = JobManager(
             workers=workers, default_timeout=job_timeout,
             max_queue_depth=max_queue_depth, registry=self.registry,
-            executor=executor,
+            executor=executor, tracer=self.tracer,
         )
+        self.jobs.event_hook = self._on_job_event
         self.cache = ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl,
             registry=self.registry, name="results",
@@ -164,6 +201,7 @@ class DiscoveryService:
             metrics=self.metrics,
             registry=self.registry,
             tracer=self.tracer,
+            event_hook=self._on_session_event,
         )
         # Client-supplied Idempotency-Key -> job id: a retried submit
         # (e.g. after a connection reset mid-response) reattaches to the
@@ -180,13 +218,47 @@ class DiscoveryService:
         self.jobs.shutdown(wait=True, drain=False)
         if self._obs_sink is not None:
             self._obs_sink.close()
+        faults.set_fault_observer(self._previous_fault_observer)
 
     # -- observability -----------------------------------------------------
 
     def log_request(self, record: dict) -> None:
-        """Forward one per-request log record to the JSONL event sink."""
+        """Forward one per-request log record to the event sinks."""
         if self._obs_sink is not None:
             self._obs_sink.emit({"type": "request", **record})
+        self.flight.emit({"type": "request", **record})
+
+    def _on_fault_fired(self, point: str) -> None:
+        """Chaos faults show up in flight dumps as state transitions."""
+        self.flight.record(
+            "state", trace_id=current_trace_id(),
+            event="fault.injected", point=point,
+        )
+
+    def _on_job_event(self, event: dict) -> None:
+        """Job-manager failures land in the ring; worker crashes dump."""
+        data = {k: v for k, v in event.items() if k != "trace_id"}
+        self.flight.record("job", trace_id=event.get("trace_id"), **data)
+        if "WorkerCrashError" in (event.get("error_type") or "") \
+                or "WorkerCrashError" in (event.get("error") or ""):
+            self.flight.trigger(
+                "worker_crash",
+                trace_id=event.get("trace_id"),
+                job_id=event.get("job_id"),
+                error=event.get("error"),
+            )
+
+    def _on_session_event(self, event: dict) -> None:
+        """Streaming-layer events: drift alert onsets trigger a dump."""
+        data = {k: v for k, v in event.items() if k != "trace_id"}
+        self.flight.record("state", trace_id=current_trace_id(), **data)
+        if event.get("event") == "drift.alert":
+            self.flight.trigger(
+                "drift_alert",
+                trace_id=current_trace_id(),
+                session_id=event.get("session_id"),
+                score=event.get("score"),
+            )
 
     def record_error(self, endpoint: str, message: str) -> None:
         """Remember the most recent 5xx for ``/v1/statusz``."""
@@ -220,6 +292,16 @@ class DiscoveryService:
         self.registry.histogram(
             "fdx_discover_seconds", help="End-to-end FDX discovery latency"
         ).observe(seconds)
+        chain = diagnostics.get("fallback_chain") or []
+        # The chain always records the configured attempt; the ladder only
+        # *engaged* when that attempt failed and a later rung answered.
+        if diagnostics.get("degraded") or len(chain) > 1:
+            self.flight.trigger(
+                "fallback.engaged",
+                trace_id=current_trace_id(),
+                fallback_chain=chain,
+                seconds=seconds,
+            )
 
     # -- discovery ---------------------------------------------------------
 
@@ -329,6 +411,10 @@ class DiscoveryService:
             job = self.jobs.submit(run, timeout=deadline)
         except QueueFullError as exc:
             self.metrics.increment("requests_shed")
+            self.flight.record(
+                "state", trace_id=current_trace_id(),
+                event="load.shed", retry_after_seconds=exc.retry_after_seconds,
+            )
             return 429, error_payload(
                 str(exc), 429, retry_after=exc.retry_after_seconds
             )
@@ -442,6 +528,10 @@ class DiscoveryService:
             }
         )
 
+    def debug_flight(self, limit: int | None = None) -> tuple[int, dict]:
+        """``GET /v1/debug/flight``: the recorder's ring, no dump needed."""
+        return 200, envelope(self.flight.snapshot(limit=limit))
+
     def statusz(self) -> tuple[int, dict]:
         """Deep readiness for ``GET /v1/statusz``.
 
@@ -474,6 +564,7 @@ class DiscoveryService:
                 "cache": self.cache.stats(),
                 "sessions": self.sessions.stats(),
                 "slo": self.slo.summary(),
+                "flight": self.flight.stats(),
                 "last_error": self.last_error(),
             }
         )
@@ -516,6 +607,24 @@ class DiscoveryService:
             "streaming_drift_alerting",
             help="Sessions whose last drift assessment crossed the threshold",
         ).set(sessions["drift"]["alerting"])
+        flight = self.flight.stats()
+        gauge(
+            "flight_events_total",
+            help="Events recorded by the flight recorder since start",
+        ).set(flight["events_total"])
+        gauge(
+            "flight_buffer_fill",
+            help="Flight recorder ring occupancy (0..capacity)",
+        ).set(flight["buffer_fill"])
+        gauge(
+            "flight_events_dropped_total",
+            help="Flight events evicted from the ring before any dump",
+        ).set(flight["dropped_total"])
+        for reason, count in flight["dumps_by_reason"].items():
+            gauge(
+                "flight_dumps_total", labels={"reason": reason},
+                help="Flight-recorder dumps written, by trigger reason",
+            ).set(count)
         self.slo.publish_burn_rates()
         return render_prometheus(self.registry)
 
@@ -554,6 +663,10 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                 data = body.text.encode()
                 content_type = body.content_type
             else:
+                if isinstance(body.get("error"), dict):
+                    # Error payloads carry the trace id inline so a client
+                    # log line alone is enough to find the flight dump.
+                    body["error"].setdefault("trace_id", self._trace_id)
                 data = json.dumps(body, default=str).encode()
                 content_type = "application/json"
             self.send_response(status)
@@ -579,29 +692,34 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
             token = set_trace_id(self._trace_id)
             service.metrics.increment("requests_total")
             try:
-                try:
-                    endpoint, status, body = self._dispatch(method)
-                except ProtocolError as exc:
-                    service.metrics.increment("errors_total")
-                    status, body = exc.status, error_payload(str(exc), exc.status)
-                except Exception as exc:  # noqa: BLE001 - never kill the thread
-                    service.metrics.increment("errors_total")
-                    status, body = 500, error_payload(
-                        f"internal error: {type(exc).__name__}: {exc}", 500
-                    )
-                # Chaos injection points (no-ops unless a FaultInjector
-                # is installed — i.e. only under the chaos test suite).
-                if faults.fires("http.reset"):
-                    # Drop the connection without a response: clients see
-                    # a reset, as if a proxy or the network ate the reply.
-                    service.metrics.increment("faults_injected")
-                    self.close_connection = True
-                    return
-                if faults.fires("http.5xx"):
-                    service.metrics.increment("faults_injected")
-                    status, body = 500, error_payload(
-                        "injected server error (chaos)", 500
-                    )
+                with service.tracer.span(
+                    "http.request", method=method, path=self.path
+                ) as request_span:
+                    try:
+                        endpoint, status, body = self._dispatch(method)
+                    except ProtocolError as exc:
+                        service.metrics.increment("errors_total")
+                        status, body = exc.status, error_payload(str(exc), exc.status)
+                    except Exception as exc:  # noqa: BLE001 - never kill the thread
+                        service.metrics.increment("errors_total")
+                        status, body = 500, error_payload(
+                            f"internal error: {type(exc).__name__}: {exc}", 500
+                        )
+                    # Chaos injection points (no-ops unless a FaultInjector
+                    # is installed — i.e. only under the chaos test suite).
+                    if faults.fires("http.reset"):
+                        # Drop the connection without a response: clients see
+                        # a reset, as if a proxy or the network ate the reply.
+                        service.metrics.increment("faults_injected")
+                        request_span.set_attributes(endpoint=endpoint, reset=True)
+                        self.close_connection = True
+                        return
+                    if faults.fires("http.5xx"):
+                        service.metrics.increment("faults_injected")
+                        status, body = 500, error_payload(
+                            "injected server error (chaos)", 500
+                        )
+                    request_span.set_attributes(endpoint=endpoint, status=status)
                 disconnected = False
                 try:
                     self._reply(status, body)
@@ -609,12 +727,14 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     service.metrics.increment("client_disconnects")
                     disconnected = True
                 duration = time.perf_counter() - started
+                breached = False
                 if not disconnected:
                     service.metrics.observe_latency(endpoint, duration)
-                    service.slo.observe(endpoint, duration)
+                    breached = service.slo.observe(endpoint, duration)
                 # A degraded /v1/statusz also answers 503 but carries a
                 # status body, not an error payload — don't record it.
-                if status >= 500 and isinstance(body, dict) and "error" in body:
+                is_error = status >= 500 and isinstance(body, dict) and "error" in body
+                if is_error:
                     service.record_error(
                         endpoint,
                         body.get("error", {}).get("message", "unknown error"),
@@ -630,6 +750,25 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     "cache_hit": body.get("cached") if isinstance(body, dict) else None,
                 }
                 service.log_request(record)
+                # Flight-recorder triggers come *after* the request's own
+                # span/log events landed in the ring, so the dump carries
+                # the offending request end-to-end.
+                if is_error:
+                    service.flight.trigger(
+                        "http.5xx",
+                        trace_id=self._trace_id,
+                        endpoint=endpoint,
+                        status=status,
+                    )
+                if breached and service.slo.burn_rate(endpoint) > 1.0:
+                    # Error budget burning faster than it accrues; the
+                    # recorder's per-reason debounce absorbs storms.
+                    service.flight.trigger(
+                        "slo.burn",
+                        trace_id=self._trace_id,
+                        endpoint=endpoint,
+                        burn_rate=service.slo.burn_rate(endpoint),
+                    )
                 if not quiet:
                     print(json.dumps(record, separators=(",", ":")),
                           file=sys.stderr, flush=True)
@@ -658,6 +797,19 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                         f"unknown metrics format {fmt!r}; use json or prometheus", 400
                     )
                 return "metrics", *service.metrics_payload()
+            if parts == ["debug", "flight"] and method == "GET":
+                from urllib.parse import parse_qs
+
+                raw_limit = parse_qs(query).get("limit", [None])[0]
+                limit = None
+                if raw_limit is not None:
+                    try:
+                        limit = int(raw_limit)
+                    except ValueError:
+                        raise ProtocolError(
+                            f"'limit' must be an integer, got {raw_limit!r}"
+                        ) from None
+                return "debug_flight", *service.debug_flight(limit=limit)
             if parts == ["discover"] and method == "POST":
                 return "discover", *service.discover_bytes(
                     self._read_raw(),

@@ -109,6 +109,7 @@ class Session:
         force: bool = False,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        event_hook=None,
     ) -> RefreshOutcome:
         """Serve the current FD set, re-solving when the policy says so.
 
@@ -142,6 +143,7 @@ class Session:
                 warm_start=warm_start,
                 tracer=tracer,
                 metrics=metrics,
+                event_hook=event_hook,
             )
             with self.lock:
                 self.last_result = outcome.result
@@ -259,6 +261,7 @@ class SessionManager:
         metrics=None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        event_hook=None,
     ) -> None:
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
@@ -266,6 +269,10 @@ class SessionManager:
         self._metrics = metrics  # service Metrics facade (increment())
         self._registry = registry
         self._tracer = tracer
+        #: Optional callable receiving streaming event dicts (drift alert
+        #: onsets, refresh solves), tagged with the session id; the
+        #: service points the flight recorder here.
+        self.event_hook = event_hook
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
         self.created = 0
@@ -275,12 +282,27 @@ class SessionManager:
         if checkpoint_dir:
             self._restore_checkpoints()
 
+    def _session_event(self, session_id: str, event: dict) -> None:
+        hook = self.event_hook
+        if hook is not None:
+            try:
+                hook({"session_id": session_id, **event})
+            except Exception:
+                pass
+
+    def _wire_events(self, session: Session) -> None:
+        """Point the session's drift detector at the manager's hook."""
+        session.drift.event_hook = (
+            lambda event, sid=session.id: self._session_event(sid, event)
+        )
+
     # -- lifecycle ----------------------------------------------------------
 
     def create(self, hyperparameters: Hyperparameters | None = None) -> Session:
         session = Session(
             f"sess-{uuid.uuid4().hex[:16]}", hyperparameters or Hyperparameters()
         )
+        self._wire_events(session)
         with self._lock:
             self._sweep_locked()
             if len(self._sessions) >= self.max_sessions:
@@ -356,6 +378,7 @@ class SessionManager:
                 session = Session.from_checkpoint(session_id, payload)
             except (ProtocolError, ValueError, KeyError, TypeError):
                 continue  # one corrupt checkpoint must not block startup
+            self._wire_events(session)
             self._sessions[session.id] = session
             self.restored += 1
 
@@ -390,7 +413,10 @@ class SessionManager:
         session = self.get(session_id)
         try:
             outcome = session.refresh(
-                force=force, tracer=self._tracer, metrics=self._registry
+                force=force, tracer=self._tracer, metrics=self._registry,
+                event_hook=(
+                    lambda event, sid=session_id: self._session_event(sid, event)
+                ),
             )
         except RuntimeError as exc:  # not enough data yet
             raise ProtocolError(str(exc), status=409) from exc

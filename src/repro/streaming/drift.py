@@ -82,6 +82,10 @@ class DriftDetector:
         self._window: deque[tuple[np.ndarray, float]] = deque(maxlen=window_batches)
         self.alerts_total = 0
         self._last_alert = False
+        #: Optional callable invoked with an event dict on each alert
+        #: *onset* (the not-alerting -> alerting edge); the service wires
+        #: the flight recorder here. Must not raise (errors are swallowed).
+        self.event_hook = None
 
     def reset(self) -> None:
         self._window.clear()
@@ -149,6 +153,18 @@ class DriftDetector:
         alert = score > self.threshold
         if alert and not self._last_alert:
             self.alerts_total += 1  # count alert *onsets*, not every poll
+            if self.event_hook is not None:
+                try:
+                    self.event_hook(
+                        {
+                            "event": "drift.alert",
+                            "score": score,
+                            "threshold": self.threshold,
+                            "window_samples": window_samples,
+                        }
+                    )
+                except Exception:
+                    pass
         self._last_alert = alert
         return DriftStatus(
             score=score, alert=alert, ready=True,

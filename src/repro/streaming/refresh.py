@@ -92,11 +92,14 @@ def refresh_solve(
     warm_start: np.ndarray | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    event_hook=None,
 ) -> RefreshOutcome:
     """Run the stateless solve on a snapshot, instrumented.
 
     This is the only place the streaming stack calls into the solver;
     callers must NOT hold any session lock — that is the whole point.
+    ``event_hook`` receives one ``session.refresh`` event dict per solve
+    (the service points it at the flight recorder); it must not raise.
     """
     warm = warm_start is not None
     t0 = time.perf_counter()
@@ -136,6 +139,18 @@ def refresh_solve(
             "session_refresh_seconds",
             help="Latency of streaming refresh solves.",
         ).observe(seconds)
+    if event_hook is not None:
+        try:
+            event_hook(
+                {
+                    "event": "session.refresh",
+                    "warm": warm,
+                    "seconds": seconds,
+                    "n_rows_seen": stats.n_rows_seen,
+                }
+            )
+        except Exception:
+            pass
     return RefreshOutcome(
         result=result,
         solved=True,

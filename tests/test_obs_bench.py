@@ -93,7 +93,7 @@ def test_env_fingerprint_and_rss():
 def test_run_suite_smoke_records_all_cases():
     record = bench.run_suite("micro", repeat=1, smoke=True)
     assert set(record["results"]) == {
-        "pair_transform", "graphical_lasso", "udu_factorization"
+        "pair_transform", "graphical_lasso", "udu_factorization", "flight_record"
     }
     assert all(r["seconds"] > 0 for r in record["results"].values())
     assert record["smoke"] is True

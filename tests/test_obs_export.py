@@ -1,0 +1,151 @@
+"""Chrome trace-event (Perfetto) exporter tests."""
+
+import json
+
+from repro.obs import (
+    FlightRecorder,
+    chrome_trace_events,
+    load_events,
+    write_chrome_trace,
+)
+
+
+def _span(name, trace, span_id, parent=None, start=0.0, dur=1.0, **attrs):
+    return {
+        "type": "span",
+        "name": name,
+        "trace_id": trace,
+        "span_id": span_id,
+        "parent_id": parent,
+        "started_at": start,
+        "duration_seconds": dur,
+        "attributes": attrs,
+    }
+
+
+def test_spans_become_complete_events_with_microsecond_units():
+    events = [_span("root", "t1", "a", start=10.0, dur=2.0)]
+    out = chrome_trace_events(events)
+    xs = [e for e in out if e["ph"] == "X"]
+    assert len(xs) == 1
+    assert xs[0]["name"] == "root"
+    assert xs[0]["ts"] == 10.0 * 1e6
+    assert xs[0]["dur"] == 2.0 * 1e6
+    assert xs[0]["args"]["span_id"] == "a"
+
+
+def test_each_trace_gets_its_own_process_row():
+    events = [
+        _span("a", "t1", "s1"),
+        _span("b", "t2", "s2"),
+    ]
+    out = chrome_trace_events(events)
+    process_names = {
+        e["args"]["name"] for e in out
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert process_names == {"trace t1", "trace t2"}
+    pids = {e["pid"] for e in out if e["ph"] == "X"}
+    assert len(pids) == 2
+
+
+def test_trace_id_filter_selects_one_trace():
+    events = [_span("a", "t1", "s1"), _span("b", "t2", "s2")]
+    out = chrome_trace_events(events, trace_id="t1")
+    assert [e["name"] for e in out if e["ph"] == "X"] == ["a"]
+
+
+def test_worker_spans_get_their_own_thread():
+    events = [
+        _span("handler", "t1", "h", start=0.0, dur=5.0),
+        _span("job", "t1", "w", parent="h", start=1.0, dur=2.0, worker_pid=4242),
+    ]
+    out = chrome_trace_events(events)
+    names = {
+        e["args"]["name"] for e in out
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names == {"handler", "worker 4242"}
+    handler_tid = next(e["tid"] for e in out if e["ph"] == "X" and e["name"] == "handler")
+    worker_tid = next(e["tid"] for e in out if e["ph"] == "X" and e["name"] == "job")
+    assert handler_tid != worker_tid
+
+
+def test_overlapping_siblings_split_into_lanes():
+    # Two same-origin spans overlapping in time without nesting must not
+    # share a Perfetto track.
+    events = [
+        _span("t0", "t1", "a", start=0.0, dur=3.0),
+        _span("t1", "t1", "b", start=1.0, dur=3.0),
+    ]
+    out = chrome_trace_events(events)
+    tids = {e["args"]["span_id"]: e["tid"] for e in out if e["ph"] == "X"}
+    assert tids["a"] != tids["b"]
+
+
+def test_nested_spans_share_a_lane():
+    events = [
+        _span("parent", "t1", "a", start=0.0, dur=4.0),
+        _span("child", "t1", "b", parent="a", start=1.0, dur=1.0),
+    ]
+    out = chrome_trace_events(events)
+    tids = {e["args"]["span_id"]: e["tid"] for e in out if e["ph"] == "X"}
+    assert tids["a"] == tids["b"]
+
+
+def test_requests_and_triggers_become_instants():
+    events = [
+        {"type": "request", "trace_id": "t1", "ts": 5.0, "method": "GET",
+         "path": "/v1/healthz", "status": 500},
+        {"type": "trigger", "trace_id": "t1", "ts": 6.0, "reason": "http.5xx"},
+        {"type": "metric", "trace_id": None, "ts": 7.0,
+         "name": "requests_total", "delta": 1},
+    ]
+    out = chrome_trace_events(events)
+    instants = [e for e in out if e["ph"] == "i"]
+    names = [e["name"] for e in instants]
+    assert "GET /v1/healthz -> 500" in names
+    assert "trigger: http.5xx" in names
+    assert "metric: requests_total +1" in names
+
+
+def test_load_events_unwraps_flight_dump(tmp_path):
+    recorder = FlightRecorder(capacity=16, directory=str(tmp_path))
+    recorder.emit(_span("stage", "t1", "s1", start=1.0, dur=0.5))
+    recorder.emit({"type": "request", "trace_id": "t1", "ts": 2.0,
+                   "method": "GET", "path": "/x", "status": 500})
+    path = recorder.trigger("http.5xx", trace_id="t1")
+
+    events = load_events(path)
+    # Header line dropped; span unwrapped back to sink shape.
+    types = [e["type"] for e in events]
+    assert types == ["span", "request", "trigger"]
+    span = events[0]
+    assert span["span_id"] == "s1"
+    assert span["trace_id"] == "t1"
+
+
+def test_write_chrome_trace_round_trip(tmp_path):
+    out = tmp_path / "t.perfetto.json"
+    events = [
+        _span("root", "t1", "a", start=0.0, dur=2.0),
+        _span("child", "t1", "b", parent="a", start=0.5, dur=1.0),
+    ]
+    summary = write_chrome_trace(events, str(out))
+    assert summary["spans"] == 2
+    assert summary["traces"] == 1
+    assert summary["trace_events"] == len(json.loads(out.read_text())["traceEvents"])
+    doc = json.loads(out.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_export_tolerates_missing_timing_fields():
+    events = [
+        {"type": "span", "name": "odd", "trace_id": "t1", "span_id": "x",
+         "attributes": {}},
+        {"type": "state", "event": "weird"},  # no ts: skipped, not fatal
+    ]
+    out = chrome_trace_events(events)
+    xs = [e for e in out if e["ph"] == "X"]
+    assert len(xs) == 1 and xs[0]["ts"] == 0.0 and xs[0]["dur"] == 0.0
+    assert not [e for e in out if e["ph"] == "i"]

@@ -1,0 +1,180 @@
+"""Flight recorder unit tests: ring semantics, triggers, dumps, stats."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder, read_dump
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_record_keeps_order_and_sequence():
+    recorder = FlightRecorder(capacity=16)
+    for i in range(5):
+        recorder.record("state", event=f"e{i}")
+    events = recorder.events()
+    assert [e["data"]["event"] for e in events] == [f"e{i}" for i in range(5)]
+    assert [e["seq"] for e in events] == [1, 2, 3, 4, 5]
+
+
+def test_ring_drops_oldest_and_counts():
+    recorder = FlightRecorder(capacity=3)
+    for i in range(5):
+        recorder.record("state", event=i)
+    events = recorder.events()
+    assert [e["data"]["event"] for e in events] == [2, 3, 4]
+    stats = recorder.stats()
+    assert stats["events_total"] == 5
+    assert stats["dropped_total"] == 2
+    assert stats["buffer_fill"] == 3
+    assert stats["capacity"] == 3
+
+
+def test_events_limit_returns_most_recent():
+    recorder = FlightRecorder(capacity=16)
+    for i in range(6):
+        recorder.record("state", event=i)
+    assert [e["data"]["event"] for e in recorder.events(limit=2)] == [4, 5]
+
+
+def test_emit_adapts_sink_events():
+    recorder = FlightRecorder(capacity=16)
+    recorder.emit({"type": "span", "trace_id": "t1", "name": "stage",
+                   "span_id": "s1", "duration_seconds": 0.1})
+    recorder.emit({"type": "request", "trace_id": "t1", "status": 200})
+    recorder.emit({"type": "mystery", "payload": 1})
+    kinds = [e["kind"] for e in recorder.events()]
+    assert kinds == ["span", "request", "state"]
+    span = recorder.events()[0]
+    assert span["trace_id"] == "t1"
+    assert span["data"]["name"] == "stage"
+    assert "type" not in span["data"]
+
+
+def test_metric_delta_records_metric_events():
+    recorder = FlightRecorder(capacity=16)
+    recorder.metric_delta("requests_total", (("endpoint", "discover"),), 2)
+    event = recorder.events()[0]
+    assert event["kind"] == "metric"
+    assert event["data"] == {
+        "name": "requests_total",
+        "labels": {"endpoint": "discover"},
+        "delta": 2,
+    }
+
+
+def test_trigger_without_directory_records_but_does_not_dump():
+    recorder = FlightRecorder(capacity=16)
+    assert recorder.trigger("http.5xx", trace_id="t9", status=500) is None
+    event = recorder.events()[-1]
+    assert event["kind"] == "trigger"
+    assert event["data"]["reason"] == "http.5xx"
+    assert recorder.stats()["dumps_total"] == 0
+
+
+def test_trigger_dumps_atomically_with_header(tmp_path):
+    recorder = FlightRecorder(capacity=16, directory=str(tmp_path))
+    recorder.record("request", trace_id="t1", status=500)
+    path = recorder.trigger("http.5xx", trace_id="t1", status=500)
+    assert path is not None and os.path.exists(path)
+    assert not any(name.endswith(".tmp") for name in os.listdir(tmp_path))
+
+    lines = [json.loads(l) for l in open(path)]
+    header = lines[0]
+    assert header["kind"] == "dump"
+    assert header["reason"] == "http.5xx"
+    assert header["events"] == len(lines) - 1
+    assert header["pid"] == os.getpid()
+    kinds = [l["kind"] for l in lines[1:]]
+    assert kinds == ["request", "trigger"]
+    # read_dump round-trips the same records.
+    assert read_dump(path) == lines
+
+
+def test_dump_debounced_per_reason(tmp_path):
+    clock = FakeClock()
+    recorder = FlightRecorder(
+        capacity=16, directory=str(tmp_path), debounce_seconds=30.0, clock=clock
+    )
+    assert recorder.trigger("http.5xx") is not None
+    assert recorder.trigger("http.5xx") is None          # inside the window
+    assert recorder.trigger("slo.burn") is not None      # other reasons unaffected
+    clock.advance(31.0)
+    assert recorder.trigger("http.5xx") is not None
+    stats = recorder.stats()
+    assert stats["dumps_total"] == 3
+    assert stats["dumps_by_reason"] == {"http.5xx": 2, "slo.burn": 1}
+
+
+def test_dumps_pruned_to_max(tmp_path):
+    clock = FakeClock()
+    recorder = FlightRecorder(
+        capacity=4, directory=str(tmp_path), max_dumps=3,
+        debounce_seconds=0.0, clock=clock,
+    )
+    for i in range(6):
+        clock.advance(1.0)
+        recorder.trigger(f"reason{i}")
+    dumps = [n for n in os.listdir(tmp_path) if n.endswith(".jsonl")]
+    assert len(dumps) == 3
+    # The newest dumps survive (filenames embed the dump sequence).
+    assert sorted(dumps) == sorted(
+        n for n in dumps if any(f"-{seq:04d}-" in n for seq in (4, 5, 6))
+    )
+
+
+def test_stats_last_dump_age(tmp_path):
+    clock = FakeClock()
+    recorder = FlightRecorder(capacity=8, directory=str(tmp_path), clock=clock)
+    path = recorder.trigger("worker_crash", job_id="j1")
+    clock.advance(12.0)
+    last = recorder.stats()["last_dump"]
+    assert last["path"] == path
+    assert last["reason"] == "worker_crash"
+    assert last["age_seconds"] == pytest.approx(12.0)
+
+
+def test_snapshot_contains_stats_and_events():
+    recorder = FlightRecorder(capacity=8)
+    recorder.record("state", event="x")
+    snap = recorder.snapshot(limit=10)
+    assert snap["stats"]["events_total"] == 1
+    assert len(snap["events"]) == 1
+
+
+def test_unsafe_reason_sanitized_in_filename(tmp_path):
+    recorder = FlightRecorder(capacity=8, directory=str(tmp_path))
+    path = recorder.trigger("../evil reason!")
+    assert os.path.dirname(path) == str(tmp_path)
+    assert "/" not in os.path.basename(path).replace(".jsonl", "")
+
+
+def test_concurrent_recording_is_lossless_under_capacity():
+    recorder = FlightRecorder(capacity=10_000)
+
+    def worker(k):
+        for i in range(500):
+            recorder.record("metric", name=f"w{k}", delta=1)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = recorder.stats()
+    assert stats["events_total"] == 2000
+    assert stats["dropped_total"] == 0
+    seqs = [e["seq"] for e in recorder.events()]
+    assert seqs == sorted(seqs) and len(set(seqs)) == 2000

@@ -1,0 +1,210 @@
+"""Service-level flight recorder: triggers, dumps, endpoints, stitching.
+
+Covers the PR's acceptance criteria:
+
+* an injected 5xx under ``serve --flight-dir`` produces exactly one
+  atomic dump containing the offending request's span, its request log
+  line, and the trigger event;
+* a process-backend discovery yields one stitched trace (worker spans
+  share the request trace id and parent-link to the submitting span)
+  exportable to Perfetto-loadable JSON.
+"""
+
+import glob
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.obs import ListSink, Tracer, set_trace_id, write_chrome_trace
+from repro.resilience.faults import FaultInjector
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import DiscoveryService, start_in_thread
+
+
+def _relation(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    return Relation.from_arrays(
+        ["a", "b"], [rng.integers(0, 5, n), rng.integers(0, 5, n)]
+    )
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.02)
+    raise AssertionError("condition not met within timeout")
+
+
+def test_injected_5xx_produces_one_dump_with_request_evidence(tmp_path):
+    flight_dir = str(tmp_path / "flight")
+    with start_in_thread(workers=1, flight_dir=flight_dir) as handle:
+        client = ServiceClient(handle.base_url, retry=None)
+        client.wait_until_healthy()
+        injector = FaultInjector(seed=0).inject("http.5xx", times=1).install()
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+        finally:
+            injector.uninstall()
+        error = excinfo.value
+        assert error.status == 500
+        assert error.trace_id  # carried on the typed client error
+
+        # The dump is written after the reply goes out; wait for it.
+        dumps = _wait_for(
+            lambda: glob.glob(os.path.join(flight_dir, "flight-*.jsonl"))
+        )
+        assert len(dumps) == 1
+        lines = [json.loads(l) for l in open(dumps[0])]
+        header = lines[0]
+        assert header["kind"] == "dump"
+        assert header["reason"] == "http.5xx"
+        events = lines[1:]
+
+        # The offending request's span, log line and trigger, one trace.
+        spans = [e for e in events
+                 if e["kind"] == "span" and e.get("trace_id") == error.trace_id]
+        assert any(e["data"]["name"] == "http.request" for e in spans)
+        requests = [e for e in events
+                    if e["kind"] == "request" and e.get("trace_id") == error.trace_id]
+        assert requests and requests[-1]["data"]["status"] == 500
+        triggers = [e for e in events if e["kind"] == "trigger"]
+        assert triggers[-1]["data"]["reason"] == "http.5xx"
+        assert triggers[-1]["trace_id"] == error.trace_id
+        # The injected fault itself is visible as a state transition.
+        assert any(e["kind"] == "state" and e["data"].get("event") == "fault.injected"
+                   for e in events)
+
+        # statusz reports the dump; Prometheus exposes the tallies.
+        status = client.statusz()
+        flight = status["flight"]
+        assert flight["dumps_total"] == 1
+        assert flight["dumps_by_reason"] == {"http.5xx": 1}
+        assert flight["last_dump"]["path"] == dumps[0]
+        assert flight["last_dump"]["age_seconds"] >= 0.0
+        assert flight["buffer_fill"] > 0
+        prom = client.metrics_prometheus()
+        assert 'flight_dumps_total{reason="http.5xx"} 1' in prom
+        assert "flight_events_total" in prom
+        assert "flight_buffer_fill" in prom
+
+
+def test_debounce_collapses_5xx_storm_into_one_dump(tmp_path):
+    flight_dir = str(tmp_path / "flight")
+    with start_in_thread(workers=1, flight_dir=flight_dir) as handle:
+        client = ServiceClient(handle.base_url, retry=None)
+        client.wait_until_healthy()
+        injector = FaultInjector(seed=0).inject("http.5xx", times=5).install()
+        try:
+            for _ in range(5):
+                with pytest.raises(ServiceError):
+                    client.healthz()
+        finally:
+            injector.uninstall()
+        _wait_for(lambda: glob.glob(os.path.join(flight_dir, "flight-*.jsonl")))
+        client.healthz()  # one more round trip so all triggers settled
+        dumps = glob.glob(os.path.join(flight_dir, "flight-*.jsonl"))
+        assert len(dumps) == 1  # 30s default debounce absorbed the storm
+        assert handle.service.flight.stats()["dumps_total"] == 1
+
+
+def test_debug_flight_endpoint_snapshots_ring():
+    with start_in_thread(workers=1) as handle:
+        client = ServiceClient(handle.base_url, retry=None)
+        client.wait_until_healthy()
+        snap = client._request("GET", "/v1/debug/flight?limit=3")
+        assert len(snap["events"]) <= 3
+        assert snap["stats"]["events_total"] > 0
+        assert snap["stats"]["directory"] is None
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/debug/flight?limit=bogus")
+        assert excinfo.value.status == 400
+
+
+def test_client_results_carry_trace_id():
+    with start_in_thread(workers=1) as handle:
+        client = ServiceClient(handle.base_url, retry=None)
+        client.wait_until_healthy()
+        payload = client.discover_raw(_relation())
+        assert payload.get("trace_id")
+        # Error bodies embed the id too (not just the header).
+        injector = FaultInjector(seed=0).inject("http.5xx", times=1).install()
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+        finally:
+            injector.uninstall()
+        assert excinfo.value.trace_id
+
+
+def test_process_backend_discover_yields_one_stitched_trace(tmp_path):
+    sink = ListSink()
+    tracer = Tracer(enabled=True, sinks=[sink])
+    service = DiscoveryService(workers=1, executor="process", tracer=tracer)
+    token = set_trace_id("cafe000000000001")
+    try:
+        status, body = service.discover({"relation": _wire(_relation())})
+    finally:
+        set_trace_id(None)
+        service.close()
+    assert status == 200
+    assert body["result"]["fds"] is not None
+
+    spans = [e for e in sink.events if e.get("type") == "span"]
+    names = {e["name"] for e in spans}
+    assert {"service.job", "worker.job"} <= names
+    assert {e["trace_id"] for e in spans} == {"cafe000000000001"}
+    job = next(e for e in spans if e["name"] == "service.job")
+    worker = next(e for e in spans if e["name"] == "worker.job")
+    assert worker["parent_id"] == job["span_id"]
+    assert worker["attributes"]["worker_pid"] != os.getpid()
+
+    out = tmp_path / "job.perfetto.json"
+    summary = write_chrome_trace(sink.events, str(out))
+    assert summary["traces"] == 1
+    assert summary["spans"] == len(spans)
+    doc = json.loads(out.read_text())
+    assert any(
+        e["ph"] == "M" and e["name"] == "thread_name"
+        and e["args"]["name"].startswith("worker ")
+        for e in doc["traceEvents"]
+    )
+    del token
+
+
+def _wire(relation):
+    from repro.service.protocol import relation_to_wire
+
+    return relation_to_wire(relation)
+
+
+def test_worker_crash_triggers_flight_dump(tmp_path):
+    flight_dir = str(tmp_path / "flight")
+    service = DiscoveryService(
+        workers=1, executor="process", flight_dir=flight_dir, job_timeout=30.0
+    )
+    try:
+        injector = FaultInjector(seed=0).inject(
+            "parallel.worker_crash", times=1
+        ).install()
+        try:
+            status, body = service.discover({"relation": _wire(_relation())})
+        finally:
+            injector.uninstall()
+        assert status == 500
+        dumps = _wait_for(
+            lambda: glob.glob(os.path.join(flight_dir, "flight-*worker_crash*.jsonl"))
+        )
+        lines = [json.loads(l) for l in open(dumps[0])]
+        assert lines[0]["reason"] == "worker_crash"
+        jobs = [e for e in lines[1:] if e["kind"] == "job"]
+        assert any("WorkerCrashError" in (e["data"].get("error") or "") for e in jobs)
+    finally:
+        service.close()
