@@ -186,6 +186,57 @@ def test_flight_recorder_overhead_under_5_percent(run_once):
     assert ratio <= 0.05, f"flight recorder costs {ratio:.2%} of a discovery"
 
 
+def test_evidence_ledger_overhead_under_5_percent(run_once):
+    """Per-discovery cost of the evidence ledger <= 5%.
+
+    ``FDX(evidence=True)`` (the default) rebuilds the emit/suppress
+    evidence once per discovery from the fitted matrices. Measure that
+    build directly — amortized over many iterations on the run's real
+    matrices, like the other guards here, so the verdict does not ride
+    on the noise of differencing two whole-discovery timings — and hold
+    it under 5% of the discovery it annotates.
+    """
+    from repro.obs import build_evidence
+
+    relation = _relation()
+
+    def measure():
+        fdx = FDX(seed=0, evidence=False)
+        fdx.discover(relation)  # warm caches, then time
+        t0 = time.perf_counter()
+        result = fdx.discover(relation)
+        discover_seconds = time.perf_counter() - t0
+
+        p = result.precision.shape[0]
+        iterations = 200
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            build_evidence(
+                autoregression=result.autoregression,
+                order=np.arange(p),
+                names=[f"a{i}" for i in range(p)],
+                precision=result.precision,
+                sparsity=0.05,
+                n_pair_samples=result.n_pair_samples,
+            )
+        per_build = (time.perf_counter() - t0) / iterations
+        return discover_seconds, per_build
+
+    discover_seconds, per_build = run_once(measure)
+    ratio = per_build / discover_seconds
+    emit(
+        "evidence-ledger overhead:\n"
+        f"  per-build cost     : {per_build * 1e6:.1f} us\n"
+        f"  over one discovery : {discover_seconds * 1e3:.1f} ms ({ratio:.5%})",
+        data={
+            "benchmark": "evidence_ledger_overhead",
+            "ratio": ratio,
+            "per_build_us": per_build * 1e6,
+        },
+    )
+    assert ratio <= 0.05, f"evidence ledger costs {ratio:.2%} of a discovery"
+
+
 def test_profiled_vs_plain_discovery(run_once):
     """Record the cost of sampling the discovery at 200 Hz."""
     relation = _relation()

@@ -45,6 +45,26 @@ assert parallel["workers"] == 2, parallel
 print(f"process backend OK: {parallel}")
 '
 
+echo "== explain smoke =="
+# Every emitted FD must carry a parseable evidence record: run a real
+# CLI discovery with --explain-out and verify the ledger's first record
+# has a positive threshold margin and matching edge evidence.
+"$PYTHON" -m repro discover "$SMOKE_DIR/ttt.csv" --sparsity 0.01 \
+    --explain --explain-out "$SMOKE_DIR/evidence.json" >/dev/null
+"$PYTHON" - "$SMOKE_DIR/evidence.json" <<'PY'
+import json, sys
+evidence = json.load(open(sys.argv[1]))
+records = evidence["records"]
+assert records, "discovery emitted no evidence records"
+record = records[0]
+assert record["margin"] > 0, record
+assert record["edges"], record
+assert evidence["suppressed_total"] >= len(evidence["near_misses"])
+print(f"explain smoke OK: {len(records)} FDs with evidence, "
+      f"first margin {record['margin']:.4g}, "
+      f"{evidence['suppressed_total']} near-miss edges")
+PY
+
 echo "== streaming session smoke =="
 # In-process service round trip over the streaming surface: create a
 # session, append, read FDs + deltas, checkpoint, then boot a second

@@ -94,6 +94,10 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             print("\nautoregression |B|:")
             for line in result.heatmap_rows(relation.schema.names):
                 print(f"  {line}")
+        if args.explain:
+            _print_evidence(result)
+    if args.explain_out:
+        _write_evidence(result, args.explain_out)
     if tracer is not None:
         _print_trace_summary(tracer, result)
     if args.memory:
@@ -101,6 +105,30 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     if profiler is not None:
         _write_profile(profiler, args.profile_out or f"{args.csv}.collapsed")
     return 0
+
+
+def _print_evidence(result) -> None:
+    """Per-FD evidence table for ``discover --explain``."""
+    from .obs import render_evidence_table
+
+    evidence = result.diagnostics.get("evidence")
+    if not isinstance(evidence, dict):
+        print("\nno evidence ledger recorded (discovery ran with evidence disabled)")
+        return
+    print()
+    for line in render_evidence_table(evidence):
+        print(line)
+
+
+def _write_evidence(result, path: str) -> None:
+    """Dump the full evidence ledger (emits + near-misses) as JSON."""
+    evidence = result.diagnostics.get("evidence")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(evidence, fh, indent=2)
+        fh.write("\n")
+    n_records = len((evidence or {}).get("records", []))
+    n_near = len((evidence or {}).get("near_misses", []))
+    print(f"wrote evidence ledger ({n_records} FDs, {n_near} near-misses) to {path}")
 
 
 def _print_memory_summary(result) -> None:
@@ -351,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rows", type=int, default=None,
                    help="cap rows per attribute in the transform")
     p.add_argument("--heatmap", action="store_true", help="print |B| heatmap")
+    p.add_argument("--explain", action="store_true",
+                   help="print the per-FD evidence table (precision entry, "
+                        "partial correlation, threshold margin, lambda "
+                        "provenance, ranked near-misses)")
+    p.add_argument("--explain-out", default=None, metavar="FILE",
+                   help="write the full evidence ledger as JSON to FILE")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.add_argument("--trace", action="store_true",
                    help="print a per-stage span timing tree")

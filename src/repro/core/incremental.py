@@ -105,6 +105,19 @@ def discover_from_stats(
     fds: list[FD] = generate_fds(
         estimate.autoregression, estimate.order, names, sparsity=sparsity
     )
+    from ..obs.explain import build_evidence
+
+    evidence = build_evidence(
+        autoregression=estimate.autoregression,
+        order=estimate.order,
+        names=names,
+        precision=estimate.precision,
+        sparsity=sparsity,
+        n_pair_samples=int(stats.n_samples),
+        n_rows=stats.n_rows_seen,
+        lambda_info=estimate.lambda_info,
+        fallback_chain=estimate.fallback_chain,
+    )
     return FDXResult(
         fds=fds,
         attribute_order=[names[i] for i in estimate.order],
@@ -120,6 +133,11 @@ def discover_from_stats(
             "glasso_iterations": estimate.glasso_iterations,
             "glasso_converged": estimate.glasso_converged,
             "warm_start": warm_start is not None,
+            "solver_health": {
+                "runs": list(estimate.solver_runs),
+                "lambda": estimate.lambda_info,
+            },
+            "evidence": evidence,
         },
     )
 

@@ -25,7 +25,7 @@ from ..linalg.covariance import (
 from ..linalg.glasso import graphical_lasso
 from ..linalg.neighborhood import neighborhood_selection
 from ..linalg.ordering import compute_order
-from ..linalg.robust import psd_projection
+from ..linalg.robust import condition_number_estimate, psd_projection
 from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
 from ..resilience import faults
@@ -55,6 +55,15 @@ class StructureEstimate:
     degraded: bool = False
     #: One record per ladder rung attempted: ``{"stage", "ok", ...}``.
     fallback_chain: list = field(default_factory=list)
+    #: λ-selection provenance: ``{"mode", "selected"}`` plus — for eBIC —
+    #: ``"grid"``, ``"grid_index"`` and a per-grid-point ``"path"`` with
+    #: the fit telemetry of every λ tried. Plain values only.
+    lambda_info: dict | None = None
+    #: One plain-value record per solve (every fallback rung included):
+    #: estimator, λ, iterations, convergence, objective, duality gap,
+    #: active-set size, input condition number, warm/cold start. No
+    #: wall-clock fields — records are identical across backends.
+    solver_runs: list = field(default_factory=list)
 
     @property
     def order(self) -> np.ndarray:
@@ -65,6 +74,14 @@ class StructureEstimate:
     def autoregression(self) -> np.ndarray:
         """``B = I - U`` in the permuted coordinate system."""
         return self.factorization.autoregression
+
+
+def _finite_or_none(value) -> float | None:
+    """Plain finite float or ``None`` — keeps telemetry JSON-exact."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if np.isfinite(value) else None
 
 
 def learn_structure(
@@ -178,14 +195,36 @@ def learn_structure(
             S = shrunk_covariance(S, shrinkage)
         if precondition:
             S = psd_projection(S, min_eigenvalue=1e-6)
+        condition_number = condition_number_estimate(S)
+        if not np.isfinite(condition_number):
+            # Keep the record JSON-exact while never hiding singularity.
+            condition_number = float(np.finfo(float).max)
         if isinstance(lam, str):
             if lam != "ebic":
                 raise ValueError(f"unknown penalty rule {lam!r}; use a float or 'ebic'")
             from ..linalg.model_selection import select_lambda_ebic
 
-            lam = select_lambda_ebic(
+            selection = select_lambda_ebic(
                 S, n_samples=samples.shape[0], executor=executor
-            ).best_lambda
+            )
+            grid = [float(g) for g in selection.scores]
+            lam = selection.best_lambda
+            lambda_info = {
+                "mode": "ebic",
+                "selected": float(lam),
+                "grid": grid,
+                "grid_index": grid.index(float(lam)),
+                "path": [
+                    {
+                        "lam": float(g),
+                        "score": _finite_or_none(selection.scores[g]),
+                        **selection.fits.get(g, {}),
+                    }
+                    for g in selection.scores
+                ],
+            }
+        else:
+            lambda_info = {"mode": "fixed", "selected": float(lam)}
     t1 = time.perf_counter()
     glasso_objective: float | None = None
     glasso_trace: list | None = None
@@ -206,6 +245,18 @@ def learn_structure(
             if faults.fires("glasso.nonconverge"):
                 converged = False  # chaos harness: simulated non-convergence
             glasso_objective = result.objective
+            solver_run = {
+                "stage": "configured",
+                "estimator": "glasso",
+                "lam": float(lam),
+                "iterations": int(iterations),
+                "converged": bool(converged),
+                "objective": _finite_or_none(result.objective),
+                "duality_gap": _finite_or_none(result.dual_gap),
+                "active_set_size": int(result.support.sum()) // 2,
+                "condition_number": float(condition_number),
+                "warm_start": warm_start is not None,
+            }
             span.set_attributes(
                 iterations=iterations,
                 converged=converged,
@@ -224,6 +275,20 @@ def learn_structure(
             nb = neighborhood_selection(S, lam)
             precision = nb.precision
             iterations, converged = 1, True
+            off_support = np.abs(precision) > 1e-10
+            np.fill_diagonal(off_support, False)
+            solver_run = {
+                "stage": "configured",
+                "estimator": "neighborhood",
+                "lam": float(lam),
+                "iterations": 1,
+                "converged": True,
+                "objective": None,
+                "duality_gap": None,
+                "active_set_size": int(off_support.sum()) // 2,
+                "condition_number": float(condition_number),
+                "warm_start": False,
+            }
             span.set_attributes(iterations=1, converged=True)
         else:
             raise ValueError(f"unknown estimator {estimator!r}")
@@ -247,6 +312,8 @@ def learn_structure(
         },
         stage_bytes=dict(memory.stage_bytes) if memory.enabled else {},
         glasso_trace=glasso_trace,
+        lambda_info=lambda_info,
+        solver_runs=[solver_run],
     )
 
 
@@ -319,6 +386,7 @@ def learn_structure_resilient(
                                   precondition=True))
         )
     chain: list[dict] = []
+    all_runs: list[dict] = []
     estimate: StructureEstimate | None = None
     for stage, overrides in rungs:
         entry = {
@@ -346,6 +414,9 @@ def learn_structure_resilient(
             entry.update(ok=False, reason=f"{type(exc).__name__}: {exc}")
             chain.append(entry)
             continue
+        for run in candidate.solver_runs:
+            run["stage"] = stage
+        all_runs.extend(candidate.solver_runs)
         if _estimate_is_sound(candidate):
             entry["ok"] = True
             chain.append(entry)
@@ -377,7 +448,20 @@ def learn_structure_resilient(
         chain.append({"stage": "identity", "estimator": "identity",
                       "lam": None, "ok": True,
                       "reason": "all solver rungs failed"})
+        all_runs.append({
+            "stage": "identity",
+            "estimator": "identity",
+            "lam": None,
+            "iterations": 0,
+            "converged": False,
+            "objective": None,
+            "duality_gap": None,
+            "active_set_size": 0,
+            "condition_number": 1.0,
+            "warm_start": False,
+        })
         degraded = True
     estimate.degraded = degraded
     estimate.fallback_chain = chain
+    estimate.solver_runs = all_runs
     return estimate

@@ -14,7 +14,7 @@ standard high-dimensional default). ``FDX(lam="ebic")`` uses this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
@@ -27,11 +27,19 @@ DEFAULT_LAMBDA_GRID = (0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
 
 @dataclass
 class LambdaSelection:
-    """Outcome of the eBIC search."""
+    """Outcome of the eBIC search.
+
+    ``fits`` carries one plain-value record per grid point — iterations,
+    convergence, objective, duality gap, active-set size — the raw
+    material of the λ-path solver telemetry
+    (``diagnostics["solver_health"]``). Serial and executor paths produce
+    identical records: they are computed from the same glasso results.
+    """
 
     best_lambda: float
     scores: dict[float, float]
     n_edges: dict[float, int]
+    fits: dict[float, dict] = field(default_factory=dict)
 
 
 def gaussian_loglik(S: np.ndarray, precision: np.ndarray) -> float:
@@ -97,11 +105,23 @@ def constrained_mle(
         return np.linalg.pinv(W)
 
 
-def _support_task(S: np.ndarray, lam: float) -> tuple[np.ndarray, int]:
-    """One grid point's glasso fit, reduced to (support, edge count)."""
+def _finite_or_none(value: float) -> float | None:
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def _support_task(S: np.ndarray, lam: float) -> tuple[np.ndarray, dict]:
+    """One grid point's glasso fit: (support, plain-value fit record)."""
     result = graphical_lasso(S, lam)
     support = result.support | np.eye(S.shape[0], dtype=bool)
-    return support, int(result.support.sum()) // 2
+    fit = {
+        "n_edges": int(result.support.sum()) // 2,
+        "iterations": int(result.n_iter),
+        "converged": bool(result.converged),
+        "objective": _finite_or_none(result.objective),
+        "duality_gap": _finite_or_none(result.dual_gap),
+    }
+    return support, fit
 
 
 def _refit_ebic_task(
@@ -135,28 +155,31 @@ def select_lambda_ebic(
         raise ValueError("penalty grid must be non-empty")
     scores: dict[float, float] = {}
     edges: dict[float, int] = {}
+    fit_records: dict[float, dict] = {}
     if executor is None or executor.backend == "serial":
         seen_supports: dict[bytes, float] = {}
         for lam in grid:
-            support, n_edges = _support_task(S, lam)
+            support, fit = _support_task(S, lam)
             key = np.packbits(support).tobytes()
             if key in seen_supports:
                 scores[lam] = seen_supports[key]
             else:
                 scores[lam] = _refit_ebic_task(S, n_samples, gamma, support)
                 seen_supports[key] = scores[lam]
-            edges[lam] = n_edges
+            edges[lam] = fit["n_edges"]
+            fit_records[lam] = fit
     else:
         fits = executor.map(
             partial(_support_task, S), list(grid), label="ebic_fit"
         )
         unique: dict[bytes, np.ndarray] = {}
         lam_keys: list[bytes] = []
-        for lam, (support, n_edges) in zip(grid, fits):
+        for lam, (support, fit) in zip(grid, fits):
             key = np.packbits(support).tobytes()
             unique.setdefault(key, support)
             lam_keys.append(key)
-            edges[lam] = n_edges
+            edges[lam] = fit["n_edges"]
+            fit_records[lam] = fit
         unique_scores = executor.map(
             partial(_refit_ebic_task, S, n_samples, gamma),
             list(unique.values()),
@@ -166,4 +189,6 @@ def select_lambda_ebic(
         for lam, key in zip(grid, lam_keys):
             scores[lam] = score_of[key]
     best = min(scores, key=lambda lam: (scores[lam], lam))
-    return LambdaSelection(best_lambda=best, scores=scores, n_edges=edges)
+    return LambdaSelection(
+        best_lambda=best, scores=scores, n_edges=edges, fits=fit_records
+    )

@@ -42,6 +42,30 @@ def psd_projection(S: np.ndarray, min_eigenvalue: float = 0.0) -> np.ndarray:
     return V @ np.diag(np.clip(w, min_eigenvalue, None)) @ V.T
 
 
+def condition_number_estimate(S: np.ndarray) -> float:
+    """Spectral condition-number estimate of a symmetric matrix.
+
+    ``|λ|_max / |λ|_min`` of the symmetrized input — the solver-health
+    telemetry's cheap ill-conditioning probe for the covariance handed to
+    the graphical lasso (O(p³) on the small p×p matrix, negligible next
+    to the solve itself). Returns ``inf`` for a numerically singular
+    input and ``1.0`` for the empty matrix.
+    """
+    S = np.asarray(S, dtype=float)
+    if S.ndim != 2 or S.shape[0] != S.shape[1]:
+        raise ValueError("S must be square")
+    if S.size == 0:
+        return 1.0
+    eigenvalues = np.abs(np.linalg.eigvalsh(0.5 * (S + S.T)))
+    largest = float(eigenvalues.max())
+    smallest = float(eigenvalues.min())
+    if largest == 0.0:
+        return 1.0
+    if smallest == 0.0:
+        return float("inf")
+    return largest / smallest
+
+
 def trimmed_covariance(
     X: np.ndarray,
     trim: float = 0.05,

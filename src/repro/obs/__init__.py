@@ -24,15 +24,30 @@ Three stdlib-only pieces:
   fallback, worker crash, drift alert);
 * :mod:`~repro.obs.export` — Chrome trace-event (Perfetto-loadable)
   exporter for traces and flight dumps (``python -m repro
-  trace-export``).
+  trace-export``);
+* :mod:`~repro.obs.explain` — the per-FD evidence ledger: structured
+  evidence (precision entries, partial correlations, threshold margins,
+  λ provenance, ranked near-misses) behind every emit/suppress decision;
+* :mod:`~repro.obs.health` — solver-health telemetry: per-λ run records
+  folded into ``solver_*`` metrics, flight triggers and the
+  ``/v1/statusz`` readiness verdict.
 
 The disabled tracer is a near-free no-op, so the pipeline
 instrumentation in :meth:`repro.FDX.discover` stays within a measured
 <=5% overhead budget (``benchmarks/test_bench_obs.py``).
 """
 
+from .explain import (
+    DEFAULT_NEAR_MISS_CAP,
+    EvidenceLedger,
+    annotate_evidence,
+    build_evidence,
+    evidence_for_fd,
+    render_evidence_table,
+)
 from .export import chrome_trace_events, load_events, write_chrome_trace
 from .flight import FlightEvent, FlightRecorder, read_dump
+from .health import SolverHealthMonitor
 from .profile import MemoryTracker, SamplingProfiler
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -71,8 +86,10 @@ from .trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_NEAR_MISS_CAP",
     "PROMETHEUS_CONTENT_TYPE",
     "Counter",
+    "EvidenceLedger",
     "FlightEvent",
     "FlightRecorder",
     "Gauge",
@@ -85,18 +102,23 @@ __all__ = [
     "NULL_SPAN",
     "NullSink",
     "SamplingProfiler",
+    "SolverHealthMonitor",
     "Span",
     "Tracer",
+    "annotate_evidence",
+    "build_evidence",
     "chrome_trace_events",
     "current_span",
     "current_trace_context",
     "current_trace_id",
+    "evidence_for_fd",
     "get_registry",
     "get_tracer",
     "load_events",
     "new_trace_id",
     "percentile",
     "read_dump",
+    "render_evidence_table",
     "set_global_registry",
     "render_prometheus",
     "render_tree",

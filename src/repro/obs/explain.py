@@ -1,0 +1,262 @@
+"""Per-FD evidence ledger: *why* each dependency was (or wasn't) emitted.
+
+The paper frames FD discovery as statistical inference, so every output
+deserves the evidence behind it. :func:`build_evidence` walks the fitted
+autoregression matrix ``B`` once more — after :func:`~repro.core.fdx.generate_fds`
+has read the FDs off it — and records, per emitted FD and per *near-miss*
+(an edge whose weight landed between the numerical-zero floor and the
+sparsity threshold), the structured facts a user needs to audit the call:
+
+* the ``B`` entry (regression weight) of every contributing edge,
+* the matching precision-matrix entry and partial correlation
+  (Guo & Rekatsinas, arXiv:1905.01425 ground exactly this regression-style
+  evidence in the precision matrix),
+* the threshold margin — how far above (emitted) or below (suppressed)
+  the sparsity threshold the edge sat,
+* run context: selected λ and its grid position, sample sizes, and the
+  fallback-ladder stage that produced the model.
+
+Streaming sessions additionally annotate records with the FD's stability
+streak and the session's drift score at emission time
+(:func:`annotate_evidence`). Near-miss records are ranked by margin
+(closest to emission first) and capped; ``suppressed_total`` keeps the
+truncation honest.
+
+Everything in the ledger is plain ``float``/``int``/``bool``/``str``, so
+it rides ``FDXResult.to_dict`` and streaming checkpoints unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_NEAR_MISS_CAP",
+    "EvidenceLedger",
+    "annotate_evidence",
+    "build_evidence",
+    "evidence_for_fd",
+    "render_evidence_table",
+]
+
+#: Mirrors ``repro.core.fdx.NUMERICAL_ZERO`` (not imported: ``repro.obs``
+#: must stay importable from ``repro.core``). Magnitudes at or below this
+#: are structural zeros, not near-misses.
+NUMERICAL_ZERO = 1e-8
+
+#: Near-miss records kept per run (ranked by margin, closest first).
+DEFAULT_NEAR_MISS_CAP = 16
+
+
+def _f(value) -> float | None:
+    """Plain finite float, or ``None`` — keeps the ledger JSON-exact."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def build_evidence(
+    *,
+    autoregression: np.ndarray,
+    order: np.ndarray,
+    names: list[str],
+    precision: np.ndarray,
+    sparsity: float,
+    n_pair_samples: int,
+    n_rows: int | None = None,
+    lambda_info: dict | None = None,
+    fallback_chain: list | None = None,
+    near_miss_cap: int = DEFAULT_NEAR_MISS_CAP,
+) -> dict:
+    """Assemble the evidence ledger for one discovery run.
+
+    ``autoregression`` is ``B`` in the *permuted* system (exactly what
+    :func:`~repro.core.fdx.generate_fds` consumed) and ``order`` the
+    position→original-index permutation; ``precision`` is in original
+    attribute order. The emitted/suppressed split reproduces
+    ``generate_fds`` bit for bit: an edge is emitted iff
+    ``|B[i, j]| > max(sparsity, NUMERICAL_ZERO)``.
+    """
+    from ..linalg.glasso import precision_to_partial_correlation
+
+    B = np.asarray(autoregression, dtype=float)
+    precision = np.asarray(precision, dtype=float)
+    order = np.asarray(order, dtype=int)
+    threshold = max(float(sparsity), NUMERICAL_ZERO)
+    p = B.shape[0]
+    partial = (
+        precision_to_partial_correlation(precision) if p else np.zeros((0, 0))
+    )
+    records: list[dict] = []
+    near_misses: list[dict] = []
+    for j in range(p):
+        rhs = names[order[j]]
+        emitted_edges: list[dict] = []
+        for i in range(j):
+            weight = float(B[i, j])
+            magnitude = abs(weight)
+            if magnitude <= NUMERICAL_ZERO:
+                continue  # structural zero, not evidence of anything
+            oi, oj = int(order[i]), int(order[j])
+            edge = {
+                "attribute": names[oi],
+                "weight": weight,
+                "precision": _f(precision[oi, oj]),
+                "partial_correlation": _f(partial[oi, oj]),
+            }
+            if magnitude > threshold:
+                edge["margin"] = magnitude - threshold
+                emitted_edges.append(edge)
+            else:
+                near_misses.append(
+                    {
+                        "fd": f"{names[oi]}->{rhs}",
+                        "rhs": rhs,
+                        "margin": threshold - magnitude,
+                        **edge,
+                    }
+                )
+        if emitted_edges:
+            lhs = [edge["attribute"] for edge in emitted_edges]
+            records.append(
+                {
+                    "fd": f"{','.join(lhs)}->{rhs}",
+                    "lhs": lhs,
+                    "rhs": rhs,
+                    "emitted": True,
+                    "margin": min(edge["margin"] for edge in emitted_edges),
+                    "edges": emitted_edges,
+                }
+            )
+    near_misses.sort(key=lambda record: (record["margin"], record["fd"]))
+    suppressed_total = len(near_misses)
+    fallback_stage = (
+        fallback_chain[-1]["stage"] if fallback_chain else "configured"
+    )
+    return {
+        "threshold": threshold,
+        "sparsity": float(sparsity),
+        "n_pair_samples": int(n_pair_samples),
+        "n_rows": int(n_rows) if n_rows is not None else None,
+        "lambda": dict(lambda_info) if lambda_info else None,
+        "fallback_stage": fallback_stage,
+        "records": records,
+        "near_misses": near_misses[: max(0, int(near_miss_cap))],
+        "near_miss_cap": int(near_miss_cap),
+        "suppressed_total": suppressed_total,
+    }
+
+
+def annotate_evidence(
+    evidence: dict,
+    streaks: dict | None = None,
+    drift_score: float | None = None,
+) -> dict:
+    """Streaming-context copy: per-FD stability streaks + drift score.
+
+    ``streaks`` maps the changelog's canonical ``"lhs1,lhs2->rhs"`` keys
+    (see :func:`repro.streaming.deltas.fd_key`) to consecutive-refresh
+    counts — the same key format the ledger records carry in ``"fd"``.
+    """
+    streaks = streaks or {}
+    annotated = dict(evidence)
+    annotated["records"] = [
+        {**record, "stability_streak": int(streaks.get(record["fd"], 0))}
+        for record in evidence.get("records", [])
+    ]
+    annotated["drift_score"] = _f(drift_score)
+    return annotated
+
+
+def _canonical_key(fd: str) -> tuple[tuple[str, ...], str] | None:
+    """Order-insensitive (lhs set, rhs) key for ``"a,b->c"`` strings."""
+    lhs_part, sep, rhs = fd.partition("->")
+    if not sep:
+        return None
+    lhs = tuple(sorted(a.strip() for a in lhs_part.split(",") if a.strip()))
+    return lhs, rhs.strip()
+
+
+def evidence_for_fd(evidence: dict, fd: str) -> dict | None:
+    """Look one FD's record up by its ``"lhs->rhs"`` key (or bare rhs).
+
+    LHS attribute order is ignored (``"a,b->c"`` matches ``"b,a->c"``);
+    a query with no ``->`` matches the record determining that attribute.
+    """
+    wanted = _canonical_key(fd)
+    for record in evidence.get("records", []):
+        if wanted is None:
+            if record.get("rhs") == fd.strip():
+                return record
+        elif _canonical_key(record.get("fd", "")) == wanted:
+            return record
+    return None
+
+
+def render_evidence_table(evidence: dict) -> list[str]:
+    """Human-readable per-FD evidence lines for the CLI."""
+    lines: list[str] = []
+    lam = (evidence.get("lambda") or {}).get("selected")
+    header = (
+        f"evidence: threshold={evidence.get('threshold', 0.0):.4g}"
+        f" lambda={lam if lam is not None else '-'}"
+        f" stage={evidence.get('fallback_stage', 'configured')}"
+        f" n_pair_samples={evidence.get('n_pair_samples', 0)}"
+    )
+    lines.append(header)
+    for record in evidence.get("records", []):
+        streak = record.get("stability_streak")
+        suffix = f"  streak={streak}" if streak is not None else ""
+        lines.append(
+            f"  {record['fd']}  margin={record['margin']:.4g}{suffix}"
+        )
+        for edge in record.get("edges", []):
+            partial = edge.get("partial_correlation")
+            lines.append(
+                f"    {edge['attribute']:<20} weight={edge['weight']:+.4f}"
+                f"  partial_corr="
+                f"{partial if partial is None else format(partial, '+.4f')}"
+                f"  margin={edge['margin']:.4g}"
+            )
+    near = evidence.get("near_misses", [])
+    if near:
+        shown = len(near)
+        total = evidence.get("suppressed_total", shown)
+        lines.append(f"  near-misses ({shown} of {total} suppressed edges):")
+        for record in near:
+            lines.append(
+                f"    {record['fd']}  weight={record['weight']:+.4f}"
+                f"  below threshold by {record['margin']:.4g}"
+            )
+    return lines
+
+
+class EvidenceLedger:
+    """Thin object wrapper over the evidence dict (lookup + rendering)."""
+
+    def __init__(self, evidence: dict) -> None:
+        self.evidence = dict(evidence)
+
+    @property
+    def records(self) -> list[dict]:
+        return self.evidence.get("records", [])
+
+    @property
+    def near_misses(self) -> list[dict]:
+        return self.evidence.get("near_misses", [])
+
+    def for_fd(self, fd: str) -> dict | None:
+        return evidence_for_fd(self.evidence, fd)
+
+    def render_table(self) -> list[str]:
+        return render_evidence_table(self.evidence)
+
+    def to_dict(self) -> dict:
+        return dict(self.evidence)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EvidenceLedger":
+        if not isinstance(payload, dict):
+            raise ValueError(f"expected an evidence dict, got {type(payload)!r}")
+        return cls(payload)

@@ -249,6 +249,10 @@ class FlightRecorder:
                 "dumps_by_reason": dict(self.dumps_by_reason),
                 "directory": self.directory,
                 "last_dump": last,
+                # Flattened for operators scanning /v1/statusz: the most
+                # recent dump is findable without listing the directory.
+                "last_dump_path": last["path"] if last else None,
+                "last_dump_reason": last["reason"] if last else None,
             }
 
     def snapshot(self, limit: int | None = None) -> dict:

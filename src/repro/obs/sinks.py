@@ -201,6 +201,16 @@ def escape_label_value(value: str) -> str:
     )
 
 
+def escape_help(value: str) -> str:
+    """Escape ``# HELP`` text: only ``\\`` and newlines.
+
+    The exposition format escapes double quotes inside *label values* but
+    not inside HELP text — using :func:`escape_label_value` there would
+    render ``\\"`` literally in scraped help strings.
+    """
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_value(value: float) -> str:
     if value != value:  # NaN
         return "NaN"
@@ -229,7 +239,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     for name, kind, help_text, metrics in registry.collect():
         exp_name = _sanitize_name(name)
         if help_text:
-            lines.append(f"# HELP {exp_name} {escape_label_value(help_text)}")
+            lines.append(f"# HELP {exp_name} {escape_help(help_text)}")
         lines.append(f"# TYPE {exp_name} {kind}")
         for metric in metrics:
             if kind in ("counter", "gauge"):

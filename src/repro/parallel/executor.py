@@ -193,6 +193,10 @@ class Executor:
         self.workers = workers
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Per-map-label aggregates (calls, tasks, wall vs worker seconds)
+        #: for ``diagnostics["parallel"]["stages"]`` — see
+        #: :meth:`stage_stats_snapshot`.
+        self.stage_stats: dict[str, dict] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -219,8 +223,14 @@ class Executor:
             "parallel.map", backend=self.backend, workers=self.workers,
             tasks=len(items), label=label,
         ):
+            wall_start = time.perf_counter()
             timed = self._map_timed(fn, items, timeout=timeout, token=token)
+            wall_seconds = time.perf_counter() - wall_start
         self._record(len(items), [seconds for _, seconds in timed])
+        self._record_stage(
+            label, len(items), wall_seconds,
+            sum(seconds for _, seconds in timed),
+        )
         return [result for result, _ in timed]
 
     def map_reduce(
@@ -259,6 +269,40 @@ class Executor:
         self.close()
 
     # -- internals ---------------------------------------------------------
+
+    def _record_stage(
+        self, label: str, n_tasks: int, wall_seconds: float,
+        worker_seconds: float,
+    ) -> None:
+        """Accumulate per-stage engine-overhead accounting.
+
+        ``overhead_seconds`` is the map's wall time minus the ideal
+        parallel compute time (worker-measured task seconds spread over
+        the worker count) — i.e. serialization, IPC, scheduling and
+        pool-startup cost. It is what makes a "process slower than
+        serial" regression diagnosable from diagnostics alone.
+        """
+        stats = self.stage_stats.setdefault(
+            label,
+            {
+                "calls": 0,
+                "tasks": 0,
+                "wall_seconds": 0.0,
+                "worker_seconds": 0.0,
+                "overhead_seconds": 0.0,
+            },
+        )
+        stats["calls"] += 1
+        stats["tasks"] += n_tasks
+        stats["wall_seconds"] += wall_seconds
+        stats["worker_seconds"] += worker_seconds
+        stats["overhead_seconds"] += max(
+            0.0, wall_seconds - worker_seconds / max(self.workers, 1)
+        )
+
+    def stage_stats_snapshot(self) -> dict[str, dict]:
+        """Copy of the per-label stage aggregates (plain values only)."""
+        return {label: dict(stats) for label, stats in self.stage_stats.items()}
 
     def _record(self, n_tasks: int, task_seconds: Sequence[float]) -> None:
         labels = {"backend": self.backend}

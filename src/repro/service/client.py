@@ -24,6 +24,7 @@ import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 import uuid
 from typing import Any, Mapping
@@ -289,6 +290,29 @@ class ServiceClient:
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def explain(
+        self,
+        job_id: str | None = None,
+        session_id: str | None = None,
+        fd: str | None = None,
+    ) -> dict:
+        """Evidence ledger of a finished job or a session's last refresh.
+
+        Exactly one of ``job_id`` / ``session_id`` must be given. With
+        ``fd="lhs1,lhs2->rhs"`` (LHS order-insensitive; a bare attribute
+        name matches the FD determining it) the envelope additionally
+        carries that FD's single ``record``.
+        """
+        if (job_id is None) == (session_id is None):
+            raise ValueError("pass exactly one of job_id or session_id")
+        if job_id is not None:
+            path = f"/v1/jobs/{job_id}/explain"
+        else:
+            path = f"/v1/sessions/{session_id}/explain"
+        if fd:
+            path += f"?fd={urllib.parse.quote(fd)}"
+        return self._request("GET", path)
 
     def cancel_job(self, job_id: str) -> dict:
         return self._request("DELETE", f"/v1/jobs/{job_id}")

@@ -20,6 +20,8 @@ Endpoints (all JSON, all prefixed ``/v1``):
                          served from the fingerprint cache.
 ``GET  /v1/jobs/<id>``   job status (+result once done)
 ``DELETE /v1/jobs/<id>`` cancel a queued/running job
+``GET  /v1/jobs/<id>/explain``  per-FD evidence ledger of a finished job;
+                         ``?fd=lhs->rhs`` narrows to one FD's record
 ``POST /v1/sessions``    open a streaming session (body: hyperparameters)
 ``POST /v1/sessions/<id>/batches``  append rows to a session
 ``GET  /v1/sessions/<id>/fds``      FDs over everything appended so far;
@@ -29,6 +31,8 @@ Endpoints (all JSON, all prefixed ``/v1``):
 ``GET  /v1/sessions/<id>/deltas``   versioned FD changelog;
                          ``?since=<version>`` returns only newer records
 ``GET  /v1/sessions/<id>/drift``    covariance-shift drift score + alert
+``GET  /v1/sessions/<id>/explain``  evidence ledger of the last refresh
+                         (streak/drift-annotated); ``?fd=`` narrows to one FD
 ``POST /v1/sessions/<id>/checkpoint``  force-persist the session now
 ``POST /v1/sessions/<id>/reset``    forget the session's statistics
 ``GET  /v1/sessions/<id>``          session info
@@ -61,7 +65,9 @@ from typing import Any
 from .. import __version__
 from ..core.fdx import FDX, validate_relation
 from ..errors import InputValidationError
+from ..obs.explain import evidence_for_fd
 from ..obs.flight import FlightRecorder
+from ..obs.health import SolverHealthMonitor
 from ..obs.registry import MetricsRegistry
 from ..obs.sinks import PROMETHEUS_CONTENT_TYPE, JsonlSink, render_prometheus
 from ..obs.trace import (
@@ -170,6 +176,9 @@ class DiscoveryService:
             self._on_fault_fired
         )
         self.slo = SloTracker(self.registry)
+        # Solver-health telemetry: every discovery's solver runs feed the
+        # solver_* series, the flight triggers, and /v1/statusz readiness.
+        self.solver_health = SolverHealthMonitor(self.registry)
         self._last_error: dict | None = None
         self._error_lock = threading.Lock()
         # executor="process" runs each FD job in a supervised child
@@ -292,6 +301,10 @@ class DiscoveryService:
         self.registry.histogram(
             "fdx_discover_seconds", help="End-to-end FDX discovery latency"
         ).observe(seconds)
+        for reason, data in self.solver_health.observe(
+            diagnostics.get("solver_health")
+        ):
+            self.flight.trigger(reason, trace_id=current_trace_id(), **data)
         chain = diagnostics.get("fallback_chain") or []
         # The chain always records the configured attempt; the ladder only
         # *engaged* when that attempt failed and a later rung answered.
@@ -457,6 +470,52 @@ class DiscoveryService:
         job.cancel()
         return 200, envelope(job.to_dict())
 
+    @staticmethod
+    def _explain_reply(
+        scope: dict, evidence: Any, fd: str | None
+    ) -> tuple[int, dict]:
+        """Shared evidence-envelope shaping for jobs and sessions."""
+        if not isinstance(evidence, dict):
+            return 409, error_payload(
+                "no evidence ledger recorded for this result "
+                "(discovery ran with evidence disabled)", 409,
+            )
+        body = {**scope, "evidence": evidence}
+        if fd:
+            record = evidence_for_fd(evidence, fd)
+            if record is None:
+                return 404, error_payload(
+                    f"no evidence record for FD {fd!r}; it was not emitted "
+                    "(near-misses are listed in the full ledger)", 404,
+                )
+            body["fd"] = fd
+            body["record"] = record
+        return 200, envelope(body)
+
+    def explain_job(self, job_id: str, fd: str | None = None) -> tuple[int, dict]:
+        """``GET /v1/jobs/<id>/explain``: the job result's evidence ledger."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, error_payload(f"unknown job {job_id!r}", 404)
+        if job.state != DONE or not isinstance(job.result, dict):
+            return 409, error_payload(
+                f"job {job_id!r} has no result to explain "
+                f"(state {job.state!r})", 409,
+            )
+        evidence = job.result.get("diagnostics", {}).get("evidence")
+        return self._explain_reply({"job_id": job_id}, evidence, fd)
+
+    def explain_session(
+        self, session_id: str, fd: str | None = None
+    ) -> tuple[int, dict]:
+        """``GET /v1/sessions/<id>/explain``: last refresh's annotated ledger.
+
+        Answers straight from the session's stored ledger — no re-solve —
+        including after a checkpoint restore.
+        """
+        evidence = self.sessions.explain(session_id)
+        return self._explain_reply({"session_id": session_id}, evidence, fd)
+
     # -- sessions ----------------------------------------------------------
 
     def create_session(self, payload: Any) -> tuple[int, dict]:
@@ -548,9 +607,13 @@ class DiscoveryService:
         # Backlog deeper than a few rounds of the pool means new work
         # would wait several full discovery latencies: not ready.
         backlogged = jobs["queue_depth"] >= workers * 4
+        solver = self.solver_health.summary()
         checks = {
             "job_manager": "shutdown" if self.jobs.closed else "ok",
             "worker_pool": "backlogged" if backlogged else "ok",
+            # Recent solver runs non-converging or ill-conditioned means
+            # the answers themselves are suspect: degrade readiness.
+            "solver": solver["status"],
         }
         ready = all(state == "ok" for state in checks.values())
         body = envelope(
@@ -564,6 +627,7 @@ class DiscoveryService:
                 "cache": self.cache.stats(),
                 "sessions": self.sessions.stats(),
                 "slo": self.slo.summary(),
+                "solver": solver,
                 "flight": self.flight.stats(),
                 "last_error": self.last_error(),
             }
@@ -625,6 +689,11 @@ class DiscoveryService:
                 "flight_dumps_total", labels={"reason": reason},
                 help="Flight-recorder dumps written, by trigger reason",
             ).set(count)
+        solver = self.solver_health.summary()
+        gauge(
+            "solver_recent_nonconverged_ratio",
+            help="Non-converged fraction of the recent solver-run window",
+        ).set(solver["recent_nonconverged_ratio"])
         self.slo.publish_burn_rates()
         return render_prometheus(self.registry)
 
@@ -815,6 +884,12 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     self._read_raw(),
                     idempotency_key=self.headers.get("Idempotency-Key"),
                 )
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "explain" \
+                    and method == "GET":
+                from urllib.parse import parse_qs
+
+                fd = parse_qs(query).get("fd", [None])[0]
+                return "jobs_explain", *service.explain_job(parts[1], fd=fd)
             if len(parts) == 2 and parts[0] == "jobs":
                 if method == "GET":
                     return "jobs", *service.job_status(parts[1])
@@ -858,6 +933,9 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     return "session_deltas", *service.session_deltas(sid, since=since)
                 if action == "drift" and method == "GET":
                     return "session_drift", *service.session_drift(sid)
+                if action == "explain" and method == "GET":
+                    fd = params.get("fd", [None])[0]
+                    return "session_explain", *service.explain_session(sid, fd=fd)
                 if action == "checkpoint" and method == "POST":
                     return "session_checkpoint", *service.checkpoint_session(sid)
                 if action == "reset" and method == "POST":

@@ -35,6 +35,7 @@ import numpy as np
 from ..core.fdx import FDXResult
 from ..core.incremental import IncrementalFDX
 from ..dataset.relation import Relation
+from ..obs.explain import annotate_evidence
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Tracer
 from ..streaming import (
@@ -89,6 +90,10 @@ class Session:
         self.last_precision: np.ndarray | None = None
         self.solved_rows = 0
         self.last_drift: DriftStatus | None = None
+        #: Streak/drift-annotated evidence ledger of the last solve.
+        #: Persisted in checkpoints (unlike ``last_result``) so a
+        #: restored session answers ``explain`` without a re-solve.
+        self.last_evidence: dict | None = None
 
     def touch(self) -> None:
         self.last_used = time.monotonic()
@@ -149,10 +154,25 @@ class Session:
                 self.last_result = outcome.result
                 self.last_precision = np.asarray(outcome.result.precision, dtype=float)
                 self.solved_rows = stats.n_rows_seen
-                self.changelog.record(
+                record = self.changelog.record(
                     outcome.result.fds, n_rows_seen=stats.n_rows_seen
                 )
                 self.last_drift = self.drift.status(stats.sum_outer, stats.n_samples)
+                evidence = outcome.result.diagnostics.get("evidence")
+                if isinstance(evidence, dict):
+                    # Annotate with this refresh's stability streaks and
+                    # drift score, and publish the annotated copy both to
+                    # the result (what /fds returns) and to the explain
+                    # store (what /explain and checkpoints read).
+                    evidence = annotate_evidence(
+                        evidence,
+                        streaks=record.streaks,
+                        drift_score=(
+                            self.last_drift.score if self.last_drift else None
+                        ),
+                    )
+                    outcome.result.diagnostics["evidence"] = evidence
+                    self.last_evidence = evidence
             return outcome
 
     def drift_status(self) -> DriftStatus:
@@ -176,6 +196,7 @@ class Session:
             self.last_precision = None
             self.solved_rows = 0
             self.last_drift = None
+            self.last_evidence = None
             return self._describe_locked()
 
     # -- description --------------------------------------------------------
@@ -217,6 +238,10 @@ class Session:
                     if self.last_precision is not None
                     else None
                 ),
+                # The evidence ledger is plain JSON and small (O(FDs));
+                # persisting it lets a restored session explain its last
+                # answer without re-running the solver.
+                "last_evidence": self.last_evidence,
             }
 
     @classmethod
@@ -247,6 +272,9 @@ class Session:
         precision = payload.get("last_precision")
         if precision is not None:
             session.last_precision = np.asarray(precision, dtype=float)
+        evidence = payload.get("last_evidence")
+        if isinstance(evidence, dict):
+            session.last_evidence = evidence
         return session
 
 
@@ -441,6 +469,22 @@ class SessionManager:
     def drift(self, session_id: str) -> dict:
         session = self.get(session_id)
         return {"session_id": session.id, **session.drift_status().to_dict()}
+
+    def explain(self, session_id: str) -> dict:
+        """The last refresh's annotated evidence ledger (no re-solve).
+
+        Raises 409 until a refresh has produced one; a checkpoint-restored
+        session answers from the persisted ledger immediately.
+        """
+        session = self.get(session_id)
+        with session.lock:
+            evidence = session.last_evidence
+        if evidence is None:
+            raise SessionError(
+                f"session {session_id!r} has no evidence yet; "
+                "refresh FDs at least once (GET .../fds)", status=409,
+            )
+        return evidence
 
     def reset(self, session_id: str) -> dict:
         session = self.get(session_id)

@@ -58,7 +58,9 @@ DEFAULT_OBJECTIVES: dict[str, SloObjective] = {
     "session_drift": SloObjective(0.25, 0.02),
     "session_checkpoint": SloObjective(1.0, 0.05),
     "sessions": SloObjective(0.25, 0.02),
+    "session_explain": SloObjective(0.25, 0.02),
     "jobs": SloObjective(0.25, 0.02),
+    "jobs_explain": SloObjective(0.25, 0.02),
     "healthz": SloObjective(0.1, 0.01),
     "statusz": SloObjective(0.25, 0.01),
     "metrics": SloObjective(0.25, 0.02),

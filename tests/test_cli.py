@@ -31,6 +31,25 @@ def test_discover_with_heatmap(csv_path, capsys):
     assert "autoregression" in capsys.readouterr().out
 
 
+def test_discover_explain_prints_evidence_table(csv_path, capsys):
+    assert main(["discover", csv_path, "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "evidence: threshold=" in out
+    assert "margin=" in out
+
+
+def test_discover_explain_out_writes_ledger(csv_path, tmp_path, capsys):
+    out_path = tmp_path / "evidence.json"
+    assert main([
+        "discover", csv_path, "--explain-out", str(out_path)
+    ]) == 0
+    assert "wrote evidence ledger" in capsys.readouterr().out
+    with open(out_path) as fh:
+        evidence = json.load(fh)
+    assert evidence["records"], "fixture FDs must produce evidence records"
+    assert all(r["margin"] > 0 for r in evidence["records"])
+
+
 def test_discover_json_output_parses(csv_path, capsys):
     assert main(["discover", csv_path, "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)

@@ -14,6 +14,7 @@ from repro.obs.sinks import (
     InMemorySink,
     JsonlSink,
     NullSink,
+    escape_help,
     escape_label_value,
     render_prometheus,
 )
@@ -136,6 +137,22 @@ class TestPrometheusExposition:
         # The rendered line stays a single exposition line.
         [line] = [l for l in text.splitlines() if l.startswith("weird_total{")]
         assert line.endswith(" 1")
+
+    def test_help_text_escaping(self):
+        # HELP escapes only backslash and newline — quotes stay literal
+        # (the exposition format quotes nothing on HELP lines).
+        assert escape_help("a\\b") == "a\\\\b"
+        assert escape_help("a\nb") == "a\\nb"
+        assert escape_help('say "hi"') == 'say "hi"'
+        registry = MetricsRegistry()
+        registry.counter(
+            "helpful_total", help='multi\nline \\ "quoted" help'
+        ).inc()
+        text = render_prometheus(registry)
+        assert '# HELP helpful_total multi\\nline \\\\ "quoted" help' in text
+        # The HELP stays one exposition line despite the embedded newline.
+        [line] = [l for l in text.splitlines() if l.startswith("# HELP helpful")]
+        assert "quoted" in line
 
     def test_metric_name_sanitized(self):
         registry = MetricsRegistry()

@@ -71,13 +71,21 @@ def test_diagnostics_record_the_serving_backend():
     relation = parity_relation(n=400)
     serial = FDX(seed=0).discover(relation)
     assert serial.diagnostics["parallel"] == {
-        "backend": "serial", "workers": 1, "requested": None,
+        "backend": "serial", "workers": 1, "requested": None, "stages": {},
     }
     parallel = FDX(
         seed=0, n_jobs=2, parallel_backend="process", parallel_min_rows=0
     ).discover(relation)
     assert parallel.diagnostics["parallel"]["backend"] == "process"
     assert parallel.diagnostics["parallel"]["workers"] == 2
+    # Parallel runs account for the pool's serialization/IPC overhead
+    # per sharded stage; the transform always goes through the executor.
+    stages = parallel.diagnostics["parallel"]["stages"]
+    assert "transform" in stages, stages
+    for stats in stages.values():
+        assert stats["calls"] >= 1 and stats["tasks"] >= 1
+        assert stats["overhead_seconds"] >= 0.0
+        assert stats["wall_seconds"] >= 0.0
 
 
 def test_small_relations_stay_serial_under_the_row_gate():

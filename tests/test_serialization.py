@@ -162,6 +162,9 @@ FULL_DIAGNOSTICS_KEYS = (
     # Always present: which parallel backend/worker count served the run
     # (serial runs record backend="serial"), so results stay comparable.
     "parallel",
+    # Per-FD evidence ledger and per-run solver telemetry (explain layer).
+    "evidence",
+    "solver_health",
     # The fixture's zip/city columns are value-for-value duplicates, so
     # the input guards flag them (a real warning, useful here: it makes
     # the round-trip of input_warnings part of this completeness check).

@@ -1,0 +1,180 @@
+"""Explain endpoints and solver-health readiness over a live service.
+
+Exercises ``GET /v1/jobs/<id>/explain`` and ``GET
+/v1/sessions/<id>/explain`` (full ledger, ``?fd=`` single-record lookup,
+and every error path), the checkpoint-restore contract (a restored
+session answers explain without re-solving), and the ``/v1/statusz``
+solver section flipping readiness under injected
+``glasso.nonconverge`` faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.resilience import FaultInjector
+from repro.service import ServiceClient, ServiceError, start_in_thread
+
+pytestmark = pytest.mark.tier2
+
+
+def explain_relation(seed=0, n=300):
+    """zip -> city holds exactly; noise stays independent."""
+    rng = np.random.default_rng(seed)
+    zips = rng.integers(0, 15, size=n)
+    return Relation.from_arrays(
+        ["zip", "city", "noise"],
+        [
+            np.array([str(v) for v in zips]),
+            np.array([str(v % 6) for v in zips]),
+            np.array([str(v) for v in rng.integers(0, 4, size=n)]),
+        ],
+    )
+
+
+@pytest.fixture
+def handle():
+    with start_in_thread(workers=2) as h:
+        ServiceClient(h.base_url).wait_until_healthy()
+        yield h
+
+
+@pytest.fixture
+def client(handle):
+    return ServiceClient(handle.base_url, timeout=30.0)
+
+
+class TestJobExplain:
+    def test_full_ledger_and_single_record(self, client):
+        job_id = client.submit(explain_relation())
+        client.wait_for_job(job_id)
+        body = client.explain(job_id=job_id)
+        assert body["job_id"] == job_id
+        records = body["evidence"]["records"]
+        assert any(r["fd"] == "zip->city" for r in records)
+        single = client.explain(job_id=job_id, fd="zip->city")
+        assert single["record"]["margin"] > 0
+        assert single["record"]["edges"][0]["attribute"] == "zip"
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.explain(job_id="nope")
+        assert exc.value.status == 404
+
+    def test_unemitted_fd_is_404(self, client):
+        job_id = client.submit(explain_relation())
+        client.wait_for_job(job_id)
+        with pytest.raises(ServiceError) as exc:
+            client.explain(job_id=job_id, fd="noise->zip")
+        assert exc.value.status == 404
+        assert "near-misses" in str(exc.value)
+
+    def test_client_requires_exactly_one_scope(self, client):
+        with pytest.raises(ValueError):
+            client.explain()
+        with pytest.raises(ValueError):
+            client.explain(job_id="a", session_id="b")
+
+
+class TestSessionExplain:
+    def test_before_first_refresh_is_409(self, client):
+        sid = client.create_session()
+        with pytest.raises(ServiceError) as exc:
+            client.explain(session_id=sid)
+        assert exc.value.status == 409
+
+    def test_annotated_with_streaks_and_drift(self, client):
+        sid = client.create_session({"min_batch_rows": 2})
+        client.append_batch(sid, explain_relation())
+        client.session_fds(sid, force=True)
+        client.append_batch(sid, explain_relation(seed=1))
+        client.session_fds(sid, force=True)
+        body = client.explain(session_id=sid, fd="city")
+        assert body["record"]["fd"] == "zip->city"
+        assert body["record"]["stability_streak"] >= 2
+        assert "drift_score" in body["evidence"]
+
+    def test_restored_session_explains_without_a_resolve(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        with start_in_thread(workers=2, checkpoint_dir=directory) as handle:
+            client = ServiceClient(handle.base_url, timeout=30.0)
+            client.wait_until_healthy()
+            sid = client.create_session({"min_batch_rows": 2})
+            client.append_batch(sid, explain_relation())
+            client.session_fds(sid, force=True)
+            before = client.explain(session_id=sid)["evidence"]
+            client.checkpoint_session(sid)
+        with start_in_thread(workers=2, checkpoint_dir=directory) as handle:
+            client = ServiceClient(handle.base_url, timeout=30.0)
+            client.wait_until_healthy()
+            assert handle.service.sessions.stats()["restored"] == 1
+            after = client.explain(session_id=sid)["evidence"]
+            assert after == before
+            # The answer came from the persisted ledger: the restarted
+            # server has not run a single discovery.
+            assert (
+                handle.service.registry.counter("fdx_discoveries_total").value
+                == 0
+            )
+
+
+class TestSolverReadiness:
+    def test_nonconvergence_degrades_statusz(self, handle, client):
+        assert client.statusz()["checks"]["solver"] == "ok"
+        with FaultInjector(seed=3).inject(
+            "glasso.nonconverge", times=None
+        ).install():
+            client.discover(explain_relation(seed=7))
+            client.discover(explain_relation(seed=8))
+        status = client.statusz()
+        assert status["status"] == "degraded"
+        assert status["checks"]["solver"] == "nonconverging"
+        solver = status["solver"]
+        assert solver["recent_nonconverged"] >= 2
+        assert (
+            solver["recent_nonconverged_ratio"]
+            >= solver["nonconverge_threshold"]
+        )
+        # The injected runs also fired a solver flight trigger.
+        reasons = {
+            e["data"].get("reason")
+            for e in handle.service.flight.events()
+            if e.get("kind") == "trigger"
+        }
+        assert "solver.nonconverge" in reasons
+
+    def test_healthy_discoveries_restore_readiness(self, handle, client):
+        with FaultInjector(seed=3).inject(
+            "glasso.nonconverge", times=None
+        ).install():
+            client.discover(explain_relation(seed=7))
+            client.discover(explain_relation(seed=8))
+        assert client.statusz()["checks"]["solver"] != "ok"
+        # window=32 recent runs: flush the bad ones out with good ones.
+        for seed in range(20, 56):
+            client.discover(explain_relation(seed=seed, n=120))
+        assert client.statusz()["checks"]["solver"] == "ok"
+
+    def test_prometheus_carries_solver_series(self, client):
+        client.discover(explain_relation())
+        text = client.metrics_prometheus()
+        assert "# HELP solver_runs_total" in text
+        assert "# TYPE solver_condition_number histogram" in text
+        assert "# HELP solver_recent_nonconverged_ratio" in text
+        assert 'solver_runs_total{estimator="glasso",status="converged"}' in text
+
+
+class TestFlightStatusz:
+    def test_last_dump_path_and_reason_surface(self, tmp_path):
+        with start_in_thread(
+            workers=2, flight_dir=str(tmp_path / "flight")
+        ) as handle:
+            client = ServiceClient(handle.base_url, timeout=30.0)
+            client.wait_until_healthy()
+            flight = client.statusz()["flight"]
+            assert flight["last_dump_path"] is None
+            assert flight["last_dump_reason"] is None
+            path = handle.service.flight.trigger("worker_crash", job_id="j1")
+            flight = client.statusz()["flight"]
+            assert flight["last_dump_path"] == path
+            assert flight["last_dump_reason"] == "worker_crash"

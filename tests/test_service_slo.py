@@ -98,7 +98,9 @@ def client(handle):
 def test_statusz_reports_deep_readiness(client):
     status = client.statusz()
     assert status["status"] == "ok"
-    assert status["checks"] == {"job_manager": "ok", "worker_pool": "ok"}
+    assert status["checks"] == {
+        "job_manager": "ok", "worker_pool": "ok", "solver": "ok",
+    }
     assert status["uptime_seconds"] >= 0
     assert status["started_at"] <= time.time()
     assert status["jobs"]["workers"] == 2
