@@ -105,3 +105,55 @@ def test_bench_service_streaming_session(run_once):
         f"  final FDs  : {stats['n_fds']}"
     )
     assert stats["n_fds"] >= 1
+
+
+def run_journal_overhead():
+    """Median submit latency with and without the job journal enabled."""
+    import shutil
+    import tempfile
+
+    from repro.service.jobs import JobManager
+
+    def median_submit_seconds(journal_dir):
+        manager = JobManager(workers=2, default_timeout=30.0,
+                             max_queue_depth=None, journal_dir=journal_dir)
+        try:
+            for _ in range(20):  # warm-up: thread pool, journal fd, caches
+                manager.submit(lambda: None).wait(timeout=10.0)
+            samples = []
+            for _ in range(300):
+                t0 = time.perf_counter()
+                job = manager.submit(lambda: None)
+                samples.append(time.perf_counter() - t0)
+                job.wait(timeout=10.0)  # keep the queue empty between submits
+            samples.sort()
+            return samples[len(samples) // 2]
+        finally:
+            manager.shutdown(wait=True)
+
+    plain = median_submit_seconds(None)
+    journal_dir = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    try:
+        journaled = median_submit_seconds(journal_dir)
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
+    return {
+        "plain_us": plain * 1e6,
+        "journaled_us": journaled * 1e6,
+        "overhead_ratio": journaled / plain,
+    }
+
+
+def test_bench_journal_submit_overhead(run_once):
+    stats = run_once(run_journal_overhead)
+    emit(
+        "Job-journal submit overhead (300 submits, median)\n"
+        f"  no journal : {stats['plain_us']:8.1f} us / submit\n"
+        f"  journaled  : {stats['journaled_us']:8.1f} us / submit\n"
+        f"  ratio      : {stats['overhead_ratio']:8.2f} x",
+        data=stats,
+    )
+    # The write-ahead journal (batched fsync) must stay within 10% of the
+    # journal-free submit path; a 50us absolute epsilon absorbs scheduler
+    # noise on sub-100us medians.
+    assert stats["journaled_us"] <= stats["plain_us"] * 1.10 + 50.0, stats

@@ -150,4 +150,106 @@ with tempfile.TemporaryDirectory() as flight_dir:
               f"({lines[0]['events']} events, trace {trace_id})")
 PY
 
+echo "== crash recovery smoke =="
+# Real serve subprocess with a job journal: submit slow async jobs,
+# kill -9 the server mid-run, restart with --recover resubmit, and
+# verify the interrupted jobs were restored from the journal and their
+# work was resubmitted and completed.
+"$PYTHON" - <<'PY'
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+import numpy as np
+
+
+def start_server(journal_dir, *extra):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--journal-dir", journal_dir, *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(f"server exited early (rc={proc.poll()})")
+        m = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if m:
+            return proc, m.group(1)
+    raise SystemExit("server never printed its address")
+
+
+def request(base, path, body=None):
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"} if body is not None else {},
+    )
+    with urllib.request.urlopen(req, timeout=30.0) as resp:
+        return json.loads(resp.read())
+
+
+def relation_payload(seed):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(400):
+        base = int(rng.integers(12))
+        rows.append([base, base % 4] + [int(rng.integers(5)) for _ in range(4)])
+    return {"attributes": [f"a{i}" for i in range(6)], "rows": rows}
+
+
+journal_dir = tempfile.mkdtemp(prefix="repro-journal-")
+proc1 = proc2 = None
+try:
+    proc1, base = start_server(journal_dir)
+    # One worker: the first job runs, the second sits in the queue —
+    # both are in flight when the process dies.
+    ids = []
+    for seed in (1, 2):
+        body = request(base, "/v1/discover",
+                       {"relation": relation_payload(seed), "wait": False})
+        ids.append(body["job_id"])
+    os.kill(proc1.pid, signal.SIGKILL)
+    proc1.wait(timeout=10.0)
+
+    proc2, base = start_server(journal_dir, "--recover", "resubmit")
+    resubmitted = []
+    for job_id in ids:
+        job = request(base, f"/v1/jobs/{job_id}")
+        assert job["state"] == "interrupted", job
+        assert job.get("restored") is True, job
+        assert "restart" in job["error"], job
+        assert job.get("resubmitted_as"), job
+        resubmitted.append(job["resubmitted_as"])
+    status = request(base, "/v1/statusz")
+    assert status["jobs"]["interrupted_at_boot"] == 2, status["jobs"]
+    assert status["checks"]["storage"] == "ok", status["checks"]
+    deadline = time.monotonic() + 120.0
+    done = set()
+    while time.monotonic() < deadline and len(done) < len(resubmitted):
+        for new_id in resubmitted:
+            job = request(base, f"/v1/jobs/{new_id}")
+            if job["state"] == "done":
+                done.add(new_id)
+            else:
+                assert job["state"] in ("queued", "running"), job
+        time.sleep(0.2)
+    assert len(done) == len(resubmitted), f"resubmitted jobs not done: {done}"
+    print(f"crash recovery smoke OK: {len(ids)} jobs interrupted by kill -9, "
+          f"resubmitted as {len(done)} completed jobs after replay")
+finally:
+    for proc in (proc1, proc2):
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+    import shutil
+    shutil.rmtree(journal_dir, ignore_errors=True)
+PY
+
 echo "check: OK"

@@ -335,6 +335,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_dir=args.flight_dir,
         flight_capacity=args.flight_capacity,
         flight_debounce=args.flight_debounce,
+        journal_dir=args.journal_dir,
+        recover=args.recover,
+        max_attempts=args.max_attempts,
+        hang_timeout=args.hang_timeout,
     )
 
 
@@ -516,6 +520,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flight-debounce", type=float, default=30.0,
                    help="minimum seconds between dumps for the same trigger "
                         "reason")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="journal every job state transition to an append-only "
+                        "JSONL file in DIR and replay it on startup: finished "
+                        "jobs stay pollable across restarts, jobs in flight "
+                        "at crash time surface as INTERRUPTED, and repeated "
+                        "worker-crashing jobs stay QUARANTINED")
+    p.add_argument("--recover", choices=("mark", "resubmit"), default="mark",
+                   help="what to do with jobs interrupted by a crash: 'mark' "
+                        "leaves them terminal INTERRUPTED; 'resubmit' re-runs "
+                        "the ones whose journal record carries the request "
+                        "payload (default: mark)")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="abnormal worker deaths allowed per dataset before "
+                        "the job is quarantined (default: 2)")
+    p.add_argument("--hang-timeout", type=float, default=None,
+                   help="seconds of solver heartbeat silence before the "
+                        "watchdog cancels a hung solve (escalating to "
+                        "SIGTERM/SIGKILL in process mode; default: disabled)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

@@ -30,6 +30,7 @@ from ..obs.profile import MemoryTracker
 from ..obs.trace import Tracer, get_tracer
 from ..resilience import faults
 from ..resilience.cancel import CancelledError, current_cancel_token
+from ..resilience.watchdog import current_heartbeat
 
 
 @dataclass
@@ -170,7 +171,23 @@ def learn_structure(
             "clean or impute the input before discovery"
         )
     cancel_token = current_cancel_token()
-    should_abort = cancel_token.raise_if_cancelled if cancel_token else None
+    heartbeat = current_heartbeat()
+    if heartbeat is not None:
+        heartbeat.beat()
+    if cancel_token is not None and heartbeat is not None:
+        # The glasso calls should_abort once per outer iteration (cheap,
+        # unlike callback): piggyback the watchdog heartbeat on it so a
+        # converging solve keeps proving liveness while a hung one goes
+        # silent and gets cancelled.
+        def should_abort() -> None:
+            heartbeat.beat()
+            cancel_token.raise_if_cancelled()
+    elif cancel_token is not None:
+        should_abort = cancel_token.raise_if_cancelled
+    elif heartbeat is not None:
+        should_abort = heartbeat.beat
+    else:
+        should_abort = None
     t0 = time.perf_counter()
     with tracer.span("structure.covariance", estimator=covariance,
                      shrinkage=shrinkage, standardize=standardize), \

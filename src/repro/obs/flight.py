@@ -104,7 +104,10 @@ class FlightRecorder:
         max_dumps: int = 32,
         debounce_seconds: float = 30.0,
         clock=time.time,
+        registry=None,
     ) -> None:
+        from ..resilience.degrade import DegradableWriter
+
         self.capacity = int(capacity)
         self.directory = directory
         self.max_dumps = int(max_dumps)
@@ -119,6 +122,11 @@ class FlightRecorder:
         self.dumps_by_reason: dict[str, int] = {}
         self._last_dump_at: dict[str, float] = {}
         self.last_dump: dict | None = None  # {path, reason, ts, events}
+        # A dump is a single point-in-time snapshot: if the disk is sick
+        # only the two most recent pending dumps are worth keeping.
+        self.writer = DegradableWriter(
+            "flight", registry=registry, max_buffered=2
+        )
 
     # -- recording ----------------------------------------------------------
 
@@ -182,11 +190,33 @@ class FlightRecorder:
             self.dumps_total += 1
             self.dumps_by_reason[reason] = self.dumps_by_reason.get(reason, 0) + 1
             seq = self.dumps_total
-        os.makedirs(self.directory, exist_ok=True)
         stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
         safe_reason = "".join(c if c.isalnum() or c in "-_" else "_" for c in reason)
         name = f"flight-{stamp}-{seq:04d}-{safe_reason}.jsonl"
         path = os.path.join(self.directory, name)
+        written = self.writer.write(
+            lambda: self._write_dump(path, now, reason, events)
+        )
+        if written is None:
+            # Parked by the storage degradation policy; the events are
+            # safe in memory and the dump lands once the disk recovers.
+            return None
+        with self._lock:
+            self.last_dump = {
+                "path": path,
+                "reason": reason,
+                "ts": now,
+                "events": len(events),
+            }
+        self._prune_dumps()
+        return path
+
+    def _write_dump(self, path: str, now: float, reason: str,
+                    events: list[dict]) -> str:
+        from ..resilience import faults
+
+        faults.maybe_raise_disk("flight")
+        os.makedirs(self.directory, exist_ok=True)
         tmp = path + ".tmp"
         header = {
             "kind": "dump",
@@ -200,14 +230,6 @@ class FlightRecorder:
             for event in events:
                 fh.write(json.dumps(event, default=str, separators=(",", ":")) + "\n")
         os.replace(tmp, path)
-        with self._lock:
-            self.last_dump = {
-                "path": path,
-                "reason": reason,
-                "ts": now,
-                "events": len(events),
-            }
-        self._prune_dumps()
         return path
 
     def _prune_dumps(self) -> None:

@@ -106,6 +106,13 @@ class JsonlSink:
     process cannot fill the disk. Each rotation bumps
     ``rotations_total`` and, when a ``registry`` is wired, the
     ``obs_jsonl_rotations_total`` counter.
+
+    Disk faults (``ENOSPC``/``EIO``, including the ``disk.enospc`` /
+    ``disk.eio`` injection points) degrade rather than raise: failed
+    lines are parked in a bounded in-memory buffer by a
+    :class:`~repro.resilience.degrade.DegradableWriter` and flushed once
+    the disk recovers; the writer's health shows up under ``storage`` in
+    ``/v1/statusz``.
     """
 
     def __init__(
@@ -115,6 +122,8 @@ class JsonlSink:
         backups: int = 3,
         registry=None,
     ) -> None:
+        from ..resilience.degrade import DegradableWriter
+
         self.path = path
         self.max_bytes = int(max_bytes) if max_bytes else None
         self.backups = max(1, int(backups))
@@ -130,12 +139,19 @@ class JsonlSink:
         self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
         self._size = self._fh.tell()
         self._lock = threading.Lock()
+        self.writer = DegradableWriter("obs_jsonl", registry=registry)
 
     def emit(self, event: dict) -> None:
         line = json.dumps(event, default=str, separators=(",", ":")) + "\n"
+        self.writer.write(lambda: self._write_line(line))
+
+    def _write_line(self, line: str) -> None:
+        from ..resilience import faults
+
         with self._lock:
             if self._fh is None:
                 return
+            faults.maybe_raise_disk("obs_jsonl")
             if (
                 self.max_bytes is not None
                 and self._size > 0

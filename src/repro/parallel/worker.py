@@ -50,6 +50,7 @@ from ..obs.trace import (
 )
 from ..resilience import faults
 from ..resilience.cancel import CancelledError, CancelToken, set_current_cancel_token
+from ..resilience.watchdog import Heartbeat, set_current_heartbeat
 from .executor import POLL_INTERVAL, preferred_start_method
 
 __all__ = ["run_in_process"]
@@ -72,7 +73,8 @@ def _watch_for_cancel(conn: multiprocessing.connection.Connection,
 def _child_main(fn: Callable[..., Any], args: tuple, kwargs: dict,
                 cmd_recv: multiprocessing.connection.Connection,
                 result_send: multiprocessing.connection.Connection,
-                trace_ctx: tuple[str | None, str | None] | None = None) -> None:
+                trace_ctx: tuple[str | None, str | None] | None = None,
+                heartbeat_cell=None) -> None:
     """Entry point of the worker process.
 
     With a ``trace_ctx`` (the parent's ``(trace_id, parent_span_id)``),
@@ -86,6 +88,10 @@ def _child_main(fn: Callable[..., Any], args: tuple, kwargs: dict,
         os._exit(3)  # simulate an abrupt death (OOM kill / segfault)
     token = CancelToken()
     set_current_cancel_token(token)
+    if heartbeat_cell is not None:
+        # The shared-memory cell the parent's watchdog is reading; beats
+        # from the solver here are visible across the process boundary.
+        set_current_heartbeat(Heartbeat(heartbeat_cell))
     watcher = threading.Thread(
         target=_watch_for_cancel, args=(cmd_recv, token),
         name="repro-cancel-watch", daemon=True,
@@ -148,6 +154,7 @@ def run_in_process(
     grace: float = DEFAULT_GRACE,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    heartbeat: Heartbeat | None = None,
 ) -> Any:
     """Execute ``fn(*args, **kwargs)`` in a child process and return its result.
 
@@ -172,7 +179,7 @@ def run_in_process(
     proc = ctx.Process(
         target=_child_main,
         args=(fn, tuple(args), dict(kwargs or {}), cmd_recv, result_send,
-              trace_ctx),
+              trace_ctx, heartbeat.raw if heartbeat is not None else None),
         name="repro-job-worker",
         daemon=True,
     )

@@ -15,6 +15,13 @@ This package holds the pieces that are shared across layers:
 * :mod:`~repro.resilience.faults` — a deterministic, seeded fault
   injector with named injection points in the server, the job manager
   and the solver stack; drives the chaos test suite.
+* :mod:`~repro.resilience.watchdog` — solver heartbeats and the hung-
+  solve monitor that escalates a stalled glasso through cancel-token →
+  SIGTERM → SIGKILL via the existing process-worker supervision.
+* :mod:`~repro.resilience.degrade` — the shared storage-fault policy:
+  durable writers (journal, checkpoints, flight dumps, JSONL sinks)
+  absorb ``ENOSPC``/``EIO`` into bounded in-memory buffers with
+  jittered backoff instead of failing requests.
 
 The pipeline-level fallback ladder lives with the code it guards
 (:func:`repro.core.structure.learn_structure_resilient`), and the
@@ -29,17 +36,31 @@ from .cancel import (
     current_cancel_token,
     set_current_cancel_token,
 )
+from .degrade import DEGRADABLE_ERRNOS, DegradableWriter, is_degradable_oserror
 from .faults import FaultInjector, InjectedFault, active_injector
 from .retry import RetryPolicy, retry_call
+from .watchdog import (
+    Heartbeat,
+    SolveWatchdog,
+    current_heartbeat,
+    set_current_heartbeat,
+)
 
 __all__ = [
     "CancelToken",
     "CancelledError",
+    "DEGRADABLE_ERRNOS",
+    "DegradableWriter",
     "FaultInjector",
+    "Heartbeat",
     "InjectedFault",
     "RetryPolicy",
+    "SolveWatchdog",
     "active_injector",
     "current_cancel_token",
+    "current_heartbeat",
+    "is_degradable_oserror",
     "retry_call",
     "set_current_cancel_token",
+    "set_current_heartbeat",
 ]

@@ -1,0 +1,244 @@
+"""Storage-fault degradation: keep serving when the disk does not.
+
+Every durable writer in the service — the job journal, session
+checkpoints, flight-recorder dumps, the obs JSONL event log — is a
+*best-effort* side channel: losing a write must never fail the request
+that triggered it. :class:`DegradableWriter` wraps those writers with a
+shared policy:
+
+* a write that fails with a **degradable** OS error (``ENOSPC`` — disk
+  full — or ``EIO`` — the device is sick) is caught, counted, and the
+  payload is parked in a bounded in-memory buffer instead of raised;
+* the writer enters a **degraded** state with exponentially growing,
+  jittered backoff, so a full disk is probed a few times a minute, not
+  hammered on every event;
+* once a probe write succeeds, the buffer is flushed in order and the
+  writer reports healthy again;
+* buffered entries support an optional *key* so writers with
+  last-value-wins semantics (one checkpoint per session) coalesce
+  instead of queueing stale versions.
+
+Non-degradable ``OSError``\\ s (permissions, bad paths) still propagate —
+they are configuration bugs, not storage weather, and hiding them would
+mask real breakage.
+
+The writer's :meth:`status` feeds the ``storage`` readiness check in
+``GET /v1/statusz``: degraded storage marks the service *degraded*, not
+dead — requests keep succeeding on the in-memory buffers.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import random
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+__all__ = ["DEGRADABLE_ERRNOS", "DegradableWriter", "is_degradable_oserror"]
+
+#: OS error numbers treated as transient storage weather rather than
+#: configuration bugs: disk full and device I/O failure.
+DEGRADABLE_ERRNOS = frozenset({errno.ENOSPC, errno.EIO})
+
+
+def is_degradable_oserror(exc: BaseException) -> bool:
+    """Is ``exc`` an ``OSError`` the degradation policy should absorb?"""
+    return isinstance(exc, OSError) and exc.errno in DEGRADABLE_ERRNOS
+
+
+class DegradableWriter:
+    """Run disk-write closures with ENOSPC/EIO degradation and recovery.
+
+    Parameters
+    ----------
+    name:
+        Writer identity for metrics labels and the statusz storage
+        section (e.g. ``"journal"``, ``"checkpoints"``, ``"flight"``).
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`; failures and
+        buffered/dropped writes are counted under it with a
+        ``writer=name`` label.
+    backoff_seconds / max_backoff_seconds:
+        First retry delay after a failure, and the cap the exponential
+        growth saturates at.
+    jitter:
+        Fraction of the delay randomized away (full-jitter style) so a
+        fleet of writers does not probe a shared sick disk in lockstep.
+    max_buffered:
+        Bound on parked writes; beyond it the *oldest* entries are
+        dropped (and counted) — fresh evidence beats stale evidence.
+    clock / rng:
+        Injectable monotonic clock and RNG for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry=None,
+        backoff_seconds: float = 1.0,
+        max_backoff_seconds: float = 30.0,
+        jitter: float = 0.2,
+        max_buffered: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+        rng: random.Random | None = None,
+    ) -> None:
+        if backoff_seconds <= 0:
+            raise ValueError("backoff_seconds must be > 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.name = name
+        self.backoff_seconds = float(backoff_seconds)
+        self.max_backoff_seconds = float(max_backoff_seconds)
+        self.jitter = float(jitter)
+        self.max_buffered = int(max_buffered)
+        self._registry = registry
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.RLock()
+        self._buffer: OrderedDict[Any, Callable[[], Any]] = OrderedDict()
+        self._auto_key = itertools.count(1)
+        self._consecutive_failures = 0
+        self._retry_at: float | None = None
+        self.failures_total = 0
+        self.buffered_total = 0
+        self.dropped_total = 0
+        self.flushed_total = 0
+        self.last_error: str | None = None
+        self.last_failure_ts: float | None = None
+
+    # -- writing -----------------------------------------------------------
+
+    def write(self, fn: Callable[[], Any], key: Any = None) -> Any:
+        """Run ``fn`` now, or park it while the storage is degraded.
+
+        Returns ``fn``'s return value when it ran (flushing any parked
+        backlog first, oldest first), or ``None`` when the write was
+        buffered — either because the writer is inside its backoff
+        window or because ``fn`` itself failed with a degradable error.
+        Entries sharing a ``key`` coalesce (latest wins, original
+        position kept) so last-value-wins writers never replay stale
+        state.
+        """
+        with self._lock:
+            now = self._clock()
+            if self._retry_at is not None and now < self._retry_at:
+                self._buffer_locked(key, fn)
+                return None
+            if self._buffer and not self._flush_locked():
+                # The probe failed mid-backlog: park this write too.
+                self._buffer_locked(key, fn)
+                return None
+            try:
+                result = fn()
+            except OSError as exc:
+                if not is_degradable_oserror(exc):
+                    raise
+                self._record_failure_locked(exc)
+                self._buffer_locked(key, fn)
+                return None
+            self._record_success_locked()
+            return result
+
+    def flush(self) -> bool:
+        """Attempt the parked backlog immediately, ignoring the backoff.
+
+        Returns True when the buffer drained completely.
+        """
+        with self._lock:
+            self._retry_at = None
+            return self._flush_locked()
+
+    def _flush_locked(self) -> bool:
+        while self._buffer:
+            pending_key, pending_fn = next(iter(self._buffer.items()))
+            try:
+                pending_fn()
+            except OSError as exc:
+                if not is_degradable_oserror(exc):
+                    # A buffered write hitting a non-degradable error is
+                    # unrecoverable; drop it rather than wedging the queue.
+                    self._buffer.pop(pending_key, None)
+                    self.dropped_total += 1
+                    self._count("storage_writes_dropped_total",
+                                "Buffered writes dropped as unrecoverable")
+                    continue
+                self._record_failure_locked(exc)
+                return False
+            self._buffer.pop(pending_key, None)
+            self.flushed_total += 1
+            self._count("storage_writes_flushed_total",
+                        "Buffered writes flushed after storage recovered")
+        self._record_success_locked()
+        return True
+
+    def _buffer_locked(self, key: Any, fn: Callable[[], Any]) -> None:
+        if key is None:
+            key = ("_auto", next(self._auto_key))
+        if key in self._buffer:
+            # Coalesce in place: keep the entry's flush position but
+            # replace the payload with the newest version.
+            self._buffer[key] = fn
+            return
+        while len(self._buffer) >= self.max_buffered:
+            self._buffer.popitem(last=False)
+            self.dropped_total += 1
+            self._count("storage_writes_dropped_total",
+                        "Buffered writes dropped as unrecoverable")
+        self._buffer[key] = fn
+        self.buffered_total += 1
+        self._count("storage_writes_buffered_total",
+                    "Writes parked in memory while storage was degraded")
+
+    def _record_failure_locked(self, exc: OSError) -> None:
+        self._consecutive_failures += 1
+        self.failures_total += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        self.last_failure_ts = time.time()
+        delay = min(
+            self.backoff_seconds * (2.0 ** (self._consecutive_failures - 1)),
+            self.max_backoff_seconds,
+        )
+        if self.jitter:
+            delay *= 1.0 - self.jitter * self._rng.random()
+        self._retry_at = self._clock() + delay
+        self._count("storage_write_failures_total",
+                    "Disk writes that failed with ENOSPC/EIO")
+
+    def _record_success_locked(self) -> None:
+        self._consecutive_failures = 0
+        self._retry_at = None
+
+    def _count(self, metric: str, help_text: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                metric, labels={"writer": self.name}, help=help_text
+            ).inc()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return bool(self._buffer) or self._retry_at is not None
+
+    def status(self) -> dict:
+        """Plain-dict health for ``/v1/statusz``'s storage section."""
+        with self._lock:
+            retry_in = None
+            if self._retry_at is not None:
+                retry_in = max(0.0, self._retry_at - self._clock())
+            return {
+                "name": self.name,
+                "state": "degraded" if (self._buffer or retry_in) else "ok",
+                "failures_total": self.failures_total,
+                "buffered": len(self._buffer),
+                "buffered_total": self.buffered_total,
+                "flushed_total": self.flushed_total,
+                "dropped_total": self.dropped_total,
+                "retry_in_seconds": retry_in,
+                "last_error": self.last_error,
+                "last_failure_ts": self.last_failure_ts,
+            }

@@ -24,6 +24,14 @@ Built-in injection points
                            Fork-started workers inherit the installed
                            injector; spawn-started workers do not, so chaos
                            tests force the fork start method.
+``disk.enospc``            a durable writer (job journal, session
+                           checkpoint, flight dump, obs JSONL sink) fails
+                           with ``OSError(ENOSPC)`` — exercises the
+                           :class:`~repro.resilience.degrade.DegradableWriter`
+                           buffering/backoff path and the ``storage``
+                           readiness check
+``disk.eio``               same writers, ``OSError(EIO)`` — a sick device
+                           rather than a full one
 =========================  ==================================================
 
 Plans are deterministic: ``inject(point, times=3)`` fires on exactly the
@@ -39,6 +47,8 @@ Usage (the chaos suite's shape)::
 
 from __future__ import annotations
 
+import errno as _errno
+import os as _os
 import random
 import threading
 from dataclasses import dataclass, field
@@ -51,6 +61,7 @@ __all__ = [
     "active_injector",
     "fires",
     "maybe_raise",
+    "maybe_raise_disk",
     "set_fault_observer",
 ]
 
@@ -186,3 +197,27 @@ def maybe_raise(point: str, message: str | None = None) -> None:
     """Raise :class:`InjectedFault` when the installed plan fires."""
     if fires(point):
         raise InjectedFault(point, message)
+
+
+#: Disk fault points and the errno a firing produces. Raised as plain
+#: ``OSError`` (not :class:`InjectedFault`) so the degradation policy in
+#: :mod:`repro.resilience.degrade` sees exactly what a real full or sick
+#: disk would produce.
+_DISK_POINTS = (
+    ("disk.enospc", _errno.ENOSPC),
+    ("disk.eio", _errno.EIO),
+)
+
+
+def maybe_raise_disk(context: str) -> None:
+    """Raise ``OSError(ENOSPC)`` / ``OSError(EIO)`` when a disk plan fires.
+
+    ``context`` names the writer for the error message (``"journal"``,
+    ``"checkpoint"``, ``"flight"``, ``"obs_jsonl"``). Instrumented write
+    paths call this just before touching the filesystem.
+    """
+    if _INSTALLED is None:
+        return
+    for point, code in _DISK_POINTS:
+        if fires(point):
+            raise OSError(code, _os.strerror(code), context)

@@ -1,0 +1,244 @@
+"""Hung-solve detection: heartbeats from the solver, escalation from a monitor.
+
+A graphical-lasso solve that stops converging does not raise — it just
+spins, holding a worker slot until the job's observation-time timeout
+fires (which may be minutes away, or never for untimed jobs). The
+watchdog closes that gap with two small pieces:
+
+* :class:`Heartbeat` — a single monotonic timestamp cell the solver
+  updates once per outer iteration. In-process solves use a plain
+  Python cell; process-mode solves use a ``multiprocessing.Value`` so
+  the child's beats are visible to the parent without any pipe traffic.
+  ``time.monotonic`` is system-wide on Linux, so parent and child
+  timestamps are directly comparable.
+* :class:`SolveWatchdog` — one daemon monitor thread for the whole
+  service. Each running job registers its heartbeat; when a watched
+  solve goes ``hang_timeout`` seconds without a beat, the watchdog sets
+  the job's cancel token. From there the existing supervision ladder
+  takes over: in-process solves abort at the next ``should_abort``
+  check, and ``run_in_process`` escalates a set token to SIGTERM and
+  then SIGKILL on its own.
+
+The solver reaches its heartbeat the same way it reaches its cancel
+token — a contextvar installed by the job runner — so ``learn_structure``
+needs no new parameters and library users outside the service never see
+any of this.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "Heartbeat",
+    "SolveWatchdog",
+    "current_heartbeat",
+    "set_current_heartbeat",
+]
+
+_current_heartbeat: contextvars.ContextVar["Heartbeat | None"] = (
+    contextvars.ContextVar("repro_current_heartbeat", default=None)
+)
+
+
+def current_heartbeat() -> "Heartbeat | None":
+    """The heartbeat installed for the running task, if any."""
+    return _current_heartbeat.get()
+
+
+def set_current_heartbeat(heartbeat: "Heartbeat | None"):
+    """Install ``heartbeat`` for the current context; returns the reset token."""
+    return _current_heartbeat.set(heartbeat)
+
+
+class Heartbeat:
+    """A last-progress timestamp writable from the solver's hot path.
+
+    ``beat()`` is a single store of ``time.monotonic()`` — cheap enough
+    to call every outer iteration. The backing cell is either a plain
+    one-slot list (thread mode) or a lock-free
+    ``multiprocessing.Value('d')`` (process mode, built via
+    :meth:`shared`), so the same object works on both sides of a fork or
+    spawn: ship ``heartbeat.raw`` to the child and rebuild with
+    ``Heartbeat(raw)`` there.
+    """
+
+    __slots__ = ("_cell", "_shared")
+
+    def __init__(self, cell=None, clock: Callable[[], float] = time.monotonic) -> None:
+        self._shared = cell is not None and not isinstance(cell, list)
+        self._cell = cell if cell is not None else [clock()]
+        if self._shared and self._cell.value == 0.0:
+            self._cell.value = clock()
+
+    @classmethod
+    def shared(cls, ctx) -> "Heartbeat":
+        """A heartbeat backed by shared memory from mp context ``ctx``."""
+        return cls(ctx.Value("d", 0.0, lock=False))
+
+    @property
+    def raw(self):
+        """The picklable backing cell, for shipping across a process spawn."""
+        return self._cell
+
+    def beat(self, clock: Callable[[], float] = time.monotonic) -> None:
+        now = clock()
+        if self._shared:
+            self._cell.value = now
+        else:
+            self._cell[0] = now
+
+    def last_beat(self) -> float:
+        return self._cell.value if self._shared else self._cell[0]
+
+
+@dataclass
+class _Watch:
+    heartbeat: Heartbeat
+    cancel_token: object
+    registered_at: float
+    hang_timeout: float
+    hung: bool = field(default=False)
+
+
+class SolveWatchdog:
+    """Monitor thread that cancels solves whose heartbeats go quiet.
+
+    Parameters
+    ----------
+    hang_timeout:
+        Default seconds of heartbeat silence before a watched solve is
+        declared hung (per-watch override supported).
+    interval:
+        Monitor poll period; defaults to ``hang_timeout / 4`` clamped to
+        [0.05, 1.0] so detection latency stays a fraction of the budget.
+    on_hang:
+        Optional callback ``(name) -> None`` fired once per hang — the
+        service uses it to mark the job and trip a flight dump.
+    """
+
+    def __init__(
+        self,
+        hang_timeout: float,
+        interval: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        registry=None,
+        on_hang: Callable[[str], None] | None = None,
+    ) -> None:
+        if hang_timeout <= 0:
+            raise ValueError("hang_timeout must be > 0")
+        self.hang_timeout = float(hang_timeout)
+        self.interval = (
+            float(interval)
+            if interval is not None
+            else min(1.0, max(0.05, self.hang_timeout / 4.0))
+        )
+        self._clock = clock
+        self._registry = registry
+        self._on_hang = on_hang
+        self._watches: dict[str, _Watch] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.hangs_total = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="solve-watchdog", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    # -- registration ------------------------------------------------------
+
+    def watch(
+        self,
+        name: str,
+        heartbeat: Heartbeat,
+        cancel_token,
+        hang_timeout: float | None = None,
+    ) -> None:
+        """Start monitoring ``heartbeat``; cancel via ``cancel_token`` on stall."""
+        with self._lock:
+            self._watches[name] = _Watch(
+                heartbeat=heartbeat,
+                cancel_token=cancel_token,
+                registered_at=self._clock(),
+                hang_timeout=(
+                    float(hang_timeout) if hang_timeout else self.hang_timeout
+                ),
+            )
+
+    def unwatch(self, name: str) -> bool:
+        """Stop monitoring ``name``; True if it had hung while watched."""
+        with self._lock:
+            watch = self._watches.pop(name, None)
+        return watch.hung if watch is not None else False
+
+    # -- monitoring --------------------------------------------------------
+
+    def check_now(self) -> list[str]:
+        """One monitor pass (also the thread's body); returns newly hung names."""
+        now = self._clock()
+        hung: list[str] = []
+        with self._lock:
+            for name, watch in self._watches.items():
+                if watch.hung:
+                    continue
+                last = max(watch.heartbeat.last_beat(), watch.registered_at)
+                if now - last >= watch.hang_timeout:
+                    watch.hung = True
+                    hung.append(name)
+        for name in hung:
+            self.hangs_total += 1
+            if self._registry is not None:
+                self._registry.counter(
+                    "watchdog_hangs_total",
+                    help="Solves cancelled by the watchdog for heartbeat silence",
+                ).inc()
+            watch = self._watches.get(name)
+            if watch is not None:
+                try:
+                    watch.cancel_token.set(
+                        f"hung: no solver progress in {watch.hang_timeout:g}s"
+                    )
+                except Exception:
+                    pass
+            if self._on_hang is not None:
+                try:
+                    self._on_hang(name)
+                except Exception:
+                    pass
+        return hung
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check_now()
+
+    def stats(self) -> dict:
+        with self._lock:
+            watching = len(self._watches)
+        return {
+            "hang_timeout": self.hang_timeout,
+            "interval": self.interval,
+            "watching": watching,
+            "hangs_total": self.hangs_total,
+            "running": self._thread is not None,
+        }

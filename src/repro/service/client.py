@@ -57,6 +57,9 @@ class ServiceError(RuntimeError):
     429/503 supplied one. ``trace_id`` carries the server's
     ``X-Trace-Id`` for the failing request, when one answered — quote it
     when filing a report; it names the matching flight-recorder dump.
+    ``reason`` is the server's machine-readable discriminator when one
+    was supplied (e.g. ``"quarantined"`` on a 409 for work whose
+    previous attempts crashed their workers).
     """
 
     def __init__(
@@ -66,12 +69,14 @@ class ServiceError(RuntimeError):
         retryable: bool = False,
         retry_after: float | None = None,
         trace_id: str | None = None,
+        reason: str | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.retryable = retryable
         self.retry_after = retry_after
         self.trace_id = trace_id
+        self.reason = reason
 
 
 class ServiceUnavailableError(ServiceError):
@@ -184,6 +189,7 @@ class ServiceClient:
         """Typed error from an HTTP error response (status + payload)."""
         retry_after: float | None = None
         trace_id: str | None = None
+        reason: str | None = None
         if exc.headers:
             trace_id = exc.headers.get("X-Trace-Id")
             header = exc.headers.get("Retry-After")
@@ -200,6 +206,7 @@ class ServiceClient:
                 retry_after = error.get("retry_after_seconds")
             if trace_id is None:
                 trace_id = error.get("trace_id")
+            reason = error.get("reason")
         except (json.JSONDecodeError, AttributeError, OSError):
             message = str(exc)
         return ServiceError(
@@ -208,6 +215,7 @@ class ServiceClient:
             retryable=_retryable_status(exc.code),
             retry_after=retry_after,
             trace_id=trace_id,
+            reason=reason,
         )
 
     # -- discovery ---------------------------------------------------------

@@ -25,32 +25,65 @@ host. Each job walks ``QUEUED -> RUNNING -> DONE | FAILED | CANCELLED``:
 
 Finished jobs are retained (bounded, FIFO-pruned) so clients can poll
 ``/v1/jobs/<id>`` after completion.
+
+Durability (``journal_dir``) extends the lifecycle across restarts:
+every transition is journaled write-ahead to an append-only JSONL file
+(:mod:`repro.service.journal`), and a new manager replays it on boot —
+terminal jobs come back as read-only metadata, jobs that were in flight
+when the process died are marked ``INTERRUPTED`` (their merged journal
+records exposed via ``recovered_interrupted`` so the service layer can
+resubmit them), and a job whose worker died abnormally ``max_attempts``
+times is parked in a terminal ``QUARANTINED`` state that survives
+restarts and refuses resubmission, so one poison relation cannot burn
+the pool forever.
 """
 
 from __future__ import annotations
 
 import contextvars
 import itertools
+import multiprocessing
 import threading
 import time
 import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
-from ..errors import ReproError
+from ..errors import ReproError, WorkerCrashError
 from ..obs.trace import current_trace_id
+from ..parallel.executor import preferred_start_method
 from ..parallel.worker import run_in_process
 from ..resilience import faults
 from ..resilience.cancel import CancelToken, current_cancel_token, set_current_cancel_token
+from ..resilience.degrade import DegradableWriter
+from ..resilience.watchdog import Heartbeat, SolveWatchdog, set_current_heartbeat
+from .journal import JobJournal
 
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: The job was in flight when the previous process died; it produced no
+#: result and may be resubmitted (``serve --recover resubmit``).
+INTERRUPTED = "interrupted"
+#: The job's worker died abnormally ``max_attempts`` times; the manager
+#: refuses further submits of the same key until the journal is cleared.
+QUARANTINED = "quarantined"
 
 #: States a job can never leave.
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, INTERRUPTED, QUARANTINED})
+
+#: state <-> journal event name (states and events currently coincide
+#: except for DONE/"completed"; keep the mapping explicit anyway).
+_STATE_EVENTS = {
+    DONE: "completed",
+    FAILED: "failed",
+    CANCELLED: "cancelled",
+    INTERRUPTED: "interrupted",
+    QUARANTINED: "quarantined",
+}
+_EVENT_STATES = {event: state for state, event in _STATE_EVENTS.items()}
 
 
 class QueueFullError(ReproError):
@@ -70,13 +103,49 @@ class QueueFullError(ReproError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class QuarantinedError(ReproError):
+    """The submitted work's key is quarantined; it will not be retried.
+
+    Raised at submit time for a key whose previous attempts all died
+    abnormally. The HTTP layer maps it to a non-retryable 409 with
+    ``reason: "quarantined"``.
+    """
+
+    def __init__(self, key: str, attempts: int) -> None:
+        super().__init__(
+            f"job is quarantined after {attempts} crashed attempt(s); "
+            "refusing to run it again"
+        )
+        self.key = key
+        self.attempts = attempts
+
+
 class Job:
     """One unit of work and its observable lifecycle."""
 
-    def __init__(self, job_id: str, timeout: float | None, kind: str = "discover") -> None:
+    def __init__(
+        self,
+        job_id: str,
+        timeout: float | None,
+        kind: str = "discover",
+        attempt: int = 1,
+        key: str | None = None,
+    ) -> None:
         self.id = job_id
         self.kind = kind
         self.timeout = timeout
+        #: 1-based attempt number for this job's work key; carried in the
+        #: journal so retries across restarts keep counting.
+        self.attempt = attempt
+        #: Stable identity of the underlying work (dataset fingerprint)
+        #: used for attempt counting and quarantine.
+        self.key = key
+        #: True for jobs reconstructed from a journal replay (metadata
+        #: only; no future, no result payload).
+        self.restored = False
+        #: Set on an INTERRUPTED job when recovery resubmitted its work
+        #: as a fresh job (``serve --recover resubmit``).
+        self.resubmitted_as: str | None = None
         # Wall-clock timestamp for status payloads; every duration below
         # (queue latency, runtime, deadlines) uses the monotonic clock.
         self.submitted_at = time.time()
@@ -94,6 +163,24 @@ class Job:
         #: Cooperative-cancellation flag, installed as the worker's
         #: contextvar so pipeline stage boundaries see it.
         self.cancel_token = CancelToken()
+
+    @classmethod
+    def restored_from(cls, rec: dict, state: str) -> "Job":
+        """Rebuild a terminal job from its merged journal record."""
+        job = cls(
+            rec["job_id"],
+            timeout=rec.get("timeout"),
+            kind=rec.get("kind", "discover"),
+            attempt=int(rec.get("attempt", 1)),
+            key=rec.get("key"),
+        )
+        job.restored = True
+        if rec.get("submitted_ts"):
+            job.submitted_at = rec["submitted_ts"]
+        job._state = state
+        job.error = rec.get("error")
+        job._done_event.set()
+        return job
 
     # -- lifecycle (called by the manager/worker) --------------------------
 
@@ -204,7 +291,12 @@ class Job:
                 "queue_seconds": self.queue_seconds,
                 "runtime_seconds": runtime,
                 "timeout_seconds": self.timeout,
+                "attempt": self.attempt,
             }
+            if self.restored:
+                payload["restored"] = True
+            if self.resubmitted_as is not None:
+                payload["resubmitted_as"] = self.resubmitted_as
             if self.error is not None:
                 payload["error"] = self.error
             if state == DONE and self.result is not None:
@@ -225,11 +317,17 @@ class JobManager:
         executor: str = "thread",
         process_grace: float = 2.0,
         tracer=None,
+        journal_dir: str | None = None,
+        fsync_policy: str = "batch",
+        max_attempts: int = 2,
+        hang_timeout: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         if executor not in ("thread", "process"):
             raise ValueError(
                 f"unknown job executor {executor!r}; options: thread, process"
@@ -269,6 +367,112 @@ class JobManager:
         #: estimate (seconds; seeded with a plausible discovery latency).
         self._runtime_ewma = 1.0
         self._closed = False
+        #: Abnormal deaths per work key before quarantine.
+        self.max_attempts = max_attempts
+        #: ``key -> attempts used`` across this process *and* (via the
+        #: journal) previous ones.
+        self._attempts: dict[str, int] = {}
+        #: ``key -> attempts`` for quarantined work; submits are refused.
+        self._quarantined: dict[str, int] = {}
+        self._n_quarantined = 0
+        #: Merged journal records (payload included when the submit
+        #: carried one) of jobs in flight at crash time, for the service
+        #: layer to resubmit under ``--recover resubmit``.
+        self.recovered_interrupted: list[dict] = []
+        self._n_interrupted = 0
+        self.journal: JobJournal | None = None
+        self.journal_writer: DegradableWriter | None = None
+        self.last_replay = None
+        if journal_dir is not None:
+            self.journal = JobJournal(
+                journal_dir, fsync_policy=fsync_policy, registry=registry
+            )
+            self.journal_writer = DegradableWriter("journal", registry=registry)
+            self._recover_from_journal()
+        #: Optional hung-solve monitor; fed by per-iteration heartbeats
+        #: installed for each running job.
+        self.watchdog: SolveWatchdog | None = None
+        if hang_timeout is not None:
+            self.watchdog = SolveWatchdog(
+                hang_timeout, registry=registry, on_hang=self._on_hang
+            )
+            self.watchdog.start()
+
+    # -- durability --------------------------------------------------------
+
+    def _recover_from_journal(self) -> None:
+        """Replay the journal: restore terminal jobs, surface casualties."""
+        result = self.journal.replay()
+        self.last_replay = result
+        self._attempts.update(result.attempts)
+        self._quarantined.update(result.quarantined_keys)
+        for job_id, rec in result.jobs.items():
+            event = rec["event"]
+            if event in _EVENT_STATES:
+                job = Job.restored_from(rec, _EVENT_STATES[event])
+            else:
+                # In flight at crash. A job that had already burned its
+                # attempt budget is quarantined at boot — resubmitting it
+                # would just crash-loop the server on the poison input.
+                key = rec.get("key")
+                attempts = int(rec.get("attempt", 1))
+                if key is not None and attempts >= self.max_attempts:
+                    rec["event"] = "quarantined"
+                    rec["attempts"] = attempts
+                    rec.setdefault(
+                        "error",
+                        f"quarantined at recovery after {attempts} "
+                        "crashed attempt(s)",
+                    )
+                    self._quarantined[key] = max(
+                        self._quarantined.get(key, 0), attempts
+                    )
+                    self._n_quarantined += 1
+                    job = Job.restored_from(rec, QUARANTINED)
+                else:
+                    rec["event"] = "interrupted"
+                    rec.setdefault("error", "interrupted by server restart")
+                    job = Job.restored_from(rec, INTERRUPTED)
+                    self.recovered_interrupted.append(rec)
+                    self._n_interrupted += 1
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        if self._n_interrupted and self.registry is not None:
+            self.registry.counter(
+                "jobs_interrupted_total",
+                help="Jobs found in flight at crash time during journal replay",
+            ).inc(self._n_interrupted)
+        # Compact: one record per job, payloads shed for terminal jobs.
+        # Runs before any new appends, so it cannot race live writers;
+        # an unwritable disk here must not block boot.
+        self.journal_writer.write(lambda: self.journal.compact(result))
+        with self._lock:
+            self._prune_locked()
+
+    def _journal_event(self, event: str, job: Job, **fields: Any) -> None:
+        if self.journal is None:
+            return
+        rec = JobJournal.record(
+            event, job.id, kind=job.kind, attempt=job.attempt, key=job.key,
+            **fields,
+        )
+        self.journal_writer.write(lambda: self.journal.append_batch([rec]))
+
+    def _on_hang(self, job_id: str) -> None:
+        hook = self.event_hook
+        if hook is not None:
+            try:
+                hook({
+                    "event": "job.hung",
+                    "job_id": job_id,
+                    "hang_timeout": self.watchdog.hang_timeout,
+                })
+            except Exception:
+                pass
+
+    def quarantined_keys(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._quarantined)
 
     def submit(
         self,
@@ -276,20 +480,31 @@ class JobManager:
         *,
         timeout: float | None = None,
         kind: str = "discover",
+        key: str | None = None,
+        payload: dict | None = None,
     ) -> Job:
         """Queue ``fn`` and return its :class:`Job` handle immediately.
 
         Raises :class:`QueueFullError` when ``max_queue_depth`` is set
         and that many jobs are already waiting for a worker (admission
         control: shedding at the door beats timing out in the queue).
+
+        ``key`` is a stable identity for the underlying work (the
+        service passes the dataset fingerprint): attempts are counted
+        per key across restarts, and a key whose workers died abnormally
+        ``max_attempts`` times raises :class:`QuarantinedError` instead
+        of queueing. ``payload`` is an optional wire-form description of
+        the work, journaled with the submit record so a crash-recovery
+        boot can resubmit the job without the original closure.
         """
         if timeout is None:
             timeout = self.default_timeout
         job_id = f"job-{next(self._counter):06d}-{uuid.uuid4().hex[:8]}"
-        job = Job(job_id, timeout=timeout, kind=kind)
         with self._lock:
             if self._closed:
                 raise RuntimeError("job manager is shut down")
+            if key is not None and key in self._quarantined:
+                raise QuarantinedError(key, self._quarantined[key])
             if self.max_queue_depth is not None:
                 depth = sum(1 for j in self._jobs.values() if j.state == QUEUED)
                 if depth >= self.max_queue_depth:
@@ -300,10 +515,18 @@ class JobManager:
                             help="Submits rejected by queue admission control",
                         ).inc()
                     raise QueueFullError(depth, self.retry_after_estimate())
+            attempt = 1
+            if key is not None:
+                attempt = self._attempts.get(key, 0) + 1
+                self._attempts[key] = attempt
+            job = Job(job_id, timeout=timeout, kind=kind, attempt=attempt, key=key)
             self._jobs[job_id] = job
             self._order.append(job_id)
             self._n_submitted += 1
             self._prune_locked()
+        # Write-ahead: the submit record (with the resubmission payload,
+        # if any) hits the journal before the executor sees the job.
+        self._journal_event("submitted", job, timeout=timeout, payload=payload)
         # Run the job inside a copy of the submitter's context so
         # contextvars — notably the observability trace id of the HTTP
         # request that spawned this job — propagate into the worker
@@ -314,7 +537,9 @@ class JobManager:
 
     def _run(self, job: Job, fn: Callable[[], Any]) -> None:
         if not job._begin():
+            self._journal_event("cancelled", job)
             return
+        self._journal_event("started", job)
         if self.registry is not None and job.queue_seconds is not None:
             self.registry.histogram(
                 "jobs_queue_seconds",
@@ -325,31 +550,87 @@ class JobManager:
         # iterations) poll it and unwind with CancelledError. The context
         # is a per-submit copy, so the token cannot leak across jobs.
         set_current_cancel_token(job.cancel_token)
+        if self.watchdog is not None:
+            # Heartbeat cell for the solver: shared memory in process
+            # mode (the child's beats must reach this process), a plain
+            # cell otherwise. The watchdog cancels on silence.
+            if self.executor_mode == "process":
+                heartbeat = Heartbeat.shared(
+                    multiprocessing.get_context(preferred_start_method())
+                )
+            else:
+                heartbeat = Heartbeat()
+            set_current_heartbeat(heartbeat)
+            self.watchdog.watch(job.id, heartbeat, job.cancel_token)
         started = time.monotonic()
         try:
             faults.maybe_raise("job.worker", f"worker crashed running {job.id}")
             result = fn()
         except BaseException as exc:  # worker thread: report, never raise
-            job._fail(exc)
-            hook = self.event_hook
-            if hook is not None:
-                try:
-                    hook(
-                        {
-                            "event": "job.failed",
-                            "job_id": job.id,
-                            "kind": job.kind,
-                            "error_type": type(exc).__name__,
-                            "error": f"{type(exc).__name__}: {exc}",
-                            "trace_id": current_trace_id(),
-                        }
-                    )
-                except Exception:
-                    pass
+            self._job_died(job, exc)
         else:
+            if self.watchdog is not None:
+                self.watchdog.unwatch(job.id)
             job._complete(result)
+            self._journal_event(_STATE_EVENTS.get(job.state, "failed"), job,
+                                error=job.error)
             elapsed = time.monotonic() - started
             self._runtime_ewma += 0.2 * (elapsed - self._runtime_ewma)
+
+    def _job_died(self, job: Job, exc: BaseException) -> None:
+        """Classify a worker death: plain failure, cancel, or quarantine."""
+        hung = (
+            self.watchdog.unwatch(job.id) if self.watchdog is not None else False
+        )
+        # Abnormal deaths — a crashed worker process, an injected crash,
+        # or a hung solve the watchdog had to kill — burn an attempt;
+        # ordinary errors (bad input, timeouts, user cancels) do not.
+        abnormal = hung or isinstance(exc, (WorkerCrashError, faults.InjectedFault))
+        quarantine = False
+        if abnormal and job.key is not None and not job._cancel_requested:
+            with self._lock:
+                if job.attempt >= self.max_attempts:
+                    self._quarantined[job.key] = job.attempt
+                    self._n_quarantined += 1
+                    quarantine = True
+        if quarantine:
+            error = (
+                f"quarantined after {job.attempt} crashed attempt(s); "
+                f"last error: {type(exc).__name__}: {exc}"
+            )
+            with job._lock:
+                job._finish_locked(QUARANTINED, error=error)
+            self._journal_event(
+                "quarantined", job, error=error, attempts=job.attempt,
+                crash=True,
+            )
+            if self.registry is not None:
+                self.registry.counter(
+                    "jobs_quarantined_total",
+                    help="Jobs quarantined after repeated abnormal worker deaths",
+                ).inc()
+        else:
+            job._fail(exc)
+            self._journal_event(
+                _STATE_EVENTS.get(job.state, "failed"), job, error=job.error,
+                crash=True if abnormal else None,
+            )
+        hook = self.event_hook
+        if hook is not None:
+            try:
+                hook(
+                    {
+                        "event": "job.quarantined" if quarantine else "job.failed",
+                        "job_id": job.id,
+                        "kind": job.kind,
+                        "attempt": job.attempt,
+                        "error_type": type(exc).__name__,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "trace_id": current_trace_id(),
+                    }
+                )
+            except Exception:
+                pass
 
     def run_in_worker(
         self,
@@ -371,6 +652,8 @@ class JobManager:
         picklable (use module-level functions).
         """
         if self.executor_mode == "process":
+            from ..resilience.watchdog import current_heartbeat
+
             return run_in_process(
                 fn,
                 args,
@@ -380,6 +663,7 @@ class JobManager:
                 grace=self.process_grace,
                 registry=self.registry,
                 tracer=self.tracer,
+                heartbeat=current_heartbeat(),
             )
         return fn(*args, **(kwargs or {}))
 
@@ -403,7 +687,16 @@ class JobManager:
 
     def cancel(self, job_id: str) -> bool:
         job = self.get(job_id)
-        return job.cancel() if job is not None else False
+        if job is None:
+            return False
+        cancelled = job.cancel()
+        # A queued job cancels synchronously and its _run never fires;
+        # journal the terminal state here. (A running job is journaled
+        # by _run when it actually unwinds — a duplicate cancelled
+        # record from a race is harmless, replay merges last-wins.)
+        if cancelled and job.state == CANCELLED:
+            self._journal_event("cancelled", job, error=job.error)
+        return cancelled
 
     @property
     def closed(self) -> bool:
@@ -424,7 +717,7 @@ class JobManager:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
-            return {
+            payload = {
                 "workers": self.workers,
                 "executor": self.executor_mode,
                 "submitted": self._n_submitted,
@@ -434,7 +727,16 @@ class JobManager:
                 "queue_depth": states.get(QUEUED, 0),
                 "running": states.get(RUNNING, 0),
                 "states": states,
+                "max_attempts": self.max_attempts,
+                "quarantined_keys": len(self._quarantined),
+                "quarantined": self._n_quarantined,
+                "interrupted_at_boot": self._n_interrupted,
             }
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats()
+        if self.watchdog is not None:
+            payload["watchdog"] = self.watchdog.stats()
+        return payload
 
     def shutdown(self, wait: bool = True, drain: bool = False) -> None:
         """Stop accepting work and wind down the pool.
@@ -454,4 +756,13 @@ class JobManager:
             for job in jobs:
                 if job.state not in TERMINAL_STATES:
                     job.cancel()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         self._executor.shutdown(wait=wait, cancel_futures=not drain)
+        if self.journal is not None:
+            if self.journal_writer is not None:
+                self.journal_writer.flush()
+            try:
+                self.journal.close()
+            except OSError:
+                pass

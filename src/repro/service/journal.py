@@ -1,0 +1,341 @@
+"""Append-only write-ahead journal for the job lifecycle.
+
+Every job state transition the :class:`~repro.service.jobs.JobManager`
+performs is recorded as one JSON line in ``<journal_dir>/jobs.jsonl``
+*before* the in-memory table is considered authoritative for recovery
+purposes. On boot the journal is replayed to rebuild what the previous
+process knew:
+
+* jobs whose last event is terminal (``completed`` / ``failed`` /
+  ``cancelled`` / ``quarantined`` / ``interrupted``) are restored as
+  read-only metadata so clients polling ``GET /v1/jobs/<id>`` across a
+  restart still get an answer;
+* jobs that were ``submitted`` or ``started`` when the process died are
+  the crash casualties — replay surfaces them so the manager can mark
+  them ``INTERRUPTED`` (and, under ``serve --recover resubmit``, the
+  service can resubmit the ones whose submit record carried a payload).
+
+Record format (one JSON object per line)::
+
+    {"v": 1, "ts": 1723…, "event": "submitted", "job_id": "…",
+     "kind": "discover", "attempt": 1, "key": "<fingerprint>",
+     "timeout": 30.0, "payload": {…}}          # submit only
+    {"v": 1, "ts": …, "event": "started",   "job_id": "…"}
+    {"v": 1, "ts": …, "event": "completed", "job_id": "…"}
+    {"v": 1, "ts": …, "event": "failed",    "job_id": "…",
+     "error": "…", "crash": true}
+    {"v": 1, "ts": …, "event": "cancelled", "job_id": "…"}
+    {"v": 1, "ts": …, "event": "interrupted", "job_id": "…"}
+    {"v": 1, "ts": …, "event": "quarantined", "job_id": "…",
+     "error": "…", "attempts": 2, "key": "…"}
+
+Durability knobs:
+
+* **Atomic batched appends** — events are serialized outside the lock
+  and written with a single ``write()`` of complete lines, so
+  concurrent job threads never interleave partial records and a crash
+  can tear at most the final line (which replay tolerates).
+* **fsync policy** — ``"always"`` fsyncs after every append (safest,
+  slowest), ``"batch"`` (default) fsyncs at most once per
+  ``fsync_interval`` seconds piggybacked on appends, ``"never"`` leaves
+  flushing to the OS.
+* **Boot compaction** — replay rewrites the journal to one terminal
+  record per finished job (payloads shed), so the file grows with the
+  *live* job population plus churn since last boot, not with all-time
+  history.
+
+Disk writes honor the ``disk.enospc`` / ``disk.eio`` fault points and
+are expected to be wrapped in a
+:class:`~repro.resilience.degrade.DegradableWriter` by the caller — the
+journal itself raises plain ``OSError`` and keeps its in-memory position
+consistent either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Iterable
+
+from ..resilience import faults
+
+__all__ = ["JOURNAL_VERSION", "JobJournal", "ReplayResult"]
+
+JOURNAL_VERSION = 1
+
+#: Events that end a job's lifecycle; replay treats anything else as
+#: in-flight at crash time.
+TERMINAL_EVENTS = frozenset(
+    {"completed", "failed", "cancelled", "interrupted", "quarantined"}
+)
+
+_FSYNC_POLICIES = ("always", "batch", "never")
+
+
+class ReplayResult:
+    """What a journal replay recovered.
+
+    Attributes
+    ----------
+    jobs:
+        ``job_id -> record`` where each record is the merged view of that
+        job's events: ``{"job_id", "event" (last seen), "kind",
+        "attempt", "key", "timeout", "payload", "error", "crash",
+        "attempts", "submitted_ts", "terminal_ts"}``.
+    interrupted:
+        Job ids whose last event was non-terminal — in flight at crash.
+    quarantined_keys:
+        ``key -> attempts`` for keys whose jobs were quarantined.
+    attempts:
+        ``key -> max attempt`` observed across submit records, so the
+        attempt counter survives restarts.
+    records_total / records_skipped / torn_tail:
+        Replay bookkeeping: lines seen, undecodable non-final lines
+        skipped, and whether the final line was torn (truncated write at
+        crash time — tolerated, not an error).
+    """
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, dict[str, Any]] = {}
+        self.interrupted: list[str] = []
+        self.quarantined_keys: dict[str, int] = {}
+        self.attempts: dict[str, int] = {}
+        self.records_total = 0
+        self.records_skipped = 0
+        self.torn_tail = False
+
+
+class JobJournal:
+    """Append-only JSONL journal of job state transitions."""
+
+    FILENAME = "jobs.jsonl"
+
+    def __init__(
+        self,
+        directory: str,
+        fsync_policy: str = "batch",
+        fsync_interval: float = 0.25,
+        registry=None,
+    ) -> None:
+        if fsync_policy not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync_policy must be one of {_FSYNC_POLICIES}, got {fsync_policy!r}"
+            )
+        self.directory = directory
+        self.path = os.path.join(directory, self.FILENAME)
+        self.fsync_policy = fsync_policy
+        self.fsync_interval = float(fsync_interval)
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._fh = None
+        self._last_fsync = 0.0
+        self.appends_total = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, event: str, job_id: str, **fields: Any) -> None:
+        """Journal one transition; a convenience over :meth:`append_batch`."""
+        self.append_batch([self.record(event, job_id, **fields)])
+
+    @staticmethod
+    def record(event: str, job_id: str, **fields: Any) -> dict[str, Any]:
+        """Build a journal record dict (without writing it)."""
+        rec = {"v": JOURNAL_VERSION, "ts": time.time(), "event": event,
+               "job_id": job_id}
+        for key, value in fields.items():
+            if value is not None:
+                rec[key] = value
+        return rec
+
+    def append_batch(self, records: Iterable[dict[str, Any]]) -> None:
+        """Atomically append ``records`` as complete JSONL lines.
+
+        Serialization happens outside the lock; the file sees exactly one
+        ``write`` call for the whole batch, so concurrent appenders never
+        interleave and a crash tears at most the final line.
+        """
+        payload = "".join(
+            json.dumps(rec, separators=(",", ":"), default=str) + "\n"
+            for rec in records
+        )
+        if not payload:
+            return
+        with self._lock:
+            faults.maybe_raise_disk("journal")
+            fh = self._open_locked()
+            fh.write(payload)
+            fh.flush()
+            self.appends_total += 1
+            if self.fsync_policy == "always":
+                os.fsync(fh.fileno())
+                self._last_fsync = time.monotonic()
+            elif self.fsync_policy == "batch":
+                now = time.monotonic()
+                if now - self._last_fsync >= self.fsync_interval:
+                    os.fsync(fh.fileno())
+                    self._last_fsync = now
+        if self._registry is not None:
+            self._registry.counter(
+                "journal_appends_total",
+                help="Batched appends written to the job journal",
+            ).inc()
+
+    def _open_locked(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def sync(self) -> None:
+        """Force an fsync now (shutdown path)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._last_fsync = time.monotonic()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+                except OSError:
+                    pass
+                self._fh.close()
+                self._fh = None
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> ReplayResult:
+        """Rebuild job state from the journal, tolerating a torn tail."""
+        result = ReplayResult()
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return result
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                rec = json.loads(stripped)
+            except (json.JSONDecodeError, ValueError):
+                if index == len(lines) - 1:
+                    # Torn final record from a crash mid-append: expected.
+                    result.torn_tail = True
+                else:
+                    result.records_skipped += 1
+                continue
+            if not isinstance(rec, dict) or "job_id" not in rec or "event" not in rec:
+                result.records_skipped += 1
+                continue
+            result.records_total += 1
+            self._apply(result, rec)
+        result.interrupted = [
+            job_id
+            for job_id, job in result.jobs.items()
+            if job["event"] not in TERMINAL_EVENTS
+        ]
+        return result
+
+    @staticmethod
+    def _apply(result: ReplayResult, rec: dict[str, Any]) -> None:
+        job_id = rec["job_id"]
+        event = rec["event"]
+        job = result.jobs.setdefault(job_id, {"job_id": job_id, "event": event})
+        job["event"] = event
+        if event == "submitted":
+            for field in ("kind", "attempt", "key", "timeout", "payload"):
+                if field in rec:
+                    job[field] = rec[field]
+            job["submitted_ts"] = rec.get("ts")
+            key = rec.get("key")
+            attempt = int(rec.get("attempt", 1))
+            if key is not None:
+                result.attempts[key] = max(result.attempts.get(key, 0), attempt)
+        elif event in ("failed", "quarantined"):
+            if "error" in rec:
+                job["error"] = rec["error"]
+            if rec.get("crash"):
+                job["crash"] = True
+            job["terminal_ts"] = rec.get("ts")
+            if event == "quarantined":
+                attempts = int(rec.get("attempts", 0))
+                job["attempts"] = attempts
+                key = rec.get("key", job.get("key"))
+                if key is not None:
+                    result.quarantined_keys[key] = max(
+                        result.quarantined_keys.get(key, 0), attempts
+                    )
+        elif event in TERMINAL_EVENTS:
+            job["terminal_ts"] = rec.get("ts")
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, result: ReplayResult) -> int:
+        """Rewrite the journal from a replay: one record per job.
+
+        Terminal jobs keep a single terminal record (payload shed);
+        in-flight jobs keep their merged submit record so a later replay
+        still sees them. Returns the number of records written. Called
+        at boot only, before any new appends, so the rewrite cannot race
+        live appenders.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            records = []
+            for job in result.jobs.values():
+                rec = {
+                    "v": JOURNAL_VERSION,
+                    "ts": job.get("terminal_ts") or job.get("submitted_ts")
+                    or time.time(),
+                    "event": job["event"],
+                    "job_id": job["job_id"],
+                }
+                for field in ("kind", "attempt", "key", "timeout", "error",
+                              "crash", "attempts"):
+                    if field in job:
+                        rec[field] = job[field]
+                if job["event"] not in TERMINAL_EVENTS and "payload" in job:
+                    rec["payload"] = job["payload"]
+                records.append(rec)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".jobs-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    for rec in records:
+                        fh.write(
+                            json.dumps(rec, separators=(",", ":"), default=str)
+                            + "\n"
+                        )
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._last_fsync = time.monotonic()
+        return len(records)
+
+    def stats(self) -> dict:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {
+            "path": self.path,
+            "fsync_policy": self.fsync_policy,
+            "appends_total": self.appends_total,
+            "size_bytes": size,
+        }

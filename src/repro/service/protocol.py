@@ -180,17 +180,22 @@ def error_payload(
     status: int,
     retry_after: float | None = None,
     trace_id: str | None = None,
+    reason: str | None = None,
 ) -> dict:
     """Error body; ``retry_after`` (seconds) rides along on 429/503 so
     clients can pace their backoff even when they cannot read headers.
 
     ``trace_id`` correlates the failure with server-side spans and
     flight-recorder dumps; when omitted here, the HTTP handler injects
-    the request's trace id before serializing the reply.
+    the request's trace id before serializing the reply. ``reason`` is a
+    machine-readable discriminator for errors that share a status code
+    (e.g. ``"quarantined"`` on a 409).
     """
     error: dict = {"message": message, "status": status}
     if retry_after is not None:
         error["retry_after_seconds"] = retry_after
     if trace_id is not None:
         error["trace_id"] = trace_id
+    if reason is not None:
+        error["reason"] = reason
     return envelope({"error": error})

@@ -79,7 +79,7 @@ from ..obs.trace import (
 )
 from ..resilience import faults
 from .cache import ResultCache, dataset_fingerprint
-from .jobs import DONE, Job, JobManager, QueueFullError
+from .jobs import DONE, Job, JobManager, QuarantinedError, QueueFullError
 from .metrics import Metrics
 from .protocol import (
     Hyperparameters,
@@ -142,7 +142,16 @@ class DiscoveryService:
         flight_dir: str | None = None,
         flight_capacity: int = 4096,
         flight_debounce: float = 30.0,
+        journal_dir: str | None = None,
+        recover: str = "mark",
+        max_attempts: int = 2,
+        hang_timeout: float | None = None,
     ) -> None:
+        if recover not in ("mark", "resubmit"):
+            raise ValueError(
+                f"unknown recover mode {recover!r}; options: mark, resubmit"
+            )
+        self.recover = recover
         self.registry = MetricsRegistry()
         self.metrics = Metrics(registry=self.registry)
         self._obs_sink = (
@@ -158,6 +167,7 @@ class DiscoveryService:
             capacity=flight_capacity,
             directory=flight_dir,
             debounce_seconds=flight_debounce,
+            registry=self.registry,
         )
         self.registry.set_delta_observer(self.flight.metric_delta)
         if tracer is not None:
@@ -189,8 +199,11 @@ class DiscoveryService:
             workers=workers, default_timeout=job_timeout,
             max_queue_depth=max_queue_depth, registry=self.registry,
             executor=executor, tracer=self.tracer,
+            journal_dir=journal_dir, max_attempts=max_attempts,
+            hang_timeout=hang_timeout,
         )
         self.jobs.event_hook = self._on_job_event
+        self._n_resubmitted = 0
         self.cache = ResultCache(
             max_entries=cache_entries, ttl_seconds=cache_ttl,
             registry=self.registry, name="results",
@@ -219,6 +232,40 @@ class DiscoveryService:
             max_entries=cache_entries * 8, ttl_seconds=cache_ttl,
             registry=self.registry, name="idempotency",
         )
+        # Crash recovery: journal replay already marked the previous
+        # process's in-flight jobs INTERRUPTED; under --recover resubmit,
+        # re-run the ones whose submit records carried a payload.
+        if journal_dir is not None and recover == "resubmit":
+            self._resubmit_interrupted()
+
+    def _resubmit_interrupted(self) -> None:
+        for rec in self.jobs.recovered_interrupted:
+            wire = rec.get("payload")
+            if not isinstance(wire, dict) or "relation" not in wire:
+                continue  # journaled without payload: stays INTERRUPTED
+            try:
+                relation = relation_from_wire(wire.get("relation"))
+                hyperparameters = Hyperparameters.from_payload(
+                    wire.get("hyperparameters")
+                )
+                fingerprint = rec.get("key") or dataset_fingerprint(
+                    relation, hyperparameters
+                )
+                timeout = rec.get("timeout")
+                job = self.jobs.submit(
+                    self._make_run(relation, hyperparameters, timeout, fingerprint),
+                    timeout=timeout, key=fingerprint, payload=wire,
+                )
+            except (ProtocolError, QuarantinedError, QueueFullError, ValueError):
+                continue  # unusable payload / poison key / full queue
+            old = self.jobs.get(rec["job_id"])
+            if old is not None:
+                old.resubmitted_as = job.id
+            self._n_resubmitted += 1
+            self.registry.counter(
+                "jobs_recovered_total",
+                help="Interrupted jobs resubmitted from the journal at boot",
+            ).inc()
 
     def close(self) -> None:
         # Cancel queued jobs (terminal CANCELLED, not forever-QUEUED) and
@@ -248,6 +295,15 @@ class DiscoveryService:
         """Job-manager failures land in the ring; worker crashes dump."""
         data = {k: v for k, v in event.items() if k != "trace_id"}
         self.flight.record("job", trace_id=event.get("trace_id"), **data)
+        if event.get("event") == "job.quarantined":
+            self.flight.trigger(
+                "job.quarantined",
+                trace_id=event.get("trace_id"),
+                job_id=event.get("job_id"),
+                attempt=event.get("attempt"),
+                error=event.get("error"),
+            )
+            return
         if "WorkerCrashError" in (event.get("error_type") or "") \
                 or "WorkerCrashError" in (event.get("error") or ""):
             self.flight.trigger(
@@ -388,6 +444,40 @@ class DiscoveryService:
                 self.metrics.increment("idempotent_replays")
                 return self._job_reply(existing, fingerprint, wait, replayed=True)
 
+        # Journal-enabled managers get the wire-form work description so
+        # a crash-recovery boot can resubmit this job without the closure.
+        journal_payload = None
+        if self.jobs.journal is not None:
+            journal_payload = {
+                "relation": payload.get("relation"),
+                "hyperparameters": payload.get("hyperparameters"),
+            }
+        try:
+            job = self.jobs.submit(
+                self._make_run(relation, hyperparameters, deadline, fingerprint),
+                timeout=deadline, key=fingerprint, payload=journal_payload,
+            )
+        except QuarantinedError as exc:
+            self.metrics.increment("requests_quarantined")
+            return 409, error_payload(str(exc), 409, reason="quarantined")
+        except QueueFullError as exc:
+            self.metrics.increment("requests_shed")
+            self.flight.record(
+                "state", trace_id=current_trace_id(),
+                event="load.shed", retry_after_seconds=exc.retry_after_seconds,
+            )
+            return 429, error_payload(
+                str(exc), 429, retry_after=exc.retry_after_seconds
+            )
+        # Record the mapping *before* replying: if the reply is lost on
+        # the wire, the client's retry must find the job, not re-run it.
+        if idempotency_key:
+            self._idempotency.put(idempotency_key, job.id)
+        return self._job_reply(job, fingerprint, wait)
+
+    def _make_run(self, relation, hyperparameters, deadline, fingerprint):
+        """The job body for one discovery (shared by submit and recovery)."""
+
         def run() -> dict:
             started = time.perf_counter()
             with self.tracer.span(
@@ -420,22 +510,7 @@ class DiscoveryService:
             self._record_discovery(result, time.perf_counter() - started)
             return result
 
-        try:
-            job = self.jobs.submit(run, timeout=deadline)
-        except QueueFullError as exc:
-            self.metrics.increment("requests_shed")
-            self.flight.record(
-                "state", trace_id=current_trace_id(),
-                event="load.shed", retry_after_seconds=exc.retry_after_seconds,
-            )
-            return 429, error_payload(
-                str(exc), 429, retry_after=exc.retry_after_seconds
-            )
-        # Record the mapping *before* replying: if the reply is lost on
-        # the wire, the client's retry must find the job, not re-run it.
-        if idempotency_key:
-            self._idempotency.put(idempotency_key, job.id)
-        return self._job_reply(job, fingerprint, wait)
+        return run
 
     def _job_reply(
         self, job: Job, fingerprint: str, wait: bool, replayed: bool = False
@@ -591,6 +666,24 @@ class DiscoveryService:
         """``GET /v1/debug/flight``: the recorder's ring, no dump needed."""
         return 200, envelope(self.flight.snapshot(limit=limit))
 
+    def storage_status(self) -> dict:
+        """Aggregate health of every degradable disk writer."""
+        writers = []
+        if self.jobs.journal_writer is not None:
+            writers.append(self.jobs.journal_writer.status())
+        if self.sessions.checkpoint_dir:
+            writers.append(self.sessions.writer.status())
+        if self.flight.directory is not None:
+            writers.append(self.flight.writer.status())
+        if self._obs_sink is not None:
+            writers.append(self._obs_sink.writer.status())
+        degraded = [w["name"] for w in writers if w["state"] != "ok"]
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded_writers": degraded,
+            "writers": writers,
+        }
+
     def statusz(self) -> tuple[int, dict]:
         """Deep readiness for ``GET /v1/statusz``.
 
@@ -600,6 +693,11 @@ class DiscoveryService:
         the last 5xx seen and per-endpoint SLO burn rates. Degraded
         state answers 503 while still carrying the full body, so probes
         can both gate traffic and show why.
+
+        The ``storage`` check is *soft*: a sick disk marks the overall
+        status degraded (writers are buffering in memory) but does not
+        flip the HTTP answer to 503 — requests still succeed, so pulling
+        the instance from the balancer would only lose the buffers.
         """
         jobs = self.jobs.stats()
         workers = jobs["workers"]
@@ -608,17 +706,26 @@ class DiscoveryService:
         # would wait several full discovery latencies: not ready.
         backlogged = jobs["queue_depth"] >= workers * 4
         solver = self.solver_health.summary()
+        storage = self.storage_status()
         checks = {
             "job_manager": "shutdown" if self.jobs.closed else "ok",
             "worker_pool": "backlogged" if backlogged else "ok",
             # Recent solver runs non-converging or ill-conditioned means
             # the answers themselves are suspect: degrade readiness.
             "solver": solver["status"],
+            # Soft check: degraded storage buffers in memory, it does
+            # not fail requests — degraded, not dead.
+            "storage": storage["status"],
         }
-        ready = all(state == "ok" for state in checks.values())
+        ready = all(
+            state == "ok"
+            for name, state in checks.items()
+            if name != "storage"
+        )
+        status = "ok" if ready and storage["status"] == "ok" else "degraded"
         body = envelope(
             {
-                "status": "ok" if ready else "degraded",
+                "status": status,
                 "version": __version__,
                 "started_at": self.metrics.started_at,
                 "uptime_seconds": self.metrics.uptime_seconds(),
@@ -628,6 +735,7 @@ class DiscoveryService:
                 "sessions": self.sessions.stats(),
                 "slo": self.slo.summary(),
                 "solver": solver,
+                "storage": storage,
                 "flight": self.flight.stats(),
                 "last_error": self.last_error(),
             }
@@ -694,6 +802,20 @@ class DiscoveryService:
             "solver_recent_nonconverged_ratio",
             help="Non-converged fraction of the recent solver-run window",
         ).set(solver["recent_nonconverged_ratio"])
+        gauge(
+            "jobs_quarantined_keys",
+            help="Work keys currently refused as quarantined",
+        ).set(jobs["quarantined_keys"])
+        storage = self.storage_status()
+        for writer in storage["writers"]:
+            gauge(
+                "storage_writer_degraded", labels={"writer": writer["name"]},
+                help="1 when the named disk writer is buffering in memory",
+            ).set(1 if writer["state"] != "ok" else 0)
+            gauge(
+                "storage_writer_buffered", labels={"writer": writer["name"]},
+                help="Writes currently parked in memory awaiting disk recovery",
+            ).set(writer["buffered"])
         self.slo.publish_burn_rates()
         return render_prometheus(self.registry)
 

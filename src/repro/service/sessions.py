@@ -51,6 +51,7 @@ from ..streaming import (
     refresh_solve,
     write_checkpoint,
 )
+from ..resilience.degrade import DegradableWriter
 from .protocol import Hyperparameters, ProtocolError
 
 
@@ -307,6 +308,13 @@ class SessionManager:
         self.expired = 0
         self.restored = 0
         self.checkpoint_failures = 0
+        #: Storage degradation policy for checkpoint persists: an
+        #: ENOSPC/EIO write parks the payload (keyed per session, latest
+        #: wins) and retries with backoff on the next persist, instead of
+        #: silently bumping a counter and losing the checkpoint.
+        self.writer = DegradableWriter(
+            "checkpoints", registry=registry, max_buffered=64
+        )
         if checkpoint_dir:
             self._restore_checkpoints()
 
@@ -388,11 +396,22 @@ class SessionManager:
     def _persist(self, session: Session) -> None:
         if not self.checkpoint_dir:
             return
+        payload = session.checkpoint_payload()
         try:
-            write_checkpoint(
-                self.checkpoint_dir, session.id, session.checkpoint_payload()
+            written = self.writer.write(
+                lambda: write_checkpoint(
+                    self.checkpoint_dir, session.id, payload
+                ),
+                key=session.id,
             )
         except OSError:
+            # Non-degradable write error (permissions, bad path):
+            # checkpointing stays best-effort, as before.
+            self.checkpoint_failures += 1
+            return
+        if written is None:
+            # Parked by the degradation policy (disk full / EIO); the
+            # latest payload per session is retried on the next persist.
             self.checkpoint_failures += 1
 
     def _restore_checkpoints(self) -> None:
@@ -417,13 +436,20 @@ class SessionManager:
                 "server has no checkpoint directory configured", status=409
             )
         session = self.get(session_id)
-        write_checkpoint(
-            self.checkpoint_dir, session.id, session.checkpoint_payload()
+        payload = session.checkpoint_payload()
+        written = self.writer.write(
+            lambda: write_checkpoint(self.checkpoint_dir, session.id, payload),
+            key=session.id,
         )
+        if written is None:
+            self.checkpoint_failures += 1
         return {
             "session_id": session.id,
             "path": checkpoint_path(self.checkpoint_dir, session.id),
             "changelog_version": session.changelog.version,
+            # False when the storage degradation policy parked the write
+            # (disk full / EIO); it retries on the next persist.
+            "persisted": written is not None,
         }
 
     # -- operations --------------------------------------------------------
@@ -515,4 +541,5 @@ class SessionManager:
         if self.checkpoint_dir:
             base["checkpoint_dir"] = self.checkpoint_dir
             base["checkpoint_failures"] = self.checkpoint_failures
+            base["storage"] = self.writer.status()
         return base

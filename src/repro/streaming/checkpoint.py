@@ -18,6 +18,8 @@ import os
 import re
 import tempfile
 
+from ..resilience import faults
+
 #: Bump when the checkpoint payload schema changes incompatibly; readers
 #: skip files whose version they do not understand.
 CHECKPOINT_VERSION = 1
@@ -39,6 +41,7 @@ def checkpoint_path(directory: str, session_id: str) -> str:
 
 def write_checkpoint(directory: str, session_id: str, payload: dict) -> str:
     """Atomically persist one session's checkpoint; returns the path."""
+    faults.maybe_raise_disk("checkpoint")
     os.makedirs(directory, exist_ok=True)
     path = checkpoint_path(directory, session_id)
     document = {

@@ -256,3 +256,83 @@ class TestParallelWorkerCrash:
             p for p in multiprocessing.active_children()
             if p.name.startswith("repro-job-worker")
         ]
+
+
+class TestStorageChaos:
+    """``disk.enospc`` / ``disk.eio``: storage faults degrade, never 500.
+
+    Every durable writer (job journal, session checkpoints, obs JSONL)
+    is armed with disk faults while real requests flow through a live
+    server with a non-retrying client — so any 500 would surface as a
+    hard ServiceError. The claims: requests keep succeeding, statusz
+    stays HTTP 200 but reports ``degraded`` storage, and once the fault
+    clears a flush drains the parked writes and health recovers.
+    """
+
+    def test_enospc_storm_degrades_journal_not_requests(self, tmp_path):
+        with start_in_thread(workers=2, job_timeout=60.0,
+                             journal_dir=str(tmp_path)) as handle:
+            client = ServiceClient(handle.base_url, retry=None, timeout=30.0)
+            client.wait_until_healthy()
+            with FaultInjector(seed=21).inject(
+                "disk.enospc", times=None
+            ).install():
+                # Every journal append hits ENOSPC; submits still work.
+                for i in range(3):
+                    result = client.discover(chaos_relation(seed=40 + i))
+                    assert FD(["a0"], "a1") in set(result.fds)
+                status = client.statusz()
+                assert status["status"] == "degraded"
+                assert status["checks"]["storage"] == "degraded"
+                assert "journal" in status["storage"]["degraded_writers"]
+                buffered = handle.service.jobs.journal_writer.status()["buffered"]
+                assert buffered > 0
+            # Disk healed: the backlog flushes and health recovers.
+            assert handle.service.jobs.journal_writer.flush()
+            status = client.statusz()
+            assert status["status"] == "ok"
+            assert status["checks"]["storage"] == "ok"
+            assert_no_hung_jobs(handle)
+
+    def test_eio_on_checkpoint_returns_degraded_body_not_500(self, tmp_path):
+        with start_in_thread(workers=2, job_timeout=60.0,
+                             checkpoint_dir=str(tmp_path)) as handle:
+            client = ServiceClient(handle.base_url, retry=None, timeout=30.0)
+            client.wait_until_healthy()
+            sid = client.create_session()
+            client.append_batch(sid, chaos_relation(seed=50, n=80))
+            with FaultInjector(seed=22).inject(
+                "disk.eio", times=None
+            ).install():
+                body = client.checkpoint_session(sid)  # 200, not 500
+                assert body["persisted"] is False
+                status = client.statusz()
+                assert status["status"] == "degraded"
+                assert "checkpoints" in status["storage"]["degraded_writers"]
+            assert handle.service.sessions.writer.flush()
+            body = client.checkpoint_session(sid)
+            assert body["persisted"] is True
+            status = client.statusz()
+            assert status["status"] == "ok"
+            assert_no_hung_jobs(handle)
+
+    def test_obs_sink_faults_never_touch_request_path(self, tmp_path):
+        obs_path = str(tmp_path / "events.jsonl")
+        with start_in_thread(workers=2, job_timeout=60.0,
+                             obs_jsonl=obs_path) as handle:
+            client = ServiceClient(handle.base_url, retry=None, timeout=30.0)
+            client.wait_until_healthy()
+            with FaultInjector(seed=23).inject(
+                "disk.enospc", times=None
+            ).install():
+                result = client.discover(chaos_relation(seed=60))
+                assert FD(["a0"], "a1") in set(result.fds)
+                status = client.statusz()
+                assert status["status"] == "degraded"
+                assert "obs_jsonl" in status["storage"]["degraded_writers"]
+            assert handle.service._obs_sink.writer.flush()
+            assert client.statusz()["status"] == "ok"
+            # The parked request events made it to disk after recovery.
+            with open(obs_path, encoding="utf-8") as fh:
+                assert sum(1 for _ in fh) > 0
+            assert_no_hung_jobs(handle)

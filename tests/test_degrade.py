@@ -1,0 +1,237 @@
+"""Tests for repro.resilience.degrade (ENOSPC/EIO write degradation)."""
+
+import errno
+import random
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience.degrade import (
+    DEGRADABLE_ERRNOS,
+    DegradableWriter,
+    is_degradable_oserror,
+)
+
+
+def enospc():
+    return OSError(errno.ENOSPC, "No space left on device")
+
+
+def eio():
+    return OSError(errno.EIO, "Input/output error")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class FlakyDisk:
+    """A write target that fails the next ``fail_next`` writes."""
+
+    def __init__(self, exc_factory=enospc):
+        self.fail_next = 0
+        self.exc_factory = exc_factory
+        self.written = []
+
+    def writer(self, value):
+        def fn():
+            if self.fail_next > 0:
+                self.fail_next -= 1
+                raise self.exc_factory()
+            self.written.append(value)
+            return value
+        return fn
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_writer(clock, **kwargs):
+    kwargs.setdefault("jitter", 0.0)
+    return DegradableWriter("test", clock=clock, rng=random.Random(0), **kwargs)
+
+
+def test_degradable_errno_classification():
+    assert is_degradable_oserror(enospc())
+    assert is_degradable_oserror(eio())
+    assert not is_degradable_oserror(OSError(errno.EACCES, "denied"))
+    assert not is_degradable_oserror(ValueError("nope"))
+    assert DEGRADABLE_ERRNOS == {errno.ENOSPC, errno.EIO}
+
+
+def test_healthy_writes_pass_through(clock):
+    w = make_writer(clock)
+    disk = FlakyDisk()
+    assert w.write(disk.writer("a")) == "a"
+    assert disk.written == ["a"]
+    assert not w.degraded
+    assert w.status()["state"] == "ok"
+
+
+def test_enospc_parks_write_and_degrades(clock):
+    w = make_writer(clock)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    assert w.write(disk.writer("a")) is None
+    assert disk.written == []
+    assert w.degraded
+    status = w.status()
+    assert status["state"] == "degraded"
+    assert status["failures_total"] == 1
+    assert status["buffered"] == 1
+    assert "No space left" in status["last_error"]
+
+
+def test_backoff_window_buffers_without_touching_disk(clock):
+    w = make_writer(clock, backoff_seconds=10.0)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    w.write(disk.writer("a"))
+    # Inside the backoff window: the disk must not even be probed.
+    disk.fail_next = 0
+    assert w.write(disk.writer("b")) is None
+    assert disk.written == []
+    assert w.status()["buffered"] == 2
+    # Past the window the backlog flushes in order, then the new write runs.
+    clock.now += 10.0
+    assert w.write(disk.writer("c")) == "c"
+    assert disk.written == ["a", "b", "c"]
+    assert not w.degraded
+    assert w.status()["flushed_total"] == 2
+
+
+def test_backoff_grows_exponentially_and_caps(clock):
+    w = make_writer(clock, backoff_seconds=1.0, max_backoff_seconds=4.0)
+    disk = FlakyDisk()
+    delays = []
+    for _ in range(4):
+        disk.fail_next = 1
+        clock.now += 1000.0  # leave any previous window
+        w.write(disk.writer("x"))
+        delays.append(w.status()["retry_in_seconds"])
+    assert delays == [1.0, 2.0, 4.0, 4.0]
+
+
+def test_jitter_shrinks_delay_deterministically(clock):
+    w = DegradableWriter("test", clock=clock, jitter=0.5,
+                         backoff_seconds=10.0, rng=random.Random(7))
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    w.write(disk.writer("x"))
+    delay = w.status()["retry_in_seconds"]
+    assert 5.0 <= delay <= 10.0
+
+
+def test_key_coalescing_latest_wins_position_kept(clock):
+    w = make_writer(clock, backoff_seconds=5.0)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    w.write(disk.writer("s1-v1"), key="s1")
+    w.write(disk.writer("other"))
+    w.write(disk.writer("s1-v2"), key="s1")  # coalesces over s1-v1
+    assert w.status()["buffered"] == 2
+    clock.now += 5.0
+    w.flush()
+    # s1 kept its original (first) position but flushed the newest value.
+    assert disk.written == ["s1-v2", "other"]
+
+
+def test_buffer_bound_drops_oldest(clock):
+    w = make_writer(clock, backoff_seconds=5.0, max_buffered=3)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    for i in range(5):
+        w.write(disk.writer(f"v{i}"))
+    status = w.status()
+    assert status["buffered"] == 3
+    assert status["dropped_total"] == 2
+    clock.now += 5.0
+    w.flush()
+    assert disk.written == ["v2", "v3", "v4"]
+
+
+def test_non_degradable_oserror_propagates(clock):
+    w = make_writer(clock)
+
+    def denied():
+        raise OSError(errno.EACCES, "Permission denied")
+
+    with pytest.raises(OSError) as err:
+        w.write(denied)
+    assert err.value.errno == errno.EACCES
+    assert not w.degraded  # config bugs do not trip degradation
+
+
+def test_non_degradable_error_during_flush_is_dropped_not_wedged(clock):
+    w = make_writer(clock, backoff_seconds=1.0)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    w.write(disk.writer("a"))
+
+    def denied():
+        raise OSError(errno.EACCES, "Permission denied")
+
+    w.write(denied)  # parked behind "a" during the backoff window
+    w.write(disk.writer("c"))
+    clock.now += 1.0
+    assert w.flush()
+    assert disk.written == ["a", "c"]
+    assert w.status()["dropped_total"] == 1
+
+
+def test_flush_ignores_backoff_window(clock):
+    w = make_writer(clock, backoff_seconds=60.0, max_backoff_seconds=60.0)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    w.write(disk.writer("a"))
+    assert w.status()["retry_in_seconds"] == 60.0
+    assert w.flush()  # immediate, despite the window
+    assert disk.written == ["a"]
+    assert not w.degraded
+
+
+def test_failed_probe_reenters_backoff(clock):
+    w = make_writer(clock, backoff_seconds=1.0)
+    disk = FlakyDisk()
+    disk.fail_next = 3  # initial failure + failed probe
+    w.write(disk.writer("a"))
+    clock.now += 1.0
+    assert w.write(disk.writer("b")) is None  # probe fails, b parked
+    assert w.status()["buffered"] == 2
+    assert w.status()["failures_total"] == 2
+
+
+def test_eio_is_degradable_too(clock):
+    w = make_writer(clock)
+    disk = FlakyDisk(exc_factory=eio)
+    disk.fail_next = 1
+    assert w.write(disk.writer("a")) is None
+    assert w.degraded
+
+
+def test_metrics_counted_with_writer_label(clock):
+    registry = MetricsRegistry()
+    w = DegradableWriter("journal", registry=registry, clock=clock,
+                         jitter=0.0, backoff_seconds=1.0)
+    disk = FlakyDisk()
+    disk.fail_next = 1
+    w.write(disk.writer("a"))
+    clock.now += 1.0
+    w.write(disk.writer("b"))
+    labels = {"writer": "journal"}
+    assert registry.counter("storage_write_failures_total", labels=labels).value == 1
+    assert registry.counter("storage_writes_buffered_total", labels=labels).value == 1
+    assert registry.counter("storage_writes_flushed_total", labels=labels).value == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DegradableWriter("x", backoff_seconds=0.0)
+    with pytest.raises(ValueError):
+        DegradableWriter("x", jitter=1.5)

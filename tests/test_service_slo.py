@@ -99,7 +99,7 @@ def test_statusz_reports_deep_readiness(client):
     status = client.statusz()
     assert status["status"] == "ok"
     assert status["checks"] == {
-        "job_manager": "ok", "worker_pool": "ok", "solver": "ok",
+        "job_manager": "ok", "worker_pool": "ok", "solver": "ok", "storage": "ok",
     }
     assert status["uptime_seconds"] >= 0
     assert status["started_at"] <= time.time()

@@ -1,0 +1,181 @@
+"""Tests for repro.resilience.watchdog (heartbeats, hung-solve detection)."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import CancelledError, CancelToken
+from repro.resilience.watchdog import (
+    Heartbeat,
+    SolveWatchdog,
+    current_heartbeat,
+    set_current_heartbeat,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self):
+        return self.now
+
+
+# -- Heartbeat ---------------------------------------------------------------
+
+def test_heartbeat_thread_cell_round_trip():
+    hb = Heartbeat()
+    before = hb.last_beat()
+    hb.beat()
+    assert hb.last_beat() >= before
+
+
+def test_heartbeat_injected_clock():
+    hb = Heartbeat()
+    hb.beat(clock=lambda: 123.0)
+    assert hb.last_beat() == 123.0
+
+
+def test_heartbeat_shared_cell_visible_across_rebuild():
+    ctx = multiprocessing.get_context("spawn")
+    hb = Heartbeat.shared(ctx)
+    assert hb.last_beat() > 0.0  # initialized to "now", not zero
+    # Simulate the child side: rebuild from the raw cell and beat there.
+    child_side = Heartbeat(hb.raw)
+    child_side.beat(clock=lambda: 777.0)
+    assert hb.last_beat() == 777.0
+
+
+def test_heartbeat_contextvar_install_and_reset():
+    assert current_heartbeat() is None
+    hb = Heartbeat()
+    token = set_current_heartbeat(hb)
+    try:
+        assert current_heartbeat() is hb
+    finally:
+        set_current_heartbeat(None)
+    assert current_heartbeat() is None
+    assert token is not None
+
+
+# -- SolveWatchdog -----------------------------------------------------------
+
+def test_quiet_heartbeat_is_declared_hung_and_token_set():
+    clock = FakeClock()
+    watchdog = SolveWatchdog(hang_timeout=5.0, clock=clock)
+    hb = Heartbeat()
+    hb.beat(clock=clock)
+    token = CancelToken()
+    watchdog.watch("job-1", hb, token)
+
+    clock.now += 4.9
+    assert watchdog.check_now() == []
+    assert not token.is_set()
+
+    clock.now += 0.2
+    assert watchdog.check_now() == ["job-1"]
+    assert token.is_set()
+    with pytest.raises(CancelledError) as err:
+        token.raise_if_cancelled()
+    assert "hung: no solver progress in 5s" in str(err.value)
+    assert watchdog.unwatch("job-1") is True
+
+
+def test_beating_heartbeat_never_hangs():
+    clock = FakeClock()
+    watchdog = SolveWatchdog(hang_timeout=5.0, clock=clock)
+    hb = Heartbeat()
+    token = CancelToken()
+    watchdog.watch("job-1", hb, token)
+    for _ in range(10):
+        clock.now += 3.0
+        hb.beat(clock=clock)
+        assert watchdog.check_now() == []
+    assert not token.is_set()
+    assert watchdog.unwatch("job-1") is False
+
+
+def test_registration_time_grace_before_first_beat():
+    # A job that has not beaten yet is measured from registration, so a
+    # queued-then-started job is not instantly "hung" on a stale cell.
+    clock = FakeClock()
+    watchdog = SolveWatchdog(hang_timeout=5.0, clock=clock)
+    hb = Heartbeat(clock=lambda: 0.0)  # cell far in the past
+    token = CancelToken()
+    watchdog.watch("job-1", hb, token)
+    clock.now += 4.0
+    assert watchdog.check_now() == []
+    clock.now += 2.0
+    assert watchdog.check_now() == ["job-1"]
+
+
+def test_hang_fires_once_and_counts():
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    hangs = []
+    watchdog = SolveWatchdog(hang_timeout=1.0, clock=clock, registry=registry,
+                             on_hang=hangs.append)
+    watchdog.watch("job-1", Heartbeat(clock=clock), CancelToken())
+    clock.now += 2.0
+    assert watchdog.check_now() == ["job-1"]
+    assert watchdog.check_now() == []  # already marked, no re-fire
+    assert hangs == ["job-1"]
+    assert watchdog.hangs_total == 1
+    assert registry.counter("watchdog_hangs_total").value == 1
+
+
+def test_per_watch_timeout_override():
+    clock = FakeClock()
+    watchdog = SolveWatchdog(hang_timeout=60.0, clock=clock)
+    fast, slow = CancelToken(), CancelToken()
+    watchdog.watch("fast", Heartbeat(clock=clock), fast, hang_timeout=2.0)
+    watchdog.watch("slow", Heartbeat(clock=clock), slow)
+    clock.now += 3.0
+    assert watchdog.check_now() == ["fast"]
+    assert fast.is_set() and not slow.is_set()
+
+
+def test_unwatch_unknown_name_is_false():
+    watchdog = SolveWatchdog(hang_timeout=1.0)
+    assert watchdog.unwatch("ghost") is False
+
+
+def test_interval_defaults_to_quarter_timeout_clamped():
+    assert SolveWatchdog(hang_timeout=2.0).interval == 0.5
+    assert SolveWatchdog(hang_timeout=100.0).interval == 1.0
+    assert SolveWatchdog(hang_timeout=0.1).interval == 0.05
+    assert SolveWatchdog(hang_timeout=8.0, interval=0.2).interval == 0.2
+
+
+def test_hang_timeout_validation():
+    with pytest.raises(ValueError):
+        SolveWatchdog(hang_timeout=0.0)
+
+
+def test_monitor_thread_detects_real_stall():
+    watchdog = SolveWatchdog(hang_timeout=0.2, interval=0.05)
+    watchdog.start()
+    try:
+        hb = Heartbeat()
+        token = CancelToken()
+        watchdog.watch("job-1", hb, token)
+        deadline = time.monotonic() + 5.0
+        while not token.is_set() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert token.is_set(), "watchdog thread never fired"
+        assert watchdog.unwatch("job-1") is True
+    finally:
+        watchdog.stop()
+    assert watchdog.stats()["running"] is False
+
+
+def test_stats_shape():
+    clock = FakeClock()
+    watchdog = SolveWatchdog(hang_timeout=3.0, clock=clock)
+    watchdog.watch("a", Heartbeat(clock=clock), CancelToken())
+    stats = watchdog.stats()
+    assert stats["watching"] == 1
+    assert stats["hang_timeout"] == 3.0
+    assert stats["hangs_total"] == 0
