@@ -29,6 +29,7 @@ echo "== tier-2 chaos smoke =="
 
 echo "== bench smoke (report-only) =="
 "$PYTHON" -m repro bench --suite micro --smoke --no-record --report-only
+"$PYTHON" -m repro bench --suite catalog --smoke --no-record --report-only
 
 echo "== parallel process-backend smoke =="
 # Real CLI subprocess on a bundled dataset with 2 process workers; the
@@ -63,6 +64,42 @@ assert evidence["suppressed_total"] >= len(evidence["near_misses"])
 print(f"explain smoke OK: {len(records)} FDs with evidence, "
       f"first margin {record['margin']:.4g}, "
       f"{evidence['suppressed_total']} near-miss edges")
+PY
+
+echo "== catalog sweep smoke =="
+# Real CLI sweep over a 3-table sqlite fixture with a shared key
+# column; the written report must parse with at least one FD and one
+# cross-table shared-key hint.
+"$PYTHON" - "$SMOKE_DIR/catalog.sqlite" <<'PY'
+import sqlite3, sys
+conn = sqlite3.connect(sys.argv[1])
+conn.execute("CREATE TABLE orders (order_id INT, customer_id INT, zip TEXT, city TEXT)")
+conn.execute("CREATE TABLE customers (customer_id INT, name TEXT, region TEXT)")
+conn.execute("CREATE TABLE items (item_id INT, amount REAL, grade TEXT)")
+conn.executemany("INSERT INTO orders VALUES (?,?,?,?)",
+                 [(i, i % 50, f"z{i % 20:02d}", f"c{(i % 20) % 10}")
+                  for i in range(400)])
+conn.executemany("INSERT INTO customers VALUES (?,?,?)",
+                 [(i, f"n{i}", f"r{i % 5}") for i in range(50)])
+conn.executemany("INSERT INTO items VALUES (?,?,?)",
+                 [(i, (i % 13) / 2.0, f"g{i % 4}") for i in range(200)])
+conn.commit(); conn.close()
+PY
+"$PYTHON" -m repro sweep --input "$SMOKE_DIR/catalog.sqlite" --sample 500 \
+    --report "$SMOKE_DIR/catalog.json" >/dev/null
+"$PYTHON" - "$SMOKE_DIR/catalog.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+totals = report["totals"]
+assert totals["tables"] == 3 and totals["tables_error"] == 0, totals
+assert totals["fds"] >= 1, totals
+assert totals["hints"] >= 1, totals
+assert any(h["kind"] in ("shared_key", "foreign_key_candidate")
+           for h in report["hints"]), report["hints"]
+for table in report["tables"]:
+    assert table["sampling"]["standard_error"], table["table"]
+print(f"catalog smoke OK: {totals['tables_ok']} tables, {totals['fds']} FDs, "
+      f"{totals['hints']} cross-table hints")
 PY
 
 echo "== streaming session smoke =="
@@ -196,10 +233,10 @@ def request(base, path, body=None):
         return json.loads(resp.read())
 
 
-def relation_payload(seed):
+def relation_payload(seed, n_rows):
     rng = np.random.default_rng(seed)
     rows = []
-    for _ in range(400):
+    for _ in range(n_rows):
         base = int(rng.integers(12))
         rows.append([base, base % 4] + [int(rng.integers(5)) for _ in range(4)])
     return {"attributes": [f"a{i}" for i in range(6)], "rows": rows}
@@ -210,11 +247,13 @@ proc1 = proc2 = None
 try:
     proc1, base = start_server(journal_dir)
     # One worker: the first job runs, the second sits in the queue —
-    # both are in flight when the process dies.
+    # both are in flight when the process dies. The first job is big
+    # enough (hundreds of ms) to still be running when the kill lands;
+    # the second is tiny so its submit barely delays the kill.
     ids = []
-    for seed in (1, 2):
+    for seed, n_rows in ((1, 20_000), (2, 400)):
         body = request(base, "/v1/discover",
-                       {"relation": relation_payload(seed), "wait": False})
+                       {"relation": relation_payload(seed, n_rows), "wait": False})
         ids.append(body["job_id"])
     os.kill(proc1.pid, signal.SIGKILL)
     proc1.wait(timeout=10.0)

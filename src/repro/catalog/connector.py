@@ -1,0 +1,340 @@
+"""Catalog connectors: enumerate tables, stream row batches.
+
+A :class:`Connector` turns one *source* — a SQLite database file or a
+directory of CSV files — into a uniform catalog surface: table names,
+row counts, column types, and memory-bounded batch iteration. Nothing
+here materializes a whole table; the samplers decide how many rows to
+keep.
+
+Connectors are deliberately cheap to (re)construct from a picklable
+``spec()`` dict, because sweep workers in process mode rebuild their own
+connector on the far side of a fork (SQLite handles do not cross
+process, or even thread, boundaries).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..dataset.io import CsvStream
+from ..dataset.relation import MISSING, Relation
+from ..dataset.schema import Attribute, AttributeType, Schema
+from ..errors import CatalogError
+
+__all__ = [
+    "Connector",
+    "CsvDirectoryConnector",
+    "SqliteConnector",
+    "TableInfo",
+    "connector_from_spec",
+    "open_connector",
+]
+
+DEFAULT_BATCH_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """One table's shape as the connector reports it (pre-sampling)."""
+
+    name: str
+    n_rows: int
+    columns: tuple[tuple[str, str], ...]  # (column name, "numeric"|"categorical")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_rows": self.n_rows,
+            "columns": [{"name": c, "dtype": d} for c, d in self.columns],
+        }
+
+
+class Connector:
+    """Protocol base for catalog sources.
+
+    Subclasses implement :meth:`table_names`, :meth:`table_info`,
+    :meth:`iter_batches` and :meth:`spec`; the base provides
+    :meth:`read_table` on top of batch iteration. Instances are
+    single-threaded — sweep workers build their own from ``spec()``.
+    """
+
+    kind: str = "?"
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted (the sweep's stable plan order)."""
+        raise NotImplementedError
+
+    def table_info(self, name: str) -> TableInfo:
+        raise NotImplementedError
+
+    def iter_batches(
+        self, name: str, batch_size: int = DEFAULT_BATCH_ROWS
+    ) -> Iterator[Relation]:
+        raise NotImplementedError
+
+    def spec(self) -> dict:
+        """Picklable description sufficient to rebuild this connector."""
+        raise NotImplementedError
+
+    def read_table(self, name: str, limit: int | None = None) -> Relation:
+        """Materialize ``name`` (up to ``limit`` rows) via batch iteration."""
+        batches: list[Relation] = []
+        seen = 0
+        for batch in self.iter_batches(name):
+            if limit is not None and seen + batch.n_rows > limit:
+                batch = batch.select_rows(range(limit - seen))
+            batches.append(batch)
+            seen += batch.n_rows
+            if limit is not None and seen >= limit:
+                break
+        if not batches:
+            info = self.table_info(name)
+            schema = Schema(
+                [Attribute(c, AttributeType.NUMERIC if d == "numeric"
+                           else AttributeType.CATEGORICAL)
+                 for c, d in info.columns]
+            )
+            return Relation(schema, {c: [] for c, _ in info.columns})
+        if len(batches) == 1:
+            return batches[0]
+        from ..dataset.relation import concat_rows
+
+        return concat_rows(batches)
+
+    def close(self) -> None:
+        """Release any underlying handle (idempotent)."""
+
+
+def _sqlite_dtype(declared: str | None) -> str:
+    """SQLite declared-type affinity -> our two-way dtype split.
+
+    Mirrors the documented affinity rules: a declared type containing
+    INT/REAL/FLOA/DOUB (or NUMERIC/DEC) is numeric; everything else —
+    including untyped expression columns — is categorical.
+    """
+    if not declared:
+        return "categorical"
+    upper = declared.upper()
+    for token in ("INT", "REAL", "FLOA", "DOUB", "NUMERIC", "DEC"):
+        if token in upper:
+            return "numeric"
+    return "categorical"
+
+
+def _quote_identifier(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SqliteConnector(Connector):
+    """All user tables of one SQLite database file (stdlib ``sqlite3``)."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.is_file():
+            raise CatalogError(f"no such SQLite database: {self.path}")
+        self._conn: sqlite3.Connection | None = None
+        self._info: dict[str, TableInfo] = {}
+
+    def describe(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            try:
+                # Immutable read path: sweeps never write the source.
+                self._conn = sqlite3.connect(self.path)
+            except sqlite3.Error as exc:
+                raise CatalogError(f"cannot open {self.path}: {exc}") from exc
+        return self._conn
+
+    def table_names(self) -> list[str]:
+        try:
+            rows = self._connection().execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise CatalogError(f"cannot list tables of {self.path}: {exc}") from exc
+        return [name for (name,) in rows]
+
+    def table_info(self, name: str) -> TableInfo:
+        cached = self._info.get(name)
+        if cached is not None:
+            return cached
+        conn = self._connection()
+        quoted = _quote_identifier(name)
+        try:
+            pragma = conn.execute(f"PRAGMA table_info({quoted})").fetchall()
+            if not pragma:
+                raise CatalogError(f"no such table {name!r} in {self.path}")
+            (n_rows,) = conn.execute(f"SELECT COUNT(*) FROM {quoted}").fetchone()
+        except sqlite3.Error as exc:
+            raise CatalogError(
+                f"cannot inspect table {name!r} of {self.path}: {exc}"
+            ) from exc
+        columns = tuple(
+            (str(col_name), _sqlite_dtype(declared))
+            for _, col_name, declared, *_ in pragma
+        )
+        info = TableInfo(name=name, n_rows=int(n_rows), columns=columns)
+        self._info[name] = info
+        return info
+
+    def iter_batches(
+        self, name: str, batch_size: int = DEFAULT_BATCH_ROWS
+    ) -> Iterator[Relation]:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        info = self.table_info(name)
+        schema = Schema(
+            [Attribute(c, AttributeType.NUMERIC if d == "numeric"
+                       else AttributeType.CATEGORICAL)
+             for c, d in info.columns]
+        )
+        numeric = [d == "numeric" for _, d in info.columns]
+        select = ", ".join(_quote_identifier(c) for c, _ in info.columns)
+        try:
+            cursor = self._connection().execute(
+                f"SELECT {select} FROM {_quote_identifier(name)}"
+            )
+            while True:
+                chunk = cursor.fetchmany(batch_size)
+                if not chunk:
+                    break
+                yield Relation.from_rows(
+                    schema,
+                    [
+                        tuple(
+                            self._convert(value, is_numeric)
+                            for value, is_numeric in zip(row, numeric)
+                        )
+                        for row in chunk
+                    ],
+                )
+        except sqlite3.Error as exc:
+            raise CatalogError(
+                f"cannot read table {name!r} of {self.path}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _convert(value, is_numeric: bool):
+        if value is None:
+            return MISSING
+        if is_numeric:
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                # TEXT smuggled into a numeric column: treat as missing,
+                # matching the CSV reader's unparseable-cell rule.
+                return MISSING
+        if isinstance(value, bytes):
+            return value.hex()
+        return value if isinstance(value, str) else str(value)
+
+    def spec(self) -> dict:
+        return {"kind": self.kind, "path": str(self.path)}
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+class CsvDirectoryConnector(Connector):
+    """Each ``*.csv`` file of a directory is one table (name = stem).
+
+    Schemas are sniffed by :class:`~repro.dataset.io.CsvStream` with the
+    same typing rule as the eager reader; streams are constructed
+    lazily and cached, so enumerating table names touches no file
+    contents.
+    """
+
+    kind = "csv_dir"
+
+    def __init__(self, directory: str | Path, pattern: str = "*.csv") -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise CatalogError(f"no such directory: {self.directory}")
+        self.pattern = pattern
+        self._files = {
+            p.stem: p for p in sorted(self.directory.glob(pattern)) if p.is_file()
+        }
+        self._streams: dict[str, CsvStream] = {}
+
+    def describe(self) -> str:
+        return f"csv-dir:{self.directory}"
+
+    def table_names(self) -> list[str]:
+        return sorted(self._files)
+
+    def _stream(self, name: str) -> CsvStream:
+        stream = self._streams.get(name)
+        if stream is None:
+            path = self._files.get(name)
+            if path is None:
+                raise CatalogError(
+                    f"no such table {name!r} in {self.directory} "
+                    f"(files matching {self.pattern!r})"
+                )
+            stream = CsvStream(path)
+            self._streams[name] = stream
+        return stream
+
+    def table_info(self, name: str) -> TableInfo:
+        stream = self._stream(name)
+        columns = tuple(
+            (attr.name,
+             "numeric" if attr.dtype is AttributeType.NUMERIC else "categorical")
+            for attr in stream.schema.attributes
+        )
+        return TableInfo(name=name, n_rows=stream.n_rows, columns=columns)
+
+    def iter_batches(
+        self, name: str, batch_size: int = DEFAULT_BATCH_ROWS
+    ) -> Iterator[Relation]:
+        yield from self._stream(name).iter_rows(batch_size)
+
+    def spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "path": str(self.directory),
+            "pattern": self.pattern,
+        }
+
+
+def open_connector(
+    input_path: str | Path | None = None,
+    input_dir: str | Path | None = None,
+) -> Connector:
+    """Open a catalog source: a SQLite file *or* a CSV directory."""
+    if (input_path is None) == (input_dir is None):
+        raise CatalogError("pass exactly one of input_path (sqlite) or input_dir (CSVs)")
+    if input_dir is not None:
+        return CsvDirectoryConnector(input_dir)
+    return SqliteConnector(input_path)
+
+
+def connector_from_spec(spec: dict) -> Connector:
+    """Rebuild a connector from :meth:`Connector.spec` (worker side)."""
+    if not isinstance(spec, dict):
+        raise CatalogError(f"connector spec must be a dict, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    path = spec.get("path")
+    if not isinstance(path, str) or not path:
+        raise CatalogError("connector spec is missing its 'path'")
+    if kind == SqliteConnector.kind:
+        return SqliteConnector(path)
+    if kind == CsvDirectoryConnector.kind:
+        return CsvDirectoryConnector(path, pattern=spec.get("pattern", "*.csv"))
+    raise CatalogError(
+        f"unknown connector kind {kind!r}; options: "
+        f"{SqliteConnector.kind}, {CsvDirectoryConnector.kind}"
+    )

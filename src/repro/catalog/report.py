@@ -1,0 +1,307 @@
+"""Consolidated catalog report: per-table FDs plus cross-table hints.
+
+A sweep produces one :class:`TableReport` per table — discovered FDs,
+discovery diagnostics, sampling adequacy, key candidates, and a compact
+per-column *signature* — or an error record when that table's worker
+failed. :class:`CatalogReport` collects them with stable ordering
+(tables and hints sorted by name) so two sweeps of the same catalog
+serialize byte-identically.
+
+Cross-table shared-key hints come from matching column signatures:
+equal normalized names and/or a bottom-``k`` minhash Jaccard estimate
+over value sketches, qualified by single-column uniqueness from
+:func:`repro.constraints.keys.is_possible_key`. A column unique on both
+sides is a ``shared_key`` hint; unique on exactly one side, a
+``foreign_key_candidate`` (the unique side is the referenced one).
+These are *hints* to seed cross-table validation, not verified
+inclusion dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from ..constraints.keys import is_possible_key
+from ..dataset.relation import MISSING, Relation
+
+__all__ = [
+    "CatalogReport",
+    "TableReport",
+    "column_signature",
+    "shared_key_hints",
+]
+
+#: Bottom-k sketch size: enough for a coarse Jaccard estimate on key-ish
+#: columns without bloating the JSON report.
+SKETCH_SIZE = 32
+
+#: Minimum estimated Jaccard similarity for a value-overlap match.
+JACCARD_THRESHOLD = 0.5
+
+
+def _normalize_name(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+def column_signature(
+    relation: Relation, name: str, sketch_size: int = SKETCH_SIZE
+) -> dict:
+    """Compact, comparable fingerprint of one (sampled) column.
+
+    The sketch is the ``sketch_size`` smallest CRC32 hashes of the
+    distinct non-missing values (rendered as text, so ``3`` in SQLite
+    and ``"3.0"`` in a CSV hash identically via float normalization) —
+    a bottom-k minhash whose intersection ratio estimates Jaccard
+    similarity between two columns' value sets.
+    """
+    values = relation.column(name)
+    hashes = set()
+    seen = set()
+    for value in values:
+        if value is MISSING:
+            continue
+        if isinstance(value, float) and value == int(value):
+            text = str(int(value))  # 3.0 and "3" fingerprint the same
+        else:
+            text = str(value)
+        if text in seen:
+            continue
+        seen.add(text)
+        hashes.add(zlib.crc32(text.encode("utf-8")))
+    n_distinct = len(seen)
+    n_rows = relation.n_rows
+    attr = relation.schema[name]
+    return {
+        "name": name,
+        "normalized_name": _normalize_name(name),
+        "dtype": attr.dtype.name.lower(),
+        "n_distinct": n_distinct,
+        "distinct_ratio": round(n_distinct / n_rows, 6) if n_rows else 0.0,
+        "unique": bool(n_rows) and is_possible_key(relation, [name]),
+        "sketch": sorted(hashes)[:sketch_size],
+    }
+
+
+def _sketch_jaccard(a: list[int], b: list[int]) -> float:
+    """Bottom-k Jaccard estimate: overlap within the merged bottom-k."""
+    if not a or not b:
+        return 0.0
+    k = min(len(a), len(b))
+    merged = sorted(set(a) | set(b))[:k]
+    inter = set(a) & set(b)
+    hits = sum(1 for h in merged if h in inter)
+    return hits / k
+
+
+def shared_key_hints(tables: list["TableReport"]) -> list[dict]:
+    """Cross-table key hints from pairwise column-signature matching.
+
+    Only columns that are unique (possible single-column keys) on at
+    least one side can anchor a hint; the match itself needs an equal
+    normalized name or sketch-Jaccard >= :data:`JACCARD_THRESHOLD`.
+    Output is sorted for stable reports.
+    """
+    hints: list[dict] = []
+    # Pair in sorted-table order so left/right assignment (and thus the
+    # serialized report) is independent of the caller's list order.
+    ok = sorted(
+        (t for t in tables if t.status == "ok"), key=lambda t: t.table
+    )
+    for i, left in enumerate(ok):
+        for right in ok[i + 1:]:
+            for ls in left.signatures:
+                for rs in right.signatures:
+                    if not (ls["unique"] or rs["unique"]):
+                        continue
+                    name_match = (
+                        ls["normalized_name"] == rs["normalized_name"]
+                        and ls["normalized_name"] != ""
+                    )
+                    jaccard = _sketch_jaccard(ls["sketch"], rs["sketch"])
+                    if not name_match and jaccard < JACCARD_THRESHOLD:
+                        continue
+                    kind = (
+                        "shared_key"
+                        if ls["unique"] and rs["unique"]
+                        else "foreign_key_candidate"
+                    )
+                    hints.append(
+                        {
+                            "kind": kind,
+                            "left": {"table": left.table, "column": ls["name"],
+                                     "unique": ls["unique"]},
+                            "right": {"table": right.table, "column": rs["name"],
+                                      "unique": rs["unique"]},
+                            "name_match": name_match,
+                            "jaccard": round(jaccard, 6),
+                        }
+                    )
+    hints.sort(
+        key=lambda h: (h["left"]["table"], h["left"]["column"],
+                       h["right"]["table"], h["right"]["column"])
+    )
+    return hints
+
+
+@dataclass
+class TableReport:
+    """One table's slice of the sweep: result or error record, never both."""
+
+    table: str
+    status: str = "ok"  # "ok" | "error"
+    info: dict = field(default_factory=dict)          # TableInfo.to_dict()
+    sampling: dict = field(default_factory=dict)      # TableSample.summary()
+    fds: list = field(default_factory=list)           # FD.to_dict() list
+    diagnostics: dict = field(default_factory=dict)   # FDXResult diagnostics
+    keys: dict = field(default_factory=dict)          # possible/certain keys
+    signatures: list = field(default_factory=list)    # column_signature() list
+    seconds: float = 0.0
+    error: dict | None = None                         # {"type", "message"}
+
+    def to_dict(self) -> dict:
+        payload = {
+            "table": self.table,
+            "status": self.status,
+            "info": dict(self.info),
+            "sampling": dict(self.sampling),
+            "fds": list(self.fds),
+            "diagnostics": dict(self.diagnostics),
+            "keys": dict(self.keys),
+            "signatures": list(self.signatures),
+            "seconds": round(float(self.seconds), 6),
+        }
+        if self.error is not None:
+            payload["error"] = dict(self.error)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TableReport":
+        if not isinstance(payload, dict) or "table" not in payload:
+            raise ValueError(f"expected a table-report dict, got {payload!r}")
+        return cls(
+            table=payload["table"],
+            status=payload.get("status", "ok"),
+            info=dict(payload.get("info", {})),
+            sampling=dict(payload.get("sampling", {})),
+            fds=list(payload.get("fds", [])),
+            diagnostics=dict(payload.get("diagnostics", {})),
+            keys=dict(payload.get("keys", {})),
+            signatures=list(payload.get("signatures", [])),
+            seconds=float(payload.get("seconds", 0.0)),
+            error=dict(payload["error"]) if payload.get("error") else None,
+        )
+
+    @classmethod
+    def from_error(cls, table: str, exc_type: str, message: str,
+                   seconds: float = 0.0) -> "TableReport":
+        return cls(
+            table=table,
+            status="error",
+            seconds=seconds,
+            error={"type": exc_type, "message": message},
+        )
+
+
+@dataclass
+class CatalogReport:
+    """The whole sweep: per-table reports, cross-table hints, totals."""
+
+    source: dict = field(default_factory=dict)   # connector spec + describe
+    config: dict = field(default_factory=dict)   # SweepConfig.to_dict()
+    tables: list[TableReport] = field(default_factory=list)
+    hints: list[dict] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def finalize(self) -> "CatalogReport":
+        """Sort tables and (re)derive the cross-table hints."""
+        self.tables.sort(key=lambda t: t.table)
+        self.hints = shared_key_hints(self.tables)
+        return self
+
+    @property
+    def totals(self) -> dict:
+        ok = [t for t in self.tables if t.status == "ok"]
+        return {
+            "tables": len(self.tables),
+            "tables_ok": len(ok),
+            "tables_error": len(self.tables) - len(ok),
+            "fds": sum(len(t.fds) for t in ok),
+            "tables_inadequate": sum(
+                1 for t in ok if t.sampling and not t.sampling.get("adequate", True)
+            ),
+            "hints": len(self.hints),
+        }
+
+    def table(self, name: str) -> TableReport:
+        for report in self.tables:
+            if report.table == name:
+                return report
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": dict(self.source),
+            "config": dict(self.config),
+            "totals": self.totals,
+            "tables": [t.to_dict() for t in sorted(self.tables,
+                                                   key=lambda t: t.table)],
+            "hints": list(self.hints),
+            "seconds": round(float(self.seconds), 6),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CatalogReport":
+        if not isinstance(payload, dict) or "tables" not in payload:
+            raise ValueError(f"expected a catalog-report dict, got {type(payload)!r}")
+        return cls(
+            source=dict(payload.get("source", {})),
+            config=dict(payload.get("config", {})),
+            tables=[TableReport.from_dict(t) for t in payload["tables"]],
+            hints=list(payload.get("hints", [])),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        """Human-readable sweep summary (the CLI's default output)."""
+        totals = self.totals
+        lines = [
+            f"catalog sweep: {self.source.get('describe', '?')}",
+            f"  tables: {totals['tables_ok']}/{totals['tables']} ok, "
+            f"{totals['fds']} FDs, {totals['hints']} cross-table hints "
+            f"({self.seconds:.2f}s)",
+        ]
+        for t in sorted(self.tables, key=lambda t: t.table):
+            if t.status != "ok":
+                err = t.error or {}
+                lines.append(
+                    f"  [error] {t.table}: {err.get('type', '?')}: "
+                    f"{err.get('message', '')}"
+                )
+                continue
+            sampling = t.sampling or {}
+            adequacy = "ok" if sampling.get("adequate", True) else (
+                f"INADEQUATE (max SE {sampling.get('max_standard_error')} "
+                f"> tol {sampling.get('tolerance')})"
+            )
+            lines.append(
+                f"  {t.table}: {len(t.fds)} FDs from "
+                f"{sampling.get('n_sampled', '?')}/{sampling.get('n_source_rows', '?')}"
+                f" rows, sampling {adequacy} ({t.seconds:.2f}s)"
+            )
+            for fd in t.fds:
+                lhs = ", ".join(fd.get("lhs", []))
+                lines.append(f"    {{{lhs}}} -> {fd.get('rhs')}")
+        if self.hints:
+            lines.append("  cross-table hints:")
+            for h in self.hints:
+                lines.append(
+                    f"    [{h['kind']}] {h['left']['table']}.{h['left']['column']}"
+                    f" ~ {h['right']['table']}.{h['right']['column']}"
+                    f" (name_match={h['name_match']}, jaccard={h['jaccard']})"
+                )
+        return "\n".join(lines)

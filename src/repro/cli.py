@@ -9,6 +9,8 @@ Commands
 ``report``      full markdown profiling report (FDs, keys, DCs, outlook).
 ``constraints`` discover keys / denial constraints / constant CFDs.
 ``dataset``     materialize a built-in benchmark dataset to CSV.
+``sweep``       catalog sweep: discover FDs in every table of a SQLite
+                database or a directory of CSVs, with sampling error bars.
 ``bench``       run curated benchmarks against the regression ledger.
 ``serve``       run the concurrent FD-discovery HTTP service.
 ``trace-export``  convert span JSONL / flight dumps to Perfetto JSON.
@@ -289,6 +291,44 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .catalog import SweepConfig, open_connector, sweep
+
+    hyperparameters = {}
+    if args.lam is not None:
+        hyperparameters["lam"] = args.lam
+    if args.sparsity is not None:
+        hyperparameters["sparsity"] = args.sparsity
+    config = SweepConfig(
+        sample=args.sample,
+        method=args.method,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        workers=args.workers,
+        backend="serial" if args.workers <= 1 else args.backend,
+        table_timeout=args.timeout,
+        hyperparameters=hyperparameters,
+    )
+    connector = open_connector(input_path=args.input, input_dir=args.input_dir)
+    try:
+        report = sweep(connector, config)
+    finally:
+        connector.close()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote catalog report to {args.report}")
+    if args.json and not args.report:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    totals = report.totals
+    # Partial failure is visible but not fatal; a sweep with zero
+    # successful tables is a failed sweep.
+    return 0 if totals["tables_ok"] > 0 else 2
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .obs import bench
 
@@ -455,12 +495,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_dataset)
 
     p = sub.add_parser(
+        "sweep",
+        help="discover FDs in every table of a database (catalog sweep)",
+    )
+    p.add_argument("--input", default=None, metavar="DB",
+                   help="SQLite database file to sweep")
+    p.add_argument("--input-dir", default=None, metavar="DIR",
+                   help="directory of CSV files to sweep (one table per file)")
+    p.add_argument("--sample", type=int, default=10_000, metavar="N",
+                   help="rows sampled per table (seeded; tables at or under "
+                        "N rows are read whole); the report carries per-table "
+                        "covariance standard-error bars and an adequacy flag")
+    p.add_argument("--method", choices=("reservoir", "block"),
+                   default="reservoir",
+                   help="row-level reservoir (uniform) or block sampling "
+                        "(contiguous batches; cheaper, order-biased)")
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="adequacy tolerance on the max covariance standard "
+                        "error (standardized scale)")
+    p.add_argument("--workers", type=int, default=1, metavar="K",
+                   help="tables processed concurrently (1 = serial)")
+    p.add_argument("--backend", choices=("serial", "thread", "process"),
+                   default="process",
+                   help="where table jobs run when --workers > 1; 'process' "
+                        "gives each table its own supervised child, so one "
+                        "crashing table becomes an error record")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-table wall-clock budget (process backend)")
+    p.add_argument("--lam", type=float, default=None,
+                   help="graphical-lasso penalty forwarded to FDX")
+    p.add_argument("--sparsity", type=float, default=None,
+                   help="|B| threshold forwarded to FDX")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the consolidated JSON report to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report instead of the text summary")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
         "bench",
         help="run curated benchmark suites and gate on the regression ledger",
     )
     p.add_argument("--suite", default="micro", metavar="NAME",
                    help="suite to run: micro, scalability, service, "
-                        "resilience, parallel, streaming, or all")
+                        "resilience, parallel, streaming, catalog, or all")
     p.add_argument("--repeat", type=int, default=3,
                    help="timed iterations per benchmark (median is recorded)")
     p.add_argument("--smoke", action="store_true",

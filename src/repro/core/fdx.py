@@ -294,8 +294,13 @@ class FDX:
         shared memory), ``"thread"``, or ``"serial"``.
     parallel_min_rows:
         Skip spinning up workers for relations with fewer rows than
-        this — pool startup would cost more than it saves. Set ``0``
-        to force the configured backend regardless of input size.
+        this — pool startup would cost more than it saves. The default
+        ``None`` auto-calibrates the threshold from the recorded
+        ``BENCH_parallel.json`` trajectory (serial-vs-parallel crossover
+        fit; see :mod:`repro.parallel.calibrate`), honoring the
+        ``REPRO_PARALLEL_MIN_ROWS`` environment override and falling
+        back to 4096 rows when no ledger is readable. Set ``0`` to
+        force the configured backend regardless of input size.
     evidence:
         Record the per-FD evidence ledger (:mod:`repro.obs.explain`) in
         ``diagnostics["evidence"]``: precision/partial-correlation
@@ -324,7 +329,7 @@ class FDX:
         glasso_max_iter: int = 100,
         n_jobs: int | None = None,
         parallel_backend: str = "process",
-        parallel_min_rows: int = 4096,
+        parallel_min_rows: int | None = None,
         evidence: bool = True,
     ) -> None:
         if transform not in ("circular", "uniform"):
@@ -364,13 +369,19 @@ class FDX:
 
         Serial when the knob says so (``n_jobs`` resolves to 1), when the
         backend is ``"serial"``, or when the relation is too small for
-        pool startup to pay off (``parallel_min_rows``).
+        pool startup to pay off (``parallel_min_rows``; ``None``
+        resolves through the bench-ledger calibration).
         """
         workers = resolve_workers(self.n_jobs)
+        min_rows = self.parallel_min_rows
+        if min_rows is None:
+            from ..parallel.calibrate import calibrated_min_rows
+
+            min_rows = calibrated_min_rows()
         if (
             workers <= 1
             or self.parallel_backend == "serial"
-            or relation.n_rows < self.parallel_min_rows
+            or relation.n_rows < min_rows
         ):
             return None
         return make_executor(

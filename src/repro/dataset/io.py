@@ -99,6 +99,138 @@ def read_csv_text(text: str, schema: Schema | None = None) -> Relation:
     return Relation(schema, columns)
 
 
+class CsvStream:
+    """Streaming view of a CSV file: header, schema, batched row iteration.
+
+    The eager :func:`read_csv` materializes the whole file; this class is
+    the memory-bounded alternative the catalog connectors and the
+    streaming path use. Construction makes one pass over the file to
+    validate row arity, count data rows and (unless ``schema`` is given)
+    sniff attribute types with exactly the same rule as
+    :func:`read_csv` — a column whose non-missing cells all parse as
+    float is NUMERIC — so :meth:`iter_rows` batches concatenate to a
+    relation byte-identical to the eager reader's.
+
+    :meth:`iter_rows` re-opens the file on every call, so a stream can
+    be iterated multiple times (sample pass + discovery pass).
+    """
+
+    def __init__(self, path: str | Path, schema: Schema | None = None) -> None:
+        self.path = Path(path)
+        self._explicit_schema = schema is not None
+        header, sniffed, n_rows = self._scan(schema)
+        self.header = header
+        self.n_rows = n_rows
+        if schema is not None:
+            if schema.names != header:
+                raise CsvFormatError(
+                    f"{self.path}: schema names {schema.names} do not match "
+                    f"CSV header {header}"
+                )
+            self.schema = schema
+        else:
+            self.schema = sniffed
+
+    def _open(self):
+        try:
+            return open(self.path, newline="")
+        except OSError as exc:
+            raise DatasetIOError(
+                f"cannot read {self.path}: {exc.strerror or exc}"
+            ) from exc
+
+    def _scan(self, schema: Schema | None) -> tuple[list[str], Schema | None, int]:
+        """One streaming pass: header, arity check, row count, type sniff."""
+        with self._open() as f:
+            reader = csv.reader(f)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise CsvFormatError(
+                    f"{self.path}: empty CSV: missing header row"
+                ) from None
+            arity = len(header)
+            numeric = [True] * arity
+            seen_value = [False] * arity
+            n_rows = 0
+            for row in reader:
+                if not row:
+                    continue
+                if len(row) != arity:
+                    raise CsvFormatError(
+                        f"{self.path}: row arity {len(row)} does not match "
+                        f"header arity {arity}"
+                    )
+                n_rows += 1
+                if schema is not None:
+                    continue
+                for j, token in enumerate(row):
+                    if token in NA_TOKENS:
+                        continue
+                    seen_value[j] = True
+                    if numeric[j]:
+                        try:
+                            float(token)
+                        except ValueError:
+                            numeric[j] = False
+        sniffed = None
+        if schema is None:
+            sniffed = Schema(
+                [
+                    Attribute(
+                        name,
+                        AttributeType.NUMERIC
+                        if numeric[j] and seen_value[j]
+                        else AttributeType.CATEGORICAL,
+                    )
+                    for j, name in enumerate(header)
+                ]
+            )
+        return header, sniffed, n_rows
+
+    def iter_rows(self, batch_size: int = 4096):
+        """Yield the file as :class:`Relation` batches of ``batch_size`` rows.
+
+        Every batch shares this stream's schema, so value parsing is
+        identical across batches and to the eager reader. The final
+        batch may be shorter; an empty file yields nothing.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        attrs = self.schema.attributes
+        with self._open() as f:
+            reader = csv.reader(f)
+            next(reader, None)  # header (validated at construction)
+            buffer: list[list] = []
+            for row in reader:
+                if not row:
+                    continue
+                buffer.append(
+                    [_parse_cell(token, attr.dtype)
+                     for attr, token in zip(attrs, row)]
+                )
+                if len(buffer) >= batch_size:
+                    yield Relation.from_rows(self.schema, buffer)
+                    buffer = []
+            if buffer:
+                yield Relation.from_rows(self.schema, buffer)
+
+    def read(self) -> Relation:
+        """Materialize the whole file (streaming equivalent of read_csv)."""
+        columns: dict[str, list] = {name: [] for name in self.schema.names}
+        for batch in self.iter_rows():
+            for name in self.schema.names:
+                columns[name].extend(batch.column(name))
+        return Relation(self.schema, columns)
+
+
+def iter_csv_rows(
+    path: str | Path, batch_size: int = 4096, schema: Schema | None = None
+):
+    """Stream ``path`` as :class:`Relation` batches (see :class:`CsvStream`)."""
+    yield from CsvStream(path, schema=schema).iter_rows(batch_size)
+
+
 def write_csv(relation: Relation, path: str | Path) -> None:
     """Write ``relation`` to ``path`` as CSV (missing cells become '')."""
     with open(path, "w", newline="") as f:

@@ -25,6 +25,7 @@ Layers
 from __future__ import annotations
 
 __all__ = [
+    "CatalogError",
     "CsvFormatError",
     "DatasetIOError",
     "DegenerateColumnError",
@@ -70,6 +71,12 @@ class DatasetIOError(ReproError, OSError):
 
 class CsvFormatError(DatasetIOError, ValueError):
     """A CSV file parsed but is structurally malformed (empty, ragged)."""
+
+
+class CatalogError(ReproError):
+    """A catalog source is unusable (unknown table, unreadable database,
+    malformed connector spec); per-table *discovery* failures inside a
+    sweep become error records in the report instead of raising."""
 
 
 class ParallelExecutionError(ReproError):

@@ -524,6 +524,109 @@ def _case_checkpoint_round_trip(smoke: bool) -> Callable[[], object]:
     return run
 
 
+def _catalog_fixture(n_tables: int, rows_per_table: int) -> str:
+    """Build (once per process) a synthetic SQLite catalog; returns its path.
+
+    Tables share a ``customer_id``-style column so the report stage has
+    cross-table hints to compute — the sweep cases must price the whole
+    pipeline, not just per-table discovery.
+    """
+    import sqlite3
+    import tempfile
+    from pathlib import Path
+
+    key = (n_tables, rows_per_table)
+    cached = _catalog_fixture._cache.get(key)
+    if cached and Path(cached).is_file():
+        return cached
+    path = str(
+        Path(tempfile.mkdtemp(prefix="repro-bench-catalog-"))
+        / f"catalog_{n_tables}x{rows_per_table}.sqlite"
+    )
+    conn = sqlite3.connect(path)
+    for t in range(n_tables):
+        name = f"t{t:02d}"
+        conn.execute(
+            f"CREATE TABLE {name} "
+            "(row_id INT, customer_id INT, zip TEXT, city TEXT, amount REAL)"
+        )
+        conn.executemany(
+            f"INSERT INTO {name} VALUES (?,?,?,?,?)",
+            [
+                (
+                    i,
+                    (i * 7 + t) % 97,
+                    f"z{(i + t) % 25:02d}",
+                    f"c{((i + t) % 25) % 8}",  # zip -> city FD in every table
+                    float((i * 13 + t) % 101) / 10.0,
+                )
+                for i in range(rows_per_table)
+            ],
+        )
+    conn.commit()
+    conn.close()
+    _catalog_fixture._cache[key] = path
+    return path
+
+
+_catalog_fixture._cache = {}
+
+
+def _catalog_sweep_case(
+    backend: str, workers: int
+) -> Callable[[bool], Callable[[], object]]:
+    """Whole-catalog sweep, serial vs process table fan-out.
+
+    The smoke variant sweeps 3 small tables; the full variant the
+    8-table catalog the acceptance ledger tracks. As with the parallel
+    suite, speedup is read off the ledger, not asserted: on a
+    single-core host the process backend pays one child per table with
+    no parallel hardware to win it back.
+    """
+
+    def make(smoke: bool) -> Callable[[], object]:
+        from ..catalog import SqliteConnector, SweepConfig, sweep
+
+        n_tables, rows = (3, 400) if smoke else (8, 2000)
+        path = _catalog_fixture(n_tables, rows)
+        config = SweepConfig(
+            sample=500, backend=backend, workers=workers, seed=0
+        )
+
+        def run():
+            connector = SqliteConnector(path)
+            try:
+                return sweep(connector, config)
+            finally:
+                connector.close()
+
+        return run
+
+    return make
+
+
+def _case_catalog_sampling(smoke: bool) -> Callable[[], object]:
+    """Sampling overhead alone: one streamed reservoir pass + error bars.
+
+    Prices what a sweep pays *before* discovery — batch iteration, the
+    Algorithm-R reservoir, and the two-accumulator covariance/SE fold —
+    so the ledger separates sampling cost from solver cost.
+    """
+    from ..catalog import SqliteConnector, sample_table
+
+    n_rows = 2_000 if smoke else 20_000
+    path = _catalog_fixture(1, n_rows)
+
+    def run():
+        connector = SqliteConnector(path)
+        try:
+            return sample_table(connector, "t00", 1000, seed=0)
+        finally:
+            connector.close()
+
+    return run
+
+
 SUITES: dict[str, tuple[BenchCase, ...]] = {
     "micro": (
         BenchCase("pair_transform", _case_pair_transform),
@@ -550,6 +653,11 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
                   _parallel_stage_case("process", 1)),
         BenchCase("transform_cov_process_4workers",
                   _parallel_stage_case("process", 4)),
+    ),
+    "catalog": (
+        BenchCase("sweep_serial_8tables", _catalog_sweep_case("serial", 1)),
+        BenchCase("sweep_process_8tables", _catalog_sweep_case("process", 4)),
+        BenchCase("sampling_reservoir", _case_catalog_sampling),
     ),
     "streaming": (
         BenchCase("session_append", _case_session_append),

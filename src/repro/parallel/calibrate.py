@@ -1,0 +1,155 @@
+"""Ledger-calibrated serial/parallel crossover for the FDX row-count gate.
+
+``FDX(parallel_min_rows=...)`` gates parallelism on input size: below the
+threshold, pool start-up costs more than sharding saves. A fixed default
+is wrong in both directions — BENCH_parallel.json on a single-core host
+shows 4 process workers *slower* than serial at 50k rows, while a wide
+machine amortizes the pool far earlier — so this module derives the
+threshold from the recorded trajectory instead.
+
+Model: the ``parallel`` bench suite times the same transform+covariance
+workload serial (``transform_cov_serial``) and with a 4-worker process
+pool (``transform_cov_process_4workers``) at a known row count. Taking
+serial time as linear in rows, ``t_serial(n) = a·n``, and the parallel
+run as the sharded compute plus a fixed pool cost,
+``t_parallel(n) = a·n/w + c``, the one observed size pins both
+parameters::
+
+    a = t_serial_obs / n_obs
+    c = t_parallel_obs - t_serial_obs / w
+
+and the crossover where the pool starts paying is where the two curves
+meet::
+
+    n* = c·w / (a·(w - 1))
+
+The fit is deliberately coarse (one point, linear-in-rows) — it only has
+to place a gate on the right order of magnitude, and it is re-derived on
+every recorded bench run, so the gate tracks the host. On the current
+1-CPU container the recorded ledger yields n* ≈ 75k rows, i.e. the gate
+correctly keeps the 4k–50k range serial where the old fixed 4096 gate
+engaged a losing pool.
+
+Resolution order: the ``REPRO_PARALLEL_MIN_ROWS`` environment variable
+(an operator override) beats the ledger fit, which beats the
+``DEFAULT_MIN_ROWS`` fallback used when no ledger is readable. Fits are
+clamped to ``[MIN_GATE, MAX_GATE]`` so a pathological ledger can neither
+force the pool onto trivial inputs nor disable it forever.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..obs.bench import ledger_path, load_ledger
+
+__all__ = [
+    "DEFAULT_MIN_ROWS",
+    "ENV_LEDGER_DIR",
+    "ENV_MIN_ROWS",
+    "calibrated_min_rows",
+    "crossover_from_run",
+]
+
+#: Fallback gate when no ledger (and no env override) is available —
+#: the historical fixed default.
+DEFAULT_MIN_ROWS = 4096
+#: Operator override: an integer row count (0 = always parallel).
+ENV_MIN_ROWS = "REPRO_PARALLEL_MIN_ROWS"
+#: Directory holding ``BENCH_parallel.json`` (default: the working dir,
+#: matching ``python -m repro bench --out``).
+ENV_LEDGER_DIR = "REPRO_BENCH_DIR"
+
+#: Clamp range for fitted crossovers. The floor keeps a too-rosy ledger
+#: from paying pool start-up on toy inputs; the ceiling keeps a hostile
+#: one (e.g. a loaded CI host) from disabling parallelism outright.
+MIN_GATE = 512
+MAX_GATE = 1 << 20
+
+#: The ledger cases the fit reads, and the workload they time. These
+#: mirror ``_parallel_stage_case`` in :mod:`repro.obs.bench` — the
+#: suite generates ``(50_000, 10)`` full-size / ``(4_000, 8)`` smoke
+#: relations; records carry no row count, so the sizes are pinned here.
+SERIAL_CASE = "transform_cov_serial"
+PARALLEL_CASE = "transform_cov_process_4workers"
+PARALLEL_CASE_WORKERS = 4
+LEDGER_ROWS_FULL = 50_000
+LEDGER_ROWS_SMOKE = 4_000
+
+#: Memo of resolved gates keyed by (env override, ledger path, mtime):
+#: FDX construction happens per discovery, the ledger changes per bench
+#: run — never re-read an unchanged file.
+_MEMO: dict[tuple, int] = {}
+
+
+def crossover_from_run(run: dict) -> int | None:
+    """Fit one ledger run record to a crossover row count.
+
+    Returns ``None`` when the record lacks the serial or parallel case
+    (or carries degenerate timings), leaving the caller to try an older
+    record or fall back to the default.
+    """
+    results = run.get("results", {})
+    serial = (results.get(SERIAL_CASE) or {}).get("seconds")
+    parallel = (results.get(PARALLEL_CASE) or {}).get("seconds")
+    if not isinstance(serial, (int, float)) or not isinstance(parallel, (int, float)):
+        return None
+    if serial <= 0 or parallel <= 0:
+        return None
+    n_obs = LEDGER_ROWS_SMOKE if run.get("smoke") else LEDGER_ROWS_FULL
+    w = PARALLEL_CASE_WORKERS
+    per_row = serial / n_obs
+    overhead = parallel - serial / w
+    if overhead <= 0:
+        # The pool beat perfect scaling at the observed size: it pays
+        # essentially everywhere; the floor clamp is the answer.
+        return MIN_GATE
+    crossover = overhead * w / (per_row * (w - 1))
+    return max(MIN_GATE, min(int(crossover), MAX_GATE))
+
+
+def calibrated_min_rows(
+    default: int = DEFAULT_MIN_ROWS, ledger_dir: str | None = None
+) -> int:
+    """The parallel row-count gate for this host.
+
+    Environment override first, then the most recent usable ledger run
+    (full-size runs preferred over smoke), then ``default``.
+    """
+    env = os.environ.get(ENV_MIN_ROWS)
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass  # unparseable override: fall through to the ledger
+    directory = ledger_dir if ledger_dir is not None else os.environ.get(
+        ENV_LEDGER_DIR, "."
+    )
+    path = ledger_path("parallel", directory)
+    try:
+        mtime = os.stat(path).st_mtime_ns
+    except OSError:
+        return default
+    memo_key = (env, path, mtime, default)
+    cached = _MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    try:
+        runs = load_ledger(path)["runs"]
+    except (OSError, ValueError):
+        return default
+    resolved = default
+    # Newest-first within each tier: full-size fits beat smoke fits.
+    for smoke in (False, True):
+        for run in reversed(runs):
+            if bool(run.get("smoke")) is not smoke:
+                continue
+            fitted = crossover_from_run(run)
+            if fitted is not None:
+                resolved = fitted
+                break
+        else:
+            continue
+        break
+    _MEMO[memo_key] = resolved
+    return resolved

@@ -17,6 +17,12 @@ Built-in injection points
 ``glasso.nonconverge``     structure learning treats the graphical lasso as
                            having hit ``max_iter`` (``converged=False``),
                            exercising the FDX fallback ladder
+``catalog.table``          one catalog-sweep table guard raises
+                           :class:`InjectedFault` before dispatching its
+                           table job — proves a single-table failure becomes
+                           a per-table error record, never a sweep abort.
+                           Fires parent-side, so ``times=1`` fails exactly
+                           one table on any sweep backend
 ``parallel.worker_crash``  a parallel worker process dies hard
                            (``os._exit(3)``) before running its task —
                            exercises ``WorkerCrashError`` surfacing in the

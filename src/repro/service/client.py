@@ -343,6 +343,64 @@ class ServiceClient:
                 raise ServiceError(f"job {job_id} still {status['state']} after {timeout}s")
             time.sleep(poll_interval)
 
+    # -- catalog sweeps ----------------------------------------------------
+
+    def sweep(
+        self,
+        source: Mapping[str, Any],
+        *,
+        wait: bool = True,
+        timeout: float = 300.0,
+        **config: Any,
+    ) -> dict:
+        """Sweep a whole catalog on the server.
+
+        ``source`` names a server-side source, e.g. ``{"kind":
+        "sqlite", "path": "/data/catalog.db"}`` or ``{"kind":
+        "csv_dir", "path": "/data/csvs"}``; ``config`` keys (``sample``,
+        ``method``, ``seed``, ``tolerance``, ``table_timeout``,
+        ``hyperparameters``, ...) ride the body verbatim. With
+        ``wait=True`` (default) polls until every table job is terminal
+        and returns the completed status envelope (its ``report`` key is
+        the consolidated catalog report); with ``wait=False`` returns
+        the 202 submission payload immediately — poll via
+        :meth:`catalog`. The submit carries a fresh Idempotency-Key, so
+        retries through resets reattach to the same sweep.
+        """
+        body = {"source": dict(source), "wait": False, **config}
+        payload = self._request(
+            "POST", "/v1/catalog", body, idempotency_key=uuid.uuid4().hex
+        )
+        if not wait:
+            return payload
+        return self.wait_for_catalog(payload["catalog_id"], timeout=timeout)
+
+    def catalog(self, catalog_id: str) -> dict:
+        """Incremental sweep status; carries ``report`` once complete."""
+        return self._request("GET", f"/v1/catalog/{catalog_id}")
+
+    def wait_for_catalog(
+        self, catalog_id: str, timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> dict:
+        """Poll until every table job of the sweep is terminal.
+
+        Unlike :meth:`wait_for_job`, per-table failures do *not* raise:
+        they are part of the report (per-table error records).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.catalog(catalog_id)
+            if status.get("complete"):
+                return status
+            if time.monotonic() > deadline:
+                counts = status.get("counts", {})
+                raise ServiceError(
+                    f"catalog {catalog_id} incomplete after {timeout}s "
+                    f"({counts.get('pending', '?')} tables pending)"
+                )
+            time.sleep(poll_interval)
+
     # -- sessions ----------------------------------------------------------
 
     def create_session(self, hyperparameters: Mapping[str, Any] | None = None) -> str:

@@ -18,6 +18,15 @@ Endpoints (all JSON, all prefixed ``/v1``):
                          returns 202 + job id, else blocks for the result.
                          Identical (relation, hyperparameters) requests are
                          served from the fingerprint cache.
+``POST /v1/catalog``     sweep a whole catalog (SQLite file or CSV
+                         directory on the server's filesystem): one job
+                         per table through the same journal/quarantine/
+                         idempotency machinery; ``"wait": true`` blocks
+                         for the consolidated report, else 202 + catalog id
+``GET  /v1/catalog/<id>``  incremental per-table completion; once every
+                         table job is terminal, the consolidated report
+                         (per-table FDs + sampling error bars + cross-table
+                         shared-key hints) rides along
 ``GET  /v1/jobs/<id>``   job status (+result once done)
 ``DELETE /v1/jobs/<id>`` cancel a queued/running job
 ``GET  /v1/jobs/<id>/explain``  per-FD evidence ledger of a finished job;
@@ -78,7 +87,9 @@ from ..obs.trace import (
     set_trace_id,
 )
 from ..resilience import faults
+from ..errors import CatalogError
 from .cache import ResultCache, dataset_fingerprint
+from .catalog import CatalogManager
 from .jobs import DONE, Job, JobManager, QuarantinedError, QueueFullError
 from .metrics import Metrics
 from .protocol import (
@@ -231,6 +242,12 @@ class DiscoveryService:
         self._idempotency = ResultCache(
             max_entries=cache_entries * 8, ttl_seconds=cache_ttl,
             registry=self.registry, name="idempotency",
+        )
+        # Batch mode: POST /v1/catalog fans a whole database out as one
+        # job per table; the per-table jobs ride the same journal,
+        # quarantine, idempotency and flight machinery as single jobs.
+        self.catalogs = CatalogManager(
+            jobs=self.jobs, registry=self.registry, tracer=self.tracer,
         )
         # Crash recovery: journal replay already marked the previous
         # process's in-flight jobs INTERRUPTED; under --recover resubmit,
@@ -531,6 +548,56 @@ class DiscoveryService:
                 body["idempotent_replay"] = True
             return 200, envelope(body)
         return 500, error_payload(job.error or f"job ended in state {state}", 500)
+
+    def catalog_submit(
+        self, payload: Any, idempotency_key: str | None = None
+    ) -> tuple[int, dict]:
+        """POST /v1/catalog: plan one job per table of the named source."""
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        wait = payload.get("wait", False)
+        if not isinstance(wait, bool):
+            raise ProtocolError("'wait' must be a boolean")
+        if idempotency_key:
+            existing_id = self._idempotency.get(f"catalog:{idempotency_key}")
+            existing = (
+                self.catalogs.get(existing_id) if existing_id else None
+            )
+            if existing is not None:
+                self.metrics.increment("idempotent_replays")
+                if wait:
+                    self.catalogs.wait(existing)
+                status = self.catalogs.status(existing)
+                status["idempotent_replay"] = True
+                return (200 if status["complete"] else 202), envelope(status)
+        try:
+            with self.tracer.span(
+                "catalog.submit", source=str(payload.get("source", {}))[:200],
+            ):
+                run = self.catalogs.submit(payload)
+        except CatalogError as exc:
+            return 400, error_payload(str(exc), 400)
+        except QuarantinedError as exc:
+            self.metrics.increment("requests_quarantined")
+            return 409, error_payload(str(exc), 409, reason="quarantined")
+        except QueueFullError as exc:
+            self.metrics.increment("requests_shed")
+            return 429, error_payload(
+                str(exc), 429, retry_after=exc.retry_after_seconds
+            )
+        if idempotency_key:
+            self._idempotency.put(f"catalog:{idempotency_key}", run.id)
+        if wait:
+            self.catalogs.wait(run)
+        status = self.catalogs.status(run)
+        return (200 if status["complete"] else 202), envelope(status)
+
+    def catalog_status(self, catalog_id: str) -> tuple[int, dict]:
+        """GET /v1/catalog/<id>: incremental completion, report at the end."""
+        run = self.catalogs.get(catalog_id)
+        if run is None:
+            return 404, error_payload(f"unknown catalog {catalog_id!r}", 404)
+        return 200, envelope(self.catalogs.status(run))
 
     def job_status(self, job_id: str) -> tuple[int, dict]:
         job = self.jobs.get(job_id)
@@ -1006,6 +1073,13 @@ def _make_handler(service: DiscoveryService, quiet: bool = True):
                     self._read_raw(),
                     idempotency_key=self.headers.get("Idempotency-Key"),
                 )
+            if parts == ["catalog"] and method == "POST":
+                return "catalog", *service.catalog_submit(
+                    self._read_json(),
+                    idempotency_key=self.headers.get("Idempotency-Key"),
+                )
+            if len(parts) == 2 and parts[0] == "catalog" and method == "GET":
+                return "catalog_status", *service.catalog_status(parts[1])
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "explain" \
                     and method == "GET":
                 from urllib.parse import parse_qs

@@ -1,0 +1,132 @@
+"""Tests for catalog connectors (SQLite and CSV-directory sources)."""
+
+import sqlite3
+
+import pytest
+
+from repro.catalog import (
+    CsvDirectoryConnector,
+    SqliteConnector,
+    connector_from_spec,
+    open_connector,
+)
+from repro.dataset.relation import MISSING, concat_rows
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def sqlite_db(tmp_path):
+    path = tmp_path / "cat.sqlite"
+    conn = sqlite3.connect(path)
+    conn.execute("CREATE TABLE beta (x INT, label TEXT)")
+    conn.execute("CREATE TABLE alpha (id INTEGER, amount REAL, note TEXT)")
+    conn.executemany(
+        "INSERT INTO alpha VALUES (?,?,?)",
+        [(i, i / 2.0, f"n{i % 3}") for i in range(25)],
+    )
+    conn.executemany(
+        "INSERT INTO beta VALUES (?,?)",
+        [(i, None if i % 5 == 0 else f"l{i % 4}") for i in range(10)],
+    )
+    conn.commit()
+    conn.close()
+    return str(path)
+
+
+@pytest.fixture
+def csv_dir(tmp_path):
+    d = tmp_path / "csvs"
+    d.mkdir()
+    (d / "zed.csv").write_text("a,b\n1,x\n2,y\n3,x\n")
+    (d / "able.csv").write_text("p,q\n" + "".join(f"{i},{i % 4}\n" for i in range(30)))
+    (d / "ignored.txt").write_text("not a table")
+    return str(d)
+
+
+def test_sqlite_enumeration_sorted(sqlite_db):
+    c = SqliteConnector(sqlite_db)
+    assert c.table_names() == ["alpha", "beta"]
+    assert c.describe().startswith("sqlite:")
+
+
+def test_sqlite_table_info(sqlite_db):
+    info = SqliteConnector(sqlite_db).table_info("alpha")
+    assert info.n_rows == 25
+    assert info.columns == (
+        ("id", "numeric"), ("amount", "numeric"), ("note", "categorical")
+    )
+    assert info.to_dict()["columns"][0] == {"name": "id", "dtype": "numeric"}
+
+
+def test_sqlite_batches_and_read_table(sqlite_db):
+    c = SqliteConnector(sqlite_db)
+    batches = list(c.iter_batches("alpha", batch_size=10))
+    assert [b.n_rows for b in batches] == [10, 10, 5]
+    whole = c.read_table("alpha")
+    assert whole == concat_rows(batches)
+    assert whole.column("amount")[3] == 1.5
+    limited = c.read_table("alpha", limit=12)
+    assert limited.n_rows == 12
+
+
+def test_sqlite_nulls_become_missing(sqlite_db):
+    rel = SqliteConnector(sqlite_db).read_table("beta")
+    assert rel.column("label")[0] is MISSING
+    assert rel.column("label")[1] == "l1"
+
+
+def test_sqlite_unknown_table(sqlite_db):
+    with pytest.raises(CatalogError, match="no such table"):
+        SqliteConnector(sqlite_db).table_info("gamma")
+
+
+def test_sqlite_missing_file(tmp_path):
+    with pytest.raises(CatalogError, match="no such SQLite database"):
+        SqliteConnector(tmp_path / "nope.db")
+
+
+def test_csv_dir_enumeration(csv_dir):
+    c = CsvDirectoryConnector(csv_dir)
+    assert c.table_names() == ["able", "zed"]  # .txt file ignored
+
+
+def test_csv_dir_info_and_batches(csv_dir):
+    c = CsvDirectoryConnector(csv_dir)
+    info = c.table_info("able")
+    assert info.n_rows == 30
+    assert dict(info.columns)["p"] == "numeric"
+    batches = list(c.iter_batches("able", batch_size=12))
+    assert [b.n_rows for b in batches] == [12, 12, 6]
+    assert c.read_table("zed").n_rows == 3
+
+
+def test_csv_dir_unknown_table(csv_dir):
+    with pytest.raises(CatalogError, match="no such table"):
+        CsvDirectoryConnector(csv_dir).table_info("missing")
+
+
+def test_open_connector_dispatch(sqlite_db, csv_dir):
+    assert isinstance(open_connector(input_path=sqlite_db), SqliteConnector)
+    assert isinstance(open_connector(input_dir=csv_dir), CsvDirectoryConnector)
+    with pytest.raises(CatalogError, match="exactly one"):
+        open_connector()
+    with pytest.raises(CatalogError, match="exactly one"):
+        open_connector(input_path=sqlite_db, input_dir=csv_dir)
+
+
+def test_spec_round_trip(sqlite_db, csv_dir):
+    for original in (SqliteConnector(sqlite_db), CsvDirectoryConnector(csv_dir)):
+        rebuilt = connector_from_spec(original.spec())
+        assert type(rebuilt) is type(original)
+        assert rebuilt.table_names() == original.table_names()
+        first = original.table_names()[0]
+        assert rebuilt.read_table(first) == original.read_table(first)
+
+
+def test_connector_from_spec_rejects_garbage():
+    with pytest.raises(CatalogError, match="unknown connector kind"):
+        connector_from_spec({"kind": "oracle", "path": "x"})
+    with pytest.raises(CatalogError, match="'path'"):
+        connector_from_spec({"kind": "sqlite"})
+    with pytest.raises(CatalogError, match="must be a dict"):
+        connector_from_spec("sqlite:/x")

@@ -1,0 +1,130 @@
+"""Tests for the catalog report: signatures, hints, serialization."""
+
+import json
+
+from repro.catalog import (
+    CatalogReport,
+    TableReport,
+    column_signature,
+    shared_key_hints,
+)
+from repro.dataset.relation import Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+def _relation(columns: dict) -> Relation:
+    first = next(iter(columns.values()))
+    schema = Schema([
+        Attribute(
+            name,
+            AttributeType.NUMERIC
+            if all(isinstance(v, (int, float)) for v in values if v is not None)
+            else AttributeType.CATEGORICAL,
+        )
+        for name, values in columns.items()
+    ])
+    assert all(len(v) == len(first) for v in columns.values())
+    return Relation(schema, columns)
+
+
+def _table(name: str, columns: dict, fds=()) -> TableReport:
+    relation = _relation(columns)
+    return TableReport(
+        table=name,
+        fds=list(fds),
+        signatures=[column_signature(relation, c) for c in columns],
+        sampling={"adequate": True},
+    )
+
+
+def test_column_signature_fields():
+    rel = _relation({"id": [1.0, 2.0, 3.0, 4.0], "g": ["a", "a", "b", "b"]})
+    sig = column_signature(rel, "id")
+    assert sig["unique"] and sig["n_distinct"] == 4
+    assert sig["distinct_ratio"] == 1.0
+    assert sig["normalized_name"] == "id"
+    assert len(sig["sketch"]) == 4
+    group = column_signature(rel, "g")
+    assert not group["unique"] and group["n_distinct"] == 2
+
+
+def test_signature_hashes_ints_and_floats_alike():
+    a = column_signature(_relation({"k": [1.0, 2.0, 3.0]}), "k")
+    b = column_signature(_relation({"k": ["1", "2", "3"]}), "k")
+    assert a["sketch"] == b["sketch"]
+
+
+def test_shared_key_hint_both_unique():
+    left = _table("orders", {"order_id": [1.0, 2.0, 3.0]})
+    right = _table("invoices", {"order_id": [1.0, 2.0, 3.0]})
+    (hint,) = shared_key_hints([left, right])
+    assert hint["kind"] == "shared_key"
+    assert hint["name_match"] and hint["jaccard"] == 1.0
+    # sorted-table order puts invoices (i < o) on the left
+    assert hint["left"]["table"] == "invoices"
+
+
+def test_foreign_key_candidate_one_side_unique():
+    customers = _table("customers", {"customer_id": [1.0, 2.0, 3.0, 4.0]})
+    orders = _table(
+        "orders", {"customer_id": [1.0, 1.0, 2.0, 3.0]}
+    )
+    (hint,) = shared_key_hints([customers, orders])
+    assert hint["kind"] == "foreign_key_candidate"
+    assert hint["left"]["unique"] and not hint["right"]["unique"]
+
+
+def test_no_hint_without_uniqueness_or_overlap():
+    a = _table("a", {"g": ["x", "x", "y"]})
+    b = _table("b", {"g": ["x", "y", "y"]})
+    assert shared_key_hints([a, b]) == []  # neither side unique
+    c = _table("c", {"cid": [1.0, 2.0, 3.0]})
+    d = _table("d", {"did": [7.0, 8.0, 9.0]})
+    assert shared_key_hints([c, d]) == []  # no name match, no overlap
+
+
+def test_error_tables_excluded_from_hints():
+    ok = _table("ok", {"id": [1.0, 2.0]})
+    bad = TableReport.from_error("bad", "WorkerCrashError", "boom")
+    assert shared_key_hints([ok, bad]) == []
+
+
+def test_report_round_trip_and_stable_ordering():
+    report = CatalogReport(
+        source={"kind": "sqlite", "path": "/x", "describe": "sqlite:/x"},
+        config={"sample": 100},
+        tables=[
+            _table("zeta", {"id": [1.0, 2.0]}),
+            TableReport.from_error("alpha", "TaskTimeoutError", "too slow"),
+        ],
+        seconds=1.25,
+    ).finalize()
+    d = report.to_dict()
+    assert [t["table"] for t in d["tables"]] == ["alpha", "zeta"]
+    assert d["totals"] == {
+        "tables": 2, "tables_ok": 1, "tables_error": 1,
+        "fds": 0, "tables_inadequate": 0, "hints": 0,
+    }
+    rebuilt = CatalogReport.from_dict(json.loads(report.to_json()))
+    assert rebuilt.to_dict() == d
+
+
+def test_render_text_mentions_errors_and_adequacy():
+    report = CatalogReport(
+        source={"describe": "sqlite:/x"},
+        tables=[
+            TableReport(
+                table="t",
+                fds=[{"lhs": ["a"], "rhs": "b"}],
+                sampling={
+                    "adequate": False, "max_standard_error": 0.2,
+                    "tolerance": 0.05, "n_sampled": 10, "n_source_rows": 99,
+                },
+            ),
+            TableReport.from_error("broken", "WorkerCrashError", "exit 3"),
+        ],
+    ).finalize()
+    text = report.render_text()
+    assert "INADEQUATE" in text
+    assert "WorkerCrashError" in text
+    assert "{a} -> b" in text

@@ -1,0 +1,197 @@
+"""Tests for catalog sampling: determinism, error bars, adequacy."""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    BlockSampler,
+    DEFAULT_TOLERANCE,
+    ReservoirSampler,
+    SqliteConnector,
+    covariance_standard_error,
+    sample_table,
+)
+from repro.dataset.relation import Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+from repro.errors import CatalogError
+
+SCHEMA = Schema([
+    Attribute("u", AttributeType.NUMERIC),
+    Attribute("v", AttributeType.NUMERIC),
+])
+
+
+def _batches(n, batch=50, seed=3):
+    rng = np.random.default_rng(seed)
+    out = []
+    for start in range(0, n, batch):
+        m = min(batch, n - start)
+        rows = [(float(rng.normal()), float(rng.normal())) for _ in range(m)]
+        out.append(Relation.from_rows(SCHEMA, rows))
+    return out
+
+
+def _run(sampler, batches):
+    for b in batches:
+        sampler.feed(b)
+    return sampler.result(SCHEMA)
+
+
+def test_reservoir_same_seed_is_deterministic():
+    batches = _batches(500)
+    a = _run(ReservoirSampler(60, seed=9), batches)
+    b = _run(ReservoirSampler(60, seed=9), batches)
+    assert a == b
+    assert a.n_rows == 60
+
+
+def test_reservoir_different_seed_differs():
+    batches = _batches(500)
+    a = _run(ReservoirSampler(60, seed=1), batches)
+    b = _run(ReservoirSampler(60, seed=2), batches)
+    assert a != b
+
+
+def test_reservoir_batching_invariance():
+    """The retained set depends on the seed and row stream, not batching."""
+    rows = _batches(300, batch=300)
+    rebatched = _batches(300, batch=17)
+    a = _run(ReservoirSampler(40, seed=5), rows)
+    b = _run(ReservoirSampler(40, seed=5), rebatched)
+    assert a == b
+
+
+def test_reservoir_under_k_keeps_everything():
+    batches = _batches(30)
+    out = _run(ReservoirSampler(100, seed=0), batches)
+    assert out == Relation(
+        SCHEMA, {n: [r for b in batches for r in b.column(n)] for n in ("u", "v")}
+    )
+
+
+def test_reservoir_is_roughly_uniform():
+    """Every source row should land in the reservoir ~k/n of the time."""
+    hits = np.zeros(200)
+    schema = Schema([Attribute("i", AttributeType.NUMERIC)])
+    batches = [
+        Relation.from_rows(schema, [(float(i),) for i in range(200)])
+    ]
+    for seed in range(300):
+        sampler = ReservoirSampler(20, seed=seed)
+        for b in batches:
+            sampler.feed(b)
+        out = sampler.result(schema)
+        for value in out.column("i"):
+            hits[int(value)] += 1
+    rates = hits / 300.0
+    assert abs(rates.mean() - 0.1) < 1e-9  # exactly k drawn each time
+    assert rates.min() > 0.02 and rates.max() < 0.25  # no systematic bias
+
+
+def test_block_sampler_deterministic_and_trimmed():
+    batches = _batches(500, batch=40)
+    a = _run(BlockSampler(90, seed=4, block_rows=40), batches)
+    b = _run(BlockSampler(90, seed=4, block_rows=40), batches)
+    assert a == b
+    assert a.n_rows == 90
+
+
+def test_sampler_rejects_bad_k():
+    with pytest.raises(ValueError):
+        ReservoirSampler(0)
+    with pytest.raises(ValueError):
+        BlockSampler(0)
+
+
+def test_standard_error_shrinks_like_sqrt_n():
+    """Quadrupling the sample should roughly halve the error bars."""
+    rng = np.random.default_rng(0)
+    big = rng.normal(size=(40_000, 4))
+    _, se_small = covariance_standard_error(big[:2_000])
+    _, se_large = covariance_standard_error(big[:8_000])
+    ratio = se_small.max() / se_large.max()
+    assert 1.6 < ratio < 2.5  # ~2 = sqrt(4), with Monte-Carlo slack
+
+
+def test_standard_error_matches_plugin_formula():
+    rng = np.random.default_rng(1)
+    Z = rng.normal(size=(512, 3))
+    Z = (Z - Z.mean(axis=0)) / Z.std(axis=0)
+    S, se = covariance_standard_error(Z, chunk_rows=100)
+    prods = Z[:, :, None] * Z[:, None, :]
+    expected_S = prods.mean(axis=0)
+    expected_se = np.sqrt(prods.var(axis=0) / Z.shape[0])
+    assert np.allclose(S, expected_S)
+    assert np.allclose(se, expected_se)
+
+
+@pytest.fixture
+def one_table_db(tmp_path):
+    def build(n_rows):
+        path = tmp_path / f"t{n_rows}.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE data (a REAL, b REAL, c TEXT)")
+        rng = np.random.default_rng(7)
+        conn.executemany(
+            "INSERT INTO data VALUES (?,?,?)",
+            [
+                (float(rng.normal()), float(rng.normal()), f"g{i % 5}")
+                for i in range(n_rows)
+            ],
+        )
+        conn.commit()
+        conn.close()
+        return SqliteConnector(path)
+
+    return build
+
+
+def test_adequate_flag_flips_at_documented_tolerance(one_table_db):
+    connector = one_table_db(5_000)
+    sample = sample_table(connector, "data", 2_000, seed=0)
+    assert sample.tolerance == DEFAULT_TOLERANCE == 0.05
+    # 2000 standardized rows sit comfortably under the 0.05 default...
+    assert sample.max_standard_error <= 0.05
+    assert sample.adequate
+    # ...and the same sample is inadequate against a tolerance just
+    # below its own max SE: the flag is exactly max_se <= tolerance.
+    tight = sample_table(
+        connector, "data", 2_000, seed=0,
+        tolerance=sample.max_standard_error * 0.9,
+    )
+    assert not tight.adequate
+    loose = sample_table(
+        connector, "data", 2_000, seed=0,
+        tolerance=sample.max_standard_error * 1.1,
+    )
+    assert loose.adequate
+
+
+def test_small_sample_is_flagged_inadequate(one_table_db):
+    sample = sample_table(one_table_db(400), "data", 50, seed=0)
+    assert sample.max_standard_error > DEFAULT_TOLERANCE
+    assert not sample.adequate
+
+
+def test_sample_table_exact_when_table_fits(one_table_db):
+    sample = sample_table(one_table_db(120), "data", 500, seed=0)
+    assert sample.exact
+    assert sample.n_sampled == sample.n_source_rows == 120
+
+
+def test_sample_table_deterministic_summary(one_table_db):
+    connector = one_table_db(1_000)
+    a = sample_table(connector, "data", 300, seed=2).summary()
+    b = sample_table(connector, "data", 300, seed=2).summary()
+    assert a == b
+    assert set(a) >= {
+        "n_source_rows", "n_sampled", "method", "seed", "adequate",
+        "tolerance", "max_standard_error", "standard_error",
+    }
+
+
+def test_sample_table_rejects_unknown_method(one_table_db):
+    with pytest.raises(CatalogError, match="unknown sampling method"):
+        sample_table(one_table_db(100), "data", 10, method="stratified")

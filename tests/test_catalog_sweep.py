@@ -1,0 +1,157 @@
+"""Tests for sweep orchestration: discovery, isolation, cancellation."""
+
+import sqlite3
+
+import pytest
+
+from repro.catalog import SqliteConnector, SweepConfig, sweep
+from repro.errors import CatalogError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import ListSink
+from repro.obs.trace import Tracer
+from repro.resilience.cancel import CancelToken
+from repro.resilience.faults import FaultInjector
+
+
+@pytest.fixture
+def catalog_db(tmp_path):
+    path = tmp_path / "cat.sqlite"
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "CREATE TABLE orders (order_id INT, customer_id INT, zip TEXT, city TEXT)"
+    )
+    conn.execute("CREATE TABLE customers (customer_id INT, name TEXT, region TEXT)")
+    conn.execute("CREATE TABLE items (item_id INT, amount REAL, grade TEXT)")
+    conn.executemany(
+        "INSERT INTO orders VALUES (?,?,?,?)",
+        [(i, i % 50, f"z{i % 20:02d}", f"c{(i % 20) % 10}") for i in range(400)],
+    )
+    conn.executemany(
+        "INSERT INTO customers VALUES (?,?,?)",
+        [(i, f"n{i}", f"r{i % 5}") for i in range(50)],
+    )
+    conn.executemany(
+        "INSERT INTO items VALUES (?,?,?)",
+        [(i, (i % 13) / 2.0, f"g{i % 4}") for i in range(200)],
+    )
+    conn.commit()
+    conn.close()
+    return str(path)
+
+
+def test_serial_sweep_finds_fds_and_hints(catalog_db):
+    report = sweep(SqliteConnector(catalog_db), SweepConfig(sample=500))
+    totals = report.totals
+    assert totals["tables"] == 3 and totals["tables_error"] == 0
+    orders = report.table("orders")
+    # city is functionally determined (zip -> city by construction; the
+    # model may pick the equivalent determinant through customer_id).
+    assert any(fd["rhs"] == "city" for fd in orders.fds)
+    assert orders.sampling["adequate"]
+    assert any(h["kind"] == "foreign_key_candidate" for h in report.hints)
+    # sampled error bars ride every successful table
+    for t in report.tables:
+        assert t.sampling["standard_error"]
+
+
+def test_sweep_is_deterministic(catalog_db):
+    config = SweepConfig(sample=300, seed=11)
+    a = sweep(SqliteConnector(catalog_db), config).to_dict()
+    b = sweep(SqliteConnector(catalog_db), config).to_dict()
+    a.pop("seconds"), b.pop("seconds")
+    for t in a["tables"] + b["tables"]:
+        t.pop("seconds")
+        t["diagnostics"].pop("stage_seconds", None)
+        t["diagnostics"].pop("timing", None)
+    assert [t["fds"] for t in a["tables"]] == [t["fds"] for t in b["tables"]]
+    assert [t["sampling"] for t in a["tables"]] == [t["sampling"] for t in b["tables"]]
+    assert a["hints"] == b["hints"]
+
+
+def test_injected_table_fault_yields_one_error_record(catalog_db):
+    injector = FaultInjector(seed=1)
+    injector.inject("catalog.table", times=1)
+    with injector.install():
+        report = sweep(SqliteConnector(catalog_db), SweepConfig(sample=300))
+    totals = report.totals
+    assert totals["tables_error"] == 1 and totals["tables_ok"] == 2
+    (failed,) = [t for t in report.tables if t.status == "error"]
+    assert failed.error["type"] == "InjectedFault"
+    assert failed.table in failed.error["message"]
+
+
+def test_worker_crash_isolated_to_its_table(catalog_db):
+    """A hard child-process death becomes error records, never an abort.
+
+    The injector travels into every forked child (each inherits its own
+    times=1 budget), so every table's worker dies — the sweep must still
+    return a full report of typed error records.
+    """
+    injector = FaultInjector(seed=1)
+    injector.inject("parallel.worker_crash", times=1)
+    with injector.install():
+        report = sweep(
+            SqliteConnector(catalog_db),
+            SweepConfig(sample=300, backend="process", workers=2),
+        )
+    assert len(report.tables) == 3
+    assert all(t.status == "error" for t in report.tables)
+    assert all(t.error["type"] == "WorkerCrashError" for t in report.tables)
+
+
+def test_process_backend_matches_serial_results(catalog_db):
+    serial = sweep(SqliteConnector(catalog_db), SweepConfig(sample=300))
+    process = sweep(
+        SqliteConnector(catalog_db),
+        SweepConfig(sample=300, backend="process", workers=2),
+    )
+    assert [t.fds for t in serial.tables] == [t.fds for t in process.tables]
+    assert serial.hints == process.hints
+
+
+def test_thread_backend_guards_logical_failures(catalog_db):
+    injector = FaultInjector(seed=1)
+    injector.inject("catalog.table", times=1)
+    with injector.install():
+        report = sweep(
+            SqliteConnector(catalog_db),
+            SweepConfig(sample=300, backend="thread", workers=2),
+        )
+    assert report.totals["tables_error"] == 1
+
+
+def test_pre_cancelled_sweep_yields_cancelled_records(catalog_db):
+    token = CancelToken()
+    token.set("shutdown")
+    report = sweep(
+        SqliteConnector(catalog_db), SweepConfig(sample=300), cancel_token=token
+    )
+    assert all(t.status == "error" for t in report.tables)
+    assert all(t.error["type"] == "CancelledError" for t in report.tables)
+
+
+def test_sweep_metrics_and_span_tree(catalog_db):
+    registry = MetricsRegistry()
+    sink = ListSink()
+    tracer = Tracer(enabled=True, sinks=[sink])
+    sweep(
+        SqliteConnector(catalog_db), SweepConfig(sample=300),
+        registry=registry, tracer=tracer,
+    )
+    snapshot = registry.snapshot()
+    assert snapshot["counters"].get("catalog_tables_total{status=ok}") == 3.0
+    assert snapshot["histograms"]["catalog_sweep_seconds"]["count"] == 1
+    names = [e.get("name") for e in sink.events if e.get("type") == "span"]
+    assert "catalog.sweep" in names
+    assert names.count("catalog.table") == 3
+
+
+def test_sweep_config_validation():
+    with pytest.raises(CatalogError, match="unknown sweep backend"):
+        SweepConfig(backend="gpu")
+    with pytest.raises(CatalogError, match="sample size"):
+        SweepConfig(sample=1)
+    with pytest.raises(CatalogError, match="unknown sweep config"):
+        SweepConfig.from_dict({"samples": 10})
+    config = SweepConfig(sample=64, hyperparameters={"lam": 0.1})
+    assert SweepConfig.from_dict(config.to_dict()) == config

@@ -1,0 +1,96 @@
+"""Tests for the chunked CSV reader (repro.dataset.io.CsvStream)."""
+
+import pytest
+
+from repro.dataset.io import CsvStream, iter_csv_rows, read_csv, write_csv
+from repro.dataset.relation import MISSING, concat_rows
+from repro.dataset.schema import AttributeType
+from repro.errors import CsvFormatError, DatasetIOError
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "rows.csv"
+    lines = ["a,b,c"]
+    for i in range(100):
+        b = "" if i % 17 == 0 else f"v{i % 7}"
+        lines.append(f"{i},{b},{i % 3}.5")
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def test_stream_matches_eager_reader(csv_path):
+    eager = read_csv(csv_path)
+    stream = CsvStream(csv_path)
+    assert stream.n_rows == eager.n_rows
+    batches = list(stream.iter_rows(batch_size=7))
+    assert all(b.n_rows <= 7 for b in batches)
+    assert concat_rows(batches) == eager
+    assert stream.read() == eager
+
+
+def test_stream_schema_matches_eager_sniffing(csv_path):
+    eager = read_csv(csv_path)
+    stream = CsvStream(csv_path)
+    assert stream.schema.names == eager.schema.names
+    for name in stream.schema.names:
+        assert stream.schema.type_of(name) is eager.schema.type_of(name)
+    assert stream.schema.type_of("a") is AttributeType.NUMERIC
+    assert stream.schema.type_of("b") is AttributeType.CATEGORICAL
+
+
+def test_stream_is_reiterable(csv_path):
+    stream = CsvStream(csv_path)
+    first = concat_rows(list(stream.iter_rows(batch_size=13)))
+    second = concat_rows(list(stream.iter_rows(batch_size=50)))
+    assert first == second
+
+
+def test_stream_missing_values(tmp_path):
+    path = tmp_path / "m.csv"
+    path.write_text("x,y\n1,\nNA,b\n")
+    rel = CsvStream(path).read()
+    assert rel.column("x")[1] is MISSING
+    assert rel.column("y")[0] is MISSING
+
+
+def test_iter_csv_rows_function(csv_path):
+    batches = list(iter_csv_rows(csv_path, batch_size=40))
+    assert [b.n_rows for b in batches] == [40, 40, 20]
+
+
+def test_stream_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(CsvFormatError, match="empty CSV"):
+        CsvStream(path)
+
+
+def test_stream_ragged_raises(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(CsvFormatError):
+        CsvStream(path)
+
+
+def test_stream_missing_file_raises(tmp_path):
+    with pytest.raises(DatasetIOError):
+        CsvStream(tmp_path / "nope.csv")
+
+
+def test_stream_bad_batch_size(csv_path):
+    with pytest.raises(ValueError):
+        list(CsvStream(csv_path).iter_rows(batch_size=0))
+
+
+def test_stream_round_trips_written_csv(tmp_path):
+    eager = read_csv_text_fixture()
+    path = tmp_path / "written.csv"
+    write_csv(eager, str(path))
+    assert CsvStream(path).read() == read_csv(str(path))
+
+
+def read_csv_text_fixture():
+    from repro.dataset.io import read_csv_text
+
+    return read_csv_text("p,q\n1,a\n2,b\n3,a\n")

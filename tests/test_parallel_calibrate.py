@@ -1,0 +1,110 @@
+"""Tests for the ledger-driven parallel_min_rows calibration."""
+
+import json
+
+import pytest
+
+from repro.parallel.calibrate import (
+    DEFAULT_MIN_ROWS,
+    ENV_LEDGER_DIR,
+    ENV_MIN_ROWS,
+    MAX_GATE,
+    MIN_GATE,
+    calibrated_min_rows,
+    crossover_from_run,
+)
+
+
+def _run(serial: float, parallel: float, smoke: bool = False) -> dict:
+    return {
+        "smoke": smoke,
+        "results": {
+            "transform_cov_serial": {"seconds": serial},
+            "transform_cov_process_4workers": {"seconds": parallel},
+        },
+    }
+
+
+def test_crossover_basic_fit():
+    # serial: 0.5s at 50k rows -> 10 us/row; parallel overhead:
+    # 0.25 - 0.5/4 = 0.125 s; crossover = 0.125*4 / (1e-5 * 3) = 16666
+    n = crossover_from_run(_run(0.5, 0.25))
+    assert n == pytest.approx(16_666, abs=2)
+
+
+def test_crossover_parallel_never_wins_hits_cap():
+    # Parallel slower than serial at the observed size and overhead so
+    # large the fitted crossover exceeds the cap entirely.
+    n = crossover_from_run(_run(0.01, 5.0))
+    assert n == MAX_GATE
+
+
+def test_crossover_zero_overhead_floors_at_min_gate():
+    assert crossover_from_run(_run(0.4, 0.1)) == MIN_GATE
+
+
+def test_crossover_smoke_runs_use_smoke_rows():
+    full = crossover_from_run(_run(0.5, 0.25, smoke=False))
+    smoke = crossover_from_run(_run(0.5, 0.25, smoke=True))
+    # Same timings at 4k rows instead of 50k mean a higher per-row cost,
+    # hence a smaller fitted crossover.
+    assert smoke < full
+
+
+def test_crossover_missing_cases_returns_none():
+    assert crossover_from_run({"smoke": False, "results": {}}) is None
+    assert crossover_from_run({}) is None
+
+
+def test_env_override_wins(monkeypatch):
+    monkeypatch.setenv(ENV_MIN_ROWS, "12345")
+    assert calibrated_min_rows() == 12345
+    monkeypatch.setenv(ENV_MIN_ROWS, "0")
+    assert calibrated_min_rows() == 0
+
+
+def test_unparseable_env_falls_through(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_MIN_ROWS, "lots")
+    monkeypatch.setenv(ENV_LEDGER_DIR, str(tmp_path))
+    assert calibrated_min_rows() == DEFAULT_MIN_ROWS
+
+
+def test_missing_ledger_returns_default(monkeypatch, tmp_path):
+    monkeypatch.delenv(ENV_MIN_ROWS, raising=False)
+    monkeypatch.setenv(ENV_LEDGER_DIR, str(tmp_path))
+    assert calibrated_min_rows() == DEFAULT_MIN_ROWS
+    assert calibrated_min_rows(default=999) == 999
+
+
+def test_ledger_calibration_and_full_over_smoke(monkeypatch, tmp_path):
+    monkeypatch.delenv(ENV_MIN_ROWS, raising=False)
+    monkeypatch.setenv(ENV_LEDGER_DIR, str(tmp_path))
+    ledger = {
+        "suite": "parallel",
+        "runs": [
+            _run(0.5, 0.25, smoke=False),   # older full run
+            _run(0.5, 0.25, smoke=True),    # newest run is smoke
+        ],
+    }
+    (tmp_path / "BENCH_parallel.json").write_text(json.dumps(ledger))
+    # Newest *full* run wins over the newer smoke run.
+    assert calibrated_min_rows() == crossover_from_run(_run(0.5, 0.25))
+
+
+def test_corrupt_ledger_returns_default(monkeypatch, tmp_path):
+    monkeypatch.delenv(ENV_MIN_ROWS, raising=False)
+    monkeypatch.setenv(ENV_LEDGER_DIR, str(tmp_path))
+    (tmp_path / "BENCH_parallel.json").write_text("{not json")
+    assert calibrated_min_rows() == DEFAULT_MIN_ROWS
+
+
+def test_fdx_uses_calibrated_gate(monkeypatch, tmp_path):
+    """FDX(parallel_min_rows=None) consults the calibration (env path)."""
+    from repro.core.fdx import FDX
+    from repro.datagen.synthetic import SyntheticSpec, generate
+
+    monkeypatch.setenv(ENV_MIN_ROWS, "1000000000")
+    ds = generate(SyntheticSpec(n_tuples=60, n_attributes=4, seed=0))
+    result = FDX(n_jobs=4, parallel_backend="thread").discover(ds.relation)
+    # Gate far above the input size: the run stays serial.
+    assert result.diagnostics["parallel"]["backend"] == "serial"
